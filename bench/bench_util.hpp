@@ -1,0 +1,61 @@
+// Shared utilities for the figure-reproduction harnesses.
+//
+// Every bench prints the same rows/series as the corresponding paper figure
+// plus a `paper_shape:` line stating the qualitative claim being reproduced.
+// Default sizes are scaled down so the full suite runs in minutes; set
+// PLANKTON_BENCH_FULL=1 for paper-scale sizes and PLANKTON_MS_BUDGET_MS to
+// change the baseline solver budget (default 10000 ms, standing in for the
+// paper's 4-hour Minesweeper timeout).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace plankton::bench {
+
+inline bool full_scale() {
+  const char* v = std::getenv("PLANKTON_BENCH_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+inline std::chrono::milliseconds baseline_budget() {
+  const char* v = std::getenv("PLANKTON_MS_BUDGET_MS");
+  return std::chrono::milliseconds(v != nullptr ? std::atol(v) : 10000);
+}
+
+inline double ms(std::chrono::nanoseconds d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+
+inline double mb(std::size_t bytes) { return static_cast<double>(bytes) / 1e6; }
+
+/// "12.34 ms" or "TIMEOUT" — the paper prints timeouts as bars at the cap.
+inline std::string time_cell(std::chrono::nanoseconds d, bool timed_out) {
+  if (timed_out) return "TIMEOUT";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f ms", ms(d));
+  return buf;
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] std::chrono::nanoseconds elapsed() const {
+    return std::chrono::steady_clock::now() - start_;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void header(const char* figure, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("mode: %s scale (set PLANKTON_BENCH_FULL=1 for paper sizes)\n",
+              full_scale() ? "paper" : "reduced");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace plankton::bench

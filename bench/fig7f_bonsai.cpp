@@ -1,0 +1,84 @@
+// Figure 7(f): Bonsai-compressed fat trees — control-plane compression as a
+// preprocessor for both tools (no failures: Bonsai does not preserve
+// failure semantics, paper §5). Reachability and Bounded Path Length from a
+// random edge switch, per destination prefix.
+//
+// Paper shape: Plankton still outperforms Minesweeper by multiple orders of
+// magnitude after compression; compression makes both tools' inputs tiny on
+// symmetric fabrics.
+#include "baselines/smt/encoder.hpp"
+#include "bench_util.hpp"
+#include "core/verifier.hpp"
+#include "eqclass/bonsai.hpp"
+#include "workload/fat_tree.hpp"
+
+int main() {
+  using namespace plankton;
+  bench::header("Figure 7(f)", "Bonsai-compressed fat trees, 8 cores");
+  const std::vector<int> ks = bench::full_scale()
+                                  ? std::vector<int>{4, 6, 8, 10, 12, 14}
+                                  : std::vector<int>{4, 6, 8, 10};
+  std::printf("%-8s %-12s %-22s %16s %16s\n", "N", "abstract N", "policy",
+              "Minesweeper", "Plankton");
+
+  for (const int k : ks) {
+    FatTreeOptions o;
+    o.k = k;
+    const FatTree ft = make_fat_tree(o);
+    const NodeId src = ft.edges[ft.edges.size() / 2];
+
+    // Compress per destination; verify both policies on the quotients.
+    std::chrono::nanoseconds pk_reach{0}, pk_len{0}, ms_reach{0}, ms_len{0};
+    bool ms_timeout = false;
+    std::size_t abstract_nodes = 0;
+    for (std::size_t d = 0; d < ft.edge_prefixes.size(); ++d) {
+      if (ft.edges[d] == src) continue;
+      const BonsaiResult b =
+          bonsai_compress_ospf(ft.net, ft.edge_prefixes[d], {{src}});
+      abstract_nodes = std::max(abstract_nodes, b.net.topo.node_count());
+      const NodeId qsrc = b.abstract_of(src);
+
+      VerifyOptions vo;
+      vo.cores = 8;
+      {
+        bench::WallTimer t;
+        Verifier v(b.net, vo);
+        const ReachabilityPolicy p({qsrc});
+        (void)v.verify_address(ft.edge_prefixes[d].addr(), p);
+        pk_reach += t.elapsed();
+      }
+      {
+        bench::WallTimer t;
+        Verifier v(b.net, vo);
+        const BoundedPathLengthPolicy p({qsrc}, 4);
+        (void)v.verify_address(ft.edge_prefixes[d].addr(), p);
+        pk_len += t.elapsed();
+      }
+      smt::MsOptions mo;
+      mo.budget = bench::baseline_budget();
+      {
+        smt::MsVerifier ms(b.net, mo);
+        const smt::MsResult r = ms.check_reachability(qsrc);
+        ms_reach += r.elapsed;
+        ms_timeout = ms_timeout || r.timed_out;
+      }
+      {
+        smt::MsVerifier ms(b.net, mo);
+        const smt::MsResult r = ms.check_bounded_length(qsrc, 4);
+        ms_len += r.elapsed;
+        ms_timeout = ms_timeout || r.timed_out;
+      }
+    }
+    std::printf("%-8zu %-12zu %-22s %16s %16s\n", ft.size(), abstract_nodes,
+                "Reachability", bench::time_cell(ms_reach, ms_timeout).c_str(),
+                bench::time_cell(pk_reach, false).c_str());
+    std::printf("%-8zu %-12zu %-22s %16s %16s\n", ft.size(), abstract_nodes,
+                "Bounded Path Length", bench::time_cell(ms_len, ms_timeout).c_str(),
+                bench::time_cell(pk_len, false).c_str());
+  }
+  std::printf(
+      "\npaper_shape: compression shrinks symmetric fabrics to O(k) abstract "
+      "nodes; Plankton stays consistently faster than the SMT baseline "
+      "on every compressed instance\n");
+  return 0;
+}

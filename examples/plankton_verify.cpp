@@ -1,0 +1,153 @@
+// plankton_verify: command-line configuration verifier.
+//
+//   plankton_verify <config-file> <policy> [options]
+//
+// Policies:
+//   reach <src,...>                 every source delivers (all ECMP branches)
+//   loop                            no forwarding loop anywhere
+//   blackhole [<src,...>]           no source traffic hits a drop
+//   bounded <limit> <src,...>       all paths within <limit> hops
+//   waypoint <src,...> <wp,...>     all paths cross one of the waypoints
+//
+// Options:
+//   --failures <k>     verify under at most k link failures (default 0)
+//   --cores <n>        worker threads (default 1)
+//   --address <ip>     verify only the PEC containing <ip> (default: all)
+//   --all-violations   keep searching after the first counterexample
+//   --trails           print counterexample event traces
+//
+// Exit code: 0 = policy holds, 1 = violated, 2 = usage/config error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "config/parser.hpp"
+#include "core/verifier.hpp"
+
+namespace {
+
+using namespace plankton;
+
+std::vector<NodeId> parse_node_list(const Network& net, const std::string& arg) {
+  std::vector<NodeId> out;
+  std::stringstream ss(arg);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    const auto id = net.find_device(name);
+    if (!id) throw std::runtime_error("unknown device '" + name + "'");
+    out.push_back(*id);
+  }
+  if (out.empty()) throw std::runtime_error("empty device list");
+  return out;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: plankton_verify <config> <policy> [args] [--failures k] "
+               "[--cores n] [--address ip] [--all-violations] [--trails]\n"
+               "policies: reach <srcs> | loop | blackhole [srcs] | "
+               "bounded <limit> <srcs> | waypoint <srcs> <wps>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::ifstream file(argv[1]);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  try {
+    ParsedNetwork parsed = parse_network_config(buffer.str());
+    Network& net = parsed.net;
+    for (const auto& warning : net.validate()) {
+      std::fprintf(stderr, "config warning: %s\n", warning.c_str());
+    }
+
+    // Split positional policy args from options.
+    std::vector<std::string> pos;
+    VerifyOptions opts;
+    std::optional<IpAddr> address;
+    bool trails = false;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--failures" && i + 1 < argc) {
+        opts.explore.max_failures = std::atoi(argv[++i]);
+      } else if (arg == "--cores" && i + 1 < argc) {
+        opts.cores = std::atoi(argv[++i]);
+      } else if (arg == "--address" && i + 1 < argc) {
+        address = IpAddr::parse(argv[++i]);
+        if (!address) throw std::runtime_error("bad --address");
+      } else if (arg == "--all-violations") {
+        opts.explore.find_all_violations = true;
+      } else if (arg == "--trails") {
+        trails = true;
+      } else if (arg.rfind("--", 0) == 0) {
+        return usage();
+      } else {
+        pos.push_back(arg);
+      }
+    }
+    if (pos.empty()) return usage();
+
+    std::unique_ptr<Policy> policy;
+    const std::string& kind = pos[0];
+    if (kind == "reach" && pos.size() == 2) {
+      policy = std::make_unique<ReachabilityPolicy>(parse_node_list(net, pos[1]));
+    } else if (kind == "loop" && pos.size() == 1) {
+      policy = std::make_unique<LoopFreedomPolicy>();
+    } else if (kind == "blackhole") {
+      std::vector<NodeId> sources;
+      if (pos.size() == 2) sources = parse_node_list(net, pos[1]);
+      policy = std::make_unique<BlackholeFreedomPolicy>(std::move(sources));
+    } else if (kind == "bounded" && pos.size() == 3) {
+      policy = std::make_unique<BoundedPathLengthPolicy>(
+          parse_node_list(net, pos[2]),
+          static_cast<std::uint32_t>(std::atoi(pos[1].c_str())));
+    } else if (kind == "waypoint" && pos.size() == 3) {
+      policy = std::make_unique<WaypointPolicy>(parse_node_list(net, pos[1]),
+                                                parse_node_list(net, pos[2]));
+    } else {
+      return usage();
+    }
+
+    Verifier verifier(net, opts);
+    std::printf("network: %zu devices, %zu links; %zu PECs (%zu routed)\n",
+                net.topo.node_count(), net.topo.link_count(),
+                verifier.pecs().pecs.size(), verifier.pecs().routed().size());
+    const VerifyResult result =
+        address ? verifier.verify_address(*address, *policy)
+                : verifier.verify(*policy);
+
+    std::printf("policy %s: %s%s\n", policy->name().c_str(),
+                result.holds ? "HOLDS" : "VIOLATED",
+                result.timed_out ? " (incomplete: timed out)" : "");
+    std::printf("PECs verified: %zu (+%zu support), converged states: %llu, "
+                "wall: %.2f ms, model memory: %.2f MB\n",
+                result.pecs_verified, result.pecs_support,
+                static_cast<unsigned long long>(result.total.converged_states),
+                static_cast<double>(result.wall.count()) / 1e6,
+                static_cast<double>(result.total.model_bytes()) / 1e6);
+    for (const auto& rep : result.reports) {
+      for (const auto& v : rep.result.violations) {
+        std::printf("\nviolation in PEC %s: %s\n", rep.pec_str.c_str(),
+                    v.message.c_str());
+        if (!v.failures.empty()) {
+          std::printf("  under failed links %s\n", v.failures.str().c_str());
+        }
+        if (trails) std::printf("%s", v.trail_text.c_str());
+      }
+    }
+    return result.holds ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

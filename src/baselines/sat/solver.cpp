@@ -1,0 +1,382 @@
+#include "baselines/sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace plankton::sat {
+namespace {
+
+/// Luby restart sequence (unit 256 conflicts).
+std::uint64_t luby(std::uint64_t i) {
+  std::uint64_t k = 1;
+  while ((std::uint64_t{1} << k) - 1 < i + 1) ++k;
+  while ((std::uint64_t{1} << (k - 1)) - 1 != i) {
+    i -= (std::uint64_t{1} << (k - 1)) - 1;
+    k = 1;
+    while ((std::uint64_t{1} << k) - 1 < i + 1) ++k;
+  }
+  return std::uint64_t{1} << (k - 1);
+}
+
+}  // namespace
+
+Solver::Solver() = default;
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(0);
+  phase_.push_back(0);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_pos_.push_back(kNotInHeap);
+  heap_insert(v);
+  return v;
+}
+
+void Solver::heap_insert(Var v) {
+  if (heap_pos_[v] != kNotInHeap) return;
+  heap_pos_[v] = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_less(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    heap_pos_[heap_[parent]] = static_cast<std::uint32_t>(parent);
+    heap_pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+    i = parent;
+  }
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    std::size_t best = i;
+    if (l < heap_.size() && heap_less(heap_[best], heap_[l])) best = l;
+    if (r < heap_.size() && heap_less(heap_[best], heap_[r])) best = r;
+    if (best == i) break;
+    std::swap(heap_[best], heap_[i]);
+    heap_pos_[heap_[best]] = static_cast<std::uint32_t>(best);
+    heap_pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+    i = best;
+  }
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  if (unsat_) return false;
+  // Incremental use: clauses may be added between solve() calls (e.g. model
+  // blocking). Return to the root level first so simplification and the
+  // watch invariant are sound.
+  backtrack(0);
+  // Deduplicate and drop tautologies / falsified literals (root level only).
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<Lit> kept;
+  for (const Lit l : lits) {
+    if (std::find(kept.begin(), kept.end(), negate(l)) != kept.end()) {
+      return true;  // tautology
+    }
+    const int v = lit_value(l);
+    if (v == 1 && level_[var_of(l)] == 0) return true;  // already satisfied
+    if (v == -1 && level_[var_of(l)] == 0) continue;    // falsified at root
+    kept.push_back(l);
+  }
+  if (kept.empty()) {
+    unsat_ = true;
+    return false;
+  }
+  if (kept.size() == 1) {
+    if (lit_value(kept[0]) == 0) {
+      enqueue(kept[0], kNoReason);
+      if (propagate() != kNoReason) {
+        unsat_ = true;
+        return false;
+      }
+    }
+    return true;
+  }
+  clauses_.push_back(Clause{std::move(kept), false});
+  attach(static_cast<ClauseRef>(clauses_.size() - 1));
+  return true;
+}
+
+void Solver::attach(ClauseRef cr) {
+  const auto& c = clauses_[cr].lits;
+  watches_[negate(c[0])].push_back(cr);
+  watches_[negate(c[1])].push_back(cr);
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+  const Var v = var_of(l);
+  assign_[v] = sign_of(l) ? -1 : 1;
+  phase_[v] = sign_of(l) ? 0 : 1;
+  level_[v] = trail_lim_.empty() ? 0 : static_cast<std::uint32_t>(trail_lim_.size());
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++propagations_;
+    auto& ws = watches_[p];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      const ClauseRef cr = ws[i];
+      auto& lits = clauses_[cr].lits;
+      // Ensure the falsified literal is lits[1].
+      const Lit false_lit = negate(p);
+      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+      if (lit_value(lits[0]) == 1) {
+        ws[keep++] = cr;  // clause satisfied by the other watch
+        continue;
+      }
+      // Look for a new watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < lits.size(); ++k) {
+        if (lit_value(lits[k]) != -1) {
+          std::swap(lits[1], lits[k]);
+          watches_[negate(lits[1])].push_back(cr);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflict.
+      ws[keep++] = cr;
+      if (lit_value(lits[0]) == -1) {
+        // Conflict: restore remaining watchers and report.
+        for (std::size_t k = i + 1; k < ws.size(); ++k) ws[keep++] = ws[k];
+        ws.resize(keep);
+        qhead_ = trail_.size();
+        return cr;
+      }
+      enqueue(lits[0], cr);
+    }
+    ws.resize(keep);
+  }
+  return kNoReason;
+}
+
+void Solver::bump(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+    // Activities rescaled uniformly: heap order is unchanged.
+  }
+  if (heap_pos_[v] != kNotInHeap) heap_sift_up(heap_pos_[v]);
+}
+
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learned,
+                     std::uint32_t& btlevel) {
+  learned.clear();
+  learned.push_back(0);  // placeholder for the asserting literal
+  int counter = 0;
+  Lit p = 0;
+  bool have_p = false;
+  ClauseRef reason = conflict;
+  std::size_t index = trail_.size();
+  const std::uint32_t current_level = static_cast<std::uint32_t>(trail_lim_.size());
+
+  while (true) {
+    const auto& lits = clauses_[reason].lits;
+    for (std::size_t i = have_p ? 1 : 0; i < lits.size(); ++i) {
+      const Lit q = lits[i];
+      const Var v = var_of(q);
+      if (seen_[v] != 0 || level_[v] == 0) continue;
+      seen_[v] = 1;
+      bump(v);
+      if (level_[v] >= current_level) {
+        ++counter;
+      } else {
+        learned.push_back(q);
+      }
+    }
+    // Find the next literal on the trail to resolve on.
+    while (seen_[var_of(trail_[index - 1])] == 0) --index;
+    p = trail_[--index];
+    seen_[var_of(p)] = 0;
+    --counter;
+    if (counter == 0) break;
+    reason = reason_[var_of(p)];
+    have_p = true;
+    // When the reason clause has p as lits[0] we skip it via have_p.
+    // Reason clauses always store the implied literal first? Not guaranteed:
+    // put it first now.
+    auto& rl = clauses_[reason].lits;
+    for (std::size_t i = 0; i < rl.size(); ++i) {
+      if (rl[i] == p) {
+        std::swap(rl[0], rl[i]);
+        break;
+      }
+    }
+  }
+  learned[0] = negate(p);
+
+  // Recursive minimization: drop literals implied by the rest.
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    abstract_levels |= std::uint32_t{1} << (level_[var_of(learned[i])] & 31);
+  }
+  to_clear_.clear();
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    seen_[var_of(learned[i])] = 1;
+    to_clear_.push_back(var_of(learned[i]));
+  }
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    if (reason_[var_of(learned[i])] == kNoReason ||
+        !redundant(learned[i], abstract_levels)) {
+      learned[keep++] = learned[i];
+    }
+  }
+  learned.resize(keep);
+  for (const Var v : to_clear_) seen_[v] = 0;  // includes redundant()'s marks
+
+  // Backtrack level: max level among learned[1..].
+  btlevel = 0;
+  std::size_t max_i = 1;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    if (level_[var_of(learned[i])] > btlevel) {
+      btlevel = level_[var_of(learned[i])];
+      max_i = i;
+    }
+  }
+  if (learned.size() > 1) std::swap(learned[1], learned[max_i]);
+}
+
+bool Solver::redundant(Lit l, std::uint32_t abstract_levels) {
+  // DFS over the implication graph: l is redundant if every path terminates
+  // in seen literals or level-0 assignments.
+  std::vector<Lit> stack{l};
+  const std::size_t mark = to_clear_.size();
+  while (!stack.empty()) {
+    const Lit cur = stack.back();
+    stack.pop_back();
+    const ClauseRef cr = reason_[var_of(cur)];
+    if (cr == kNoReason) {
+      // Roll back only the marks added during this (failed) probe.
+      for (std::size_t i = mark; i < to_clear_.size(); ++i) seen_[to_clear_[i]] = 0;
+      to_clear_.resize(mark);
+      return false;
+    }
+    for (const Lit q : clauses_[cr].lits) {
+      const Var v = var_of(q);
+      if (v == var_of(cur) || seen_[v] != 0 || level_[v] == 0) continue;
+      if (reason_[v] == kNoReason ||
+          ((std::uint32_t{1} << (level_[v] & 31)) & abstract_levels) == 0) {
+        for (std::size_t i = mark; i < to_clear_.size(); ++i) seen_[to_clear_[i]] = 0;
+        to_clear_.resize(mark);
+        return false;
+      }
+      seen_[v] = 1;
+      to_clear_.push_back(v);
+      stack.push_back(q);
+    }
+  }
+  // Success: marks stay (memoization) and are cleared by analyze() at the end.
+  return true;
+}
+
+void Solver::backtrack(std::uint32_t target) {
+  if (trail_lim_.size() <= target) return;
+  const std::uint32_t mark = trail_lim_[target];
+  for (std::size_t i = trail_.size(); i > mark; --i) {
+    const Var v = var_of(trail_[i - 1]);
+    assign_[v] = 0;
+    reason_[v] = kNoReason;
+    heap_insert(v);
+  }
+  trail_.resize(mark);
+  trail_lim_.resize(target);
+  qhead_ = trail_.size();
+}
+
+Lit Solver::pick_branch() {
+  while (!heap_.empty()) {
+    const Var v = heap_[0];
+    heap_pos_[v] = kNotInHeap;
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_pos_[heap_[0]] = 0;
+      heap_sift_down(0);
+    }
+    if (assign_[v] == 0) return phase_[v] != 0 ? pos(v) : neg(v);
+  }
+  return ~Lit{0};
+}
+
+void Solver::reduce_learned() {
+  // Clause deletion is deliberately omitted: our encodings stay small enough
+  // and keeping all learned clauses makes runs deterministic.
+}
+
+Outcome Solver::solve(std::chrono::milliseconds budget) {
+  if (unsat_) return Outcome::kUnsat;
+  const bool timed = budget.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  std::uint64_t restart_idx = 0;
+  std::uint64_t conflict_budget = 256 * luby(restart_idx);
+  std::uint64_t conflicts_here = 0;
+  std::vector<Lit> learned;
+
+  std::uint64_t steps = 0;
+  while (true) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNoReason) {
+      ++conflicts_;
+      ++conflicts_here;
+      if (trail_lim_.empty()) return Outcome::kUnsat;
+      std::uint32_t btlevel = 0;
+      analyze(conflict, learned, btlevel);
+      backtrack(btlevel);
+      if (learned.size() == 1) {
+        enqueue(learned[0], kNoReason);
+      } else {
+        clauses_.push_back(Clause{learned, true});
+        ++learned_count_;
+        const auto cr = static_cast<ClauseRef>(clauses_.size() - 1);
+        attach(cr);
+        enqueue(learned[0], cr);
+      }
+      decay();
+      continue;
+    }
+    if (timed && (++steps & 0x3ff) == 0 &&
+        std::chrono::steady_clock::now() > deadline) {
+      return Outcome::kTimeout;
+    }
+    if (conflicts_here >= conflict_budget) {
+      conflicts_here = 0;
+      conflict_budget = 256 * luby(++restart_idx);
+      backtrack(0);
+      continue;
+    }
+    const Lit next = pick_branch();
+    if (next == ~Lit{0}) return Outcome::kSat;
+    ++decisions_;
+    trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+    enqueue(next, kNoReason);
+  }
+}
+
+std::size_t Solver::clause_bytes() const {
+  std::size_t total = 0;
+  for (const auto& c : clauses_) {
+    total += sizeof(Clause) + c.lits.capacity() * sizeof(Lit);
+  }
+  for (const auto& w : watches_) total += w.capacity() * sizeof(ClauseRef);
+  return total;
+}
+
+}  // namespace plankton::sat

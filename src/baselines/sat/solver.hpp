@@ -1,0 +1,110 @@
+// A from-scratch CDCL SAT solver — the search engine of the Minesweeper-style
+// baseline (DESIGN.md §3: Minesweeper bit-blasts its SMT constraints; our
+// encoder produces the same constraint shape and this solver provides the
+// same kind of general-purpose search whose scaling the paper compares
+// against).
+//
+// Features: two-watched-literal propagation, first-UIP clause learning with
+// recursive minimization, VSIDS branching with phase saving, Luby restarts,
+// and a wall-clock budget (the paper reports Minesweeper timeouts).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace plankton::sat {
+
+/// Literal: variable v (0-based) positive -> 2v, negated -> 2v+1.
+using Lit = std::uint32_t;
+using Var = std::uint32_t;
+
+[[nodiscard]] constexpr Lit pos(Var v) { return v << 1; }
+[[nodiscard]] constexpr Lit neg(Var v) { return (v << 1) | 1; }
+[[nodiscard]] constexpr Lit negate(Lit l) { return l ^ 1; }
+[[nodiscard]] constexpr Var var_of(Lit l) { return l >> 1; }
+[[nodiscard]] constexpr bool sign_of(Lit l) { return (l & 1) != 0; }
+
+enum class Outcome : std::uint8_t { kSat, kUnsat, kTimeout };
+
+class Solver {
+ public:
+  Solver();
+
+  Var new_var();
+  [[nodiscard]] std::size_t num_vars() const { return assign_.size(); }
+
+  /// Adds a clause; returns false if the database is already unsatisfiable.
+  bool add_clause(std::vector<Lit> lits);
+  bool add_unit(Lit l) { return add_clause({l}); }
+  bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
+  bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+
+  Outcome solve(std::chrono::milliseconds budget = std::chrono::milliseconds{0});
+
+  /// Model value of a variable after kSat.
+  [[nodiscard]] bool value(Var v) const { return assign_[v] == 1; }
+
+  // Statistics.
+  [[nodiscard]] std::uint64_t conflicts() const { return conflicts_; }
+  [[nodiscard]] std::uint64_t decisions() const { return decisions_; }
+  [[nodiscard]] std::uint64_t propagations() const { return propagations_; }
+  [[nodiscard]] std::size_t clause_bytes() const;
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learned = false;
+  };
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoReason = ~ClauseRef{0};
+
+  [[nodiscard]] int lit_value(Lit l) const {
+    const std::int8_t a = assign_[var_of(l)];
+    if (a == 0) return 0;
+    return (a == 1) == !sign_of(l) ? 1 : -1;
+  }
+
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef conflict, std::vector<Lit>& learned, std::uint32_t& btlevel);
+  [[nodiscard]] bool redundant(Lit l, std::uint32_t abstract_levels);
+  void backtrack(std::uint32_t level);
+  [[nodiscard]] Lit pick_branch();
+  void bump(Var v);
+  void decay() { var_inc_ /= 0.95; }
+  void attach(ClauseRef cr);
+  void reduce_learned();
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<ClauseRef>> watches_;  // per literal
+  std::vector<std::int8_t> assign_;              // 0 unassigned, 1 true, -1 false
+  std::vector<std::uint8_t> phase_;              // saved phases
+  std::vector<std::uint32_t> level_;
+  std::vector<ClauseRef> reason_;
+  std::vector<Lit> trail_;
+  std::vector<std::uint32_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  // Indexed max-heap over variable activity (VSIDS).
+  void heap_insert(Var v);
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  [[nodiscard]] bool heap_less(Var a, Var b) const {
+    return activity_[a] < activity_[b];
+  }
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<Var> heap_;
+  std::vector<std::uint32_t> heap_pos_;  // per var; kNotInHeap when absent
+  static constexpr std::uint32_t kNotInHeap = ~std::uint32_t{0};
+  std::vector<std::uint8_t> seen_;
+  std::vector<Var> to_clear_;  // vars marked seen during minimization
+
+  bool unsat_ = false;
+  std::uint64_t conflicts_ = 0, decisions_ = 0, propagations_ = 0;
+  std::uint64_t learned_count_ = 0;
+};
+
+}  // namespace plankton::sat

@@ -1,0 +1,172 @@
+#include "baselines/smt/bitvec.hpp"
+
+namespace plankton::smt {
+
+Lit Circuit::and2(Lit a, Lit b) {
+  if (a == true_lit()) return b;
+  if (b == true_lit()) return a;
+  if (a == false_lit() || b == false_lit()) return false_lit();
+  if (a == b) return a;
+  if (a == sat::negate(b)) return false_lit();
+  const Lit out = fresh();
+  solver_.add_binary(sat::negate(out), a);
+  solver_.add_binary(sat::negate(out), b);
+  solver_.add_ternary(out, sat::negate(a), sat::negate(b));
+  return out;
+}
+
+Lit Circuit::or2(Lit a, Lit b) {
+  return sat::negate(and2(sat::negate(a), sat::negate(b)));
+}
+
+Lit Circuit::xor2(Lit a, Lit b) {
+  if (a == false_lit()) return b;
+  if (b == false_lit()) return a;
+  if (a == true_lit()) return sat::negate(b);
+  if (b == true_lit()) return sat::negate(a);
+  if (a == b) return false_lit();
+  if (a == sat::negate(b)) return true_lit();
+  const Lit out = fresh();
+  solver_.add_ternary(sat::negate(out), a, b);
+  solver_.add_ternary(sat::negate(out), sat::negate(a), sat::negate(b));
+  solver_.add_ternary(out, sat::negate(a), b);
+  solver_.add_ternary(out, a, sat::negate(b));
+  return out;
+}
+
+Lit Circuit::and_all(const std::vector<Lit>& ls) {
+  Lit acc = true_lit();
+  for (const Lit l : ls) acc = and2(acc, l);
+  return acc;
+}
+
+Lit Circuit::or_all(const std::vector<Lit>& ls) {
+  Lit acc = false_lit();
+  for (const Lit l : ls) acc = or2(acc, l);
+  return acc;
+}
+
+Lit Circuit::ite(Lit cond, Lit then_lit, Lit else_lit) {
+  if (cond == true_lit()) return then_lit;
+  if (cond == false_lit()) return else_lit;
+  if (then_lit == else_lit) return then_lit;
+  const Lit out = fresh();
+  solver_.add_ternary(sat::negate(cond), sat::negate(then_lit), out);
+  solver_.add_ternary(sat::negate(cond), then_lit, sat::negate(out));
+  solver_.add_ternary(cond, sat::negate(else_lit), out);
+  solver_.add_ternary(cond, else_lit, sat::negate(out));
+  return out;
+}
+
+void Circuit::at_most_k(const std::vector<Lit>& ls, std::uint32_t k) {
+  // Sequential counter (Sinz encoding). s[i][j] = "at least j+1 of the first
+  // i+1 literals are true".
+  const std::size_t n = ls.size();
+  if (n == 0 || k >= n) return;
+  if (k == 0) {
+    for (const Lit l : ls) solver_.add_unit(sat::negate(l));
+    return;
+  }
+  std::vector<std::vector<Lit>> s(n, std::vector<Lit>(k));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < k; ++j) s[i][j] = fresh();
+  }
+  solver_.add_binary(sat::negate(ls[0]), s[0][0]);
+  for (std::uint32_t j = 1; j < k; ++j) solver_.add_unit(sat::negate(s[0][j]));
+  for (std::size_t i = 1; i < n; ++i) {
+    solver_.add_binary(sat::negate(ls[i]), s[i][0]);
+    solver_.add_binary(sat::negate(s[i - 1][0]), s[i][0]);
+    for (std::uint32_t j = 1; j < k; ++j) {
+      solver_.add_ternary(sat::negate(ls[i]), sat::negate(s[i - 1][j - 1]), s[i][j]);
+      solver_.add_binary(sat::negate(s[i - 1][j]), s[i][j]);
+    }
+    solver_.add_binary(sat::negate(ls[i]), sat::negate(s[i - 1][k - 1]));
+  }
+}
+
+void Circuit::exactly_one(const std::vector<Lit>& ls) {
+  std::vector<Lit> copy = ls;
+  solver_.add_clause(std::move(copy));
+  at_most_k(ls, 1);
+}
+
+BitVec::BitVec(Circuit& c, int width) {
+  bits_.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) bits_.push_back(c.fresh());
+}
+
+BitVec BitVec::constant(Circuit& c, std::uint64_t value, int width) {
+  BitVec out;
+  for (int i = 0; i < width; ++i) {
+    out.bits_.push_back(c.constant(((value >> i) & 1) != 0));
+  }
+  return out;
+}
+
+BitVec BitVec::add(Circuit& c, const BitVec& a, const BitVec& b) {
+  BitVec out;
+  Lit carry = c.false_lit();
+  for (int i = 0; i < a.width(); ++i) {
+    const Lit x = a.bit(i);
+    const Lit y = b.bit(i);
+    const Lit s = c.xor2(c.xor2(x, y), carry);
+    carry = c.or2(c.and2(x, y), c.and2(carry, c.xor2(x, y)));
+    out.bits_.push_back(s);
+  }
+  return out;
+}
+
+BitVec BitVec::add_const(Circuit& c, const BitVec& a, std::uint64_t k) {
+  return add(c, a, constant(c, k, a.width()));
+}
+
+Lit BitVec::ult(Circuit& c, const BitVec& a, const BitVec& b) {
+  // From MSB down: a < b iff at the first differing bit, a=0, b=1.
+  Lit lt = c.false_lit();
+  Lit eq_so_far = c.true_lit();
+  for (int i = a.width() - 1; i >= 0; --i) {
+    const Lit a_lt_b = c.and2(sat::negate(a.bit(i)), b.bit(i));
+    lt = c.or2(lt, c.and2(eq_so_far, a_lt_b));
+    eq_so_far = c.and2(eq_so_far, sat::negate(c.xor2(a.bit(i), b.bit(i))));
+  }
+  return lt;
+}
+
+Lit BitVec::ule(Circuit& c, const BitVec& a, const BitVec& b) {
+  return sat::negate(ult(c, b, a));
+}
+
+Lit BitVec::eq(Circuit& c, const BitVec& a, const BitVec& b) {
+  Lit acc = c.true_lit();
+  for (int i = 0; i < a.width(); ++i) {
+    acc = c.and2(acc, sat::negate(c.xor2(a.bit(i), b.bit(i))));
+  }
+  return acc;
+}
+
+Lit BitVec::eq_const(Circuit& c, const BitVec& a, std::uint64_t k) {
+  Lit acc = c.true_lit();
+  for (int i = 0; i < a.width(); ++i) {
+    const bool bit_set = ((k >> i) & 1) != 0;
+    acc = c.and2(acc, bit_set ? a.bit(i) : sat::negate(a.bit(i)));
+  }
+  return acc;
+}
+
+BitVec BitVec::mux(Circuit& c, Lit cond, const BitVec& a, const BitVec& b) {
+  BitVec out;
+  for (int i = 0; i < a.width(); ++i) {
+    out.bits_.push_back(c.ite(cond, a.bit(i), b.bit(i)));
+  }
+  return out;
+}
+
+std::uint64_t BitVec::model_value(const Circuit& c) const {
+  std::uint64_t v = 0;
+  for (int i = 0; i < width(); ++i) {
+    if (c.lit_model(bit(i))) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+}  // namespace plankton::smt

@@ -1,0 +1,88 @@
+// Bit-vector circuits compiled to CNF (Tseitin encoding) on top of the CDCL
+// solver — the bit-blasting layer of the Minesweeper-style baseline.
+//
+// Minesweeper encodes the network's stable-state constraints as SMT over
+// bit-vectors and lets Z3 bit-blast them; this layer provides the same
+// vocabulary (constants, adders, comparators, multiplexers, boolean
+// connectives) so the encoder in encoder.hpp can express identical
+// constraints.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/sat/solver.hpp"
+
+namespace plankton::smt {
+
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+
+/// Boolean circuit helper: creates gate outputs as fresh variables with
+/// Tseitin clauses.
+class Circuit {
+ public:
+  explicit Circuit(Solver& s) : solver_(s) {
+    true_lit_ = sat::pos(solver_.new_var());
+    solver_.add_unit(true_lit_);
+  }
+
+  [[nodiscard]] Solver& solver() { return solver_; }
+  [[nodiscard]] Lit true_lit() const { return true_lit_; }
+  [[nodiscard]] Lit false_lit() const { return sat::negate(true_lit_); }
+  [[nodiscard]] Lit constant(bool b) const { return b ? true_lit() : false_lit(); }
+
+  [[nodiscard]] Lit fresh() { return sat::pos(solver_.new_var()); }
+
+  Lit and2(Lit a, Lit b);
+  Lit or2(Lit a, Lit b);
+  Lit xor2(Lit a, Lit b);
+  Lit and_all(const std::vector<Lit>& ls);
+  Lit or_all(const std::vector<Lit>& ls);
+  Lit ite(Lit cond, Lit then_lit, Lit else_lit);
+
+  /// Exactly-one / at-most-k via sequential counters.
+  void at_most_k(const std::vector<Lit>& ls, std::uint32_t k);
+  void exactly_one(const std::vector<Lit>& ls);
+
+  [[nodiscard]] bool lit_model(Lit l) const {
+    return solver_.value(sat::var_of(l)) != sat::sign_of(l);
+  }
+
+ private:
+  Solver& solver_;
+  Lit true_lit_;
+};
+
+/// Unsigned bit-vector, little-endian (bits_[0] = LSB).
+class BitVec {
+ public:
+  BitVec() = default;
+  BitVec(Circuit& c, int width);  ///< fresh variables
+  static BitVec constant(Circuit& c, std::uint64_t value, int width);
+
+  [[nodiscard]] int width() const { return static_cast<int>(bits_.size()); }
+  [[nodiscard]] Lit bit(int i) const { return bits_[static_cast<std::size_t>(i)]; }
+
+  /// a + b (widths must match; overflow wraps — callers size widths so the
+  /// maximum sum fits).
+  static BitVec add(Circuit& c, const BitVec& a, const BitVec& b);
+  static BitVec add_const(Circuit& c, const BitVec& a, std::uint64_t k);
+
+  /// Comparison predicates (unsigned).
+  static Lit ult(Circuit& c, const BitVec& a, const BitVec& b);
+  static Lit ule(Circuit& c, const BitVec& a, const BitVec& b);
+  static Lit eq(Circuit& c, const BitVec& a, const BitVec& b);
+  static Lit eq_const(Circuit& c, const BitVec& a, std::uint64_t k);
+
+  /// cond ? a : b, bitwise.
+  static BitVec mux(Circuit& c, Lit cond, const BitVec& a, const BitVec& b);
+
+  [[nodiscard]] std::uint64_t model_value(const Circuit& c) const;
+
+ private:
+  std::vector<Lit> bits_;
+};
+
+}  // namespace plankton::smt

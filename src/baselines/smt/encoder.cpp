@@ -1,0 +1,406 @@
+#include "baselines/smt/encoder.hpp"
+
+#include <algorithm>
+
+namespace plankton::smt {
+namespace {
+
+/// Tracks the wall budget across the per-prefix queries of one check.
+class Budget {
+ public:
+  explicit Budget(std::chrono::milliseconds total) : total_(total) {
+    start_ = std::chrono::steady_clock::now();
+  }
+  [[nodiscard]] bool timed_out() const {
+    return total_.count() > 0 &&
+           std::chrono::steady_clock::now() - start_ > total_;
+  }
+  [[nodiscard]] std::chrono::milliseconds remaining() const {
+    if (total_.count() == 0) return std::chrono::milliseconds{0};
+    const auto used = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start_);
+    const auto left = total_ - used;
+    return left.count() > 0 ? left : std::chrono::milliseconds{1};
+  }
+  [[nodiscard]] std::chrono::nanoseconds elapsed() const {
+    return std::chrono::steady_clock::now() - start_;
+  }
+
+ private:
+  std::chrono::milliseconds total_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+void absorb_stats(MsResult& r, const sat::Solver& s) {
+  r.vars += s.num_vars();
+  r.conflicts += s.conflicts();
+  r.decisions += s.decisions();
+  r.bytes = std::max(r.bytes, s.clause_bytes());
+}
+
+}  // namespace
+
+int MsVerifier::cost_bits() const {
+  std::uint64_t max_cost = 1;
+  for (const Link& l : net_.topo.links()) {
+    max_cost = std::max<std::uint64_t>(max_cost, std::max(l.cost_ab, l.cost_ba));
+  }
+  std::uint64_t bound = max_cost * std::max<std::size_t>(net_.topo.node_count(), 2);
+  int bits = 1;
+  while ((std::uint64_t{1} << bits) <= bound) ++bits;
+  return std::min(bits + 1, 24);
+}
+
+std::vector<Lit> MsVerifier::make_failure_vars(Circuit& c) const {
+  std::vector<Lit> fail;
+  fail.reserve(net_.topo.link_count());
+  if (opts_.max_failures == 0) {
+    for (LinkId l = 0; l < net_.topo.link_count(); ++l) fail.push_back(c.false_lit());
+    return fail;
+  }
+  for (LinkId l = 0; l < net_.topo.link_count(); ++l) fail.push_back(c.fresh());
+  c.at_most_k(fail, static_cast<std::uint32_t>(opts_.max_failures));
+  return fail;
+}
+
+MsVerifier::OspfLayer MsVerifier::encode_ospf(Circuit& c,
+                                              std::span<const NodeId> origins,
+                                              const std::vector<Lit>& fail) const {
+  const int bits = cost_bits();
+  const std::size_t n = net_.topo.node_count();
+  OspfLayer layer;
+  layer.reach.reserve(n);
+  layer.cost.reserve(n);
+  std::vector<std::uint8_t> is_origin(n, 0);
+  for (const NodeId o : origins) is_origin[o] = 1;
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_origin[v] != 0) {
+      layer.reach.push_back(c.true_lit());
+      layer.cost.push_back(BitVec::constant(c, 0, bits));
+    } else {
+      layer.reach.push_back(c.fresh());
+      layer.cost.push_back(BitVec(c, bits));
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_origin[v] != 0) continue;
+    if (!net_.device(v).ospf.enabled) {
+      c.solver().add_unit(sat::negate(layer.reach[v]));
+      continue;
+    }
+    std::vector<Lit> usable_neighbors;
+    std::vector<Lit> achieve;
+    achieve.push_back(sat::negate(layer.reach[v]));
+    for (const Adjacency& adj : net_.topo.neighbors(v)) {
+      if (!net_.device(adj.neighbor).ospf.enabled) continue;
+      const Lit up = sat::negate(fail[adj.link]);
+      const Lit via = c.and2(up, layer.reach[adj.neighbor]);
+      usable_neighbors.push_back(via);
+      const BitVec through =
+          BitVec::add_const(c, layer.cost[adj.neighbor],
+                            net_.topo.link(adj.link).cost_from(v));
+      // Optimality: reach_v ∧ via ⇒ cost_v ≤ cost_m + w.
+      const Lit le = BitVec::ule(c, layer.cost[v], through);
+      c.solver().add_ternary(sat::negate(layer.reach[v]), sat::negate(via), le);
+      // Achievability disjunct: via ∧ cost_v == cost_m + w.
+      achieve.push_back(c.and2(via, BitVec::eq(c, layer.cost[v], through)));
+    }
+    // Reachability: reach_v ⇔ some usable neighbor is reached.
+    std::vector<Lit> def = usable_neighbors;
+    def.push_back(sat::negate(layer.reach[v]));
+    c.solver().add_clause(std::move(def));
+    for (const Lit via : usable_neighbors) {
+      c.solver().add_binary(sat::negate(via), layer.reach[v]);
+    }
+    // Achievability: reach_v ⇒ some usable neighbor realizes cost_v.
+    c.solver().add_clause(std::move(achieve));
+  }
+  return layer;
+}
+
+Lit MsVerifier::fwd_lit(Circuit& c, const OspfLayer& layer,
+                        const std::vector<Lit>& fail, NodeId n,
+                        const Adjacency& adj, const Prefix& prefix,
+                        std::span<const NodeId> origins) const {
+  // Exact-match static routes shadow OSPF (admin distance 1 vs 110).
+  for (const StaticRoute& sr : net_.device(n).statics) {
+    if (sr.dst != prefix) continue;
+    if (sr.drop) return c.false_lit();
+    if (sr.via_neighbor != kNoNode) {
+      const LinkId l = net_.topo.find_link(n, sr.via_neighbor);
+      if (sr.via_neighbor == adj.neighbor && l == adj.link) {
+        return sat::negate(fail[l]);
+      }
+      return c.false_lit();
+    }
+    // Recursive statics are outside this baseline's scope (as they are
+    // outside Minesweeper-comparable benches).
+    return c.false_lit();
+  }
+  const bool self_origin =
+      std::find(origins.begin(), origins.end(), n) != origins.end();
+  if (self_origin || !net_.device(n).ospf.enabled ||
+      !net_.device(adj.neighbor).ospf.enabled) {
+    return c.false_lit();
+  }
+  // OSPF/ECMP: forward to every reached neighbor that realizes the cost.
+  const Lit up = sat::negate(fail[adj.link]);
+  const BitVec through = BitVec::add_const(c, layer.cost[adj.neighbor],
+                                           net_.topo.link(adj.link).cost_from(n));
+  Lit f = c.and2(up, layer.reach[adj.neighbor]);
+  f = c.and2(f, layer.reach[n]);
+  f = c.and2(f, BitVec::eq(c, layer.cost[n], through));
+  return f;
+}
+
+std::vector<std::pair<Prefix, std::vector<NodeId>>> MsVerifier::ospf_prefixes()
+    const {
+  std::vector<std::pair<Prefix, std::vector<NodeId>>> out;
+  auto add = [&out](const Prefix& p, NodeId n) {
+    for (auto& [prefix, origins] : out) {
+      if (prefix == p) {
+        origins.push_back(n);
+        return;
+      }
+    }
+    out.emplace_back(p, std::vector<NodeId>{n});
+  };
+  for (NodeId n = 0; n < net_.devices.size(); ++n) {
+    const auto& dev = net_.device(n);
+    if (!dev.ospf.enabled) continue;
+    for (const Prefix& p : dev.ospf.originated) add(p, n);
+    if (dev.ospf.advertise_loopback && dev.loopback != IpAddr()) {
+      add(Prefix::host(dev.loopback), n);
+    }
+  }
+  return out;
+}
+
+MsResult MsVerifier::check_loop() {
+  MsResult result;
+  Budget budget(opts_.budget);
+  for (const auto& [prefix, origins] : ospf_prefixes()) {
+    if (budget.timed_out()) {
+      result.timed_out = true;
+      break;
+    }
+    sat::Solver solver;
+    Circuit c(solver);
+    const std::vector<Lit> fail = make_failure_vars(c);
+    const OspfLayer layer = encode_ospf(c, origins, fail);
+    if (budget.timed_out()) {  // encoding alone can exhaust the budget
+      absorb_stats(result, solver);
+      result.timed_out = true;
+      break;
+    }
+    // Cycle witness: y_v ⇒ some fwd successor with y; assert ∃ y.
+    std::vector<Lit> y(net_.topo.node_count());
+    for (NodeId v = 0; v < net_.topo.node_count(); ++v) y[v] = c.fresh();
+    for (NodeId v = 0; v < net_.topo.node_count(); ++v) {
+      std::vector<Lit> clause{sat::negate(y[v])};
+      for (const Adjacency& adj : net_.topo.neighbors(v)) {
+        const Lit f = fwd_lit(c, layer, fail, v, adj, prefix, origins);
+        clause.push_back(c.and2(f, y[adj.neighbor]));
+      }
+      solver.add_clause(std::move(clause));
+    }
+    std::vector<Lit> some;
+    some.reserve(y.size());
+    for (const Lit l : y) some.push_back(l);
+    solver.add_clause(std::move(some));
+
+    const sat::Outcome oc = solver.solve(budget.remaining());
+    absorb_stats(result, solver);
+    if (oc == sat::Outcome::kTimeout) {
+      result.timed_out = true;
+      break;
+    }
+    if (oc == sat::Outcome::kSat) {
+      result.holds = false;
+      result.detail = "loop for prefix " + prefix.str();
+      break;
+    }
+  }
+  result.elapsed = budget.elapsed();
+  return result;
+}
+
+MsResult MsVerifier::check_reachability(NodeId src) {
+  MsResult result;
+  Budget budget(opts_.budget);
+  for (const auto& [prefix, origins] : ospf_prefixes()) {
+    if (budget.timed_out()) {
+      result.timed_out = true;
+      break;
+    }
+    sat::Solver solver;
+    Circuit c(solver);
+    const std::vector<Lit> fail = make_failure_vars(c);
+    const OspfLayer layer = encode_ospf(c, origins, fail);
+    if (budget.timed_out()) {
+      absorb_stats(result, solver);
+      result.timed_out = true;
+      break;
+    }
+    // Violation query: src unreachable under some ≤k-failure scenario.
+    solver.add_unit(sat::negate(layer.reach[src]));
+    const sat::Outcome oc = solver.solve(budget.remaining());
+    absorb_stats(result, solver);
+    if (oc == sat::Outcome::kTimeout) {
+      result.timed_out = true;
+      break;
+    }
+    if (oc == sat::Outcome::kSat) {
+      result.holds = false;
+      result.detail = "prefix " + prefix.str() + " unreachable from " +
+                      net_.topo.name(src);
+      break;
+    }
+  }
+  result.elapsed = budget.elapsed();
+  return result;
+}
+
+MsResult MsVerifier::check_bounded_length(NodeId src, std::uint32_t limit) {
+  MsResult result;
+  Budget budget(opts_.budget);
+  const int bits = cost_bits();
+  for (const auto& [prefix, origins] : ospf_prefixes()) {
+    if (budget.timed_out()) {
+      result.timed_out = true;
+      break;
+    }
+    sat::Solver solver;
+    Circuit c(solver);
+    const std::vector<Lit> fail = make_failure_vars(c);
+    const OspfLayer layer = encode_ospf(c, origins, fail);
+    if (budget.timed_out()) {
+      absorb_stats(result, solver);
+      result.timed_out = true;
+      break;
+    }
+    // Hop-count layer over a nondeterministically chosen forwarding branch.
+    std::vector<std::uint8_t> is_origin(net_.topo.node_count(), 0);
+    for (const NodeId o : origins) is_origin[o] = 1;
+    std::vector<BitVec> hops;
+    hops.reserve(net_.topo.node_count());
+    for (NodeId v = 0; v < net_.topo.node_count(); ++v) {
+      hops.push_back(is_origin[v] != 0 ? BitVec::constant(c, 0, bits)
+                                       : BitVec(c, bits));
+    }
+    for (NodeId v = 0; v < net_.topo.node_count(); ++v) {
+      if (is_origin[v] != 0) continue;
+      // reach_v ⇒ hops_v = hops_m + 1 for some forwarding successor m.
+      std::vector<Lit> choice{sat::negate(layer.reach[v])};
+      for (const Adjacency& adj : net_.topo.neighbors(v)) {
+        const Lit f = fwd_lit(c, layer, fail, v, adj, prefix, origins);
+        const BitVec through = BitVec::add_const(c, hops[adj.neighbor], 1);
+        choice.push_back(c.and2(f, BitVec::eq(c, hops[v], through)));
+      }
+      solver.add_clause(std::move(choice));
+    }
+    // Violation: src reached but some branch longer than `limit`.
+    solver.add_unit(layer.reach[src]);
+    const BitVec bound = BitVec::constant(c, limit, bits);
+    solver.add_unit(BitVec::ult(c, bound, hops[src]));
+    const sat::Outcome oc = solver.solve(budget.remaining());
+    absorb_stats(result, solver);
+    if (oc == sat::Outcome::kTimeout) {
+      result.timed_out = true;
+      break;
+    }
+    if (oc == sat::Outcome::kSat) {
+      result.holds = false;
+      result.detail = "path > " + std::to_string(limit) + " hops to " + prefix.str();
+      break;
+    }
+  }
+  result.elapsed = budget.elapsed();
+  return result;
+}
+
+MsResult MsVerifier::check_ibgp_reachability(std::span<const NodeId> speakers,
+                                             std::span<const NodeId> borders) {
+  MsResult result;
+  Budget budget(opts_.budget);
+  sat::Solver solver;
+  Circuit c(solver);
+  const std::vector<Lit> fail = make_failure_vars(c);
+  // The n+1-copies encoding: one IGP instance per speaker loopback.
+  std::vector<OspfLayer> instances;
+  instances.reserve(speakers.size());
+  for (const NodeId s : speakers) {
+    const std::vector<NodeId> origin{s};
+    instances.push_back(encode_ospf(c, origin, fail));
+    if (budget.timed_out()) {
+      absorb_stats(result, solver);
+      result.timed_out = true;
+      result.elapsed = budget.elapsed();
+      return result;
+    }
+  }
+  auto instance_of = [&](NodeId speaker) -> const OspfLayer& {
+    for (std::size_t i = 0; i < speakers.size(); ++i) {
+      if (speakers[i] == speaker) return instances[i];
+    }
+    return instances[0];
+  };
+  // Speaker s has a usable route iff some border's loopback is mutually
+  // reachable (session up ⇒ advertisement + resolvable next hop).
+  std::vector<Lit> violated;
+  for (const NodeId s : speakers) {
+    const bool is_border =
+        std::find(borders.begin(), borders.end(), s) != borders.end();
+    if (is_border) continue;
+    std::vector<Lit> has;
+    for (const NodeId b : borders) {
+      if (b == s) continue;
+      const Lit up = c.and2(instance_of(b).reach[s], instance_of(s).reach[b]);
+      has.push_back(up);
+    }
+    violated.push_back(sat::negate(c.or_all(has)));
+  }
+  solver.add_clause(std::move(violated));  // some speaker starves
+
+  const sat::Outcome oc = solver.solve(budget.remaining());
+  absorb_stats(result, solver);
+  if (oc == sat::Outcome::kTimeout) result.timed_out = true;
+  if (oc == sat::Outcome::kSat) {
+    result.holds = false;
+    result.detail = "an iBGP speaker has no usable route";
+  }
+  result.elapsed = budget.elapsed();
+  return result;
+}
+
+MsResult MsVerifier::solve_shortest_paths(NodeId origin,
+                                          std::vector<std::uint32_t>& costs_out) {
+  MsResult result;
+  Budget budget(opts_.budget);
+  sat::Solver solver;
+  Circuit c(solver);
+  std::vector<Lit> fail(net_.topo.link_count(), c.false_lit());
+  const std::vector<NodeId> origins{origin};
+  const OspfLayer layer = encode_ospf(c, origins, fail);
+  const sat::Outcome oc = solver.solve(budget.remaining());
+  absorb_stats(result, solver);
+  if (oc == sat::Outcome::kTimeout) {
+    result.timed_out = true;
+  } else if (oc == sat::Outcome::kSat) {
+    costs_out.resize(net_.topo.node_count());
+    for (NodeId v = 0; v < net_.topo.node_count(); ++v) {
+      costs_out[v] = c.lit_model(layer.reach[v])
+                         ? static_cast<std::uint32_t>(layer.cost[v].model_value(c))
+                         : kInfiniteCost;
+    }
+  } else {
+    result.holds = false;
+    result.detail = "shortest-path constraints unsatisfiable";
+  }
+  result.elapsed = budget.elapsed();
+  return result;
+}
+
+}  // namespace plankton::smt

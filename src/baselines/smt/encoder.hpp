@@ -1,0 +1,91 @@
+// "Mini-Minesweeper": an SMT-style configuration verifier used as the
+// baseline in Figs. 2, 7a, 7d, 7e, 7f (DESIGN.md §3 documents the
+// substitution for Z3-backed Minesweeper).
+//
+// Like Minesweeper, it encodes the *stable converged state* of the routing
+// protocols as constraints — per-node reachability bits and bit-blasted cost
+// vectors with optimality ("my cost is minimal over my neighbors") and
+// achievability ("some neighbor realizes my cost") — plus link-failure
+// variables under a cardinality bound, and asks a general-purpose solver for
+// a satisfying assignment that violates the policy. UNSAT ⇒ the policy holds
+// over every converged data plane with ≤ k failures.
+//
+// For iBGP (Fig. 7e) it replicates the IGP once per speaker loopback — the
+// n+1-copies blowup the paper identifies as the reason Minesweeper falls
+// behind ("sometimes over 300× larger").
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baselines/smt/bitvec.hpp"
+#include "config/network.hpp"
+
+namespace plankton::smt {
+
+struct MsOptions {
+  int max_failures = 0;
+  std::chrono::milliseconds budget{0};  ///< wall budget across all queries
+};
+
+struct MsResult {
+  bool holds = true;
+  bool timed_out = false;
+  std::uint64_t vars = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::size_t bytes = 0;  ///< peak clause-database size
+  std::chrono::nanoseconds elapsed{0};
+  std::string detail;
+};
+
+class MsVerifier {
+ public:
+  MsVerifier(const Network& net, MsOptions opts) : net_(net), opts_(opts) {}
+
+  /// Fig. 7a/7b: no converged state (≤ k failures) has a forwarding loop.
+  MsResult check_loop();
+
+  /// Fig. 7d: every origin-announced prefix stays reachable from `src`.
+  MsResult check_reachability(NodeId src);
+
+  /// Fig. 7f: all paths from `src` to each prefix have ≤ `limit` hops.
+  MsResult check_bounded_length(NodeId src, std::uint32_t limit);
+
+  /// Fig. 7e: every iBGP speaker obtains a usable route to the external
+  /// prefix (replicates the IGP per speaker loopback).
+  MsResult check_ibgp_reachability(std::span<const NodeId> speakers,
+                                   std::span<const NodeId> borders);
+
+  /// Fig. 2: plain single-source shortest paths as a constraint problem
+  /// (the "SMT" side of the model-checker-vs-SMT comparison). Returns the
+  /// model cost of every node in `costs_out`.
+  MsResult solve_shortest_paths(NodeId origin, std::vector<std::uint32_t>& costs_out);
+
+ private:
+  struct OspfLayer {
+    std::vector<Lit> reach;
+    std::vector<BitVec> cost;
+  };
+
+  [[nodiscard]] int cost_bits() const;
+  std::vector<Lit> make_failure_vars(Circuit& c) const;
+  OspfLayer encode_ospf(Circuit& c, std::span<const NodeId> origins,
+                        const std::vector<Lit>& fail) const;
+  /// FIB forwarding literal n -> m for destination prefix `pi` (applies
+  /// exact-match static routes, which shadow OSPF at lower admin distance).
+  Lit fwd_lit(Circuit& c, const OspfLayer& layer, const std::vector<Lit>& fail,
+              NodeId n, const Adjacency& adj, const Prefix& prefix,
+              std::span<const NodeId> origins) const;
+
+  /// Per-prefix groups: (prefix, OSPF origins).
+  [[nodiscard]] std::vector<std::pair<Prefix, std::vector<NodeId>>> ospf_prefixes() const;
+
+  const Network& net_;
+  MsOptions opts_;
+};
+
+}  // namespace plankton::smt

@@ -1,0 +1,38 @@
+#include "checker/stats.hpp"
+
+#include <algorithm>
+
+namespace plankton {
+
+void SearchStats::absorb(const SearchStats& other) {
+  states_explored += other.states_explored;
+  states_stored += other.states_stored;
+  revisits_skipped += other.revisits_skipped;
+  converged_states += other.converged_states;
+  policy_checks += other.policy_checks;
+  suppressed_checks += other.suppressed_checks;
+  pruned_inconsistent += other.pruned_inconsistent;
+  det_steps += other.det_steps;
+  nondet_branches += other.nondet_branches;
+  failure_sets += other.failure_sets;
+  max_depth = std::max(max_depth, other.max_depth);
+  bytes_paths += other.bytes_paths;
+  bytes_routes += other.bytes_routes;
+  bytes_visited += other.bytes_visited;
+  bytes_stack_peak = std::max(bytes_stack_peak, other.bytes_stack_peak);
+  elapsed = std::max(elapsed, other.elapsed);
+}
+
+std::string SearchStats::summary() const {
+  std::string out;
+  out += "states explored: " + std::to_string(states_explored);
+  out += ", stored: " + std::to_string(states_stored);
+  out += ", converged: " + std::to_string(converged_states);
+  out += ", policy checks: " + std::to_string(policy_checks);
+  out += ", det steps: " + std::to_string(det_steps);
+  out += ", branches: " + std::to_string(nondet_branches);
+  out += ", model bytes: " + std::to_string(model_bytes());
+  return out;
+}
+
+}  // namespace plankton

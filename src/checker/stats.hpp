@@ -1,0 +1,42 @@
+// Search statistics: the counters behind the paper's time/memory figures.
+//
+// Memory is accounted deterministically from the checker's own structures
+// (path/route tables, visited store, DFS stack high-water) instead of
+// process RSS, so bench output is reproducible.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace plankton {
+
+struct SearchStats {
+  std::uint64_t states_explored = 0;    ///< RPVP transitions taken
+  std::uint64_t states_stored = 0;      ///< distinct state hashes stored
+  std::uint64_t revisits_skipped = 0;   ///< matched in the visited store
+  std::uint64_t converged_states = 0;   ///< complete converged data planes
+  std::uint64_t policy_checks = 0;      ///< callback invocations
+  std::uint64_t suppressed_checks = 0;  ///< equivalence-suppressed callbacks (§3.5)
+  std::uint64_t pruned_inconsistent = 0;///< §4.1.1 consistent-execution cuts
+  std::uint64_t det_steps = 0;          ///< deterministic-node executions (§4.1.2)
+  std::uint64_t nondet_branches = 0;    ///< branch points explored
+  std::uint64_t failure_sets = 0;       ///< failure combinations explored
+  std::uint64_t max_depth = 0;
+  std::size_t bytes_paths = 0;
+  std::size_t bytes_routes = 0;
+  std::size_t bytes_visited = 0;
+  std::size_t bytes_stack_peak = 0;
+  std::chrono::nanoseconds elapsed{0};
+
+  [[nodiscard]] std::size_t model_bytes() const {
+    return bytes_paths + bytes_routes + bytes_visited + bytes_stack_peak;
+  }
+
+  /// Merges per-PEC stats into whole-run totals (memory maxima, counter sums).
+  void absorb(const SearchStats& other);
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace plankton

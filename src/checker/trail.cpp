@@ -1,0 +1,37 @@
+#include "checker/trail.hpp"
+
+namespace plankton {
+
+std::string Trail::describe(const Topology& topo, const RouteTable& routes,
+                            const PathTable& paths) const {
+  std::string out;
+  for (const auto& e : events) {
+    switch (e.kind) {
+      case TrailEvent::Kind::kFailLink: {
+        const Link& l = topo.link(e.link);
+        out += "fail link " + topo.name(l.a) + " <-> " + topo.name(l.b) + "\n";
+        break;
+      }
+      case TrailEvent::Kind::kUpstreamOutcome:
+        out += "pick upstream outcome #" + std::to_string(e.phase) + "\n";
+        break;
+      case TrailEvent::Kind::kBeginPrefix:
+        out += "begin prefix phase " + std::to_string(e.phase) + "\n";
+        break;
+      case TrailEvent::Kind::kSelect: {
+        out += "  " + topo.name(e.node) + " adopts [";
+        out += paths.str(routes.get(e.route).path, &topo);
+        // Merge-protocol (OSPF ECMP) steps have no single advertising peer.
+        if (e.peer != kNoNode) out += "] from " + topo.name(e.peer) + "\n";
+        else out += "] (merged update)\n";
+        break;
+      }
+      case TrailEvent::Kind::kWithdraw:
+        out += "  " + topo.name(e.node) + " withdraws (invalid route)\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace plankton

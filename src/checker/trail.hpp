@@ -1,0 +1,39 @@
+// Counterexample trails (paper §3.5: "it writes a trail file describing the
+// execution path taken to reach the particular converged state").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netbase/topology.hpp"
+#include "protocols/route.hpp"
+
+namespace plankton {
+
+struct TrailEvent {
+  enum class Kind : std::uint8_t {
+    kFailLink,         ///< topology change before protocol execution (§4.1.4)
+    kUpstreamOutcome,  ///< choice among upstream converged states (§3.2)
+    kBeginPrefix,      ///< start of a per-prefix execution phase (§3.3)
+    kSelect,           ///< RPVP step: node adopts a route advertised by peer
+    kWithdraw,         ///< RPVP step: invalid node resets to ⊥ (naive mode)
+  };
+  Kind kind;
+  LinkId link = kNoLink;
+  std::uint32_t phase = 0;
+  NodeId node = kNoNode;
+  NodeId peer = kNoNode;
+  RouteId route = kNoRoute;
+};
+
+/// The sequence of non-deterministic and deterministic events leading to a
+/// converged state; rendered into the violation report.
+struct Trail {
+  std::vector<TrailEvent> events;
+
+  [[nodiscard]] std::string describe(const Topology& topo, const RouteTable& routes,
+                                     const PathTable& paths) const;
+};
+
+}  // namespace plankton

@@ -1,0 +1,70 @@
+#include "checker/visited.hpp"
+
+#include <bit>
+
+namespace plankton {
+
+VisitedSet::VisitedSet(std::size_t initial_capacity) {
+  std::size_t cap = std::bit_ceil(initial_capacity < 16 ? 16 : initial_capacity);
+  slots_.assign(cap, 0);
+}
+
+bool VisitedSet::insert(std::uint64_t h) {
+  if (h == 0) h = 0x9e3779b97f4a7c15ull;  // reserve 0 for "empty"
+  if ((size_ + 1) * 4 >= slots_.size() * 3) grow();
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(h) & mask;
+  while (slots_[i] != 0) {
+    if (slots_[i] == h) return false;
+    i = (i + 1) & mask;
+  }
+  slots_[i] = h;
+  ++size_;
+  return true;
+}
+
+void VisitedSet::grow() {
+  std::vector<std::uint64_t> old = std::move(slots_);
+  slots_.assign(old.size() * 2, 0);
+  const std::size_t mask = slots_.size() - 1;
+  for (const std::uint64_t h : old) {
+    if (h == 0) continue;
+    std::size_t i = static_cast<std::size_t>(h) & mask;
+    while (slots_[i] != 0) i = (i + 1) & mask;
+    slots_[i] = h;
+  }
+}
+
+void VisitedSet::clear() {
+  slots_.assign(slots_.size(), 0);
+  size_ = 0;
+}
+
+BloomFilter::BloomFilter(std::size_t bits, int hashes) : hashes_(hashes) {
+  const std::size_t b = std::bit_ceil(bits < 1024 ? std::size_t{1024} : bits);
+  words_.assign(b / 64, 0);
+  mask_ = b - 1;
+}
+
+bool BloomFilter::insert(std::uint64_t h) {
+  const std::uint64_t h1 = hash_mix(h);
+  const std::uint64_t h2 = hash_mix(h1) | 1;  // odd stride
+  bool fresh = false;
+  std::uint64_t pos = h1;
+  for (int i = 0; i < hashes_; ++i) {
+    const std::uint64_t bit = pos & mask_;
+    const std::uint64_t word_mask = std::uint64_t{1} << (bit & 63);
+    if ((words_[bit >> 6] & word_mask) == 0) {
+      fresh = true;
+      words_[bit >> 6] |= word_mask;
+    }
+    pos += h2;
+  }
+  if (fresh) ++inserted_;
+  return fresh;
+}
+
+StateStore::StateStore(bool bitstate, std::size_t bloom_bits)
+    : bitstate_(bitstate), exact_(), bloom_(bitstate ? bloom_bits : 1024) {}
+
+}  // namespace plankton

@@ -1,0 +1,79 @@
+// Visited-state storage for the explicit-state search.
+//
+// SPIN-style: states are never stored whole. The exact mode keeps 64-bit
+// state hashes in an open-addressing table (hash compaction); the bitstate
+// mode (paper §5, Fig. 9) keeps k Bloom-filter bits per state, trading a
+// tiny probability of missed states (reported coverage >99.9% in the paper)
+// for a large memory reduction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/hash.hpp"
+
+namespace plankton {
+
+class VisitedSet {
+ public:
+  explicit VisitedSet(std::size_t initial_capacity = 1 << 12);
+
+  /// Inserts `h`; returns true when the hash was not present before.
+  bool insert(std::uint64_t h);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t bytes() const {
+    return slots_.size() * sizeof(std::uint64_t);
+  }
+
+  void clear();
+
+ private:
+  void grow();
+
+  std::vector<std::uint64_t> slots_;  // 0 = empty (hash 0 is remapped)
+  std::size_t size_ = 0;
+};
+
+/// Double-hashed Bloom filter over 64-bit state hashes.
+class BloomFilter {
+ public:
+  explicit BloomFilter(std::size_t bits, int hashes = 4);
+
+  /// Sets the state's bits; returns true when at least one bit was clear
+  /// (i.e. the state is definitely new).
+  bool insert(std::uint64_t h);
+
+  [[nodiscard]] std::size_t bytes() const { return words_.size() * sizeof(std::uint64_t); }
+  [[nodiscard]] std::uint64_t approx_states() const { return inserted_; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::uint64_t mask_;
+  int hashes_;
+  std::uint64_t inserted_ = 0;
+};
+
+/// Facade picking exact hash compaction or bitstate hashing.
+class StateStore {
+ public:
+  StateStore(bool bitstate, std::size_t bloom_bits);
+
+  bool insert(std::uint64_t h) {
+    return bitstate_ ? bloom_.insert(h) : exact_.insert(h);
+  }
+  [[nodiscard]] std::size_t stored() const {
+    return bitstate_ ? static_cast<std::size_t>(bloom_.approx_states()) : exact_.size();
+  }
+  [[nodiscard]] std::size_t bytes() const {
+    return bitstate_ ? bloom_.bytes() : exact_.bytes();
+  }
+  [[nodiscard]] bool bitstate() const { return bitstate_; }
+
+ private:
+  bool bitstate_;
+  VisitedSet exact_;
+  BloomFilter bloom_;
+};
+
+}  // namespace plankton

@@ -1,0 +1,53 @@
+// Line-oriented configuration language.
+//
+// Real Plankton consumed vendor configurations via a frontend; this repo ships
+// a compact, self-describing format that exercises the same model surface:
+//
+//   # comment
+//   node r1 loopback 1.1.1.1
+//   link r1 r2 cost 10
+//   ospf r1 enable
+//   ospf r1 originate 10.0.1.0/24
+//   static r1 10.9.0.0/16 via r2
+//   static r1 10.8.0.0/16 via-ip 2.2.2.2      # recursive
+//   static r1 10.7.0.0/16 drop
+//   bgp r1 asn 65001
+//   bgp r1 originate 10.0.1.0/24
+//   bgp-session r1 r2 ebgp
+//   route-map r1 r2 import permit match-prefix 10.0.0.0/8 or-longer ...
+//       ... set-local-pref 200 add-community CUST   (trailing '\' continues)
+//   route-map-default r1 r2 export deny
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "config/network.hpp"
+
+namespace plankton {
+
+/// Thrown on malformed input; carries the 1-based line number.
+class ConfigParseError : public std::runtime_error {
+ public:
+  ConfigParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct ParsedNetwork {
+  Network net;
+  /// Community names seen in route maps, interned to bit positions.
+  std::map<std::string, std::uint8_t> communities;
+};
+
+/// Parses the full text of a configuration file. Throws ConfigParseError.
+ParsedNetwork parse_network_config(std::string_view text);
+
+}  // namespace plankton

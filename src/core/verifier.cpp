@@ -1,0 +1,220 @@
+#include "core/verifier.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "sched/outcome_store.hpp"
+
+namespace plankton {
+namespace {
+
+/// Policy used when a PEC is verified only to produce outcomes for
+/// dependents; it never fails.
+class TruePolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "true"; }
+  [[nodiscard]] bool check(const ConvergedView&, std::string&) const override {
+    return true;
+  }
+};
+
+/// One schedulable unit: an SCC of the PEC dependency graph.
+struct SccTask {
+  std::uint32_t scc = 0;
+  std::vector<PecId> pecs;
+  std::size_t waiting_on = 0;  ///< unfinished dependency SCCs
+  bool is_target = false;      ///< contains at least one policy-checked PEC
+};
+
+}  // namespace
+
+std::string VerifyResult::first_violation(const Topology& topo) const {
+  (void)topo;
+  for (const auto& rep : reports) {
+    if (!rep.result.violations.empty()) {
+      const auto& v = rep.result.violations.front();
+      return "PEC " + rep.pec_str + ": " + v.message +
+             (v.failures.empty() ? "" : " under failures " + v.failures.str());
+    }
+  }
+  return "";
+}
+
+Verifier::Verifier(const Network& net, VerifyOptions opts)
+    : net_(net), opts_(opts), pecs_(compute_pecs(net)),
+      deps_(compute_dependencies(net, pecs_)) {}
+
+VerifyResult Verifier::verify(const Policy& policy) {
+  return verify_pecs(pecs_.routed(), policy);
+}
+
+VerifyResult Verifier::verify_address(IpAddr addr, const Policy& policy) {
+  return verify_pecs({pecs_.find(addr)}, policy);
+}
+
+VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& policy) {
+  const auto start = std::chrono::steady_clock::now();
+  VerifyResult result;
+  result.pecs_total = pecs_.pecs.size();
+
+  // Dependency closure: every upstream PEC must be run (for outcomes) before
+  // its dependents.
+  std::vector<std::uint8_t> needed(pecs_.pecs.size(), 0);
+  std::vector<std::uint8_t> is_target(pecs_.pecs.size(), 0);
+  std::vector<PecId> frontier = targets;
+  for (const PecId p : targets) is_target[p] = 1;
+  while (!frontier.empty()) {
+    const PecId p = frontier.back();
+    frontier.pop_back();
+    if (needed[p] != 0) continue;
+    needed[p] = 1;
+    for (const PecId q : deps_.depends_on[p]) frontier.push_back(q);
+  }
+
+  // Build the SCC task graph restricted to needed PECs.
+  std::vector<SccTask> tasks;
+  std::vector<std::int32_t> task_of_scc(deps_.sccs.size(), -1);
+  for (std::uint32_t s = 0; s < deps_.sccs.size(); ++s) {
+    std::vector<PecId> members;
+    bool target = false;
+    for (const PecId p : deps_.sccs[s]) {
+      if (needed[p] == 0) continue;
+      members.push_back(p);
+      target = target || is_target[p] != 0;
+    }
+    if (members.empty()) continue;
+    task_of_scc[s] = static_cast<std::int32_t>(tasks.size());
+    SccTask t;
+    t.scc = s;
+    t.pecs = std::move(members);
+    t.is_target = target;
+    tasks.push_back(std::move(t));
+  }
+  result.scc_count = tasks.size();
+
+  std::vector<std::vector<std::size_t>> scc_dependents(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    for (const std::uint32_t dep : deps_.scc_deps[tasks[i].scc]) {
+      const std::int32_t j = task_of_scc[dep];
+      if (j < 0) continue;  // dependency not needed => its pecs carry no info
+      ++tasks[i].waiting_on;
+      scc_dependents[static_cast<std::size_t>(j)].push_back(i);
+    }
+    if (tasks[i].pecs.size() > 1) result.unsupported_scc = true;
+  }
+
+  OutcomeStore store(net_, pecs_);
+  TruePolicy true_policy;
+  const bool cross_deps = deps_.has_cross_pec_deps();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::size_t> ready;
+  std::size_t unfinished = tasks.size();
+  std::atomic<bool> stop{false};
+  const bool has_wall_limit = opts_.wall_limit.count() > 0;
+  const auto wall_deadline = start + opts_.wall_limit;
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (tasks[i].waiting_on == 0) ready.push_back(i);
+  }
+
+  auto run_pec = [&](PecId pec_id, bool target) -> PecReport {
+    const Pec& pec = pecs_.pecs[pec_id];
+    ExploreOptions eo = opts_.explore;
+    const bool has_deps = !deps_.depends_on[pec_id].empty();
+    const bool has_dependents = !deps_.dependents[pec_id].empty();
+    eo.record_outcomes = has_dependents;
+    // §4.3: DEC-based failure choice only without cross-PEC dependencies
+    // (failure sets must coordinate exactly across PEC runs).
+    if (cross_deps && (has_deps || has_dependents)) eo.lec_failures = false;
+    if (has_wall_limit) {
+      const auto now = std::chrono::steady_clock::now();
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(wall_deadline - now);
+      if (remaining.count() <= 0) {
+        PecReport rep;
+        rep.pec = pec_id;
+        rep.pec_str = pec.str();
+        rep.result.timed_out = true;
+        return rep;
+      }
+      if (eo.time_limit.count() == 0 || remaining < eo.time_limit) {
+        eo.time_limit = remaining;
+      }
+    }
+    StoreProvider provider(store, deps_.depends_on[pec_id], has_dependents);
+    Explorer explorer(net_, pec, make_tasks(net_, pec),
+                      target ? policy : static_cast<const Policy&>(true_policy), eo,
+                      &provider);
+    PecReport rep;
+    rep.pec = pec_id;
+    rep.pec_str = pec.str();
+    rep.result = explorer.run();
+    if (eo.record_outcomes) store.put(pec_id, std::move(rep.result.outcomes));
+    rep.result.outcomes.clear();
+    return rep;
+  };
+
+  auto worker = [&] {
+    while (true) {
+      std::size_t task_idx;
+      {
+        std::unique_lock lock(mu);
+        cv.wait(lock, [&] { return !ready.empty() || unfinished == 0; });
+        if (ready.empty()) return;
+        task_idx = ready.back();
+        ready.pop_back();
+      }
+      SccTask& task = tasks[task_idx];
+      std::vector<PecReport> reports;
+      if (!stop.load(std::memory_order_relaxed)) {
+        // SCCs are verified as one unit; our prototype runs multi-PEC SCCs
+        // sequentially (the paper expects them to "almost never" occur).
+        for (const PecId p : task.pecs) {
+          reports.push_back(run_pec(p, task.is_target && is_target[p] != 0));
+        }
+      }
+      {
+        std::scoped_lock lock(mu);
+        for (auto& rep : reports) {
+          result.total.absorb(rep.result.stats);
+          if (rep.result.timed_out) result.timed_out = true;
+          if (!rep.result.holds) {
+            result.holds = false;
+            if (!opts_.explore.find_all_violations) {
+              stop.store(true, std::memory_order_relaxed);
+            }
+          }
+          if (is_target[rep.pec] != 0) {
+            ++result.pecs_verified;
+            result.reports.push_back(std::move(rep));
+          } else {
+            ++result.pecs_support;
+          }
+        }
+        for (const std::size_t dep_idx : scc_dependents[task_idx]) {
+          if (--tasks[dep_idx].waiting_on == 0) ready.push_back(dep_idx);
+        }
+        --unfinished;
+      }
+      cv.notify_all();
+    }
+  };
+
+  const int threads = std::max(1, opts_.cores);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  std::sort(result.reports.begin(), result.reports.end(),
+            [](const PecReport& x, const PecReport& y) { return x.pec < y.pec; });
+  result.wall = std::chrono::steady_clock::now() - start;
+  return result;
+}
+
+}  // namespace plankton

@@ -1,0 +1,77 @@
+// Public entry point: end-to-end configuration verification.
+//
+//   Network net = ...;                     // or parse_network_config(text)
+//   Verifier verifier(net, options);
+//   ReachabilityPolicy policy({ingress});
+//   VerifyResult r = verifier.verify(policy);
+//
+// The Verifier runs the full Plankton pipeline (Fig. 3): PEC computation,
+// dependency analysis, dependency-aware parallel scheduling of per-PEC
+// explicit-state model checking, and policy evaluation, returning per-PEC
+// reports with counterexample trails on violation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pec/pec.hpp"
+#include "policy/policy.hpp"
+#include "rpvp/explorer.hpp"
+#include "sched/deps.hpp"
+
+namespace plankton {
+
+struct VerifyOptions {
+  ExploreOptions explore;
+  int cores = 1;                             ///< worker threads for PEC runs
+  std::chrono::milliseconds wall_limit{0};   ///< 0 = none (whole verification)
+};
+
+struct PecReport {
+  PecId pec = 0;
+  std::string pec_str;
+  ExploreResult result;
+};
+
+struct VerifyResult {
+  bool holds = true;
+  bool timed_out = false;
+  std::vector<PecReport> reports;   ///< one per verified (target) PEC
+  SearchStats total;                ///< aggregated over all runs
+  std::chrono::nanoseconds wall{0};
+  std::size_t pecs_total = 0;       ///< PECs in the partition
+  std::size_t pecs_verified = 0;    ///< target PECs model-checked
+  std::size_t pecs_support = 0;     ///< upstream PECs run only for outcomes
+  std::size_t scc_count = 0;
+  bool unsupported_scc = false;     ///< an SCC with >1 PEC was approximated
+
+  [[nodiscard]] std::string first_violation(const Topology& topo) const;
+};
+
+class Verifier {
+ public:
+  Verifier(const Network& net, VerifyOptions opts);
+
+  [[nodiscard]] const PecSet& pecs() const { return pecs_; }
+  [[nodiscard]] const PecDependencies& deps() const { return deps_; }
+
+  /// Verifies `policy` on every PEC that carries routing information.
+  VerifyResult verify(const Policy& policy);
+
+  /// Verifies only the PEC containing `addr` (plus its dependency closure,
+  /// which is run for outcomes but not policy-checked).
+  VerifyResult verify_address(IpAddr addr, const Policy& policy);
+
+  /// Verifies an explicit set of target PECs.
+  VerifyResult verify_pecs(std::vector<PecId> targets, const Policy& policy);
+
+ private:
+  const Network& net_;
+  VerifyOptions opts_;
+  PecSet pecs_;
+  PecDependencies deps_;
+};
+
+}  // namespace plankton

@@ -1,0 +1,281 @@
+#include "dataplane/fib.hpp"
+
+#include <algorithm>
+
+#include "netbase/hash.hpp"
+
+namespace plankton {
+namespace {
+
+struct Candidate {
+  bool installed = false;
+  std::uint8_t ad = 255;
+  FwdKind kind = FwdKind::kDrop;
+  std::vector<NodeId> nexthops;
+  Protocol source = Protocol::kConnected;
+};
+
+void consider(Candidate& best, std::uint8_t ad, FwdKind kind,
+              std::vector<NodeId> nexthops, Protocol source) {
+  if (best.installed && best.ad <= ad) return;
+  best.installed = true;
+  best.ad = ad;
+  best.kind = kind;
+  best.nexthops = std::move(nexthops);
+  best.source = source;
+}
+
+/// Finds the best protocol (non-static) route for node n in this PEC:
+/// used to resolve recursive static next hops that point inside the PEC.
+std::vector<NodeId> protocol_nexthops_in_pec(const Network& net, const Pec& pec,
+                                             NodeId n, std::span<const TaskRib> ribs,
+                                             const ModelContext& ctx) {
+  for (std::size_t pi = 0; pi < pec.prefixes.size(); ++pi) {
+    for (const auto& rib : ribs) {
+      if (rib.prefix_idx != pi) continue;
+      const RouteId r = rib.routes[n];
+      if (r == kNoRoute) continue;
+      const Route& route = ctx.routes.get(r);
+      if (route.path == kEmptyPath) return {};  // delivered locally
+      std::vector<NodeId> hops;
+      if (route.learned_ibgp && ctx.upstream != nullptr) {
+        const auto span = ctx.upstream->nexthops_towards(
+            n, net.device(route.egress).loopback);
+        hops.assign(span.begin(), span.end());
+      } else {
+        ctx.routes.nexthops(r, ctx.paths, hops);
+      }
+      if (!hops.empty()) return hops;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::size_t DataPlane::bytes() const {
+  std::size_t total = entries.size() * sizeof(FibEntry);
+  for (const auto& e : entries) total += e.nexthops.capacity() * sizeof(NodeId);
+  return total;
+}
+
+DataPlane build_dataplane(const Network& net, const Pec& pec,
+                          const FailureSet& failures, std::span<const TaskRib> ribs,
+                          const ModelContext& ctx) {
+  DataPlane dp;
+  dp.entries.resize(net.topo.node_count());
+
+  for (NodeId n = 0; n < net.topo.node_count(); ++n) {
+    FibEntry entry;  // default: drop
+    // Longest-prefix match: prefixes are sorted most-specific first.
+    for (std::size_t pi = 0; pi < pec.prefixes.size(); ++pi) {
+      const PecPrefix& pp = pec.prefixes[pi];
+      Candidate best;
+
+      // Local delivery: the node originates the prefix (or owns the loopback).
+      const bool origin =
+          std::find(pp.ospf_origins.begin(), pp.ospf_origins.end(), n) !=
+              pp.ospf_origins.end() ||
+          std::find(pp.bgp_origins.begin(), pp.bgp_origins.end(), n) !=
+              pp.bgp_origins.end() ||
+          (pp.prefix.length() == 32 && net.device(n).loopback == pp.prefix.addr());
+      if (origin) {
+        consider(best, admin_distance(Protocol::kConnected), FwdKind::kLocal, {},
+                 Protocol::kConnected);
+      }
+
+      // Static routes targeting exactly this prefix.
+      for (const auto& [dev, idx] : pp.static_routes) {
+        if (dev != n) continue;
+        const StaticRoute& sr = net.device(n).statics[idx];
+        if (sr.drop) {
+          consider(best, admin_distance(Protocol::kStatic), FwdKind::kDrop, {},
+                   Protocol::kStatic);
+          continue;
+        }
+        if (sr.via_neighbor != kNoNode) {
+          const LinkId l = net.topo.find_link(n, sr.via_neighbor);
+          if (l != kNoLink && !failures.is_failed(l)) {
+            consider(best, admin_distance(Protocol::kStatic), FwdKind::kForward,
+                     {sr.via_neighbor}, Protocol::kStatic);
+          }
+          continue;
+        }
+        if (sr.via_ip) {
+          std::vector<NodeId> hops;
+          if (*sr.via_ip >= pec.lo && *sr.via_ip <= pec.hi) {
+            // Self-loop dependency: resolve through this PEC's own
+            // protocol routes (never through statics, avoiding recursion).
+            hops = protocol_nexthops_in_pec(net, pec, n, ribs, ctx);
+          } else if (ctx.upstream != nullptr) {
+            const auto span = ctx.upstream->nexthops_towards(n, *sr.via_ip);
+            hops.assign(span.begin(), span.end());
+          }
+          if (!hops.empty()) {
+            consider(best, admin_distance(Protocol::kStatic), FwdKind::kForward,
+                     std::move(hops), Protocol::kStatic);
+          }
+        }
+      }
+
+      // Protocol routes from the per-prefix RPVP phases.
+      for (const auto& rib : ribs) {
+        if (rib.prefix_idx != pi) continue;
+        const RouteId r = rib.routes[n];
+        if (r == kNoRoute) continue;
+        const Route& route = ctx.routes.get(r);
+        if (route.path == kEmptyPath) continue;  // origin: handled as local
+        Protocol proto = rib.proto;
+        if (proto == Protocol::kEbgp && route.learned_ibgp) proto = Protocol::kIbgp;
+        std::vector<NodeId> hops;
+        if (route.learned_ibgp) {
+          if (ctx.upstream != nullptr) {
+            const auto span = ctx.upstream->nexthops_towards(
+                n, net.device(route.egress).loopback);
+            hops.assign(span.begin(), span.end());
+          }
+          if (hops.empty()) continue;  // unresolvable iBGP next hop
+        } else {
+          ctx.routes.nexthops(r, ctx.paths, hops);
+          if (hops.empty()) continue;
+        }
+        consider(best, admin_distance(proto), FwdKind::kForward, std::move(hops),
+                 proto);
+      }
+
+      if (best.installed) {
+        entry.kind = best.kind;
+        entry.nexthops = std::move(best.nexthops);
+        entry.source = best.source;
+        entry.prefix_idx = static_cast<std::uint8_t>(pi);
+        break;  // LPM: most specific installed prefix wins
+      }
+    }
+    dp.entries[n] = std::move(entry);
+  }
+  return dp;
+}
+
+namespace {
+
+/// Per-(node, crossed-a-waypoint) walk summary. Memoized so ECMP fan-out
+/// costs O(nodes), not O(paths).
+struct NodeWalk {
+  bool delivered_all = true;
+  bool delivered_any = false;
+  bool dropped = false;
+  bool looped = false;
+  bool waypoint_ok = true;   ///< every delivered continuation crossed a waypoint
+  std::uint32_t hops = 0;    ///< longest continuation from here
+};
+
+class Walker {
+ public:
+  Walker(const DataPlane& dp, std::span<const NodeId> waypoints)
+      : dp_(dp), waypoints_(waypoints) {
+    const std::size_t n = dp.entries.size();
+    memo_[0].resize(n);
+    memo_[1].resize(n);
+    color_[0].assign(n, 0);
+    color_[1].assign(n, 0);
+  }
+
+  const NodeWalk& run(NodeId n, bool crossed) {
+    if (!crossed && std::find(waypoints_.begin(), waypoints_.end(), n) !=
+                        waypoints_.end()) {
+      crossed = true;
+    }
+    const int c = crossed ? 1 : 0;
+    if (color_[c][n] == 2) return memo_[c][n];
+    NodeWalk& w = memo_[c][n];
+    if (color_[c][n] == 1) {
+      // Back edge: forwarding loop.
+      w.looped = true;
+      w.delivered_all = false;
+      return w;
+    }
+    color_[c][n] = 1;
+    const FibEntry& e = dp_.at(n);
+    if (e.kind == FwdKind::kLocal) {
+      w.delivered_any = true;
+      if (!waypoints_.empty() && !crossed) w.waypoint_ok = false;
+    } else if (e.kind == FwdKind::kDrop || e.nexthops.empty()) {
+      w.dropped = true;
+      w.delivered_all = false;
+    } else {
+      for (const NodeId next : e.nexthops) {
+        const NodeWalk sub = run(next, crossed);  // copy: memo may be the gray self
+        w.delivered_all = w.delivered_all && sub.delivered_all;
+        w.delivered_any = w.delivered_any || sub.delivered_any;
+        w.dropped = w.dropped || sub.dropped;
+        w.looped = w.looped || sub.looped;
+        w.waypoint_ok = w.waypoint_ok && sub.waypoint_ok;
+        w.hops = std::max(w.hops, sub.hops + 1);
+      }
+    }
+    color_[c][n] = 2;
+    return w;
+  }
+
+ private:
+  const DataPlane& dp_;
+  std::span<const NodeId> waypoints_;
+  std::vector<NodeWalk> memo_[2];
+  std::vector<std::uint8_t> color_[2];  // 0 white, 1 gray, 2 black
+};
+
+}  // namespace
+
+WalkStats walk_from(const DataPlane& dp, NodeId src,
+                    std::span<const NodeId> waypoints) {
+  Walker walker(dp, waypoints);
+  const NodeWalk w = walker.run(src, false);
+  WalkStats out;
+  out.delivered_all = w.delivered_all && !w.looped;
+  out.delivered_any = w.delivered_any;
+  out.dropped = w.dropped;
+  out.looped = w.looped;
+  out.max_hops = w.hops;
+  out.hit_waypoint_all = w.waypoint_ok;
+  return out;
+}
+
+std::uint64_t policy_signature(const DataPlane& dp, std::span<const NodeId> sources,
+                               std::span<const NodeId> interesting,
+                               std::size_t node_count) {
+  std::vector<std::uint8_t> is_interesting(node_count, interesting.empty() ? 1 : 0);
+  for (const NodeId n : interesting) is_interesting[n] = 1;
+
+  std::uint64_t sig = 0x2545f4914f6cdd1dull;
+  // Per source: BFS the forwarding DAG recording (depth, interesting node)
+  // and terminal kinds. Two converged states with equal signatures have the
+  // same source paths lengths and interesting-node positions (§3.5).
+  std::vector<std::pair<NodeId, std::uint32_t>> frontier;
+  std::vector<std::uint32_t> seen_at(node_count, ~std::uint32_t{0});
+  for (const NodeId src : sources) {
+    frontier.clear();
+    std::fill(seen_at.begin(), seen_at.end(), ~std::uint32_t{0});
+    frontier.emplace_back(src, 0);
+    seen_at[src] = 0;
+    sig = hash_combine(sig, src + 1);
+    std::size_t cursor = 0;
+    while (cursor < frontier.size()) {
+      const auto [n, depth] = frontier[cursor++];
+      const FibEntry& e = dp.at(n);
+      if (is_interesting[n]) {
+        sig = hash_combine(sig, (std::uint64_t{depth} << 32) | n);
+      }
+      sig = hash_combine(sig, static_cast<std::uint64_t>(e.kind) + (depth << 8));
+      if (e.kind != FwdKind::kForward) continue;
+      for (const NodeId next : e.nexthops) {
+        if (seen_at[next] == depth + 1) continue;  // already queued at this depth
+        if (seen_at[next] != ~std::uint32_t{0} && seen_at[next] <= depth) continue;
+        seen_at[next] = depth + 1;
+        frontier.emplace_back(next, depth + 1);
+      }
+    }
+  }
+  return sig;
+}
+
+}  // namespace plankton

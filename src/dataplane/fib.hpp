@@ -1,0 +1,71 @@
+// FIB assembly and forwarding-graph walks.
+//
+// "Once the converged states of all relevant prefixes are computed, a model
+// of the FIB combines the results from the various prefixes and protocols
+// into a single network-wide data plane for the PEC" (§3.3). Combination
+// order is longest-prefix match first, then administrative distance. iBGP
+// routes and recursive static routes resolve their next hops through the
+// upstream PEC outcome (§3.2); a static route whose next hop falls inside the
+// PEC being built resolves through this PEC's own protocol routes (the
+// self-loop dependency the paper observed in real configs).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "config/network.hpp"
+#include "pec/pec.hpp"
+#include "protocols/process.hpp"
+
+namespace plankton {
+
+enum class FwdKind : std::uint8_t { kDrop, kLocal, kForward };
+
+struct FibEntry {
+  FwdKind kind = FwdKind::kDrop;
+  std::vector<NodeId> nexthops;          ///< kForward only (ECMP allowed)
+  Protocol source = Protocol::kConnected;
+  std::uint8_t prefix_idx = 0xff;        ///< index into Pec::prefixes, 0xff = none
+};
+
+/// Per-node forwarding behaviour for one PEC under one converged state.
+struct DataPlane {
+  std::vector<FibEntry> entries;
+
+  [[nodiscard]] const FibEntry& at(NodeId n) const { return entries[n]; }
+  [[nodiscard]] std::size_t bytes() const;
+};
+
+/// One (prefix, protocol) RIB produced by an RPVP phase.
+struct TaskRib {
+  std::uint8_t prefix_idx = 0;
+  Protocol proto = Protocol::kOspf;
+  std::span<const RouteId> routes;  ///< per NodeId best route
+};
+
+DataPlane build_dataplane(const Network& net, const Pec& pec,
+                          const FailureSet& failures, std::span<const TaskRib> ribs,
+                          const ModelContext& ctx);
+
+/// Exhaustive walk of the forwarding graph from one source.
+struct WalkStats {
+  bool delivered_all = true;    ///< every maximal branch reaches kLocal
+  bool delivered_any = false;   ///< some branch reaches kLocal
+  bool dropped = false;         ///< some branch reaches kDrop
+  bool looped = false;          ///< some branch revisits a node
+  std::uint32_t max_hops = 0;   ///< longest branch (hops until terminal)
+  bool hit_waypoint_all = true; ///< every delivered branch crossed `waypoints`
+};
+
+WalkStats walk_from(const DataPlane& dp, NodeId src,
+                    std::span<const NodeId> waypoints = {});
+
+/// Equivalence signature of a converged data plane from the policy's point
+/// of view (§3.5): per source, path lengths and positions of interesting
+/// nodes. Used to suppress redundant policy checks.
+std::uint64_t policy_signature(const DataPlane& dp, std::span<const NodeId> sources,
+                               std::span<const NodeId> interesting,
+                               std::size_t node_count);
+
+}  // namespace plankton

@@ -1,0 +1,78 @@
+#include "eqclass/bonsai.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "eqclass/dec.hpp"
+#include "netbase/hash.hpp"
+
+namespace plankton {
+
+BonsaiResult bonsai_compress_ospf(const Network& orig, const Prefix& dest,
+                                  std::span<const NodeId> salted) {
+  for (const auto& dev : orig.devices) {
+    if (dev.bgp || !dev.statics.empty()) {
+      throw std::invalid_argument(
+          "bonsai_compress_ospf supports pure OSPF networks only");
+    }
+  }
+  std::vector<std::uint64_t> sig(orig.topo.node_count());
+  for (NodeId n = 0; n < orig.topo.node_count(); ++n) {
+    const auto& dev = orig.device(n);
+    std::uint64_t h = hash_mix(dev.ospf.enabled ? 2 : 1);
+    const bool origin =
+        std::find(dev.ospf.originated.begin(), dev.ospf.originated.end(), dest) !=
+        dev.ospf.originated.end();
+    h = hash_combine(h, origin ? 0xdead : 0x1);
+    sig[n] = h;
+  }
+  for (std::size_t i = 0; i < salted.size(); ++i) {
+    sig[salted[i]] = hash_combine(sig[salted[i]], 0xfa1cull + i);
+  }
+
+  const FailureSet none(orig.topo.link_count());
+  const DecPartition dec = DecPartition::compute(orig.topo, sig, none);
+
+  BonsaiResult out;
+  out.original_nodes = orig.topo.node_count();
+  out.color_of.resize(orig.topo.node_count());
+  for (NodeId n = 0; n < orig.topo.node_count(); ++n) {
+    out.color_of[n] = dec.color(n);
+  }
+
+  // One representative device per color.
+  const auto classes = dec.classes();
+  for (std::uint32_t c = 0; c < classes.size(); ++c) {
+    const NodeId rep = classes[c].front();
+    const auto& dev = orig.device(rep);
+    const NodeId q = out.net.add_device("q" + std::to_string(c), dev.loopback);
+    out.net.device(q).ospf = dev.ospf;
+  }
+  // One minimum-cost link per unordered color pair (self-pairs dropped:
+  // intra-class links cannot lie on inter-class shortest paths in a
+  // symmetric abstraction).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::pair<std::uint32_t, std::uint32_t>>
+      best;
+  for (const Link& l : orig.topo.links()) {
+    std::uint32_t ca = dec.color(l.a);
+    std::uint32_t cb = dec.color(l.b);
+    std::uint32_t wab = l.cost_ab;
+    std::uint32_t wba = l.cost_ba;
+    if (ca == cb) continue;
+    if (cb < ca) {
+      std::swap(ca, cb);
+      std::swap(wab, wba);
+    }
+    const auto key = std::make_pair(ca, cb);
+    const auto it = best.find(key);
+    if (it == best.end() || wab + wba < it->second.first + it->second.second) {
+      best[key] = {wab, wba};
+    }
+  }
+  for (const auto& [pair, cost] : best) {
+    out.net.topo.add_link(pair.first, pair.second, cost.first, cost.second);
+  }
+  return out;
+}
+
+}  // namespace plankton

@@ -1,0 +1,43 @@
+// Bonsai-style control-plane compression (paper §5 "Integration with
+// Bonsai", Fig. 7f).
+//
+// Bonsai shrinks the network before verification by collapsing
+// behaviorally-equivalent devices into abstract nodes. We reuse the DEC
+// color-refinement machinery: nodes are colored by their configuration
+// signature for one destination (origination of the destination prefix, OSPF
+// role, plus caller-provided salts for policy sources), refined over the
+// topology, and the quotient network carries one representative device per
+// color with a single minimum-cost link per color pair.
+//
+// As in the paper, compression applies only when the policy is preserved by
+// the abstraction and no link failures are being checked (§5: "Bonsai's
+// network compression cannot be applied if the correctness is to be
+// evaluated under link failures").
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "config/network.hpp"
+
+namespace plankton {
+
+struct BonsaiResult {
+  Network net;                          ///< quotient network
+  std::vector<std::uint32_t> color_of;  ///< original node -> quotient node
+  std::size_t original_nodes = 0;
+
+  [[nodiscard]] NodeId abstract_of(NodeId original) const {
+    return color_of[original];
+  }
+};
+
+/// Compresses an OSPF network for one destination prefix. `salted` nodes get
+/// unique colors (policy sources / interesting nodes must not be merged).
+/// Throws std::invalid_argument when the network uses BGP or static routes
+/// (outside this compression's supported fragment, as in our Fig. 7f use).
+BonsaiResult bonsai_compress_ospf(const Network& orig, const Prefix& dest,
+                                  std::span<const NodeId> salted);
+
+}  // namespace plankton

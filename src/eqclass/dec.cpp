@@ -1,0 +1,93 @@
+#include "eqclass/dec.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "netbase/hash.hpp"
+
+namespace plankton {
+namespace {
+
+/// Renumbers arbitrary 64-bit color hashes to dense ids.
+std::size_t densify(const std::vector<std::uint64_t>& hashes,
+                    std::vector<std::uint32_t>& colors) {
+  std::map<std::uint64_t, std::uint32_t> ids;
+  colors.resize(hashes.size());
+  for (std::size_t n = 0; n < hashes.size(); ++n) {
+    auto [it, fresh] = ids.emplace(hashes[n], static_cast<std::uint32_t>(ids.size()));
+    colors[n] = it->second;
+    (void)fresh;
+  }
+  return ids.size();
+}
+
+}  // namespace
+
+DecPartition DecPartition::compute(const Topology& topo,
+                                   std::span<const std::uint64_t> node_signature,
+                                   const FailureSet& failures) {
+  DecPartition out;
+  std::vector<std::uint64_t> hashes(node_signature.begin(), node_signature.end());
+  std::size_t colors = densify(hashes, out.colors_);
+
+  std::vector<std::uint64_t> next(hashes.size());
+  // At most n rounds; each round either refines or reaches a fixpoint.
+  for (std::size_t round = 0; round < topo.node_count(); ++round) {
+    for (NodeId n = 0; n < topo.node_count(); ++n) {
+      std::vector<std::uint64_t> neigh;
+      for (const auto& adj : topo.neighbors(n)) {
+        if (failures.is_failed(adj.link)) continue;
+        const Link& l = topo.link(adj.link);
+        std::uint64_t e = hash_combine(out.colors_[adj.neighbor], l.cost_from(n));
+        e = hash_combine(e, l.cost_from(adj.neighbor));
+        neigh.push_back(e);
+      }
+      std::sort(neigh.begin(), neigh.end());
+      std::uint64_t h = hash_mix(out.colors_[n] + 1);
+      for (const std::uint64_t e : neigh) h = hash_combine(h, e);
+      next[n] = h;
+    }
+    std::vector<std::uint32_t> new_colors;
+    const std::size_t new_count = densify(next, new_colors);
+    if (new_count == colors) break;
+    colors = new_count;
+    out.colors_ = std::move(new_colors);
+  }
+  out.num_colors_ = colors;
+  return out;
+}
+
+std::vector<LinkId> DecPartition::lec_representatives(
+    const Topology& topo, const FailureSet& failures) const {
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t, std::uint32_t>, LinkId>
+      reps;
+  for (LinkId l = 0; l < topo.link_count(); ++l) {
+    if (failures.is_failed(l)) continue;
+    const Link& link = topo.link(l);
+    std::uint32_t ca = colors_[link.a];
+    std::uint32_t cb = colors_[link.b];
+    std::uint32_t wa = link.cost_ab;
+    std::uint32_t wb = link.cost_ba;
+    if (cb < ca || (ca == cb && wb < wa)) {
+      std::swap(ca, cb);
+      std::swap(wa, wb);
+    }
+    reps.try_emplace({ca, cb, wa, wb}, l);
+  }
+  std::vector<LinkId> out;
+  out.reserve(reps.size());
+  for (const auto& [key, l] : reps) {
+    (void)key;
+    out.push_back(l);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<NodeId>> DecPartition::classes() const {
+  std::vector<std::vector<NodeId>> out(num_colors_);
+  for (NodeId n = 0; n < colors_.size(); ++n) out[colors_[n]].push_back(n);
+  return out;
+}
+
+}  // namespace plankton

@@ -1,0 +1,45 @@
+// Device and Link Equivalence Classes (paper §4.3), computed by color
+// refinement — the same abstraction-by-symmetry idea as Bonsai.
+//
+// Devices start with a per-PEC configuration signature (role, origination,
+// statics, policy source/interesting membership; interesting nodes get a
+// unique color so they are never merged, §4.3). Refinement then hashes each
+// node's color with the multiset of (link costs, neighbor color) over live
+// links until the partition stabilizes. A LEC is the set of live links whose
+// endpoint-color pair and cost pair coincide; Plankton explores one
+// representative link failure per LEC and refines after each pick.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netbase/topology.hpp"
+
+namespace plankton {
+
+class DecPartition {
+ public:
+  /// Computes the coarsest stable refinement of `node_signature` over the
+  /// non-failed subgraph of `topo`.
+  static DecPartition compute(const Topology& topo,
+                              std::span<const std::uint64_t> node_signature,
+                              const FailureSet& failures);
+
+  [[nodiscard]] std::uint32_t color(NodeId n) const { return colors_[n]; }
+  [[nodiscard]] std::size_t num_colors() const { return num_colors_; }
+  [[nodiscard]] std::size_t node_count() const { return colors_.size(); }
+
+  /// One representative live link per Link Equivalence Class (lowest id).
+  [[nodiscard]] std::vector<LinkId> lec_representatives(
+      const Topology& topo, const FailureSet& failures) const;
+
+  /// Members of each color class (indexed by color).
+  [[nodiscard]] std::vector<std::vector<NodeId>> classes() const;
+
+ private:
+  std::vector<std::uint32_t> colors_;
+  std::size_t num_colors_ = 0;
+};
+
+}  // namespace plankton

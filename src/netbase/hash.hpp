@@ -1,0 +1,30 @@
+// Small hashing utilities shared across the state-hashing machinery.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace plankton {
+
+/// Mixes a 64-bit value into a running hash (splitmix64-style finalizer).
+constexpr std::uint64_t hash_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  return hash_mix(seed ^ hash_mix(value));
+}
+
+/// Hashes a span of trivially-hashable integers.
+template <typename T>
+constexpr std::uint64_t hash_span(std::span<const T> data,
+                                  std::uint64_t seed = 0x51ed2701a3c5e891ull) {
+  std::uint64_t h = seed;
+  for (const T& v : data) h = hash_combine(h, static_cast<std::uint64_t>(v));
+  return h;
+}
+
+}  // namespace plankton

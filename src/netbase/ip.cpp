@@ -1,0 +1,55 @@
+#include "netbase/ip.hpp"
+
+#include <charconv>
+
+namespace plankton {
+
+std::optional<IpAddr> IpAddr::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* cursor = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned part = 0;
+    auto [next, ec] = std::from_chars(cursor, end, part);
+    if (ec != std::errc{} || part > 255) return std::nullopt;
+    value = (value << 8) | part;
+    cursor = next;
+    if (octet < 3) {
+      if (cursor == end || *cursor != '.') return std::nullopt;
+      ++cursor;
+    }
+  }
+  if (cursor != end) return std::nullopt;
+  return IpAddr(value);
+}
+
+std::string IpAddr::str() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((value_ >> shift) & 0xff);
+    if (shift > 0) out += '.';
+  }
+  return out;
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = IpAddr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  unsigned len = 0;
+  const auto len_text = text.substr(slash + 1);
+  auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size() || len > 32) {
+    return std::nullopt;
+  }
+  return Prefix(*addr, static_cast<std::uint8_t>(len));
+}
+
+std::string Prefix::str() const {
+  return addr_.str() + "/" + std::to_string(len_);
+}
+
+}  // namespace plankton

@@ -1,0 +1,85 @@
+// IPv4 address and prefix value types.
+//
+// These are the primitive vocabulary of the whole library: configurations
+// originate prefixes, the PEC trie partitions the 32-bit address space into
+// ranges, and policies are checked per Packet Equivalence Class.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace plankton {
+
+/// A single IPv4 address, stored host-order so arithmetic and comparisons
+/// follow numeric order of the address space.
+class IpAddr {
+ public:
+  constexpr IpAddr() = default;
+  constexpr explicit IpAddr(std::uint32_t value) : value_(value) {}
+  constexpr IpAddr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation ("10.1.2.3"). Returns nullopt on malformed input.
+  static std::optional<IpAddr> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string str() const;
+
+  friend constexpr auto operator<=>(IpAddr, IpAddr) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// An IPv4 prefix (address + mask length). The host bits of `addr` are kept
+/// zeroed so prefixes compare structurally.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  constexpr Prefix(IpAddr addr, std::uint8_t len)
+      : addr_(IpAddr(len == 0 ? 0 : (addr.value() & (~std::uint32_t{0} << (32 - len))))),
+        len_(len) {}
+
+  /// Parses "a.b.c.d/len". Returns nullopt on malformed input or len > 32.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  /// The all-addresses prefix 0.0.0.0/0.
+  static constexpr Prefix any() { return Prefix(IpAddr(0), 0); }
+
+  /// A host prefix a.b.c.d/32.
+  static constexpr Prefix host(IpAddr a) { return Prefix(a, 32); }
+
+  [[nodiscard]] constexpr IpAddr addr() const { return addr_; }
+  [[nodiscard]] constexpr std::uint8_t length() const { return len_; }
+
+  /// Lowest address covered by the prefix.
+  [[nodiscard]] constexpr IpAddr first() const { return addr_; }
+  /// Highest address covered by the prefix.
+  [[nodiscard]] constexpr IpAddr last() const {
+    // len 32 -> no host bits (shifting by 32 would be UB).
+    return IpAddr(addr_.value() |
+                  (len_ >= 32 ? 0u : (~std::uint32_t{0} >> len_)));
+  }
+
+  [[nodiscard]] constexpr bool contains(IpAddr a) const {
+    return a >= first() && a <= last();
+  }
+  /// True when `other` is fully inside this prefix (incl. equality).
+  [[nodiscard]] constexpr bool covers(const Prefix& other) const {
+    return len_ <= other.len_ && contains(other.addr_);
+  }
+
+  [[nodiscard]] std::string str() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  IpAddr addr_;
+  std::uint8_t len_ = 0;
+};
+
+}  // namespace plankton

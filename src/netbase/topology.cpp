@@ -1,0 +1,91 @@
+#include "netbase/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "netbase/hash.hpp"
+
+namespace plankton {
+
+void FailureSet::fail(LinkId link) {
+  if (link >= failed_.size()) failed_.resize(link + 1, false);
+  if (failed_[link]) return;
+  failed_[link] = true;
+  ids_.insert(std::lower_bound(ids_.begin(), ids_.end(), link), link);
+}
+
+std::uint64_t FailureSet::hash() const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (const LinkId id : ids_) h = hash_combine(h, id);
+  return h;
+}
+
+std::string FailureSet::str() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(ids_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+NodeId Topology::add_node(std::string name) {
+  names_.push_back(std::move(name));
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(names_.size() - 1);
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, std::uint32_t cost) {
+  return add_link(a, b, cost, cost);
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, std::uint32_t cost_ab,
+                          std::uint32_t cost_ba) {
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{a, b, cost_ab, cost_ba});
+  adjacency_[a].push_back(Adjacency{b, id, cost_ab});
+  adjacency_[b].push_back(Adjacency{a, id, cost_ba});
+  return id;
+}
+
+LinkId Topology::find_link(NodeId a, NodeId b) const {
+  for (const auto& adj : adjacency_[a]) {
+    if (adj.neighbor == b) return adj.link;
+  }
+  return kNoLink;
+}
+
+std::vector<std::uint32_t> shortest_path_costs(const Topology& topo,
+                                               std::span<const NodeId> sources,
+                                               const FailureSet& failures) {
+  std::vector<std::uint32_t> dist(topo.node_count(), kInfiniteCost);
+  using Item = std::pair<std::uint32_t, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (const NodeId s : sources) {
+    dist[s] = 0;
+    heap.emplace(0u, s);
+  }
+  while (!heap.empty()) {
+    const auto [d, n] = heap.top();
+    heap.pop();
+    if (d != dist[n]) continue;
+    for (const auto& adj : topo.neighbors(n)) {
+      if (failures.is_failed(adj.link)) continue;
+      // Traversal n -> neighbor uses the cost *into* n when computing
+      // distance-to-source trees: OSPF costs accumulate on the outgoing
+      // interface of the forwarding node, i.e. neighbor -> n direction.
+      const std::uint32_t step = topo.link(adj.link).cost_from(adj.neighbor);
+      if (dist[n] != kInfiniteCost && step != kInfiniteCost) {
+        const std::uint64_t cand = std::uint64_t{dist[n]} + step;
+        if (cand < dist[adj.neighbor]) {
+          dist[adj.neighbor] = static_cast<std::uint32_t>(cand);
+          heap.emplace(dist[adj.neighbor], adj.neighbor);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace plankton

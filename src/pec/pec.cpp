@@ -1,0 +1,90 @@
+#include "pec/pec.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "pec/trie.hpp"
+
+namespace plankton {
+
+std::string Pec::str() const {
+  return "[" + lo.str() + ", " + hi.str() + "] (" +
+         std::to_string(prefixes.size()) + " prefixes)";
+}
+
+PecId PecSet::find(IpAddr a) const {
+  // PECs are sorted by lo and tile the space; binary search the range.
+  auto it = std::upper_bound(pecs.begin(), pecs.end(), a,
+                             [](IpAddr addr, const Pec& p) { return addr < p.lo; });
+  const auto idx = static_cast<std::size_t>(it - pecs.begin());
+  return static_cast<PecId>(idx == 0 ? 0 : idx - 1);
+}
+
+std::vector<PecId> PecSet::routed() const {
+  std::vector<PecId> out;
+  for (PecId id = 0; id < pecs.size(); ++id) {
+    if (pecs[id].has_routing()) out.push_back(id);
+  }
+  return out;
+}
+
+PecSet compute_pecs(const Network& net) {
+  // Gather every prefix mentioned anywhere, then build the per-prefix config
+  // slices that PECs will reference.
+  const std::vector<Prefix> prefixes = net.mentioned_prefixes();
+  std::map<Prefix, PecPrefix> slices;
+  for (const auto& p : prefixes) slices[p].prefix = p;
+
+  for (NodeId n = 0; n < net.devices.size(); ++n) {
+    const auto& dev = net.device(n);
+    if (dev.ospf.enabled) {
+      for (const auto& p : dev.ospf.originated) slices[p].ospf_origins.push_back(n);
+      if (dev.ospf.advertise_loopback && dev.loopback != IpAddr()) {
+        slices[Prefix::host(dev.loopback)].ospf_origins.push_back(n);
+      }
+      if (dev.ospf.redistribute_static) {
+        for (const auto& sr : dev.statics) slices[sr.dst].ospf_origins.push_back(n);
+      }
+    }
+    if (dev.bgp) {
+      for (const auto& p : dev.bgp->originated) slices[p].bgp_origins.push_back(n);
+      if (dev.bgp->redistribute_ospf && dev.ospf.enabled) {
+        for (const auto& p : dev.ospf.originated) slices[p].bgp_origins.push_back(n);
+      }
+    }
+    for (std::uint32_t i = 0; i < dev.statics.size(); ++i) {
+      slices[dev.statics[i].dst].static_routes.emplace_back(n, i);
+    }
+  }
+  // Dedup: redistribution can add a node that also originates natively.
+  for (auto& [p, slice] : slices) {
+    (void)p;
+    auto dedup = [](std::vector<NodeId>& v) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    };
+    dedup(slice.ospf_origins);
+    dedup(slice.bgp_origins);
+  }
+
+  PrefixTrie trie;
+  for (std::uint32_t i = 0; i < prefixes.size(); ++i) trie.insert(prefixes[i], i);
+
+  PecSet out;
+  for (const auto& range : trie.partition()) {
+    Pec pec;
+    pec.lo = range.lo;
+    pec.hi = range.hi;
+    for (const std::uint32_t value : range.values) {
+      pec.prefixes.push_back(slices.at(prefixes[value]));
+    }
+    std::sort(pec.prefixes.begin(), pec.prefixes.end(),
+              [](const PecPrefix& x, const PecPrefix& y) {
+                return x.prefix.length() > y.prefix.length();
+              });
+    out.pecs.push_back(std::move(pec));
+  }
+  return out;
+}
+
+}  // namespace plankton

@@ -1,0 +1,68 @@
+// Packet Equivalence Class computation (paper §3.1).
+//
+// A PEC is a maximal range of destination addresses whose covering-prefix set
+// (and hence whose network-wide behaviour) is constant. Each PEC keeps the
+// contributing prefixes (most-specific first) together with the per-prefix
+// slice of the configuration: which devices originate it into OSPF/BGP and
+// which static routes target it. Keeping the original prefixes matters even
+// inside a single PEC because prefix lengths participate in FIB longest-prefix
+// match and in route-map matching (paper §3.1, last paragraph).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/network.hpp"
+#include "netbase/ip.hpp"
+
+namespace plankton {
+
+using PecId = std::uint32_t;
+
+/// One contributing prefix inside a PEC, with its configuration slice.
+struct PecPrefix {
+  Prefix prefix;
+  std::vector<NodeId> ospf_origins;
+  std::vector<NodeId> bgp_origins;
+  /// (device, index into device's `statics`) for routes whose dst == prefix.
+  std::vector<std::pair<NodeId, std::uint32_t>> static_routes;
+
+  [[nodiscard]] bool has_routing() const {
+    return !ospf_origins.empty() || !bgp_origins.empty() || !static_routes.empty();
+  }
+};
+
+struct Pec {
+  IpAddr lo;
+  IpAddr hi;
+  /// Contributing prefixes sorted by descending length (most specific first),
+  /// so FIB assembly can walk them in LPM order.
+  std::vector<PecPrefix> prefixes;
+
+  [[nodiscard]] IpAddr representative() const { return lo; }
+  [[nodiscard]] bool has_routing() const {
+    for (const auto& p : prefixes)
+      if (p.has_routing()) return true;
+    return false;
+  }
+  [[nodiscard]] std::string str() const;
+};
+
+class PecSet {
+ public:
+  std::vector<Pec> pecs;
+
+  /// Index of the PEC containing `a` (the PECs tile the whole space).
+  [[nodiscard]] PecId find(IpAddr a) const;
+
+  /// Ids of PECs that carry any routing information (origination or statics);
+  /// the rest are default-drop everywhere and need no model checking.
+  [[nodiscard]] std::vector<PecId> routed() const;
+};
+
+/// Computes the PEC partition of the header space for `net` by inserting
+/// every configuration-mentioned prefix into a trie and traversing it.
+PecSet compute_pecs(const Network& net);
+
+}  // namespace plankton

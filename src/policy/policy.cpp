@@ -1,0 +1,166 @@
+#include "policy/policy.hpp"
+
+#include <algorithm>
+
+namespace plankton {
+namespace {
+
+std::vector<NodeId> all_nodes(const ConvergedView& view) {
+  std::vector<NodeId> out(view.net.topo.node_count());
+  for (NodeId n = 0; n < out.size(); ++n) out[n] = n;
+  return out;
+}
+
+std::vector<NodeId> effective_sources(std::span<const NodeId> sources,
+                                      const ConvergedView& view) {
+  if (!sources.empty()) return {sources.begin(), sources.end()};
+  return all_nodes(view);
+}
+
+}  // namespace
+
+ReachabilityPolicy::ReachabilityPolicy(std::vector<NodeId> sources)
+    : sources_(std::move(sources)) {}
+
+bool ReachabilityPolicy::check(const ConvergedView& view, std::string& why) const {
+  for (const NodeId s : effective_sources(sources_, view)) {
+    const WalkStats w = walk_from(view.dp, s);
+    if (!w.delivered_all || !w.delivered_any) {
+      why = "traffic from " + view.net.topo.name(s) +
+            (w.looped ? " loops" : w.dropped ? " is dropped" : " is not delivered");
+      return false;
+    }
+  }
+  return true;
+}
+
+WaypointPolicy::WaypointPolicy(std::vector<NodeId> sources,
+                               std::vector<NodeId> waypoints)
+    : sources_(std::move(sources)), waypoints_(std::move(waypoints)) {}
+
+bool WaypointPolicy::check(const ConvergedView& view, std::string& why) const {
+  for (const NodeId s : effective_sources(sources_, view)) {
+    const WalkStats w = walk_from(view.dp, s, waypoints_);
+    if (!w.delivered_all || !w.delivered_any) {
+      why = "traffic from " + view.net.topo.name(s) + " is not delivered";
+      return false;
+    }
+    if (!w.hit_waypoint_all) {
+      why = "a path from " + view.net.topo.name(s) + " bypasses all waypoints";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LoopFreedomPolicy::check(const ConvergedView& view, std::string& why) const {
+  for (const NodeId s : all_nodes(view)) {
+    const WalkStats w = walk_from(view.dp, s);
+    if (w.looped) {
+      why = "forwarding loop reachable from " + view.net.topo.name(s);
+      return false;
+    }
+  }
+  return true;
+}
+
+BlackholeFreedomPolicy::BlackholeFreedomPolicy(std::vector<NodeId> sources)
+    : sources_(std::move(sources)) {}
+
+bool BlackholeFreedomPolicy::check(const ConvergedView& view, std::string& why) const {
+  for (const NodeId s : effective_sources(sources_, view)) {
+    const WalkStats w = walk_from(view.dp, s);
+    if (w.dropped) {
+      why = "traffic from " + view.net.topo.name(s) + " hits a black hole";
+      return false;
+    }
+  }
+  return true;
+}
+
+BoundedPathLengthPolicy::BoundedPathLengthPolicy(std::vector<NodeId> sources,
+                                                 std::uint32_t limit)
+    : sources_(std::move(sources)), limit_(limit) {}
+
+bool BoundedPathLengthPolicy::check(const ConvergedView& view, std::string& why) const {
+  for (const NodeId s : effective_sources(sources_, view)) {
+    const WalkStats w = walk_from(view.dp, s);
+    if (w.looped) {
+      why = "unbounded path (loop) from " + view.net.topo.name(s);
+      return false;
+    }
+    if (w.max_hops > limit_) {
+      why = "path from " + view.net.topo.name(s) + " has " +
+            std::to_string(w.max_hops) + " hops (limit " + std::to_string(limit_) + ")";
+      return false;
+    }
+  }
+  return true;
+}
+
+MultipathConsistencyPolicy::MultipathConsistencyPolicy(std::vector<NodeId> sources)
+    : sources_(std::move(sources)) {}
+
+bool MultipathConsistencyPolicy::check(const ConvergedView& view,
+                                       std::string& why) const {
+  for (const NodeId s : effective_sources(sources_, view)) {
+    const WalkStats w = walk_from(view.dp, s);
+    if (w.delivered_any && !w.delivered_all) {
+      why = "multipath divergence at " + view.net.topo.name(s) +
+            ": some branches deliver, others do not";
+      return false;
+    }
+  }
+  return true;
+}
+
+PathConsistencyPolicy::PathConsistencyPolicy(std::vector<NodeId> group)
+    : group_(std::move(group)) {}
+
+namespace {
+// Control-plane attributes and data-plane shape compared across the group.
+struct ConsistencySignature {
+  std::uint32_t metric = 0;
+  std::uint32_t local_pref = 0;
+  std::uint16_t as_len = 0;
+  bool has_route = false;
+  bool delivered = false;
+  std::uint32_t hops = 0;
+  friend bool operator==(const ConsistencySignature&,
+                         const ConsistencySignature&) = default;
+};
+}  // namespace
+
+bool PathConsistencyPolicy::check(const ConvergedView& view, std::string& why) const {
+  if (group_.size() < 2) return true;
+  using Signature = ConsistencySignature;
+  auto signature_of = [&](NodeId n) {
+    Signature sig;
+    for (const auto& rib : view.ribs) {
+      const RouteId r = rib.routes[n];
+      if (r == kNoRoute) continue;
+      const Route& route = view.ctx.routes.get(r);
+      sig.has_route = true;
+      sig.metric = route.metric;
+      sig.local_pref = route.local_pref;
+      sig.as_len = route.as_path_len;
+      break;  // most specific prefix wins
+    }
+    const WalkStats w = walk_from(view.dp, n);
+    sig.delivered = w.delivered_all && w.delivered_any;
+    sig.hops = w.max_hops;
+    return sig;
+  };
+  const Signature first = signature_of(group_.front());
+  for (std::size_t i = 1; i < group_.size(); ++i) {
+    if (!(signature_of(group_[i]) == first)) {
+      why = "devices " + view.net.topo.name(group_.front()) + " and " +
+            view.net.topo.name(group_[i]) +
+            " have diverging control/data plane state";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace plankton

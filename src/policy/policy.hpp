@@ -1,0 +1,143 @@
+// Policy API (paper §3.5).
+//
+// A policy is an arbitrary predicate over a converged data plane: Plankton
+// invokes the callback once per converged state the model checker generates,
+// passing the PEC's data plane plus the control-plane RIBs. Policies may
+// declare source nodes (enables policy-based pruning, §4.2) and interesting
+// nodes (enables converged-state equivalence suppression and keeps those
+// devices in their own DEC, §4.3).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dataplane/fib.hpp"
+#include "pec/pec.hpp"
+
+namespace plankton {
+
+/// Everything a policy callback may inspect about one converged state.
+struct ConvergedView {
+  const Network& net;
+  const Pec& pec;
+  const FailureSet& failures;
+  const DataPlane& dp;
+  std::span<const TaskRib> ribs;  ///< per (prefix, protocol) control-plane state
+  const ModelContext& ctx;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Nodes whose forwarding the policy inspects; empty = all nodes.
+  [[nodiscard]] virtual std::span<const NodeId> sources() const { return {}; }
+
+  /// Nodes whose position on paths matters; empty = all nodes.
+  [[nodiscard]] virtual std::span<const NodeId> interesting() const { return {}; }
+
+  /// Returns true when the converged state satisfies the policy. On failure,
+  /// `why` receives a human-readable explanation.
+  [[nodiscard]] virtual bool check(const ConvergedView& view, std::string& why) const = 0;
+
+  /// True when the policy outcome is a function of the §3.5 equivalence
+  /// signature (source path lengths + interesting-node positions), enabling
+  /// converged-state suppression. Policies that inspect control-plane
+  /// attributes (e.g. Path Consistency) must return false.
+  [[nodiscard]] virtual bool supports_equivalence() const { return true; }
+};
+
+/// All sources must deliver on every forwarding branch.
+class ReachabilityPolicy final : public Policy {
+ public:
+  explicit ReachabilityPolicy(std::vector<NodeId> sources);
+  [[nodiscard]] std::string name() const override { return "reachability"; }
+  [[nodiscard]] std::span<const NodeId> sources() const override { return sources_; }
+  [[nodiscard]] bool check(const ConvergedView& view, std::string& why) const override;
+
+ private:
+  std::vector<NodeId> sources_;
+};
+
+/// Every delivered path from a source must cross one of the waypoints, and
+/// traffic must actually be delivered.
+class WaypointPolicy final : public Policy {
+ public:
+  WaypointPolicy(std::vector<NodeId> sources, std::vector<NodeId> waypoints);
+  [[nodiscard]] std::string name() const override { return "waypoint"; }
+  [[nodiscard]] std::span<const NodeId> sources() const override { return sources_; }
+  [[nodiscard]] std::span<const NodeId> interesting() const override { return waypoints_; }
+  [[nodiscard]] bool check(const ConvergedView& view, std::string& why) const override;
+
+ private:
+  std::vector<NodeId> sources_;
+  std::vector<NodeId> waypoints_;
+};
+
+/// No forwarding cycle reachable from any node ("a loop policy can't
+/// optimize as aggressively: it has to consider all sources", §3.5).
+class LoopFreedomPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "loop-freedom"; }
+  [[nodiscard]] bool check(const ConvergedView& view, std::string& why) const override;
+};
+
+/// No source's traffic may hit a drop entry.
+class BlackholeFreedomPolicy final : public Policy {
+ public:
+  explicit BlackholeFreedomPolicy(std::vector<NodeId> sources = {});
+  [[nodiscard]] std::string name() const override { return "blackhole-freedom"; }
+  [[nodiscard]] std::span<const NodeId> sources() const override { return sources_; }
+  [[nodiscard]] bool check(const ConvergedView& view, std::string& why) const override;
+
+ private:
+  std::vector<NodeId> sources_;
+};
+
+/// All delivered paths from sources have at most `limit` hops.
+class BoundedPathLengthPolicy final : public Policy {
+ public:
+  BoundedPathLengthPolicy(std::vector<NodeId> sources, std::uint32_t limit);
+  [[nodiscard]] std::string name() const override { return "bounded-path-length"; }
+  [[nodiscard]] std::span<const NodeId> sources() const override { return sources_; }
+  [[nodiscard]] bool check(const ConvergedView& view, std::string& why) const override;
+
+ private:
+  std::vector<NodeId> sources_;
+  std::uint32_t limit_;
+};
+
+/// All ECMP branches from a source share one fate: all delivered or none
+/// (Minesweeper's multipath-consistency, referenced in §3.5).
+class MultipathConsistencyPolicy final : public Policy {
+ public:
+  explicit MultipathConsistencyPolicy(std::vector<NodeId> sources = {});
+  [[nodiscard]] std::string name() const override { return "multipath-consistency"; }
+  [[nodiscard]] std::span<const NodeId> sources() const override { return sources_; }
+  [[nodiscard]] bool check(const ConvergedView& view, std::string& why) const override;
+
+ private:
+  std::vector<NodeId> sources_;
+};
+
+/// The devices in one group must have identical control-plane route
+/// attributes and identical data-plane path shape (the paper's Path
+/// Consistency, §3.5 — a control-plane-inspecting policy in the spirit of
+/// Minesweeper's Local Equivalence).
+class PathConsistencyPolicy final : public Policy {
+ public:
+  explicit PathConsistencyPolicy(std::vector<NodeId> group);
+  [[nodiscard]] std::string name() const override { return "path-consistency"; }
+  [[nodiscard]] std::span<const NodeId> sources() const override { return group_; }
+  [[nodiscard]] bool check(const ConvergedView& view, std::string& why) const override;
+  [[nodiscard]] bool supports_equivalence() const override { return false; }
+
+ private:
+  std::vector<NodeId> group_;
+};
+
+}  // namespace plankton

@@ -1,0 +1,96 @@
+#include "protocols/bgp_common.hpp"
+
+#include <algorithm>
+
+namespace plankton {
+namespace {
+
+struct MapResult {
+  bool permit = true;
+  std::optional<std::uint32_t> set_lp;
+  std::uint8_t prepend = 0;
+  CommunityBits add = 0;
+};
+
+bool clause_matches(const RouteMapClause& c, const Prefix& pfx,
+                    CommunityBits comms, std::uint16_t as_len) {
+  if (c.match.prefix) {
+    if (c.match.prefix_mode == RouteMapMatch::PrefixMode::kExact) {
+      if (*c.match.prefix != pfx) return false;
+    } else {
+      if (!c.match.prefix->covers(pfx)) return false;
+    }
+  }
+  if (c.match.community && ((comms >> *c.match.community) & 1) == 0) return false;
+  if (c.match.max_path_len && as_len > *c.match.max_path_len) return false;
+  return true;
+}
+
+MapResult apply_map(const RouteMap& rm, const Prefix& pfx, CommunityBits comms,
+                    std::uint16_t as_len) {
+  for (const auto& c : rm.clauses) {
+    if (!clause_matches(c, pfx, comms, as_len)) continue;
+    MapResult r;
+    r.permit = c.action.permit;
+    r.set_lp = c.action.set_local_pref;
+    r.prepend = c.action.prepend;
+    if (c.action.add_community) r.add = CommunityBits{1} << *c.action.add_community;
+    return r;
+  }
+  MapResult r;
+  r.permit = rm.default_permit;
+  return r;
+}
+
+}  // namespace
+
+std::optional<BgpAdvert> bgp_transform(const Network& net, const Prefix& prefix,
+                                       NodeId p, NodeId n, const BgpAdvert& held,
+                                       const UpstreamResolver* upstream) {
+  const auto* sp = net.device(p).bgp->session_with(n);  // export side
+  const auto* sn = net.device(n).bgp->session_with(p);  // import side
+  if (sp == nullptr || sn == nullptr) return std::nullopt;
+  const bool ibgp = sp->ibgp;
+  // iBGP-learned routes are not re-advertised to iBGP peers (full mesh).
+  if (ibgp && held.learned_ibgp) return std::nullopt;
+  // Loop rejection (Appendix B: import filters reject looping paths).
+  if (std::find(held.path.begin(), held.path.end(), n) != held.path.end()) {
+    return std::nullopt;
+  }
+
+  const MapResult ex = apply_map(sp->export_, prefix, held.communities,
+                                 held.as_path_len);
+  if (!ex.permit) return std::nullopt;
+  BgpAdvert out;
+  out.path.reserve(held.path.size() + 1);
+  out.path.push_back(p);
+  out.path.insert(out.path.end(), held.path.begin(), held.path.end());
+  out.local_pref = held.local_pref;
+  out.as_path_len =
+      static_cast<std::uint16_t>(held.as_path_len + (ibgp ? 0 : 1) + ex.prepend);
+  out.communities = held.communities | ex.add;
+  if (ex.set_lp) out.local_pref = *ex.set_lp;
+
+  const MapResult im = apply_map(sn->import, prefix, out.communities,
+                                 out.as_path_len);
+  if (!im.permit) return std::nullopt;
+  if (!ibgp && !im.set_lp && !ex.set_lp) out.local_pref = 100;  // eBGP default
+  if (im.set_lp) out.local_pref = *im.set_lp;
+  out.communities |= im.add;
+  out.as_path_len = static_cast<std::uint16_t>(out.as_path_len + im.prepend);
+
+  out.learned_ibgp = ibgp;
+  out.egress = p;  // next-hop-self
+  if (ibgp) {
+    if (upstream == nullptr) {
+      out.metric = 0;
+    } else {
+      const std::uint32_t cost = upstream->igp_cost(n, net.device(p).loopback);
+      if (cost == kInfiniteCost) return std::nullopt;
+      out.metric = cost;
+    }
+  }
+  return out;
+}
+
+}  // namespace plankton

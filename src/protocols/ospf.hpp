@@ -1,0 +1,64 @@
+// OSPF modeled as an RPVP process (paper §3.4.2).
+//
+// Ranking is by accumulated IGP cost; equal-cost updates are merged into one
+// multipath (ECMP) route — the paper's explicit special-case deviation that
+// lets an OSPF node maintain multiple best paths. Because link-state routing
+// converges deterministically, the deterministic-node heuristic (§4.1.2) —
+// "run a network-wide shortest path computation and pick each node only
+// after all nodes with shorter paths have executed" — makes exploration
+// linear, comparable to simulation.
+#pragma once
+
+#include <vector>
+
+#include "protocols/process.hpp"
+
+namespace plankton {
+
+class OspfProcess final : public RoutingProcess {
+ public:
+  /// `origins` are the devices originating the prefix (anycast allowed).
+  OspfProcess(const Network& net, Prefix prefix, std::vector<NodeId> origins);
+
+  [[nodiscard]] Protocol protocol() const override { return Protocol::kOspf; }
+  [[nodiscard]] const std::vector<NodeId>& members() const override { return members_; }
+  [[nodiscard]] const std::vector<NodeId>& origins() const override { return origins_; }
+  [[nodiscard]] RouteId origin_route(NodeId origin, ModelContext& ctx) const override;
+
+  void prepare(const FailureSet& failures, ModelContext& ctx) override;
+
+  [[nodiscard]] std::span<const NodeId> peers(NodeId n) const override {
+    return up_peers_[n];
+  }
+
+  [[nodiscard]] RouteId advertised(NodeId p, NodeId n, RouteId peer_route,
+                                   ModelContext& ctx) const override;
+
+  [[nodiscard]] int compare(NodeId n, RouteId a, RouteId b,
+                            const ModelContext& ctx) const override;
+
+  [[nodiscard]] bool valid(NodeId n, RouteId current, const StateView& s,
+                           ModelContext& ctx) const override;
+
+  [[nodiscard]] bool merge_equal_updates() const override { return true; }
+  [[nodiscard]] RouteId merge(NodeId n, std::span<const RouteId> updates,
+                              ModelContext& ctx) const override;
+
+  [[nodiscard]] NodeId deterministic_node(std::span<const NodeId> enabled,
+                                          const StateView& s, ModelContext& ctx,
+                                          bool& tie_ok) const override;
+
+  /// SPF distance of `n` from the nearest origin under the prepared failure
+  /// set (kInfiniteCost when unreachable). Exposed for tests and heuristics.
+  [[nodiscard]] std::uint32_t spf_dist(NodeId n) const { return dist_[n]; }
+
+ private:
+  const Network& net_;
+  Prefix prefix_;
+  std::vector<NodeId> members_;
+  std::vector<NodeId> origins_;
+  std::vector<std::vector<NodeId>> up_peers_;  // per node, under current failures
+  std::vector<std::uint32_t> dist_;            // SPF distances (det heuristic cache)
+};
+
+}  // namespace plankton

@@ -1,0 +1,26 @@
+#include "protocols/process.hpp"
+
+namespace plankton {
+
+bool RoutingProcess::valid(NodeId n, RouteId current, const StateView& s,
+                           ModelContext& ctx) const {
+  // Default RPVP validity: best-path(best-path(n).head) == best-path(n).rest,
+  // checked by recomputing what the next hop would currently advertise.
+  (void)n;
+  if (current == kNoRoute) return true;
+  const Route& r = ctx.routes.get(current);
+  if (r.path == kEmptyPath) return true;  // origins stay valid
+  const NodeId hop = ctx.paths.head(r.path);
+  const RouteId readvertised = advertised(hop, n, s.best(hop), ctx);
+  return readvertised == current;
+}
+
+RouteId RoutingProcess::merge(NodeId n, std::span<const RouteId> updates,
+                              ModelContext& ctx) const {
+  (void)n;
+  (void)ctx;
+  // Non-multipath protocols never merge; callers must not reach this.
+  return updates.empty() ? kNoRoute : updates.front();
+}
+
+}  // namespace plankton

@@ -1,0 +1,96 @@
+#include "protocols/route.hpp"
+
+namespace plankton {
+
+PathTable::PathTable() {
+  cells_.resize(2);
+  cells_[kNoPath] = Cell{kNoNode, kNoPath, 0};
+  cells_[kEmptyPath] = Cell{kNoNode, kEmptyPath, 0};
+}
+
+PathId PathTable::cons(NodeId head, PathId rest) {
+  const std::uint64_t key = hash_combine(hash_mix(head), rest);
+  auto& bucket = index_[key];
+  for (const PathId id : bucket) {
+    const Cell& cell = cells_[id];
+    if (cell.head == head && cell.rest == rest) return id;
+  }
+  const auto id = static_cast<PathId>(cells_.size());
+  cells_.push_back(Cell{head, rest, cells_[rest].length + 1});
+  bucket.push_back(id);
+  return id;
+}
+
+bool PathTable::contains(PathId p, NodeId node) const {
+  while (p != kNoPath && p != kEmptyPath) {
+    if (cells_[p].head == node) return true;
+    p = cells_[p].rest;
+  }
+  return false;
+}
+
+std::vector<NodeId> PathTable::to_vector(PathId p) const {
+  std::vector<NodeId> out;
+  out.reserve(length(p));
+  while (p != kNoPath && p != kEmptyPath) {
+    out.push_back(cells_[p].head);
+    p = cells_[p].rest;
+  }
+  return out;
+}
+
+std::string PathTable::str(PathId p, const Topology* topo) const {
+  if (p == kNoPath) return "<none>";
+  if (p == kEmptyPath) return "<origin>";
+  std::string out;
+  for (const NodeId n : to_vector(p)) {
+    if (!out.empty()) out += " -> ";
+    out += topo != nullptr ? topo->name(n) : std::to_string(n);
+  }
+  return out;
+}
+
+std::size_t PathTable::bytes() const {
+  return cells_.size() * sizeof(Cell) +
+         index_.size() * (sizeof(std::uint64_t) + sizeof(PathId) + 24);
+}
+
+RouteTable::RouteTable() {
+  routes_.emplace_back();  // id 0 = ⊥
+}
+
+RouteId RouteTable::intern(Route r) {
+  const std::uint64_t key = r.hash();
+  auto& bucket = index_[key];
+  for (const RouteId id : bucket) {
+    if (routes_[id] == r) return id;
+  }
+  const auto id = static_cast<RouteId>(routes_.size());
+  routes_.push_back(std::move(r));
+  bucket.push_back(id);
+  return id;
+}
+
+void RouteTable::nexthops(RouteId id, const PathTable& paths,
+                          std::vector<NodeId>& out) const {
+  out.clear();
+  if (id == kNoRoute) return;
+  const Route& r = routes_[id];
+  if (!r.ecmp.empty()) {
+    out.assign(r.ecmp.begin(), r.ecmp.end());
+    return;
+  }
+  if (r.path != kNoPath && r.path != kEmptyPath) out.push_back(paths.head(r.path));
+}
+
+std::size_t RouteTable::bytes() const {
+  std::size_t total = routes_.size() * sizeof(Route);
+  for (const auto& r : routes_) total += r.ecmp.capacity() * sizeof(NodeId);
+  for (const auto& [k, v] : index_) {
+    (void)k;
+    total += sizeof(std::uint64_t) + v.capacity() * sizeof(RouteId) + 16;
+  }
+  return total;
+}
+
+}  // namespace plankton

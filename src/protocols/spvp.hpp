@@ -1,0 +1,45 @@
+// Reference model: the extended Simple Path Vector Protocol (Appendix A).
+//
+// This is the message-passing protocol RPVP is reduced from: per-node
+// rib-in tables, best-path selection, and reliable FIFO session buffers.
+// The exhaustive explorer enumerates every interleaving of message
+// deliveries (bounded by a state budget) and collects the converged states
+// (all buffers empty). It exists to validate Theorem 1 in executable form —
+// tests assert that RPVP's converged-state set equals SPVP's — and is not
+// used on the verification fast path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "protocols/bgp_common.hpp"
+
+namespace plankton::spvp {
+
+/// One node's best path in a converged state: the node sequence (next hop
+/// first, origin last); empty = ⊥ for non-origins, and origins hold ε
+/// (also empty — distinguished by origin membership).
+using ConvergedState = std::vector<std::vector<NodeId>>;
+
+struct SpvpResult {
+  std::set<ConvergedState> converged;
+  std::uint64_t states_explored = 0;
+  bool state_limit_hit = false;
+  /// True when some execution path never empties its buffers within the
+  /// depth bound (possible divergence, e.g. Griffin's BAD GADGET).
+  bool maybe_divergent = false;
+};
+
+/// Exhaustively explores the SPVP state space for one BGP prefix on `net`
+/// (which must carry BGP config; eBGP sessions only unless `upstream` is
+/// provided for iBGP liveness/metrics). `max_states` bounds the exploration.
+SpvpResult explore_spvp(const Network& net, const Prefix& prefix,
+                        std::span<const NodeId> origins,
+                        std::uint64_t max_states = 200000,
+                        const UpstreamResolver* upstream = nullptr);
+
+}  // namespace plankton::spvp

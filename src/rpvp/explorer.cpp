@@ -1,0 +1,605 @@
+#include "rpvp/explorer.hpp"
+
+#include <algorithm>
+
+#include "protocols/bgp.hpp"
+#include "protocols/ospf.hpp"
+
+namespace plankton {
+namespace {
+
+/// Zobrist contribution of (node, route) to the order-independent rib hash.
+std::uint64_t zob(NodeId n, RouteId r) {
+  return hash_mix((std::uint64_t{n} << 32) ^ r ^ 0xabcd1234u);
+}
+
+}  // namespace
+
+std::vector<PrefixTask> make_tasks(const Network& net, const Pec& pec) {
+  std::vector<PrefixTask> tasks;
+  for (std::size_t pi = 0; pi < pec.prefixes.size(); ++pi) {
+    const PecPrefix& pp = pec.prefixes[pi];
+    if (!pp.ospf_origins.empty()) {
+      PrefixTask t;
+      t.prefix_idx = static_cast<std::uint8_t>(pi);
+      t.proto = Protocol::kOspf;
+      t.process = std::make_unique<OspfProcess>(net, pp.prefix, pp.ospf_origins);
+      tasks.push_back(std::move(t));
+    }
+    if (!pp.bgp_origins.empty()) {
+      PrefixTask t;
+      t.prefix_idx = static_cast<std::uint8_t>(pi);
+      t.proto = Protocol::kEbgp;
+      t.process = std::make_unique<BgpProcess>(net, pp.prefix, pp.bgp_origins);
+      tasks.push_back(std::move(t));
+    }
+  }
+  return tasks;
+}
+
+Explorer::Explorer(const Network& net, const Pec& pec, std::vector<PrefixTask> tasks,
+                   const Policy& policy, ExploreOptions opts,
+                   const UpstreamProvider* upstream)
+    : net_(net),
+      pec_(pec),
+      tasks_(std::move(tasks)),
+      policy_(policy),
+      opts_(opts),
+      upstream_provider_(upstream),
+      visited_(opts.bitstate, opts.bloom_bits) {
+  ctx_.net = &net_;
+  const std::size_t n = net.topo.node_count();
+  const std::size_t t = tasks_.size();
+  rib_.assign(t, std::vector<RouteId>(n, kNoRoute));
+  status_.assign(t, std::vector<NodeStatus>(n));
+  is_origin_.assign(t, std::vector<std::uint8_t>(n, 0));
+  member_.assign(t, std::vector<std::uint8_t>(n, 0));
+  zobrist_.assign(t, 0);
+  phase_ctx_hash_.assign(t + 1, 0);
+  influencer_.assign(n, 0);
+  for (std::size_t i = 0; i < t; ++i) {
+    for (const NodeId o : tasks_[i].process->origins()) is_origin_[i][o] = 1;
+    for (const NodeId m : tasks_[i].process->members()) member_[i][m] = 1;
+  }
+  sources_ = policy_.sources();
+
+  // §4.2 applicability: the paper applies source early-stop and influence
+  // pruning only when the policy names sources, no other PEC depends on this
+  // one, and (for influence) a single prefix defines the PEC. We additionally
+  // require protocol-only routing (no statics, one protocol per prefix) so a
+  // source's committed control-plane path is guaranteed to coincide with the
+  // hop-by-hop data-plane walk (see DESIGN.md).
+  early_stop_ok_ = opts_.policy_pruning && !sources_.empty() &&
+                   !(upstream_provider_ != nullptr &&
+                     upstream_provider_->has_dependents());
+  for (const auto& pp : pec_.prefixes) {
+    if (!pp.static_routes.empty()) early_stop_ok_ = false;
+    if (!pp.ospf_origins.empty() && !pp.bgp_origins.empty()) early_stop_ok_ = false;
+  }
+  influence_active_ = early_stop_ok_ && pec_.prefixes.size() == 1;
+}
+
+ExploreResult Explorer::run() {
+  const auto start = std::chrono::steady_clock::now();
+  if (opts_.time_limit.count() > 0) {
+    deadline_ = start + opts_.time_limit;
+    has_deadline_ = true;
+  }
+  explore_failures(0);
+  result_.stats.states_stored = visited_.stored();
+  result_.stats.bytes_paths = ctx_.paths.bytes();
+  result_.stats.bytes_routes = ctx_.routes.bytes();
+  result_.stats.bytes_visited = visited_.bytes() + failure_sets_seen_.bytes() +
+                                signatures_seen_.bytes();
+  std::size_t rib_bytes = 0;
+  for (const auto& r : rib_) rib_bytes += r.capacity() * sizeof(RouteId);
+  for (const auto& s : status_) rib_bytes += s.capacity() * sizeof(NodeStatus);
+  result_.stats.bytes_stack_peak =
+      rib_bytes + result_.stats.max_depth * sizeof(TrailEvent) * 2;
+  result_.stats.elapsed = std::chrono::steady_clock::now() - start;
+  return std::move(result_);
+}
+
+bool Explorer::limits_exceeded() {
+  if (result_.timed_out || result_.state_limit_hit) return true;
+  if (opts_.max_states != 0 && visited_.stored() > opts_.max_states) {
+    result_.state_limit_hit = true;
+    return true;
+  }
+  if (has_deadline_ && (++limit_check_counter_ & 0xff) == 0 &&
+      std::chrono::steady_clock::now() > deadline_) {
+    result_.timed_out = true;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Failure phase (§4.1.4, §4.3)
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint64_t> Explorer::dec_signatures() const {
+  std::vector<std::uint64_t> sig(net_.topo.node_count());
+  for (NodeId n = 0; n < sig.size(); ++n) {
+    const auto& dev = net_.device(n);
+    std::uint64_t h = hash_mix(dev.ospf.enabled ? 2 : 1);
+    if (dev.bgp) h = hash_combine(h, dev.bgp->asn + 1);
+    for (std::size_t pi = 0; pi < pec_.prefixes.size(); ++pi) {
+      const PecPrefix& pp = pec_.prefixes[pi];
+      if (std::find(pp.ospf_origins.begin(), pp.ospf_origins.end(), n) !=
+          pp.ospf_origins.end()) {
+        h = hash_combine(h, 0x10 + pi * 4);
+      }
+      if (std::find(pp.bgp_origins.begin(), pp.bgp_origins.end(), n) !=
+          pp.bgp_origins.end()) {
+        h = hash_combine(h, 0x11 + pi * 4);
+      }
+      for (const auto& [dev_id, idx] : pp.static_routes) {
+        if (dev_id != n) continue;
+        const StaticRoute& sr = net_.device(n).statics[idx];
+        h = hash_combine(h, 0x12 + pi * 4);
+        std::uint64_t mode = 1;
+        if (sr.via_neighbor != kNoNode) {
+          mode = 2 + std::uint64_t{sr.via_neighbor};
+        } else if (sr.via_ip) {
+          mode = hash_mix(sr.via_ip->value());
+        }
+        h = hash_combine(h, mode);
+      }
+    }
+    for (const NodeId s : sources_) {
+      if (s == n) h = hash_combine(h, 0x50adull);
+    }
+    // Interesting nodes each get a unique color so DEC merging never
+    // repositions them (§4.3).
+    const auto interesting = policy_.interesting();
+    for (std::size_t i = 0; i < interesting.size(); ++i) {
+      if (interesting[i] == n) h = hash_combine(h, 0x9000 + i);
+    }
+    sig[n] = h;
+  }
+  return sig;
+}
+
+std::vector<LinkId> Explorer::failure_candidates(LinkId next_link) const {
+  std::vector<LinkId> out;
+  if (opts_.lec_failures) {
+    const DecPartition dec =
+        DecPartition::compute(net_.topo, dec_signatures(), failures_);
+    return dec.lec_representatives(net_.topo, failures_);
+  }
+  for (LinkId l = next_link; l < net_.topo.link_count(); ++l) {
+    if (!failures_.is_failed(l)) out.push_back(l);
+  }
+  return out;
+}
+
+Explorer::Flow Explorer::explore_failures(LinkId next_link) {
+  if (limits_exceeded()) return Flow::kStop;
+  // Different LEC pick orders can produce the same failure set; explore each
+  // set once. (With ordered enumeration the hash is unique anyway.)
+  if (!failure_sets_seen_.insert(hash_combine(failures_.hash(), 0xfee1))) {
+    return Flow::kContinue;
+  }
+  if (check_failure_set() == Flow::kStop) return Flow::kStop;
+  if (static_cast<int>(failures_.count()) >= opts_.max_failures) {
+    return Flow::kContinue;
+  }
+  for (const LinkId l : failure_candidates(next_link)) {
+    const FailureSet saved = failures_;
+    failures_.fail(l);
+    TrailEvent ev;
+    ev.kind = TrailEvent::Kind::kFailLink;
+    ev.link = l;
+    trail_.events.push_back(ev);
+    const Flow f = explore_failures(opts_.lec_failures ? 0 : l + 1);
+    trail_.events.pop_back();
+    failures_ = saved;
+    if (f == Flow::kStop) return Flow::kStop;
+  }
+  return Flow::kContinue;
+}
+
+Explorer::Flow Explorer::check_failure_set() {
+  ++result_.stats.failure_sets;
+  std::vector<const UpstreamResolver*> ups;
+  if (upstream_provider_ != nullptr) {
+    ups = upstream_provider_->outcomes(failures_);
+    if (ups.empty()) return Flow::kContinue;  // upstream has no converged state
+  } else {
+    ups.push_back(nullptr);
+  }
+  for (std::size_t i = 0; i < ups.size(); ++i) {
+    ctx_.upstream = ups[i];
+    for (auto& t : tasks_) t.process->prepare(failures_, ctx_);
+    phase_ctx_hash_[0] =
+        hash_combine(hash_combine(failures_.hash(), 0x9c0ffee),
+                     ups[i] != nullptr ? ups[i]->outcome_hash() : 0);
+    const bool note = ups.size() > 1;
+    if (note) {
+      TrailEvent ev;
+      ev.kind = TrailEvent::Kind::kUpstreamOutcome;
+      ev.phase = static_cast<std::uint32_t>(i);
+      trail_.events.push_back(ev);
+    }
+    const Flow f = begin_phase(0);
+    if (note) trail_.events.pop_back();
+    if (f == Flow::kStop) return Flow::kStop;
+  }
+  return Flow::kContinue;
+}
+
+// ---------------------------------------------------------------------------
+// Per-prefix RPVP phases
+// ---------------------------------------------------------------------------
+
+Explorer::Flow Explorer::begin_phase(std::size_t task_idx) {
+  if (task_idx == tasks_.size()) return handle_converged();
+  if (task_idx > 0) {
+    phase_ctx_hash_[task_idx] =
+        hash_combine(phase_ctx_hash_[task_idx - 1],
+                     hash_combine(zobrist_[task_idx - 1], 0xbeef));
+  }
+  auto& proc = *tasks_[task_idx].process;
+  auto& rib = rib_[task_idx];
+  std::fill(rib.begin(), rib.end(), kNoRoute);
+  zobrist_[task_idx] = 0;
+  for (const NodeId o : proc.origins()) {
+    const RouteId r = proc.origin_route(o, ctx_);
+    rib[o] = r;
+    zobrist_[task_idx] ^= zob(o, kNoRoute) ^ zob(o, r);
+  }
+  for (const NodeId m : proc.members()) refresh_node(task_idx, m);
+
+  TrailEvent ev;
+  ev.kind = TrailEvent::Kind::kBeginPrefix;
+  ev.phase = static_cast<std::uint32_t>(task_idx);
+  trail_.events.push_back(ev);
+  const Flow f = dfs(task_idx);
+  trail_.events.pop_back();
+  return f;
+}
+
+std::uint64_t Explorer::state_hash(std::size_t task_idx) const {
+  return hash_combine(phase_ctx_hash_[task_idx],
+                      hash_combine(zobrist_[task_idx], task_idx + 1));
+}
+
+void Explorer::refresh_node(std::size_t task_idx, NodeId n) {
+  auto& proc = *tasks_[task_idx].process;
+  NodeStatus& st = status_[task_idx][n];
+  st = NodeStatus{};
+  if (is_origin_[task_idx][n] != 0 || member_[task_idx][n] == 0) return;
+  auto& rib = rib_[task_idx];
+  const StateView view(rib);
+  const RouteId cur = rib[n];
+  if (proc.merge_equal_updates() && opts_.merge_updates) {
+    std::vector<RouteId> advs;
+    for (const NodeId p : proc.peers(n)) {
+      advs.push_back(proc.advertised(p, n, rib[p], ctx_));
+    }
+    const RouteId cand = proc.merge(n, advs, ctx_);
+    st.merge_candidate = cand;
+    st.enabled = cand != cur;
+  } else {
+    const bool invalid = cur != kNoRoute && !proc.valid(n, cur, view, ctx_);
+    const RouteId base = invalid ? kNoRoute : cur;
+    bool can_update = false;
+    for (const NodeId p : proc.peers(n)) {
+      const RouteId adv = proc.advertised(p, n, rib[p], ctx_);
+      if (adv != kNoRoute && proc.compare(n, adv, base, ctx_) > 0) {
+        can_update = true;
+        break;
+      }
+    }
+    st.enabled = invalid || can_update;
+  }
+  st.conflict = st.enabled && cur != kNoRoute && opts_.consistent_only;
+}
+
+void Explorer::refresh_around(std::size_t task_idx, NodeId n) {
+  refresh_node(task_idx, n);
+  for (const NodeId p : tasks_[task_idx].process->peers(n)) {
+    refresh_node(task_idx, p);
+  }
+}
+
+void Explorer::collect_updates(std::size_t task_idx, NodeId n,
+                               std::vector<RouteId>& updates,
+                               std::vector<NodeId>& update_peers) {
+  updates.clear();
+  update_peers.clear();
+  auto& proc = *tasks_[task_idx].process;
+  if (proc.merge_equal_updates() && opts_.merge_updates) {
+    updates.push_back(status_[task_idx][n].merge_candidate);
+    update_peers.push_back(kNoNode);
+    return;
+  }
+  auto& rib = rib_[task_idx];
+  const StateView view(rib);
+  const RouteId cur = rib[n];
+  const bool invalid = cur != kNoRoute && !proc.valid(n, cur, view, ctx_);
+  const RouteId base = invalid ? kNoRoute : cur;
+  std::vector<std::pair<RouteId, NodeId>> cands;
+  for (const NodeId p : proc.peers(n)) {
+    const RouteId adv = proc.advertised(p, n, rib[p], ctx_);
+    if (adv != kNoRoute && proc.compare(n, adv, base, ctx_) > 0) {
+      cands.emplace_back(adv, p);
+    }
+  }
+  // U = best(...) — the maximal elements of the ranking (line 13 of Alg. 1).
+  for (const auto& [r, p] : cands) {
+    bool dominated = false;
+    for (const auto& [r2, p2] : cands) {
+      (void)p2;
+      if (proc.compare(n, r2, r, ctx_) > 0) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      updates.push_back(r);
+      update_peers.push_back(p);
+    }
+  }
+}
+
+bool Explorer::sources_all_committed(std::size_t task_idx) const {
+  for (const NodeId s : sources_) {
+    if (member_[task_idx][s] != 0 && rib_[task_idx][s] == kNoRoute) return false;
+  }
+  return true;
+}
+
+void Explorer::compute_influencers(std::size_t task_idx) {
+  std::fill(influencer_.begin(), influencer_.end(), 0);
+  auto& proc = *tasks_[task_idx].process;
+  auto& rib = rib_[task_idx];
+  std::vector<NodeId> queue;
+  for (const NodeId s : sources_) {
+    if (member_[task_idx][s] != 0 && rib[s] == kNoRoute && influencer_[s] == 0) {
+      influencer_[s] = 1;
+      queue.push_back(s);
+    }
+  }
+  // Advertisements reach an uncommitted source only through uncommitted
+  // nodes (§4.2): committed nodes never re-advertise (§4.1.1).
+  while (!queue.empty()) {
+    const NodeId n = queue.back();
+    queue.pop_back();
+    for (const NodeId p : proc.peers(n)) {
+      if (influencer_[p] != 0) continue;
+      if (rib[p] != kNoRoute) continue;  // committed: blocks propagation
+      influencer_[p] = 1;
+      queue.push_back(p);
+    }
+  }
+}
+
+bool Explorer::influence_allows(std::size_t task_idx, NodeId n) const {
+  (void)task_idx;
+  return !influence_active_ || influencer_[n] != 0;
+}
+
+Explorer::Flow Explorer::apply_and_recurse(std::size_t task_idx, NodeId n,
+                                           NodeId peer, RouteId route,
+                                           TrailEvent::Kind kind) {
+  auto& rib = rib_[task_idx];
+  const RouteId old = rib[n];
+  rib[n] = route;
+  zobrist_[task_idx] ^= zob(n, old) ^ zob(n, route);
+  TrailEvent ev;
+  ev.kind = kind;
+  ev.phase = static_cast<std::uint32_t>(task_idx);
+  ev.node = n;
+  ev.peer = peer;
+  ev.route = route;
+  trail_.events.push_back(ev);
+  refresh_around(task_idx, n);
+  ++result_.stats.states_explored;
+
+  const Flow f = dfs(task_idx);
+
+  trail_.events.pop_back();
+  rib[n] = old;
+  zobrist_[task_idx] ^= zob(n, route) ^ zob(n, old);
+  refresh_around(task_idx, n);
+  return f;
+}
+
+Explorer::Flow Explorer::dfs(std::size_t task_idx) {
+  if (limits_exceeded()) return Flow::kStop;
+  if (!visited_.insert(state_hash(task_idx))) {
+    ++result_.stats.revisits_skipped;
+    return Flow::kContinue;
+  }
+  result_.stats.max_depth =
+      std::max<std::uint64_t>(result_.stats.max_depth, trail_.events.size());
+
+  auto& proc = *tasks_[task_idx].process;
+  if (influence_active_) compute_influencers(task_idx);
+
+  std::vector<NodeId> enabled;
+  for (const NodeId n : proc.members()) {
+    const NodeStatus& st = status_[task_idx][n];
+    if (st.conflict) {
+      // §4.1.1: a committed node wants to change — no converged state is
+      // consistent with this execution. Frozen non-influencers are exempt:
+      // their changes cannot affect the sources (§4.2).
+      if (influence_allows(task_idx, n)) {
+        ++result_.stats.pruned_inconsistent;
+        return Flow::kContinue;
+      }
+      continue;
+    }
+    if (!st.enabled) continue;
+    if (!influence_allows(task_idx, n)) continue;
+    enabled.push_back(n);
+  }
+
+  if (enabled.empty()) return begin_phase(task_idx + 1);  // converged (E = ∅)
+
+  // §4.2: once every source has decided, the policy outcome for this phase
+  // is fixed; finish the execution here.
+  if (early_stop_ok_ && sources_all_committed(task_idx)) {
+    return begin_phase(task_idx + 1);
+  }
+
+  std::vector<RouteId> updates;
+  std::vector<NodeId> update_peers;
+
+  // §4.1.2: deterministic nodes first.
+  const bool det_allowed =
+      opts_.deterministic_nodes && opts_.consistent_only &&
+      (tasks_[task_idx].proto != Protocol::kEbgp || opts_.det_nodes_bgp);
+  if (det_allowed) {
+    bool tie_ok = false;
+    const NodeId dn = proc.deterministic_node(enabled, StateView(rib_[task_idx]),
+                                              ctx_, tie_ok);
+    if (dn != kNoNode) {
+      collect_updates(task_idx, dn, updates, update_peers);
+      if (!updates.empty()) {
+        if (!tie_ok && updates.size() == 1) {
+          ++result_.stats.det_steps;
+          return apply_and_recurse(task_idx, dn, update_peers[0], updates[0],
+                                   TrailEvent::Kind::kSelect);
+        }
+        // Branch over this node's tied updates only (Fig. 6, steps 4-5).
+        ++result_.stats.nondet_branches;
+        const std::size_t take = opts_.simulation ? 1 : updates.size();
+        for (std::size_t i = 0; i < take; ++i) {
+          const Flow f = apply_and_recurse(task_idx, dn, update_peers[i],
+                                           updates[i], TrailEvent::Kind::kSelect);
+          if (f == Flow::kStop) return Flow::kStop;
+        }
+        return Flow::kContinue;
+      }
+    }
+  }
+
+  // §4.1.3: decision independence — branch only inside the uncommitted
+  // component containing the lowest enabled node; other components commute.
+  if (opts_.decision_independence && enabled.size() > 1) {
+    auto& rib = rib_[task_idx];
+    std::vector<std::uint8_t> in_comp(net_.topo.node_count(), 0);
+    std::vector<NodeId> queue{enabled.front()};
+    in_comp[enabled.front()] = 1;
+    while (!queue.empty()) {
+      const NodeId n = queue.back();
+      queue.pop_back();
+      for (const NodeId p : proc.peers(n)) {
+        if (in_comp[p] != 0 || rib[p] != kNoRoute) continue;
+        // Only information flow couples decisions: skip session edges over
+        // which neither endpoint can ever send a new advertisement.
+        if (!proc.can_transmit(n, p) && !proc.can_transmit(p, n)) continue;
+        in_comp[p] = 1;
+        queue.push_back(p);
+      }
+    }
+    std::vector<NodeId> filtered;
+    for (const NodeId n : enabled) {
+      if (in_comp[n] != 0) filtered.push_back(n);
+    }
+    if (!filtered.empty()) enabled = std::move(filtered);
+  }
+
+  bool counted_branch = false;
+  for (const NodeId n : enabled) {
+    collect_updates(task_idx, n, updates, update_peers);
+    if (updates.empty()) {
+      // Invalid node with no usable advertisement: withdraw (naive mode).
+      const Flow f = apply_and_recurse(task_idx, n, kNoNode, kNoRoute,
+                                       TrailEvent::Kind::kWithdraw);
+      if (f == Flow::kStop) return Flow::kStop;
+      if (opts_.simulation) return Flow::kContinue;
+      continue;
+    }
+    if (!counted_branch && (enabled.size() > 1 || updates.size() > 1)) {
+      ++result_.stats.nondet_branches;
+      counted_branch = true;
+    }
+    const std::size_t take = opts_.simulation ? 1 : updates.size();
+    for (std::size_t i = 0; i < take; ++i) {
+      const Flow f = apply_and_recurse(task_idx, n, update_peers[i], updates[i],
+                                       TrailEvent::Kind::kSelect);
+      if (f == Flow::kStop) return Flow::kStop;
+    }
+    if (opts_.simulation) return Flow::kContinue;
+  }
+  return Flow::kContinue;
+}
+
+Explorer::Flow Explorer::handle_converged() {
+  ++result_.stats.converged_states;
+  std::vector<TaskRib> ribs;
+  ribs.reserve(tasks_.size());
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    ribs.push_back(TaskRib{tasks_[t].prefix_idx, tasks_[t].proto, rib_[t]});
+  }
+  const DataPlane dp = build_dataplane(net_, pec_, failures_, ribs, ctx_);
+
+  // Outcome recording must happen before equivalence suppression: dependent
+  // PECs need every converged state, while suppression only elides redundant
+  // *policy checks* (§3.5).
+  if (opts_.record_outcomes) {
+    // (Duplicate converged data planes reached via different branches are
+    // stored once; the outcome hash below is the dedup key.)
+    PecOutcome out;
+    out.failures = failures_;
+    out.upstream_hash =
+        ctx_.upstream != nullptr ? ctx_.upstream->outcome_hash() : 0;
+    out.dp = dp;
+    out.igp_cost.assign(net_.topo.node_count(), kInfiniteCost);
+    for (NodeId n = 0; n < net_.topo.node_count(); ++n) {
+      for (std::size_t t = 0; t < tasks_.size(); ++t) {
+        if (tasks_[t].proto != Protocol::kOspf) continue;
+        const RouteId r = rib_[t][n];
+        if (r == kNoRoute) continue;
+        out.igp_cost[n] = ctx_.routes.get(r).metric;
+        break;  // tasks are in LPM (most-specific-first) prefix order
+      }
+      if (dp.at(n).kind == FwdKind::kLocal) out.igp_cost[n] = 0;
+    }
+    std::uint64_t h = hash_combine(out.failures.hash(), out.upstream_hash);
+    h = hash_combine(h, hash_span<std::uint32_t>(out.igp_cost));
+    for (const auto& e : dp.entries) {
+      h = hash_combine(h, static_cast<std::uint64_t>(e.kind));
+      h = hash_span<NodeId>(e.nexthops, h);
+    }
+    out.hash = h;
+    if (outcomes_seen_.insert(h)) result_.outcomes.push_back(std::move(out));
+  }
+
+  if (opts_.suppress_equivalent && policy_.supports_equivalence()) {
+    std::vector<NodeId> all;
+    std::span<const NodeId> srcs = sources_;
+    if (srcs.empty()) {
+      all.resize(net_.topo.node_count());
+      for (NodeId n = 0; n < all.size(); ++n) all[n] = n;
+      srcs = all;
+    }
+    const std::uint64_t sig = policy_signature(dp, srcs, policy_.interesting(),
+                                               net_.topo.node_count());
+    if (!signatures_seen_.insert(sig)) {
+      ++result_.stats.suppressed_checks;
+      return Flow::kContinue;
+    }
+  }
+
+  ++result_.stats.policy_checks;
+  const ConvergedView view{net_, pec_, failures_, dp, ribs, ctx_};
+  std::string why;
+  if (!policy_.check(view, why)) {
+    result_.holds = false;
+    Violation v;
+    v.failures = failures_;
+    v.trail = trail_;
+    v.trail_text = trail_.describe(net_.topo, ctx_.routes, ctx_.paths);
+    v.message = std::move(why);
+    result_.violations.push_back(std::move(v));
+    if (!opts_.find_all_violations) return Flow::kStop;
+  }
+  return Flow::kContinue;
+}
+
+}  // namespace plankton

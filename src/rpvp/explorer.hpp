@@ -1,0 +1,216 @@
+// The explicit-state model checker for RPVP (paper §3.3–§3.4, §4).
+//
+// One Explorer instance performs the exhaustive search for one PEC (or one
+// SCC of mutually-dependent PECs, which share a task list):
+//
+//   failure phase (§4.1.4, §4.3)
+//     └─ upstream-outcome choice (§3.2)
+//          └─ per-prefix RPVP phases (§3.3), each a DFS over
+//             (node, update) choices with:
+//               · consistent-execution pruning        (§4.1.1, Theorem 1)
+//               · deterministic-node execution        (§4.1.2, Theorem 2)
+//               · decision independence (ample sets)  (§4.1.3)
+//               · policy-based pruning + influence    (§4.2)
+//               · hash-compacted / bitstate visited   (§4.4, Fig. 9)
+//                  └─ FIB assembly + policy callback  (§3.5)
+//
+// Every optimization is individually toggleable for the Fig. 8 ablations.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "checker/stats.hpp"
+#include "checker/trail.hpp"
+#include "checker/visited.hpp"
+#include "dataplane/fib.hpp"
+#include "eqclass/dec.hpp"
+#include "pec/pec.hpp"
+#include "policy/policy.hpp"
+#include "protocols/process.hpp"
+
+namespace plankton {
+
+struct ExploreOptions {
+  int max_failures = 0;
+
+  // §4 optimizations (all on by default; Fig. 8 turns them off):
+  bool consistent_only = true;       ///< §4.1.1
+  bool deterministic_nodes = true;   ///< §4.1.2
+  /// §4.1.2 BGP-specific detection only (the paper's Fig. 8 iBGP ablation
+  /// disables "the detection of deterministic nodes in BGP" while keeping
+  /// OSPF's SPF ordering).
+  bool det_nodes_bgp = true;
+  bool decision_independence = true; ///< §4.1.3
+  bool lec_failures = true;          ///< §4.3 (DEC/LEC representative failures)
+  bool policy_pruning = true;        ///< §4.2
+  bool suppress_equivalent = true;   ///< §3.5 equivalence of converged states
+
+  bool bitstate = false;             ///< Bloom-filter visited set (Fig. 9)
+  std::size_t bloom_bits = std::size_t{1} << 27;
+
+  /// OSPF ECMP merging (the paper's special-case multipath deviation,
+  /// §3.4.2). When false, equal-cost updates are processed one peer at a
+  /// time exactly as RPVP Algorithm 1 states them — the "unoptimized model"
+  /// of the Fig. 8 ablations (single best path, heavy irrelevant
+  /// non-determinism).
+  bool merge_updates = true;
+
+  std::uint64_t max_states = 0;               ///< 0 = unlimited
+  std::chrono::milliseconds time_limit{0};    ///< 0 = none
+  bool find_all_violations = false;
+  bool record_outcomes = false;  ///< keep converged states for dependent PECs
+
+  /// Batfish-style simulation (paper Fig. 1, "all data planes" row): follow
+  /// a single non-deterministic execution path instead of exploring all of
+  /// them. Sound for violations it finds, but misses violations that only
+  /// occur under other advertisement orderings (e.g. BGP wedgies).
+  bool simulation = false;
+
+  [[nodiscard]] static ExploreOptions naive() {
+    ExploreOptions o;
+    o.consistent_only = false;
+    o.deterministic_nodes = false;
+    o.decision_independence = false;
+    o.lec_failures = false;
+    o.policy_pruning = false;
+    o.suppress_equivalent = false;
+    return o;
+  }
+};
+
+/// One per-prefix control-plane execution (§3.3: "executing the control
+/// plane for each prefix in the PEC separately").
+struct PrefixTask {
+  std::uint8_t prefix_idx = 0;
+  Protocol proto = Protocol::kOspf;
+  std::unique_ptr<RoutingProcess> process;
+};
+
+/// Builds the task list for a PEC from its per-prefix config slices.
+std::vector<PrefixTask> make_tasks(const Network& net, const Pec& pec);
+
+struct Violation {
+  FailureSet failures;
+  Trail trail;
+  std::string trail_text;  ///< trail rendered against the run's route tables
+  std::string message;
+};
+
+/// A recorded converged state, consumed by dependent PECs via the scheduler
+/// (the paper writes these to an in-memory filesystem; we keep them in an
+/// in-memory store).
+struct PecOutcome {
+  FailureSet failures;
+  std::uint64_t upstream_hash = 0;
+  DataPlane dp;
+  /// Per node: IGP cost of the best OSPF route for the most specific prefix
+  /// (kInfiniteCost when none) — what iBGP ranking needs from this PEC.
+  std::vector<std::uint32_t> igp_cost;
+  std::uint64_t hash = 0;  ///< identity for downstream context hashing
+};
+
+struct ExploreResult {
+  bool holds = true;
+  bool timed_out = false;
+  bool state_limit_hit = false;
+  std::vector<Violation> violations;
+  std::vector<PecOutcome> outcomes;
+  SearchStats stats;
+};
+
+/// Supplies, per coordinated failure set, the alternative upstream converged
+/// outcomes this PEC may observe (§3.2). Nullptr entries are allowed and mean
+/// "no upstream information".
+class UpstreamProvider {
+ public:
+  virtual ~UpstreamProvider() = default;
+  [[nodiscard]] virtual std::vector<const UpstreamResolver*> outcomes(
+      const FailureSet& failures) const = 0;
+  /// True when some other PEC depends on this one (disables policy pruning
+  /// and LEC failure reduction, §4.2/§4.3).
+  [[nodiscard]] virtual bool has_dependents() const { return false; }
+};
+
+class Explorer {
+ public:
+  Explorer(const Network& net, const Pec& pec, std::vector<PrefixTask> tasks,
+           const Policy& policy, ExploreOptions opts,
+           const UpstreamProvider* upstream = nullptr);
+
+  ExploreResult run();
+
+  /// The interning context (exposed so callers can render trails).
+  [[nodiscard]] const ModelContext& context() const { return ctx_; }
+
+ private:
+  enum class Flow { kContinue, kStop };
+
+  // -- failure phase --------------------------------------------------------
+  Flow explore_failures(LinkId next_link);
+  Flow check_failure_set();
+  [[nodiscard]] std::vector<LinkId> failure_candidates(LinkId next_link) const;
+  [[nodiscard]] std::vector<std::uint64_t> dec_signatures() const;
+
+  // -- prefix phases --------------------------------------------------------
+  Flow begin_phase(std::size_t task_idx);
+  Flow dfs(std::size_t task_idx);
+  Flow handle_converged();
+
+  // per-node status maintenance
+  void refresh_node(std::size_t task_idx, NodeId n);
+  void refresh_around(std::size_t task_idx, NodeId n);
+  Flow apply_and_recurse(std::size_t task_idx, NodeId n, NodeId peer, RouteId route,
+                         TrailEvent::Kind kind);
+  void collect_updates(std::size_t task_idx, NodeId n, std::vector<RouteId>& updates,
+                       std::vector<NodeId>& update_peers);
+  [[nodiscard]] bool influence_allows(std::size_t task_idx, NodeId n) const;
+  void compute_influencers(std::size_t task_idx);
+  [[nodiscard]] bool sources_all_committed(std::size_t task_idx) const;
+  [[nodiscard]] bool early_stop_valid() const;
+  [[nodiscard]] std::uint64_t state_hash(std::size_t task_idx) const;
+  [[nodiscard]] bool limits_exceeded();
+
+  const Network& net_;
+  const Pec& pec_;
+  std::vector<PrefixTask> tasks_;
+  const Policy& policy_;
+  ExploreOptions opts_;
+  const UpstreamProvider* upstream_provider_;
+
+  ModelContext ctx_;
+  FailureSet failures_;
+  StateStore visited_;
+  VisitedSet failure_sets_seen_;
+  VisitedSet signatures_seen_;
+  VisitedSet outcomes_seen_;
+
+  // Per-task state while exploring:
+  struct NodeStatus {
+    bool enabled = false;
+    bool conflict = false;  ///< committed node wants to change (§4.1.1)
+    RouteId merge_candidate = kNoRoute;
+  };
+  std::vector<std::vector<RouteId>> rib_;           ///< [task][node]
+  std::vector<std::vector<NodeStatus>> status_;     ///< [task][node]
+  std::vector<std::vector<std::uint8_t>> is_origin_;///< [task][node]
+  std::vector<std::vector<std::uint8_t>> member_;   ///< [task][node]
+  std::vector<std::uint64_t> zobrist_;              ///< [task] incremental rib hash
+  std::vector<std::uint64_t> phase_ctx_hash_;       ///< [task+1] context chain
+  std::vector<std::uint8_t> influencer_;            ///< per node, current task
+  bool influence_active_ = false;                   ///< §4.2 influence pruning usable
+  bool early_stop_ok_ = false;                      ///< §4.2 source early-stop usable
+
+  Trail trail_;
+  ExploreResult result_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  std::uint64_t limit_check_counter_ = 0;
+
+  // policy source bookkeeping
+  std::vector<NodeId> sources_storage_;
+  std::span<const NodeId> sources_;
+};
+
+}  // namespace plankton

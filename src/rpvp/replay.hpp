@@ -1,0 +1,29 @@
+// Counterexample replay: re-executes a recorded trail (the paper's "trail
+// file describing the execution path", §3.5) step by step, validating that
+// each event is applicable, and returns the converged data plane it leads
+// to. Lets users confirm a violation independently of the search that found
+// it — the moral equivalent of replaying a SPIN trail.
+#pragma once
+
+#include <string>
+
+#include "checker/trail.hpp"
+#include "dataplane/fib.hpp"
+#include "pec/pec.hpp"
+#include "rpvp/explorer.hpp"
+
+namespace plankton {
+
+struct ReplayResult {
+  bool ok = false;
+  std::string error;
+  FailureSet failures;
+  DataPlane dp;
+};
+
+/// Replays `trail` for `pec` on `net`. `upstream` must supply the same
+/// upstream outcomes the original run used (nullptr for independent PECs).
+ReplayResult replay_trail(const Network& net, const Pec& pec, const Trail& trail,
+                          const UpstreamProvider* upstream = nullptr);
+
+}  // namespace plankton

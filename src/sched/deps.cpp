@@ -1,0 +1,158 @@
+#include "sched/deps.hpp"
+
+#include <algorithm>
+
+namespace plankton {
+namespace {
+
+/// Iterative Tarjan SCC over the PEC dependency graph.
+class Tarjan {
+ public:
+  explicit Tarjan(const std::vector<std::vector<PecId>>& adj)
+      : adj_(adj),
+        index_(adj.size(), kUnvisited),
+        low_(adj.size(), 0),
+        on_stack_(adj.size(), 0),
+        scc_of_(adj.size(), 0) {}
+
+  void run() {
+    for (PecId v = 0; v < adj_.size(); ++v) {
+      if (index_[v] == kUnvisited) strongconnect(v);
+    }
+    // Tarjan emits SCCs in reverse topological order (a component is emitted
+    // only after everything it depends on): component k's dependencies all
+    // have smaller ids already.
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t>&& scc_of() { return std::move(scc_of_); }
+  [[nodiscard]] std::size_t count() const { return scc_count_; }
+
+ private:
+  static constexpr std::uint32_t kUnvisited = ~std::uint32_t{0};
+
+  void strongconnect(PecId root) {
+    struct Frame {
+      PecId v;
+      std::size_t edge = 0;
+    };
+    std::vector<Frame> frames{{root, 0}};
+    visit(root);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < adj_[f.v].size()) {
+        const PecId w = adj_[f.v][f.edge++];
+        if (index_[w] == kUnvisited) {
+          visit(w);
+          frames.push_back(Frame{w, 0});
+        } else if (on_stack_[w] != 0) {
+          low_[f.v] = std::min(low_[f.v], index_[w]);
+        }
+      } else {
+        if (low_[f.v] == index_[f.v]) {
+          while (true) {
+            const PecId w = stack_.back();
+            stack_.pop_back();
+            on_stack_[w] = 0;
+            scc_of_[w] = static_cast<std::uint32_t>(scc_count_);
+            if (w == f.v) break;
+          }
+          ++scc_count_;
+        }
+        const PecId v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low_[frames.back().v] = std::min(low_[frames.back().v], low_[v]);
+        }
+      }
+    }
+  }
+
+  void visit(PecId v) {
+    index_[v] = next_index_;
+    low_[v] = next_index_;
+    ++next_index_;
+    stack_.push_back(v);
+    on_stack_[v] = 1;
+  }
+
+  const std::vector<std::vector<PecId>>& adj_;
+  std::vector<std::uint32_t> index_, low_;
+  std::vector<std::uint8_t> on_stack_;
+  std::vector<std::uint32_t> scc_of_;
+  std::vector<PecId> stack_;
+  std::uint32_t next_index_ = 0;
+  std::size_t scc_count_ = 0;
+};
+
+}  // namespace
+
+PecDependencies compute_dependencies(const Network& net, const PecSet& pecs) {
+  PecDependencies out;
+  const std::size_t n = pecs.pecs.size();
+  out.depends_on.resize(n);
+  out.dependents.resize(n);
+  out.self_loop.assign(n, 0);
+
+  auto add_edge = [&out](PecId from, PecId to) {
+    if (from == to) {
+      out.self_loop[from] = 1;
+      return;
+    }
+    auto& d = out.depends_on[from];
+    if (std::find(d.begin(), d.end(), to) == d.end()) {
+      d.push_back(to);
+      out.dependents[to].push_back(from);
+    }
+  };
+
+  // Loopback PECs every iBGP speaker's routes resolve through.
+  std::vector<PecId> ibgp_loopback_pecs;
+  for (NodeId dev = 0; dev < net.devices.size(); ++dev) {
+    const auto& cfg = net.device(dev);
+    if (!cfg.bgp) continue;
+    const bool has_ibgp =
+        std::any_of(cfg.bgp->sessions.begin(), cfg.bgp->sessions.end(),
+                    [](const BgpSession& s) { return s.ibgp; });
+    if (has_ibgp && cfg.loopback != IpAddr()) {
+      ibgp_loopback_pecs.push_back(pecs.find(cfg.loopback));
+    }
+  }
+  std::sort(ibgp_loopback_pecs.begin(), ibgp_loopback_pecs.end());
+  ibgp_loopback_pecs.erase(
+      std::unique(ibgp_loopback_pecs.begin(), ibgp_loopback_pecs.end()),
+      ibgp_loopback_pecs.end());
+
+  for (PecId p = 0; p < n; ++p) {
+    const Pec& pec = pecs.pecs[p];
+    for (const auto& pp : pec.prefixes) {
+      // Recursive static routes: dependency on the PEC of the next-hop IP.
+      for (const auto& [dev, idx] : pp.static_routes) {
+        const StaticRoute& sr = net.device(dev).statics[idx];
+        if (sr.via_ip) add_edge(p, pecs.find(*sr.via_ip));
+      }
+      // BGP-carried prefixes depend on the loopback PECs of iBGP speakers.
+      if (!pp.bgp_origins.empty()) {
+        for (const PecId lb : ibgp_loopback_pecs) add_edge(p, lb);
+      }
+    }
+  }
+
+  Tarjan tarjan(out.depends_on);
+  tarjan.run();
+  out.scc_of = tarjan.scc_of();
+  out.sccs.resize(tarjan.count());
+  for (PecId p = 0; p < n; ++p) out.sccs[out.scc_of[p]].push_back(p);
+  out.scc_deps.resize(tarjan.count());
+  for (PecId p = 0; p < n; ++p) {
+    for (const PecId q : out.depends_on[p]) {
+      const std::uint32_t sp = out.scc_of[p];
+      const std::uint32_t sq = out.scc_of[q];
+      if (sp == sq) continue;
+      auto& d = out.scc_deps[sp];
+      if (std::find(d.begin(), d.end(), sq) == d.end()) d.push_back(sq);
+    }
+  }
+  return out;
+}
+
+}  // namespace plankton

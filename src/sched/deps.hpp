@@ -1,0 +1,50 @@
+// PEC dependency graph and SCC condensation (paper §3.2, Fig. 5).
+//
+// A PEC depends on another when resolving its routes requires the other's
+// converged state: recursive static routes (next hop given as an IP) and
+// iBGP (session liveness + next-hop resolution through the IGP's loopback
+// PECs). Strongly connected components must be analyzed together; the
+// condensation is scheduled dependencies-first, maximizing parallelism.
+// Self-loops (a static route whose next hop lies inside the matched prefix)
+// are recorded but need no special scheduling — FIB assembly resolves them
+// internally.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "config/network.hpp"
+#include "pec/pec.hpp"
+
+namespace plankton {
+
+struct PecDependencies {
+  /// depends_on[p] = PECs whose converged states p's verification consumes.
+  std::vector<std::vector<PecId>> depends_on;
+  /// dependents[p] = inverse edges.
+  std::vector<std::vector<PecId>> dependents;
+  /// PECs with an edge to themselves (observed in real configs, §5).
+  std::vector<std::uint8_t> self_loop;
+
+  /// SCC id per PEC; SCC ids are numbered in reverse topological order such
+  /// that iterating sccs in increasing id visits dependencies first.
+  std::vector<std::uint32_t> scc_of;
+  std::vector<std::vector<PecId>> sccs;
+  /// scc_deps[s] = SCC ids s depends on (excluding itself).
+  std::vector<std::vector<std::uint32_t>> scc_deps;
+
+  [[nodiscard]] bool has_cross_pec_deps() const {
+    for (const auto& d : depends_on) {
+      for (const PecId q : d) {
+        (void)q;
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// Builds the dependency graph over all PECs of `pecs`.
+PecDependencies compute_dependencies(const Network& net, const PecSet& pecs);
+
+}  // namespace plankton

@@ -1,0 +1,128 @@
+#include "workload/as_topo.hpp"
+
+#include <stdexcept>
+
+#include "netbase/hash.hpp"
+
+namespace plankton {
+namespace {
+
+/// Deterministic PRNG (splitmix64) so topologies are stable across runs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    return hash_mix(state_);
+  }
+  std::uint32_t below(std::uint32_t n) {
+    return static_cast<std::uint32_t>(next() % n);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace
+
+const std::vector<AsTopoInfo>& rocketfuel_ases() {
+  static const std::vector<AsTopoInfo> kAses = {
+      {"AS1221", 108}, {"AS1239", 315}, {"AS1755", 87},
+      {"AS3257", 161}, {"AS3967", 79},  {"AS6461", 141},
+  };
+  return kAses;
+}
+
+AsTopo make_as_topo(const std::string& name) {
+  for (const auto& info : rocketfuel_ases()) {
+    if (info.name == name) return make_as_topo(name, info.nodes);
+  }
+  throw std::invalid_argument("unknown AS topology: " + name);
+}
+
+AsTopo make_as_topo(const std::string& name, int nodes) {
+  if (nodes < 2) throw std::invalid_argument("AS topology needs >= 2 nodes");
+  AsTopo out;
+  Network& net = out.net;
+  Rng rng(hash_span<char>({name.data(), name.size()}, 0xa5701));
+
+  const int backbone_count = std::max(3, nodes / 7);
+  for (int i = 0; i < nodes; ++i) {
+    const bool bb = i < backbone_count;
+    const NodeId id = net.add_device(
+        (bb ? "bb" : "pop") + std::to_string(bb ? i : i - backbone_count),
+        IpAddr(10, static_cast<std::uint8_t>(i >> 8),
+               static_cast<std::uint8_t>(i & 0xff), 1));
+    auto& dev = net.device(id);
+    dev.ospf.enabled = true;
+    dev.ospf.advertise_loopback = true;
+    out.loopbacks.push_back(Prefix::host(dev.loopback));
+    if (bb) out.backbone.push_back(id);
+  }
+
+  auto w = [&rng] { return 1 + rng.below(10); };
+
+  // Backbone: ring + chords (degree heterogeneity, multiple disjoint paths).
+  for (int i = 0; i < backbone_count; ++i) {
+    net.topo.add_link(out.backbone[i], out.backbone[(i + 1) % backbone_count], w());
+  }
+  const int chords = std::max(1, backbone_count / 3);
+  for (int c = 0; c < chords; ++c) {
+    const NodeId a = out.backbone[rng.below(backbone_count)];
+    NodeId b = out.backbone[rng.below(backbone_count)];
+    if (a == b) b = out.backbone[(b + 1) % backbone_count];
+    if (net.topo.find_link(a, b) == kNoLink && a != b) {
+      net.topo.add_link(a, b, w());
+    }
+  }
+  // PoP routers: dual-homed to two distinct backbone routers (so single link
+  // failures leave them reachable — the Fig. 7d policy expects violations to
+  // come from the weighted routing, and some PoPs are deliberately
+  // single-homed to create genuine failure sensitivity).
+  for (int i = backbone_count; i < nodes; ++i) {
+    const NodeId pop = static_cast<NodeId>(i);
+    const NodeId h1 = out.backbone[rng.below(backbone_count)];
+    net.topo.add_link(pop, h1, w());
+    if (rng.below(100) < 80) {  // 80% dual-homed
+      NodeId h2 = out.backbone[rng.below(backbone_count)];
+      if (h2 == h1) h2 = out.backbone[(h1 + 1) % backbone_count];
+      if (h2 != h1 && net.topo.find_link(pop, h2) == kNoLink) {
+        net.topo.add_link(pop, h2, w());
+      }
+    }
+  }
+  return out;
+}
+
+IbgpOverlay add_ibgp_mesh(AsTopo& topo, int borders) {
+  IbgpOverlay overlay;
+  Network& net = topo.net;
+  for (NodeId n = 0; n < net.topo.node_count(); ++n) {
+    overlay.speakers.push_back(n);
+    auto& dev = net.device(n);
+    dev.bgp.emplace();
+    dev.bgp->asn = 65000;
+  }
+  for (std::size_t i = 0; i < overlay.speakers.size(); ++i) {
+    for (std::size_t j = i + 1; j < overlay.speakers.size(); ++j) {
+      BgpSession a;
+      a.peer = overlay.speakers[j];
+      a.ibgp = true;
+      net.device(overlay.speakers[i]).bgp->sessions.push_back(a);
+      BgpSession b;
+      b.peer = overlay.speakers[i];
+      b.ibgp = true;
+      net.device(overlay.speakers[j]).bgp->sessions.push_back(b);
+    }
+  }
+  // Border routers originate the external prefix (stub modeling of external
+  // advertisements entering the AS, paper §6).
+  const int nb = std::min<int>(borders, static_cast<int>(topo.backbone.size()));
+  for (int b = 0; b < nb; ++b) {
+    overlay.borders.push_back(topo.backbone[b]);
+    net.device(topo.backbone[b]).bgp->originated.push_back(overlay.external);
+  }
+  return overlay;
+}
+
+}  // namespace plankton

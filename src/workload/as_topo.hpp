@@ -1,0 +1,50 @@
+// Synthetic AS topologies standing in for the RocketFuel dataset (paper §5,
+// Figs. 7d, 7e, 7g).
+//
+// The RocketFuel measured topologies are not redistributable, so we generate
+// deterministic degree-heterogeneous topologies with the published node
+// counts: a backbone ring with chords plus dual-homed PoP routers, OSPF
+// weights drawn from a seeded PRNG (1..10). The experiments only exercise
+// weighted shortest paths, failure resilience, and (for 7e) an iBGP mesh over
+// the IGP, all of which this structure reproduces. See DESIGN.md §3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/network.hpp"
+
+namespace plankton {
+
+struct AsTopoInfo {
+  std::string name;
+  int nodes = 0;
+};
+
+/// The six RocketFuel ASes used in the paper, with their node counts.
+const std::vector<AsTopoInfo>& rocketfuel_ases();
+
+struct AsTopo {
+  Network net;
+  std::vector<NodeId> backbone;
+  /// Every device originates its loopback /32 into OSPF; one PEC per device.
+  std::vector<Prefix> loopbacks;
+};
+
+/// Builds the OSPF-only topology. Deterministic for a given name.
+AsTopo make_as_topo(const std::string& name, int nodes);
+AsTopo make_as_topo(const std::string& name);  ///< looks up rocketfuel_ases()
+
+/// Fig. 7e: adds the classic full iBGP mesh over *every* router (required so
+/// transit hops can forward externally-learned prefixes without tunnels —
+/// and exactly why Minesweeper's n+1-copies encoding becomes "over 300×
+/// larger" on the 315-node AS1239). Two backbone routers act as borders and
+/// originate the external prefix 203.0.113.0/24 (stub origins, §6).
+struct IbgpOverlay {
+  std::vector<NodeId> speakers;  ///< all routers
+  std::vector<NodeId> borders;   ///< the originating border routers
+  Prefix external{IpAddr(203, 0, 113, 0), 24};
+};
+IbgpOverlay add_ibgp_mesh(AsTopo& topo, int borders = 2);
+
+}  // namespace plankton

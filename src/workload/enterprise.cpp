@@ -1,0 +1,164 @@
+#include "workload/enterprise.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "netbase/hash.hpp"
+
+namespace plankton {
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    return hash_mix(state_);
+  }
+  std::uint32_t below(std::uint32_t n) {
+    return static_cast<std::uint32_t>(next() % n);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace
+
+const std::vector<EnterpriseInfo>& enterprise_networks() {
+  static const std::vector<EnterpriseInfo> kNetworks = {
+      {"I", 52},   {"II", 63},  {"III", 71}, {"IV", 63},      {"V", 36},
+      {"VI", 2},   {"VII", 30}, {"VIII", 30}, {"IX", 3},      {"Stanford", 16},
+  };
+  return kNetworks;
+}
+
+Enterprise make_enterprise(const std::string& name) {
+  for (const auto& info : enterprise_networks()) {
+    if (info.name == name) return make_enterprise(name, info.devices);
+  }
+  throw std::invalid_argument("unknown enterprise network: " + name);
+}
+
+Enterprise make_enterprise(const std::string& name, int devices) {
+  Enterprise out;
+  Network& net = out.net;
+  Rng rng(hash_span<char>({name.data(), name.size()}, 0xe17e));
+
+  auto add = [&net](const std::string& n, int idx) {
+    const int id_for_ip = static_cast<int>(net.devices.size());
+    const NodeId id = net.add_device(
+        n + std::to_string(idx),
+        IpAddr(172, 16, static_cast<std::uint8_t>(id_for_ip >> 8),
+               static_cast<std::uint8_t>(id_for_ip & 0xff)));
+    net.device(id).ospf.enabled = true;
+    net.device(id).ospf.advertise_loopback = true;
+    return id;
+  };
+
+  if (devices <= 3) {
+    // Tiny networks (VI, IX): routers in a line with a static default chain
+    // pointing at the far end's loopback (recursive, self-resolving).
+    for (int i = 0; i < devices; ++i) out.cores.push_back(add("r", i));
+    for (int i = 0; i + 1 < devices; ++i) {
+      net.topo.add_link(out.cores[i], out.cores[i + 1], 1);
+    }
+    out.subnets.push_back(Prefix(IpAddr(10, 1, 0, 0), 24));
+    net.device(out.cores.back()).ospf.originated.push_back(out.subnets[0]);
+    out.access.push_back(out.cores.front());
+    if (devices > 1) {
+      StaticRoute sr;  // recursive static: next hop is a loopback IP
+      sr.dst = Prefix(IpAddr(10, 9, 0, 0), 16);
+      sr.via_ip = net.device(out.cores.back()).loopback;
+      net.device(out.cores.front()).statics.push_back(sr);
+    }
+    return out;
+  }
+
+  const int n_core = std::max(2, devices / 12);
+  const int n_dist = std::max(2, devices / 4);
+  const int n_access = devices - n_core - n_dist;
+
+  std::vector<NodeId> dist;
+  for (int i = 0; i < n_core; ++i) out.cores.push_back(add("core", i));
+  for (int i = 0; i < n_dist; ++i) dist.push_back(add("dist", i));
+  for (int i = 0; i < n_access; ++i) out.access.push_back(add("acc", i));
+
+  // Core: full mesh (small) with unit-ish weights.
+  for (int i = 0; i < n_core; ++i) {
+    for (int j = i + 1; j < n_core; ++j) {
+      net.topo.add_link(out.cores[i], out.cores[j], 1 + rng.below(3));
+    }
+  }
+  // Distribution: dual-homed to two cores.
+  for (int i = 0; i < n_dist; ++i) {
+    const NodeId c1 = out.cores[rng.below(n_core)];
+    net.topo.add_link(dist[i], c1, 2 + rng.below(4));
+    const NodeId c2 = out.cores[(c1 + 1) % n_core];
+    if (c2 != c1) net.topo.add_link(dist[i], c2, 2 + rng.below(4));
+  }
+  // Access: single- or dual-homed to distribution, each with one subnet.
+  for (int i = 0; i < n_access; ++i) {
+    const NodeId d1 = dist[rng.below(n_dist)];
+    net.topo.add_link(out.access[i], d1, 5 + rng.below(5));
+    if (rng.below(100) < 60) {
+      const NodeId d2 = dist[rng.below(n_dist)];
+      if (d2 != d1 && net.topo.find_link(out.access[i], d2) == kNoLink) {
+        net.topo.add_link(out.access[i], d2, 5 + rng.below(5));
+      }
+    }
+    const Prefix subnet(IpAddr(10, static_cast<std::uint8_t>(1 + (i >> 8)),
+                               static_cast<std::uint8_t>(i & 0xff), 0),
+                        24);
+    out.subnets.push_back(subnet);
+    net.device(out.access[i]).ospf.originated.push_back(subnet);
+  }
+
+  // Recursive routing trait #1: some access devices carry a static route for
+  // a data-center prefix whose next hop is a core loopback (indirect static).
+  const Prefix dc_prefix(IpAddr(10, 200, 0, 0), 16);
+  net.device(out.cores[0]).ospf.originated.push_back(dc_prefix);
+  for (int i = 0; i < n_access; i += 3) {
+    StaticRoute sr;
+    sr.dst = dc_prefix;
+    sr.via_ip = net.device(out.cores[i % n_core]).loopback;
+    net.device(out.access[i]).statics.push_back(sr);
+  }
+
+  // Recursive routing trait #2: iBGP between the cores carrying an external
+  // prefix (present in the larger networks, as in the paper's orgs).
+  if (devices >= 30) {
+    out.has_ibgp = true;
+    for (const NodeId c : out.cores) {
+      auto& dev = net.device(c);
+      dev.bgp.emplace();
+      dev.bgp->asn = 64900;
+    }
+    for (int i = 0; i < n_core; ++i) {
+      for (int j = i + 1; j < n_core; ++j) {
+        BgpSession a;
+        a.peer = out.cores[j];
+        a.ibgp = true;
+        net.device(out.cores[i]).bgp->sessions.push_back(a);
+        BgpSession b;
+        b.peer = out.cores[i];
+        b.ibgp = true;
+        net.device(out.cores[j]).bgp->sessions.push_back(b);
+      }
+    }
+    net.device(out.cores[0]).bgp->originated.push_back(out.external);
+    net.device(out.cores[1 % n_core]).bgp->originated.push_back(out.external);
+  }
+
+  // Self-loop PEC dependency trait: a static route whose next hop lies inside
+  // the destination prefix itself (observed by the paper in real configs).
+  if (n_access > 1) {
+    StaticRoute sr;
+    sr.dst = Prefix(IpAddr(10, 1, 0, 0), 16);  // covers access subnets
+    sr.via_ip = IpAddr(10, 1, 0, 1);           // inside that prefix
+    net.device(out.cores[n_core - 1]).statics.push_back(sr);
+  }
+  return out;
+}
+
+}  // namespace plankton

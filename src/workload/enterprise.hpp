@@ -1,0 +1,39 @@
+// Synthetic "real-world" enterprise configurations (paper §5, Figs. 7h, 7i).
+//
+// The paper verifies 10 proprietary configurations from 3 organizations plus
+// the Stanford backbone. Those configs are not public; this generator
+// reproduces the traits the paper reports about them: 2-71 devices, layered
+// core/distribution/access structure, OSPF everywhere, recursive routing
+// (static routes whose next hop is a loopback IP, iBGP over the IGP),
+// self-loop PEC dependencies, and determinism except for failure choice.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/network.hpp"
+
+namespace plankton {
+
+struct EnterpriseInfo {
+  std::string name;
+  int devices = 0;
+};
+
+/// The ten networks of Fig. 7h: I(52) II(63) III(71) IV(63) V(36) VI(2)
+/// VII(30) VIII(30) IX(3) Stanford(16).
+const std::vector<EnterpriseInfo>& enterprise_networks();
+
+struct Enterprise {
+  Network net;
+  std::vector<NodeId> cores;
+  std::vector<NodeId> access;
+  std::vector<Prefix> subnets;     ///< per access device
+  Prefix external{IpAddr(198, 51, 100, 0), 24};  ///< iBGP-carried (when present)
+  bool has_ibgp = false;
+};
+
+Enterprise make_enterprise(const std::string& name, int devices);
+Enterprise make_enterprise(const std::string& name);
+
+}  // namespace plankton

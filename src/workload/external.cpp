@@ -1,0 +1,40 @@
+#include "workload/external.hpp"
+
+#include <stdexcept>
+
+namespace plankton {
+
+NodeId add_external_peer(Network& net, NodeId attach, const Prefix& prefix,
+                         const ExternalPeerOptions& opts) {
+  if (!net.device(attach).bgp.has_value()) {
+    throw std::invalid_argument("attachment device must run BGP");
+  }
+  const NodeId stub = net.add_device(
+      "ext-" + std::to_string(opts.asn) + "-" + net.device(attach).name);
+  net.topo.add_link(attach, stub, opts.link_cost);
+  auto& stub_dev = net.device(stub);
+  stub_dev.bgp.emplace();
+  stub_dev.bgp->asn = opts.asn;
+  stub_dev.bgp->originated.push_back(prefix);
+
+  BgpSession to_attach;
+  to_attach.peer = attach;
+  if (opts.prepend != 0) {
+    RouteMapClause clause;
+    clause.action.prepend = opts.prepend;
+    to_attach.export_.clauses.push_back(clause);
+  }
+  stub_dev.bgp->sessions.push_back(std::move(to_attach));
+
+  BgpSession from_stub;
+  from_stub.peer = stub;
+  if (opts.import_local_pref) {
+    RouteMapClause clause;
+    clause.action.set_local_pref = *opts.import_local_pref;
+    from_stub.import.clauses.push_back(clause);
+  }
+  net.device(attach).bgp->sessions.push_back(std::move(from_stub));
+  return stub;
+}
+
+}  // namespace plankton

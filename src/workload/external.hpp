@@ -1,0 +1,28 @@
+// Stub modeling of external advertisements (paper §6: "influences such as
+// external advertisements need to be modeled using stubs that denote
+// entities which originate them").
+#pragma once
+
+#include <optional>
+
+#include "config/network.hpp"
+
+namespace plankton {
+
+struct ExternalPeerOptions {
+  std::uint32_t asn = 64999;
+  /// local-pref the attachment router assigns to routes from this peer
+  /// (customer/peer/provider tiering); nullopt keeps the default 100.
+  std::optional<std::uint32_t> import_local_pref;
+  /// AS-path prepending applied by the external peer on export.
+  std::uint8_t prepend = 0;
+  std::uint32_t link_cost = 1;
+};
+
+/// Adds a stub device representing an external BGP neighbor of `attach`
+/// that originates `prefix`. Returns the stub's node id. `attach` must
+/// already run BGP.
+NodeId add_external_peer(Network& net, NodeId attach, const Prefix& prefix,
+                         const ExternalPeerOptions& opts = {});
+
+}  // namespace plankton

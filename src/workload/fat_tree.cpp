@@ -1,0 +1,118 @@
+#include "workload/fat_tree.hpp"
+
+#include <string>
+
+namespace plankton {
+
+int fat_tree_k_for(std::size_t devices) {
+  int k = 2;
+  while (fat_tree_size(k) < devices) k += 2;
+  return k;
+}
+
+FatTree make_fat_tree(const FatTreeOptions& opts) {
+  FatTree ft;
+  ft.k = opts.k;
+  const int k = opts.k;
+  const int half = k / 2;
+  Network& net = ft.net;
+
+  for (int pod = 0; pod < k; ++pod) {
+    for (int i = 0; i < half; ++i) {
+      ft.edges.push_back(
+          net.add_device("edge-" + std::to_string(pod) + "-" + std::to_string(i)));
+    }
+  }
+  for (int pod = 0; pod < k; ++pod) {
+    for (int i = 0; i < half; ++i) {
+      ft.aggs.push_back(
+          net.add_device("agg-" + std::to_string(pod) + "-" + std::to_string(i)));
+    }
+  }
+  for (int i = 0; i < half * half; ++i) {
+    ft.cores.push_back(net.add_device("core-" + std::to_string(i)));
+  }
+
+  // Pod fabric: every edge connects to every agg in its pod.
+  for (int pod = 0; pod < k; ++pod) {
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        net.topo.add_link(ft.edge_at(pod, e), ft.agg_at(pod, a), opts.link_cost);
+      }
+    }
+  }
+  // Core fabric: agg i of each pod connects to cores [i*half, (i+1)*half).
+  for (int pod = 0; pod < k; ++pod) {
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) {
+        net.topo.add_link(ft.agg_at(pod, a), ft.cores[a * half + c], opts.link_cost);
+      }
+    }
+  }
+
+  // Per-edge destination prefixes.
+  for (int pod = 0; pod < k; ++pod) {
+    for (int e = 0; e < half; ++e) {
+      const Prefix p(IpAddr(10, static_cast<std::uint8_t>(pod),
+                            static_cast<std::uint8_t>(e), 0),
+                     24);
+      ft.edge_prefixes.push_back(p);
+    }
+  }
+
+  if (opts.routing == FatTreeOptions::Routing::kOspf) {
+    for (NodeId n = 0; n < net.devices.size(); ++n) {
+      net.device(n).ospf.enabled = true;
+      net.device(n).ospf.advertise_loopback = false;
+    }
+    for (std::size_t i = 0; i < ft.edges.size(); ++i) {
+      net.device(ft.edges[i]).ospf.originated.push_back(ft.edge_prefixes[i]);
+    }
+  } else {
+    // RFC 7938: eBGP on every link, one private ASN per device, prefixes
+    // originated at the edge.
+    for (NodeId n = 0; n < net.devices.size(); ++n) {
+      net.device(n).bgp.emplace();
+      net.device(n).bgp->asn = 64512 + n;
+    }
+    for (const Link& l : net.topo.links()) {
+      BgpSession sa;
+      sa.peer = l.b;
+      net.device(l.a).bgp->sessions.push_back(sa);
+      BgpSession sb;
+      sb.peer = l.a;
+      net.device(l.b).bgp->sessions.push_back(sb);
+    }
+    for (std::size_t i = 0; i < ft.edges.size(); ++i) {
+      net.device(ft.edges[i]).bgp->originated.push_back(ft.edge_prefixes[i]);
+    }
+  }
+
+  if (opts.statics != FatTreeOptions::CoreStatics::kNone) {
+    // Core c = a*half + cc is attached to agg index a of every pod. The
+    // OSPF-computed next hop for pod p's prefixes is agg_at(p, a).
+    for (int a = 0; a < half; ++a) {
+      for (int cc = 0; cc < half; ++cc) {
+        const NodeId core = ft.cores[a * half + cc];
+        for (int pod = 0; pod < k; ++pod) {
+          for (int e = 0; e < half; ++e) {
+            StaticRoute sr;
+            sr.dst = ft.edge_prefixes[static_cast<std::size_t>(pod) * half + e];
+            if (opts.statics == FatTreeOptions::CoreStatics::kMatching) {
+              sr.via_neighbor = ft.agg_at(pod, a);
+            } else {
+              // Broken: deflect to the same-index agg of the next pod. That
+              // agg's best OSPF path to the prefix climbs back through the
+              // cores of row `a` (including this one): a forwarding loop.
+              sr.via_neighbor = ft.agg_at((pod + 1) % k, a);
+            }
+            net.device(core).statics.push_back(sr);
+          }
+        }
+      }
+    }
+  }
+  return ft;
+}
+
+}  // namespace plankton

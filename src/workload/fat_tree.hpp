@@ -1,0 +1,63 @@
+// k-ary fat-tree generator with OSPF or RFC 7938-style eBGP configurations
+// (paper §5, Figs. 7a-7c, 7f, 7g, and Fig. 2's topology family).
+//
+// A k-ary fat tree has k pods, each with k/2 edge and k/2 aggregation
+// switches, plus (k/2)² cores — 5k²/4 devices total (k=4 → 20, k=14 → 245,
+// k=42 → 2205, matching the paper's N values). Every edge switch originates
+// one /24 prefix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "config/network.hpp"
+
+namespace plankton {
+
+struct FatTreeOptions {
+  int k = 4;  ///< even, >= 2
+  std::uint32_t link_cost = 10;
+
+  enum class Routing : std::uint8_t {
+    kOspf,       ///< single OSPF domain, identical weights
+    kBgpRfc7938  ///< eBGP on every link, one private ASN per device
+  };
+  Routing routing = Routing::kOspf;
+
+  /// Fig. 7a: static routes at core routers. kMatching replicates the routes
+  /// OSPF computes (policy passes); kBroken points some cores at aggregation
+  /// switches of the wrong pod, creating forwarding loops (policy fails).
+  enum class CoreStatics : std::uint8_t { kNone, kMatching, kBroken };
+  CoreStatics statics = CoreStatics::kNone;
+};
+
+struct FatTree {
+  Network net;
+  int k = 0;
+  std::vector<NodeId> edges;  ///< edge switches, pod-major order
+  std::vector<NodeId> aggs;   ///< aggregation switches, pod-major order
+  std::vector<NodeId> cores;
+  std::vector<Prefix> edge_prefixes;  ///< prefix originated by edges[i]
+
+  [[nodiscard]] std::size_t size() const { return net.topo.node_count(); }
+  [[nodiscard]] NodeId edge_at(int pod, int idx) const {
+    return edges[static_cast<std::size_t>(pod) * static_cast<std::size_t>(k / 2) +
+                 static_cast<std::size_t>(idx)];
+  }
+  [[nodiscard]] NodeId agg_at(int pod, int idx) const {
+    return aggs[static_cast<std::size_t>(pod) * static_cast<std::size_t>(k / 2) +
+                static_cast<std::size_t>(idx)];
+  }
+};
+
+FatTree make_fat_tree(const FatTreeOptions& opts);
+
+/// Number of devices in a k-ary fat tree (5k²/4).
+[[nodiscard]] constexpr std::size_t fat_tree_size(int k) {
+  return 5u * static_cast<std::size_t>(k) * static_cast<std::size_t>(k) / 4u;
+}
+
+/// Smallest even k whose fat tree has at least `devices` devices.
+[[nodiscard]] int fat_tree_k_for(std::size_t devices);
+
+}  // namespace plankton

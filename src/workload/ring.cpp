@@ -1,0 +1,21 @@
+#include "workload/ring.hpp"
+
+#include <string>
+
+namespace plankton {
+
+Network make_ring(int n, std::uint32_t cost) {
+  Network net;
+  for (int i = 0; i < n; ++i) {
+    const NodeId id = net.add_device("r" + std::to_string(i));
+    net.device(id).ospf.enabled = true;
+    net.device(id).ospf.advertise_loopback = false;
+  }
+  for (int i = 0; i < n; ++i) {
+    net.topo.add_link(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n), cost);
+  }
+  net.device(0).ospf.originated.push_back(Prefix(IpAddr(10, 0, 0, 0), 24));
+  return net;
+}
+
+}  // namespace plankton

@@ -1,0 +1,12 @@
+// Ring topologies for the Fig. 8 ablation experiments.
+#pragma once
+
+#include "config/network.hpp"
+
+namespace plankton {
+
+/// N OSPF routers in a cycle; node 0 originates 10.0.0.0/24. With one link
+/// failure the ring degrades to a path — the classic ablation workload.
+Network make_ring(int n, std::uint32_t cost = 1);
+
+}  // namespace plankton

@@ -1,0 +1,233 @@
+// FIB assembly (LPM + admin distance + recursive resolution) and the
+// forwarding-graph walks behind every policy.
+#include <gtest/gtest.h>
+
+#include "dataplane/fib.hpp"
+#include "pec/pec.hpp"
+#include "policy/policy.hpp"
+
+namespace plankton {
+namespace {
+
+/// Line a--b--c; c originates; builds a PEC and hand-written RIBs.
+struct LineFixture {
+  Network net;
+  PecSet pecs;
+  ModelContext ctx;
+  std::vector<RouteId> ospf_rib;
+
+  LineFixture() {
+    const NodeId a = net.add_device("a");
+    const NodeId b = net.add_device("b");
+    const NodeId c = net.add_device("c");
+    net.topo.add_link(a, b, 1);
+    net.topo.add_link(b, c, 1);
+    for (NodeId n = 0; n < 3; ++n) {
+      net.device(n).ospf.enabled = true;
+      net.device(n).ospf.advertise_loopback = false;
+    }
+    net.device(c).ospf.originated.push_back(*Prefix::parse("10.0.0.0/24"));
+    pecs = compute_pecs(net);
+    ctx.net = &net;
+    // RIB: c = origin (ε), b -> c, a -> b -> c.
+    Route origin;
+    origin.path = kEmptyPath;
+    const RouteId rc = ctx.routes.intern(std::move(origin));
+    Route rb;
+    rb.path = ctx.paths.cons(c, kEmptyPath);
+    rb.metric = 1;
+    const RouteId rbi = ctx.routes.intern(std::move(rb));
+    Route ra;
+    ra.path = ctx.paths.cons(b, ctx.paths.cons(c, kEmptyPath));
+    ra.metric = 2;
+    const RouteId rai = ctx.routes.intern(std::move(ra));
+    ospf_rib = {rai, rbi, rc};
+  }
+
+  [[nodiscard]] const Pec& pec() { return pecs.pecs[pecs.routed()[0]]; }
+  [[nodiscard]] DataPlane build(const FailureSet& failures) {
+    const TaskRib rib{0, Protocol::kOspf, ospf_rib};
+    return build_dataplane(net, pec(), failures, {{rib}}, ctx);
+  }
+};
+
+TEST(Fib, BasicForwardingChain) {
+  LineFixture fx;
+  const DataPlane dp = fx.build(fx.net.topo.no_failures());
+  EXPECT_EQ(dp.at(0).kind, FwdKind::kForward);
+  EXPECT_EQ(dp.at(0).nexthops, (std::vector<NodeId>{1}));
+  EXPECT_EQ(dp.at(1).nexthops, (std::vector<NodeId>{2}));
+  EXPECT_EQ(dp.at(2).kind, FwdKind::kLocal);
+}
+
+TEST(Fib, StaticBeatsOspfByAdminDistance) {
+  LineFixture fx;
+  // a gets a static route for the same exact prefix via... itself has only
+  // neighbor b; point it at b anyway: same next hop but source must be static.
+  StaticRoute sr;
+  sr.dst = *Prefix::parse("10.0.0.0/24");
+  sr.via_neighbor = 1;
+  fx.net.device(0).statics.push_back(sr);
+  fx.pecs = compute_pecs(fx.net);
+  const DataPlane dp = fx.build(fx.net.topo.no_failures());
+  EXPECT_EQ(dp.at(0).source, Protocol::kStatic);
+}
+
+TEST(Fib, StaticDropCreatesBlackhole) {
+  LineFixture fx;
+  StaticRoute sr;
+  sr.dst = *Prefix::parse("10.0.0.0/24");
+  sr.drop = true;
+  fx.net.device(0).statics.push_back(sr);
+  fx.pecs = compute_pecs(fx.net);
+  const DataPlane dp = fx.build(fx.net.topo.no_failures());
+  EXPECT_EQ(dp.at(0).kind, FwdKind::kDrop);
+  EXPECT_EQ(dp.at(0).source, Protocol::kStatic);
+}
+
+TEST(Fib, StaticViaFailedLinkFallsThroughToOspf) {
+  LineFixture fx;
+  StaticRoute sr;
+  sr.dst = *Prefix::parse("10.0.0.0/24");
+  sr.via_neighbor = 1;
+  fx.net.device(0).statics.push_back(sr);
+  fx.pecs = compute_pecs(fx.net);
+  FailureSet failed(fx.net.topo.link_count());
+  failed.fail(0);  // a--b link down: static not installable
+  const DataPlane dp = fx.build(failed);
+  // OSPF route (stale RIB in this hand-built fixture) still installs.
+  EXPECT_EQ(dp.at(0).source, Protocol::kOspf);
+}
+
+TEST(Fib, LpmPrefersMoreSpecificPrefix) {
+  Network net;
+  const NodeId a = net.add_device("a");
+  const NodeId b = net.add_device("b");
+  const NodeId c = net.add_device("c");
+  net.topo.add_link(a, b);
+  net.topo.add_link(a, c);
+  for (NodeId n = 0; n < 3; ++n) net.device(n).ospf.enabled = true;
+  // /16 originated by b, /24 (more specific) by c.
+  net.device(b).ospf.originated.push_back(*Prefix::parse("10.1.0.0/16"));
+  net.device(c).ospf.originated.push_back(*Prefix::parse("10.1.2.0/24"));
+  const PecSet pecs = compute_pecs(net);
+  const Pec& pec = pecs.pecs[pecs.find(IpAddr(10, 1, 2, 9))];
+  ASSERT_EQ(pec.prefixes.size(), 2u);
+
+  ModelContext ctx;
+  ctx.net = &net;
+  Route origin;
+  origin.path = kEmptyPath;
+  const RouteId ro = ctx.routes.intern(std::move(origin));
+  Route via_b;
+  via_b.path = ctx.paths.cons(b, kEmptyPath);
+  Route via_c;
+  via_c.path = ctx.paths.cons(c, kEmptyPath);
+  const RouteId rvb = ctx.routes.intern(std::move(via_b));
+  const RouteId rvc = ctx.routes.intern(std::move(via_c));
+  // Task 0 = /24 (most specific first), task 1 = /16.
+  const std::vector<RouteId> rib24 = {rvc, kNoRoute, ro};
+  const std::vector<RouteId> rib16 = {rvb, ro, kNoRoute};
+  const TaskRib t24{0, Protocol::kOspf, rib24};
+  const TaskRib t16{1, Protocol::kOspf, rib16};
+  const DataPlane dp = build_dataplane(net, pec, net.topo.no_failures(),
+                                       {{t24, t16}}, ctx);
+  EXPECT_EQ(dp.at(a).nexthops, (std::vector<NodeId>{c}))
+      << "/24 must win over /16 at node a";
+}
+
+TEST(Walk, DeliveredPath) {
+  LineFixture fx;
+  const DataPlane dp = fx.build(fx.net.topo.no_failures());
+  const WalkStats w = walk_from(dp, 0);
+  EXPECT_TRUE(w.delivered_all);
+  EXPECT_FALSE(w.dropped);
+  EXPECT_FALSE(w.looped);
+  EXPECT_EQ(w.max_hops, 2u);
+}
+
+TEST(Walk, DetectsLoop) {
+  DataPlane dp;
+  dp.entries.resize(3);
+  dp.entries[0] = {FwdKind::kForward, {1}, Protocol::kStatic, 0};
+  dp.entries[1] = {FwdKind::kForward, {2}, Protocol::kStatic, 0};
+  dp.entries[2] = {FwdKind::kForward, {0}, Protocol::kStatic, 0};
+  const WalkStats w = walk_from(dp, 0);
+  EXPECT_TRUE(w.looped);
+  EXPECT_FALSE(w.delivered_any);
+}
+
+TEST(Walk, EcmpBranchesAllCounted) {
+  DataPlane dp;
+  dp.entries.resize(4);
+  dp.entries[0] = {FwdKind::kForward, {1, 2}, Protocol::kOspf, 0};
+  dp.entries[1] = {FwdKind::kForward, {3}, Protocol::kOspf, 0};
+  dp.entries[2] = {FwdKind::kDrop, {}, Protocol::kOspf, 0};
+  dp.entries[3] = {FwdKind::kLocal, {}, Protocol::kOspf, 0};
+  const WalkStats w = walk_from(dp, 0);
+  EXPECT_TRUE(w.delivered_any);
+  EXPECT_FALSE(w.delivered_all) << "one branch drops";
+  EXPECT_TRUE(w.dropped);
+}
+
+TEST(Walk, WaypointCrossing) {
+  DataPlane dp;
+  dp.entries.resize(4);
+  dp.entries[0] = {FwdKind::kForward, {1, 2}, Protocol::kOspf, 0};
+  dp.entries[1] = {FwdKind::kForward, {3}, Protocol::kOspf, 0};
+  dp.entries[2] = {FwdKind::kForward, {3}, Protocol::kOspf, 0};
+  dp.entries[3] = {FwdKind::kLocal, {}, Protocol::kOspf, 0};
+  const std::vector<NodeId> wp1{1};
+  EXPECT_FALSE(walk_from(dp, 0, wp1).hit_waypoint_all)
+      << "the branch via 2 bypasses waypoint 1";
+  const std::vector<NodeId> wp_both{1, 2};
+  EXPECT_TRUE(walk_from(dp, 0, wp_both).hit_waypoint_all);
+  const std::vector<NodeId> wp_dst{3};
+  EXPECT_TRUE(walk_from(dp, 0, wp_dst).hit_waypoint_all);
+}
+
+TEST(Walk, EcmpFanoutIsPolynomial) {
+  // 2-wide ECMP diamond chain: exponentially many paths, walk must stay fast.
+  DataPlane dp;
+  constexpr int kLayers = 40;
+  dp.entries.resize(2 * kLayers + 2);
+  for (int i = 0; i < kLayers; ++i) {
+    const NodeId left = static_cast<NodeId>(2 * i + 1);
+    const NodeId right = static_cast<NodeId>(2 * i + 2);
+    const NodeId next_left = static_cast<NodeId>(2 * i + 3);
+    const NodeId next_right = static_cast<NodeId>(2 * i + 4);
+    if (i + 1 < kLayers) {
+      dp.entries[left] = {FwdKind::kForward, {next_left, next_right}, Protocol::kOspf, 0};
+      dp.entries[right] = {FwdKind::kForward, {next_left, next_right}, Protocol::kOspf, 0};
+    } else {
+      const NodeId sink = static_cast<NodeId>(2 * kLayers + 1);
+      dp.entries[left] = {FwdKind::kForward, {sink}, Protocol::kOspf, 0};
+      dp.entries[right] = {FwdKind::kForward, {sink}, Protocol::kOspf, 0};
+    }
+  }
+  dp.entries[0] = {FwdKind::kForward, {1, 2}, Protocol::kOspf, 0};
+  dp.entries[2 * kLayers + 1] = {FwdKind::kLocal, {}, Protocol::kOspf, 0};
+  const WalkStats w = walk_from(dp, 0);  // must terminate instantly
+  EXPECT_TRUE(w.delivered_all);
+  EXPECT_EQ(w.max_hops, static_cast<std::uint32_t>(kLayers + 1));
+}
+
+TEST(PolicySignature, DiscriminatesAndMatches) {
+  DataPlane a;
+  a.entries.resize(3);
+  a.entries[0] = {FwdKind::kForward, {1}, Protocol::kOspf, 0};
+  a.entries[1] = {FwdKind::kForward, {2}, Protocol::kOspf, 0};
+  a.entries[2] = {FwdKind::kLocal, {}, Protocol::kOspf, 0};
+  DataPlane b = a;  // identical
+  DataPlane c = a;
+  c.entries[1] = {FwdKind::kDrop, {}, Protocol::kOspf, 0};
+  const std::vector<NodeId> sources{0};
+  const std::vector<NodeId> interesting{1};
+  EXPECT_EQ(policy_signature(a, sources, interesting, 3),
+            policy_signature(b, sources, interesting, 3));
+  EXPECT_NE(policy_signature(a, sources, interesting, 3),
+            policy_signature(c, sources, interesting, 3));
+}
+
+}  // namespace
+}  // namespace plankton

@@ -1,0 +1,216 @@
+// The paper's soundness/completeness claims as executable properties:
+//
+//  * Theorems 1-2: the optimized search (consistent executions only +
+//    deterministic nodes + decision independence) reaches exactly the same
+//    set of converged data planes as naive exhaustive RPVP exploration.
+//  * OSPF's converged state matches the reference Dijkstra computation.
+//  * Policy verdicts agree across optimization levels and failure handling.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "core/verifier.hpp"
+#include "pec/pec.hpp"
+#include "rpvp/explorer.hpp"
+
+namespace plankton {
+namespace {
+
+class TruePolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "true"; }
+  [[nodiscard]] bool check(const ConvergedView&, std::string&) const override {
+    return true;
+  }
+};
+
+/// All converged outcomes of the single routed PEC of `net`, as a set of
+/// outcome hashes (data plane + IGP costs + failure set).
+std::set<std::uint64_t> converged_set(const Network& net, ExploreOptions opts,
+                                      int max_failures) {
+  const PecSet pecs = compute_pecs(net);
+  const auto routed = pecs.routed();
+  EXPECT_EQ(routed.size(), 1u);
+  const Pec& pec = pecs.pecs[routed[0]];
+  opts.max_failures = max_failures;
+  opts.record_outcomes = true;
+  opts.find_all_violations = true;
+  const TruePolicy policy;
+  Explorer ex(net, pec, make_tasks(net, pec), policy, opts);
+  const ExploreResult r = ex.run();
+  EXPECT_FALSE(r.timed_out);
+  std::set<std::uint64_t> out;
+  for (const auto& o : r.outcomes) out.insert(o.hash);
+  return out;
+}
+
+Network random_ospf_network(std::mt19937& rng, int n) {
+  Network net;
+  for (int i = 0; i < n; ++i) {
+    const NodeId id = net.add_device("r" + std::to_string(i));
+    net.device(id).ospf.enabled = true;
+    net.device(id).ospf.advertise_loopback = false;
+  }
+  for (int i = 1; i < n; ++i) {
+    net.topo.add_link(static_cast<NodeId>(i),
+                      static_cast<NodeId>(rng() % static_cast<unsigned>(i)),
+                      1 + rng() % 5);
+  }
+  for (int extra = 0; extra < n / 2; ++extra) {
+    const NodeId a = rng() % n;
+    const NodeId b = rng() % n;
+    if (a != b && net.topo.find_link(a, b) == kNoLink) {
+      net.topo.add_link(a, b, 1 + rng() % 5);
+    }
+  }
+  net.device(rng() % n).ospf.originated.push_back(*Prefix::parse("10.0.0.0/16"));
+  return net;
+}
+
+Network random_bgp_network(std::mt19937& rng, int n) {
+  Network net;
+  for (int i = 0; i < n; ++i) {
+    const NodeId id = net.add_device("r" + std::to_string(i));
+    net.device(id).bgp.emplace();
+    net.device(id).bgp->asn = 65000 + static_cast<std::uint32_t>(i);
+  }
+  auto session = [&net](NodeId a, NodeId b) {
+    if (net.device(a).bgp->session_with(b) != nullptr) return;
+    net.topo.add_link(a, b);
+    BgpSession sa;
+    sa.peer = b;
+    net.device(a).bgp->sessions.push_back(sa);
+    BgpSession sb;
+    sb.peer = a;
+    net.device(b).bgp->sessions.push_back(sb);
+  };
+  for (int i = 1; i < n; ++i) {
+    session(static_cast<NodeId>(i), static_cast<NodeId>(rng() % static_cast<unsigned>(i)));
+  }
+  for (int extra = 0; extra < n / 2; ++extra) {
+    const NodeId a = rng() % n;
+    const NodeId b = rng() % n;
+    if (a != b) session(a, b);
+  }
+  net.device(0).bgp->originated.push_back(*Prefix::parse("10.0.0.0/16"));
+  // Random local-pref policies create genuine multi-stable-state networks.
+  for (NodeId v = 1; v < static_cast<NodeId>(n); ++v) {
+    for (auto& s : net.device(v).bgp->sessions) {
+      if (rng() % 3 == 0) {
+        RouteMapClause clause;
+        clause.action.set_local_pref = 50 + 50 * (rng() % 4);
+        s.import.clauses.push_back(clause);
+      }
+    }
+  }
+  return net;
+}
+
+class OspfEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(OspfEquivalence, OptimizedMatchesNaive) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 1337u);
+  for (int iter = 0; iter < 5; ++iter) {
+    const Network net = random_ospf_network(rng, 4 + static_cast<int>(rng() % 5));
+    for (const int k : {0, 1}) {
+      ExploreOptions fast;  // all optimizations on
+      fast.lec_failures = false;  // identical failure enumeration on both sides
+      ExploreOptions naive = ExploreOptions::naive();
+      const auto a = converged_set(net, fast, k);
+      const auto b = converged_set(net, naive, k);
+      EXPECT_EQ(a, b) << "seed " << GetParam() << " iter " << iter << " k=" << k;
+      EXPECT_FALSE(a.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OspfEquivalence, ::testing::Range(1, 7));
+
+class BgpEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BgpEquivalence, OptimizedMatchesNaive) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 7331u);
+  for (int iter = 0; iter < 5; ++iter) {
+    const Network net = random_bgp_network(rng, 4 + static_cast<int>(rng() % 4));
+    for (const int k : {0, 1}) {
+      ExploreOptions fast;
+      fast.lec_failures = false;
+      ExploreOptions naive = ExploreOptions::naive();
+      const auto a = converged_set(net, fast, k);
+      const auto b = converged_set(net, naive, k);
+      EXPECT_EQ(a, b) << "seed " << GetParam() << " iter " << iter << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BgpEquivalence, ::testing::Range(1, 9));
+
+/// Individual optimizations can be disabled without changing the converged
+/// set (each one alone must be sound AND complete).
+class SingleOptOff : public ::testing::TestWithParam<int> {};
+
+TEST_P(SingleOptOff, ConvergedSetUnchanged) {
+  std::mt19937 rng(99);
+  const Network net = random_bgp_network(rng, 6);
+  ExploreOptions base;
+  base.lec_failures = false;
+  const auto reference = converged_set(net, base, 1);
+  ExploreOptions variant = base;
+  switch (GetParam()) {
+    case 0: variant.consistent_only = false; break;
+    case 1: variant.deterministic_nodes = false; break;
+    case 2: variant.decision_independence = false; break;
+    case 3: variant.suppress_equivalent = false; break;
+  }
+  EXPECT_EQ(converged_set(net, variant, 1), reference) << "opt " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Opts, SingleOptOff, ::testing::Range(0, 4));
+
+TEST(OspfConvergence, MatchesDijkstraMetrics) {
+  std::mt19937 rng(2024);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Network net = random_ospf_network(rng, 6 + static_cast<int>(rng() % 6));
+    const PecSet pecs = compute_pecs(net);
+    const Pec& pec = pecs.pecs[pecs.routed()[0]];
+    ExploreOptions opts;
+    opts.record_outcomes = true;
+    const TruePolicy policy;
+    Explorer ex(net, pec, make_tasks(net, pec), policy, opts);
+    const ExploreResult r = ex.run();
+    ASSERT_EQ(r.outcomes.size(), 1u) << "OSPF must converge deterministically";
+    const auto& origins = pec.prefixes[0].ospf_origins;
+    const auto expected =
+        shortest_path_costs(net.topo, origins, net.topo.no_failures());
+    for (NodeId n = 0; n < net.topo.node_count(); ++n) {
+      EXPECT_EQ(r.outcomes[0].igp_cost[n], expected[n]) << "node " << n;
+    }
+  }
+}
+
+TEST(FailureEquivalence, LecVerdictMatchesExhaustive) {
+  // LEC failure reduction must not change policy verdicts (it may skip
+  // symmetric failure sets, but one representative of each violating class
+  // survives).
+  std::mt19937 rng(555);
+  for (int iter = 0; iter < 6; ++iter) {
+    const Network net = random_ospf_network(rng, 5 + static_cast<int>(rng() % 4));
+    const NodeId src = 1 + rng() % (net.topo.node_count() - 1);
+    for (const int k : {1, 2}) {
+      bool verdicts[2];
+      for (const bool lec : {false, true}) {
+        VerifyOptions vo;
+        vo.explore.max_failures = k;
+        vo.explore.lec_failures = lec;
+        Verifier verifier(net, vo);
+        const ReachabilityPolicy policy({src});
+        verdicts[lec ? 1 : 0] = verifier.verify(policy).holds;
+      }
+      EXPECT_EQ(verdicts[0], verdicts[1]) << "iter " << iter << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace plankton

@@ -1,0 +1,155 @@
+// PEC computation: the trie partition and per-prefix config slices.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "pec/pec.hpp"
+#include "pec/trie.hpp"
+#include "workload/enterprise.hpp"
+
+namespace plankton {
+namespace {
+
+TEST(Trie, EmptyTrieIsOneRange) {
+  PrefixTrie trie;
+  const auto ranges = trie.partition();
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].lo, IpAddr(0, 0, 0, 0));
+  EXPECT_EQ(ranges[0].hi, IpAddr(255, 255, 255, 255));
+  EXPECT_TRUE(ranges[0].values.empty());
+}
+
+TEST(Trie, PaperFigure4Example) {
+  // 128.0.0.0/1 and 192.0.0.0/2 advertised: three classes (Fig. 4).
+  PrefixTrie trie;
+  trie.insert(*Prefix::parse("128.0.0.0/1"), 0);
+  trie.insert(*Prefix::parse("192.0.0.0/2"), 1);
+  const auto ranges = trie.partition();
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0].lo, IpAddr(0, 0, 0, 0));
+  EXPECT_EQ(ranges[0].hi, IpAddr(127, 255, 255, 255));
+  EXPECT_TRUE(ranges[0].values.empty());
+  EXPECT_EQ(ranges[1].lo, IpAddr(128, 0, 0, 0));
+  EXPECT_EQ(ranges[1].hi, IpAddr(191, 255, 255, 255));
+  EXPECT_EQ(ranges[1].values, (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(ranges[2].lo, IpAddr(192, 0, 0, 0));
+  EXPECT_EQ(ranges[2].hi, IpAddr(255, 255, 255, 255));
+  EXPECT_EQ(ranges[2].values, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(Trie, HostPrefixSplitsCorrectly) {
+  PrefixTrie trie;
+  trie.insert(Prefix::host(IpAddr(10, 0, 0, 5)), 7);
+  const auto ranges = trie.partition();
+  // Three ranges: below, the host itself, above.
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[1].lo, IpAddr(10, 0, 0, 5));
+  EXPECT_EQ(ranges[1].hi, IpAddr(10, 0, 0, 5));
+  EXPECT_EQ(ranges[1].values, (std::vector<std::uint32_t>{7}));
+}
+
+/// Property: the partition tiles the space, and every range's value set is
+/// exactly the set of inserted prefixes containing it (checked against the
+/// interval method).
+TEST(Trie, PartitionMatchesIntervalMethodOnRandomPrefixes) {
+  std::mt19937 rng(424242);
+  for (int iter = 0; iter < 30; ++iter) {
+    PrefixTrie trie;
+    std::vector<Prefix> prefixes;
+    const int count = 1 + static_cast<int>(rng() % 12);
+    for (int i = 0; i < count; ++i) {
+      const std::uint8_t len = static_cast<std::uint8_t>(rng() % 33);
+      const Prefix p(IpAddr(static_cast<std::uint32_t>(rng())), len);
+      prefixes.push_back(p);
+      trie.insert(p, static_cast<std::uint32_t>(i));
+    }
+    const auto ranges = trie.partition();
+    // Tiling.
+    ASSERT_FALSE(ranges.empty());
+    EXPECT_EQ(ranges.front().lo.value(), 0u);
+    EXPECT_EQ(ranges.back().hi.value(), ~std::uint32_t{0});
+    for (std::size_t i = 0; i + 1 < ranges.size(); ++i) {
+      EXPECT_EQ(ranges[i].hi.value() + 1, ranges[i + 1].lo.value());
+      EXPECT_NE(ranges[i].values, ranges[i + 1].values)
+          << "adjacent equal-set ranges must be merged";
+    }
+    // Covering sets: spot-check boundaries of every range.
+    for (const auto& r : ranges) {
+      for (const IpAddr probe : {r.lo, r.hi}) {
+        std::vector<std::uint32_t> expected;
+        for (std::uint32_t i = 0; i < prefixes.size(); ++i) {
+          if (prefixes[i].contains(probe)) expected.push_back(i);
+        }
+        std::sort(expected.begin(), expected.end());
+        expected.erase(std::unique(expected.begin(), expected.end()),
+                       expected.end());
+        std::vector<std::uint32_t> actual = r.values;
+        std::sort(actual.begin(), actual.end());
+        actual.erase(std::unique(actual.begin(), actual.end()), actual.end());
+        EXPECT_EQ(actual, expected) << "probe " << probe.str();
+      }
+    }
+  }
+}
+
+TEST(Pec, SlicesCarryOriginsAndStatics) {
+  Network net;
+  const NodeId r0 = net.add_device("r0");
+  const NodeId r1 = net.add_device("r1");
+  net.topo.add_link(r0, r1);
+  net.device(r0).ospf.enabled = true;
+  net.device(r1).ospf.enabled = true;
+  const Prefix p = *Prefix::parse("10.1.0.0/16");
+  net.device(r0).ospf.originated.push_back(p);
+  StaticRoute sr;
+  sr.dst = p;
+  sr.via_neighbor = r0;
+  net.device(r1).statics.push_back(sr);
+
+  const PecSet pecs = compute_pecs(net);
+  const PecId id = pecs.find(IpAddr(10, 1, 2, 3));
+  const Pec& pec = pecs.pecs[id];
+  ASSERT_EQ(pec.prefixes.size(), 1u);
+  EXPECT_EQ(pec.prefixes[0].prefix, p);
+  EXPECT_EQ(pec.prefixes[0].ospf_origins, (std::vector<NodeId>{r0}));
+  ASSERT_EQ(pec.prefixes[0].static_routes.size(), 1u);
+  EXPECT_EQ(pec.prefixes[0].static_routes[0].first, r1);
+}
+
+TEST(Pec, LpmOrderIsMostSpecificFirst) {
+  Network net;
+  const NodeId r0 = net.add_device("r0");
+  net.device(r0).ospf.enabled = true;
+  net.device(r0).ospf.originated.push_back(*Prefix::parse("10.0.0.0/8"));
+  net.device(r0).ospf.originated.push_back(*Prefix::parse("10.1.0.0/16"));
+  net.device(r0).ospf.originated.push_back(*Prefix::parse("10.1.2.0/24"));
+  const PecSet pecs = compute_pecs(net);
+  const Pec& pec = pecs.pecs[pecs.find(IpAddr(10, 1, 2, 3))];
+  ASSERT_EQ(pec.prefixes.size(), 3u);
+  EXPECT_EQ(pec.prefixes[0].prefix.length(), 24);
+  EXPECT_EQ(pec.prefixes[1].prefix.length(), 16);
+  EXPECT_EQ(pec.prefixes[2].prefix.length(), 8);
+}
+
+TEST(Pec, FindIsConsistentWithRanges) {
+  const Enterprise ent = make_enterprise("III");
+  const PecSet pecs = compute_pecs(ent.net);
+  for (PecId id = 0; id < pecs.pecs.size(); ++id) {
+    EXPECT_EQ(pecs.find(pecs.pecs[id].lo), id);
+    EXPECT_EQ(pecs.find(pecs.pecs[id].hi), id);
+  }
+}
+
+TEST(Pec, RoutedSubsetOnlyCountsPrefixedPecs) {
+  Network net;
+  const NodeId r0 = net.add_device("r0");
+  net.device(r0).ospf.enabled = true;
+  net.device(r0).ospf.originated.push_back(*Prefix::parse("10.0.0.0/8"));
+  const PecSet pecs = compute_pecs(net);
+  const auto routed = pecs.routed();
+  ASSERT_EQ(routed.size(), 1u);
+  EXPECT_TRUE(pecs.pecs[routed[0]].has_routing());
+}
+
+}  // namespace
+}  // namespace plankton

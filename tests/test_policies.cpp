@@ -1,0 +1,174 @@
+// The seven built-in policies, exercised end to end on purpose-built
+// networks (each policy both passing and failing).
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+#include "workload/fat_tree.hpp"
+#include "workload/ring.hpp"
+
+namespace plankton {
+namespace {
+
+/// Line a--b--c, c originates 10.0.0.0/24.
+Network line3() {
+  Network net;
+  const NodeId a = net.add_device("a");
+  const NodeId b = net.add_device("b");
+  const NodeId c = net.add_device("c");
+  net.topo.add_link(a, b);
+  net.topo.add_link(b, c);
+  for (NodeId n = 0; n < 3; ++n) {
+    net.device(n).ospf.enabled = true;
+    net.device(n).ospf.advertise_loopback = false;
+  }
+  net.device(c).ospf.originated.push_back(*Prefix::parse("10.0.0.0/24"));
+  return net;
+}
+
+TEST(Policies, ReachabilityPassAndFail) {
+  Network net = line3();
+  {
+    Verifier v(net, {});
+    const ReachabilityPolicy p({0});
+    EXPECT_TRUE(v.verify(p).holds);
+  }
+  {
+    StaticRoute sr;
+    sr.dst = *Prefix::parse("10.0.0.0/24");
+    sr.drop = true;
+    net.device(1).statics.push_back(sr);
+    Verifier v(net, {});
+    const ReachabilityPolicy p({0});
+    const VerifyResult r = v.verify(p);
+    EXPECT_FALSE(r.holds);
+    EXPECT_NE(r.first_violation(net.topo).find("a"), std::string::npos);
+  }
+}
+
+TEST(Policies, BlackholeFreedom) {
+  Network net = line3();
+  {
+    Verifier v(net, {});
+    const BlackholeFreedomPolicy p({0, 1});
+    EXPECT_TRUE(v.verify(p).holds);
+  }
+  {
+    // Under one failure the line partitions: black hole appears.
+    VerifyOptions vo;
+    vo.explore.max_failures = 1;
+    Verifier v(net, vo);
+    const BlackholeFreedomPolicy p({0, 1});
+    EXPECT_FALSE(v.verify(p).holds);
+  }
+}
+
+TEST(Policies, BoundedPathLength) {
+  const Network net = line3();
+  Verifier v(net, {});
+  const BoundedPathLengthPolicy ok({0}, 2);
+  EXPECT_TRUE(v.verify(ok).holds);
+  const BoundedPathLengthPolicy tight({0}, 1);
+  EXPECT_FALSE(v.verify(tight).holds);
+}
+
+TEST(Policies, WaypointOnLine) {
+  const Network net = line3();
+  Verifier v(net, {});
+  const WaypointPolicy through_b({0}, {1});
+  EXPECT_TRUE(v.verify(through_b).holds);
+  const WaypointPolicy through_a({1}, {0});  // b's path to c never crosses a
+  EXPECT_FALSE(v.verify(through_a).holds);
+}
+
+TEST(Policies, MultipathConsistencyFailsOnDivergentEcmp) {
+  // Diamond: s -> {l, r} equal cost; r black-holes via a static drop while
+  // l delivers: ECMP branches disagree.
+  Network net;
+  const NodeId s = net.add_device("s");
+  const NodeId l = net.add_device("l");
+  const NodeId r = net.add_device("r");
+  const NodeId d = net.add_device("d");
+  net.topo.add_link(s, l, 1);
+  net.topo.add_link(s, r, 1);
+  net.topo.add_link(l, d, 1);
+  net.topo.add_link(r, d, 1);
+  for (NodeId n = 0; n < 4; ++n) {
+    net.device(n).ospf.enabled = true;
+    net.device(n).ospf.advertise_loopback = false;
+  }
+  net.device(d).ospf.originated.push_back(*Prefix::parse("10.0.0.0/24"));
+  {
+    Verifier v(net, {});
+    const MultipathConsistencyPolicy p({s});
+    EXPECT_TRUE(v.verify(p).holds) << "symmetric diamond is consistent";
+  }
+  {
+    StaticRoute drop;
+    drop.dst = *Prefix::parse("10.0.0.0/24");
+    drop.drop = true;
+    net.device(r).statics.push_back(drop);
+    Verifier v(net, {});
+    const MultipathConsistencyPolicy p({s});
+    EXPECT_FALSE(v.verify(p).holds);
+  }
+}
+
+TEST(Policies, PathConsistencyAcrossSymmetricDevices) {
+  FatTreeOptions o;
+  o.k = 4;
+  const FatTree ft = make_fat_tree(o);
+  // Edges of pods 1..3 are symmetric w.r.t. pod 0's first prefix.
+  {
+    Verifier v(ft.net, {});
+    const PathConsistencyPolicy p({ft.edge_at(1, 0), ft.edge_at(2, 0)});
+    EXPECT_TRUE(v.verify_address(ft.edge_prefixes[0].addr(), p).holds);
+  }
+  // Edge in the destination pod vs a remote pod: different path lengths.
+  {
+    Verifier v(ft.net, {});
+    const PathConsistencyPolicy p({ft.edge_at(0, 1), ft.edge_at(2, 0)});
+    EXPECT_FALSE(v.verify_address(ft.edge_prefixes[0].addr(), p).holds);
+  }
+}
+
+TEST(Policies, LoopPolicyConsidersAllSources) {
+  // The loop lives off the sources' paths; loop freedom must still fail.
+  Network net = line3();
+  const NodeId x = net.add_device("x");
+  const NodeId y = net.add_device("y");
+  net.topo.add_link(x, y);
+  net.topo.add_link(2, x);
+  net.device(x).ospf.enabled = true;
+  net.device(y).ospf.enabled = true;
+  StaticRoute sx;  // x and y point at each other for an unrelated prefix
+  sx.dst = *Prefix::parse("99.0.0.0/8");
+  sx.via_neighbor = y;
+  net.device(x).statics.push_back(sx);
+  StaticRoute sy;
+  sy.dst = *Prefix::parse("99.0.0.0/8");
+  sy.via_neighbor = x;
+  net.device(y).statics.push_back(sy);
+  Verifier v(net, {});
+  const LoopFreedomPolicy p;
+  const VerifyResult r = v.verify(p);
+  EXPECT_FALSE(r.holds);
+}
+
+TEST(Policies, ViolationCarriesTrailAndFailureSet) {
+  const Network net = make_ring(6);
+  VerifyOptions vo;
+  vo.explore.max_failures = 2;
+  Verifier v(net, vo);
+  const ReachabilityPolicy p({3});
+  const VerifyResult r = v.verify(p);
+  ASSERT_FALSE(r.holds);
+  ASSERT_FALSE(r.reports.empty());
+  const auto& violations = r.reports[0].result.violations;
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].failures.count(), 2u);
+  EXPECT_FALSE(violations[0].trail_text.empty());
+  EXPECT_NE(violations[0].trail_text.find("fail link"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace plankton

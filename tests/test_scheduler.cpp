@@ -1,0 +1,196 @@
+// Dependency graph, SCC condensation, outcome store, and the parallel
+// scheduler (paper §3.2).
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+#include "sched/deps.hpp"
+#include "sched/outcome_store.hpp"
+#include "workload/enterprise.hpp"
+
+namespace plankton {
+namespace {
+
+TEST(Deps, RecursiveStaticCreatesEdge) {
+  Network net;
+  const NodeId a = net.add_device("a", IpAddr(1, 1, 1, 1));
+  const NodeId b = net.add_device("b", IpAddr(2, 2, 2, 2));
+  net.topo.add_link(a, b);
+  net.device(a).ospf.enabled = true;
+  net.device(b).ospf.enabled = true;
+  StaticRoute sr;
+  sr.dst = *Prefix::parse("172.16.0.0/12");
+  sr.via_ip = IpAddr(2, 2, 2, 2);
+  net.device(a).statics.push_back(sr);
+  const PecSet pecs = compute_pecs(net);
+  const PecDependencies deps = compute_dependencies(net, pecs);
+  const PecId target = pecs.find(IpAddr(172, 16, 5, 5));
+  const PecId loopback = pecs.find(IpAddr(2, 2, 2, 2));
+  EXPECT_TRUE(deps.has_cross_pec_deps());
+  ASSERT_EQ(deps.depends_on[target].size(), 1u);
+  EXPECT_EQ(deps.depends_on[target][0], loopback);
+  EXPECT_EQ(deps.dependents[loopback], (std::vector<PecId>{target}));
+}
+
+TEST(Deps, SelfLoopDetected) {
+  // The paper's observed case: a static route whose next hop lies inside
+  // the prefix being matched.
+  Network net;
+  const NodeId a = net.add_device("a");
+  const NodeId b = net.add_device("b");
+  net.topo.add_link(a, b);
+  net.device(a).ospf.enabled = true;
+  net.device(b).ospf.enabled = true;
+  net.device(b).ospf.originated.push_back(*Prefix::parse("10.1.0.0/16"));
+  StaticRoute sr;
+  sr.dst = *Prefix::parse("10.0.0.0/8");
+  sr.via_ip = IpAddr(10, 1, 0, 1);  // inside 10/8
+  net.device(a).statics.push_back(sr);
+  const PecSet pecs = compute_pecs(net);
+  const PecDependencies deps = compute_dependencies(net, pecs);
+  const PecId p = pecs.find(IpAddr(10, 1, 0, 1));
+  EXPECT_TRUE(deps.self_loop[p] != 0);
+  // Self loops do not create SCCs of size > 1.
+  for (const auto& scc : deps.sccs) EXPECT_EQ(scc.size(), 1u);
+}
+
+TEST(Deps, ContrivedMutualStaticsFormScc) {
+  // The paper's footnote: static for A via IP in B and static for B via IP
+  // in A — an SCC larger than one PEC.
+  Network net;
+  const NodeId a = net.add_device("a");
+  const NodeId b = net.add_device("b");
+  net.topo.add_link(a, b);
+  StaticRoute sa;
+  sa.dst = *Prefix::parse("10.0.0.0/8");
+  sa.via_ip = IpAddr(20, 0, 0, 1);
+  net.device(a).statics.push_back(sa);
+  StaticRoute sb;
+  sb.dst = *Prefix::parse("20.0.0.0/8");
+  sb.via_ip = IpAddr(10, 0, 0, 1);
+  net.device(b).statics.push_back(sb);
+  const PecSet pecs = compute_pecs(net);
+  const PecDependencies deps = compute_dependencies(net, pecs);
+  const PecId pa = pecs.find(IpAddr(10, 0, 0, 1));
+  const PecId pb = pecs.find(IpAddr(20, 0, 0, 1));
+  EXPECT_EQ(deps.scc_of[pa], deps.scc_of[pb]) << "mutual deps must share an SCC";
+  bool found_big = false;
+  for (const auto& scc : deps.sccs) found_big = found_big || scc.size() == 2;
+  EXPECT_TRUE(found_big);
+}
+
+TEST(Deps, CondensationOrderPutsDependenciesFirst) {
+  const Enterprise ent = make_enterprise("II");
+  const PecSet pecs = compute_pecs(ent.net);
+  const PecDependencies deps = compute_dependencies(ent.net, pecs);
+  // Tarjan numbering invariant: every dependency SCC has a smaller id.
+  for (std::uint32_t s = 0; s < deps.scc_deps.size(); ++s) {
+    for (const std::uint32_t d : deps.scc_deps[s]) {
+      EXPECT_LT(d, s) << "dependencies must be numbered before dependents";
+    }
+  }
+}
+
+TEST(OutcomeStoreTest, MatchesByFailureSet) {
+  Network net;
+  net.add_device("a", IpAddr(1, 1, 1, 1));
+  const PecSet pecs = compute_pecs(net);
+  OutcomeStore store(net, pecs);
+  PecOutcome o1;
+  o1.failures = FailureSet(3);
+  o1.igp_cost = {0};
+  o1.dp.entries.resize(1);
+  o1.hash = 111;
+  PecOutcome o2 = o1;
+  o2.failures.fail(1);
+  o2.hash = 222;
+  std::vector<PecOutcome> outs;
+  outs.push_back(std::move(o1));
+  outs.push_back(std::move(o2));
+  store.put(0, std::move(outs));
+
+  const std::vector<PecId> deps{0};
+  FailureSet none(3);
+  auto combos = store.combos(deps, none);
+  ASSERT_EQ(combos.size(), 1u);
+  FailureSet one(3);
+  one.fail(1);
+  combos = store.combos(deps, one);
+  ASSERT_EQ(combos.size(), 1u);
+  FailureSet other(3);
+  other.fail(2);
+  EXPECT_TRUE(store.combos(deps, other).empty())
+      << "no outcome recorded under this failure set";
+}
+
+TEST(OutcomeStoreTest, CrossProductOverMultipleDeps) {
+  Network net;
+  net.add_device("a", IpAddr(1, 1, 1, 1));
+  net.add_device("b", IpAddr(2, 2, 2, 2));
+  const PecSet pecs = compute_pecs(net);
+  OutcomeStore store(net, pecs);
+  auto mk = [](std::uint64_t h) {
+    PecOutcome o;
+    o.failures = FailureSet(1);
+    o.igp_cost = {0, 0};
+    o.dp.entries.resize(2);
+    o.hash = h;
+    return o;
+  };
+  {
+    std::vector<PecOutcome> v;
+    v.push_back(mk(1));
+    v.push_back(mk(2));
+    store.put(0, std::move(v));
+  }
+  {
+    std::vector<PecOutcome> v;
+    v.push_back(mk(3));
+    store.put(1, std::move(v));
+  }
+  const std::vector<PecId> deps{0, 1};
+  const auto combos = store.combos(deps, FailureSet(1));
+  EXPECT_EQ(combos.size(), 2u) << "2 x 1 outcome combinations";
+  EXPECT_NE(combos[0]->outcome_hash(), combos[1]->outcome_hash());
+}
+
+TEST(Scheduler, SupportPecsAreNotPolicyChecked) {
+  const Enterprise ent = make_enterprise("VII");
+  VerifyOptions vo;
+  Verifier v(ent.net, vo);
+  // Verify only the DC prefix (reached via recursive statics): its loopback
+  // dependencies run as support PECs.
+  const ReachabilityPolicy policy({ent.access.front()});
+  const VerifyResult r = v.verify_address(IpAddr(10, 200, 0, 1), policy);
+  EXPECT_EQ(r.pecs_verified, 1u);
+  EXPECT_GT(r.pecs_support, 0u);
+  for (const auto& rep : r.reports) {
+    EXPECT_NE(rep.pec_str.find("("), std::string::npos);
+  }
+}
+
+TEST(Scheduler, ParallelAndSerialAgreeOnEnterprise) {
+  const Enterprise ent = make_enterprise("V");
+  const LoopFreedomPolicy policy;
+  VerifyOptions serial;
+  serial.cores = 1;
+  VerifyOptions parallel;
+  parallel.cores = 8;
+  const VerifyResult a = Verifier(ent.net, serial).verify(policy);
+  const VerifyResult b = Verifier(ent.net, parallel).verify(policy);
+  EXPECT_EQ(a.holds, b.holds);
+  EXPECT_EQ(a.pecs_verified, b.pecs_verified);
+}
+
+TEST(Scheduler, WallLimitStopsGracefully) {
+  const Enterprise ent = make_enterprise("III");
+  VerifyOptions vo;
+  vo.explore.max_failures = 2;  // expensive
+  vo.wall_limit = std::chrono::milliseconds(30);
+  Verifier v(ent.net, vo);
+  const LoopFreedomPolicy policy;
+  const VerifyResult r = v.verify(policy);
+  EXPECT_TRUE(r.timed_out);
+}
+
+}  // namespace
+}  // namespace plankton

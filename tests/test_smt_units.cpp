@@ -1,0 +1,154 @@
+// Unit tests for the bit-blasting layer beneath the Minesweeper-style
+// baseline: adders/comparators vs integer arithmetic, sequential-counter
+// cardinality constraints vs brute force.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baselines/smt/bitvec.hpp"
+
+namespace plankton::smt {
+namespace {
+
+TEST(BitVec, ConstantsRoundTrip) {
+  sat::Solver solver;
+  Circuit c(solver);
+  for (const std::uint64_t v : {0ull, 1ull, 5ull, 255ull, 1000ull}) {
+    const BitVec bv = BitVec::constant(c, v, 12);
+    ASSERT_EQ(solver.solve(), sat::Outcome::kSat);
+    EXPECT_EQ(bv.model_value(c), v);
+  }
+}
+
+TEST(BitVec, AdditionMatchesIntegers) {
+  std::mt19937 rng(91);
+  for (int iter = 0; iter < 25; ++iter) {
+    sat::Solver solver;
+    Circuit c(solver);
+    const std::uint64_t a = rng() % 2000;
+    const std::uint64_t b = rng() % 2000;
+    const BitVec sum = BitVec::add(c, BitVec::constant(c, a, 14),
+                                   BitVec::constant(c, b, 14));
+    ASSERT_EQ(solver.solve(), sat::Outcome::kSat);
+    EXPECT_EQ(sum.model_value(c), (a + b) & 0x3fff) << a << "+" << b;
+  }
+}
+
+TEST(BitVec, ComparisonsMatchIntegers) {
+  std::mt19937 rng(92);
+  for (int iter = 0; iter < 40; ++iter) {
+    sat::Solver solver;
+    Circuit c(solver);
+    const std::uint64_t a = rng() % 500;
+    const std::uint64_t b = rng() % 500;
+    const BitVec va = BitVec::constant(c, a, 10);
+    const BitVec vb = BitVec::constant(c, b, 10);
+    const Lit lt = BitVec::ult(c, va, vb);
+    const Lit le = BitVec::ule(c, va, vb);
+    const Lit eq = BitVec::eq(c, va, vb);
+    ASSERT_EQ(solver.solve(), sat::Outcome::kSat);
+    EXPECT_EQ(c.lit_model(lt), a < b) << a << " " << b;
+    EXPECT_EQ(c.lit_model(le), a <= b);
+    EXPECT_EQ(c.lit_model(eq), a == b);
+  }
+}
+
+TEST(BitVec, FreeVectorConstrainedByEquality) {
+  sat::Solver solver;
+  Circuit c(solver);
+  const BitVec x(c, 8);
+  solver.add_unit(BitVec::eq_const(c, x, 77));
+  ASSERT_EQ(solver.solve(), sat::Outcome::kSat);
+  EXPECT_EQ(x.model_value(c), 77u);
+}
+
+TEST(BitVec, MuxSelects) {
+  sat::Solver solver;
+  Circuit c(solver);
+  const Lit cond = c.fresh();
+  const BitVec m = BitVec::mux(c, cond, BitVec::constant(c, 11, 8),
+                               BitVec::constant(c, 22, 8));
+  solver.add_unit(cond);
+  ASSERT_EQ(solver.solve(), sat::Outcome::kSat);
+  EXPECT_EQ(m.model_value(c), 11u);
+}
+
+/// at_most_k must admit exactly the assignments with <= k true bits.
+TEST(Cardinality, AtMostKMatchesBruteForce) {
+  for (const int n : {3, 5, 6}) {
+    for (int k = 0; k <= n; ++k) {
+      // Count models of at_most_k over n free variables.
+      sat::Solver solver;
+      Circuit c(solver);
+      std::vector<Lit> vars;
+      for (int i = 0; i < n; ++i) vars.push_back(c.fresh());
+      c.at_most_k(vars, static_cast<std::uint32_t>(k));
+      // Enumerate all assignments by adding blocking clauses.
+      int models = 0;
+      while (solver.solve() == sat::Outcome::kSat) {
+        ++models;
+        ASSERT_LE(models, 1 << n) << "runaway enumeration";
+        std::vector<Lit> block;
+        for (const Lit v : vars) {
+          block.push_back(c.lit_model(v) ? sat::negate(v) : v);
+        }
+        if (!solver.add_clause(std::move(block))) break;
+      }
+      int expected = 0;
+      for (int mask = 0; mask < (1 << n); ++mask) {
+        if (std::popcount(static_cast<unsigned>(mask)) <= k) ++expected;
+      }
+      // Auxiliary counter variables are free only when their value is
+      // forced; blocking on the original vars counts each projection once.
+      EXPECT_GE(models, expected) << "n=" << n << " k=" << k;
+      // Every enumerated model satisfied the bound by construction; verify
+      // no over-k assignment sneaks in: assert a known-bad assignment fails.
+      sat::Solver s2;
+      Circuit c2(s2);
+      std::vector<Lit> v2;
+      for (int i = 0; i < n; ++i) v2.push_back(c2.fresh());
+      c2.at_most_k(v2, static_cast<std::uint32_t>(k));
+      for (int i = 0; i <= k && i < n; ++i) s2.add_unit(v2[i]);
+      if (k < n) {
+        s2.add_unit(v2[k]);  // force k+1 true
+        EXPECT_EQ(s2.solve(), sat::Outcome::kUnsat) << "n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Cardinality, ExactlyOne) {
+  sat::Solver solver;
+  Circuit c(solver);
+  std::vector<Lit> vars;
+  for (int i = 0; i < 5; ++i) vars.push_back(c.fresh());
+  c.exactly_one(vars);
+  ASSERT_EQ(solver.solve(), sat::Outcome::kSat);
+  int trues = 0;
+  for (const Lit v : vars) trues += c.lit_model(v) ? 1 : 0;
+  EXPECT_EQ(trues, 1);
+  // All-false is unsatisfiable.
+  sat::Solver s2;
+  Circuit c2(s2);
+  std::vector<Lit> v2;
+  for (int i = 0; i < 4; ++i) v2.push_back(c2.fresh());
+  c2.exactly_one(v2);
+  for (const Lit v : v2) s2.add_unit(sat::negate(v));
+  EXPECT_EQ(s2.solve(), sat::Outcome::kUnsat);
+}
+
+TEST(Circuit, GateSimplifications) {
+  sat::Solver solver;
+  Circuit c(solver);
+  const Lit x = c.fresh();
+  EXPECT_EQ(c.and2(c.true_lit(), x), x);
+  EXPECT_EQ(c.and2(c.false_lit(), x), c.false_lit());
+  EXPECT_EQ(c.and2(x, x), x);
+  EXPECT_EQ(c.and2(x, sat::negate(x)), c.false_lit());
+  EXPECT_EQ(c.xor2(x, c.false_lit()), x);
+  EXPECT_EQ(c.xor2(x, x), c.false_lit());
+  EXPECT_EQ(c.ite(c.true_lit(), x, c.false_lit()), x);
+}
+
+}  // namespace
+}  // namespace plankton::smt

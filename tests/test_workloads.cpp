@@ -1,0 +1,158 @@
+// Workload generators: structural invariants the benches rely on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pec/pec.hpp"
+#include "sched/deps.hpp"
+#include "workload/as_topo.hpp"
+#include "workload/enterprise.hpp"
+#include "workload/fat_tree.hpp"
+#include "workload/ring.hpp"
+
+namespace plankton {
+namespace {
+
+TEST(FatTreeGen, SizesMatchFormula) {
+  for (const int k : {4, 6, 8, 10}) {
+    FatTreeOptions o;
+    o.k = k;
+    const FatTree ft = make_fat_tree(o);
+    EXPECT_EQ(ft.size(), fat_tree_size(k));
+    EXPECT_EQ(ft.size(), static_cast<std::size_t>(5 * k * k / 4));
+    EXPECT_EQ(ft.edges.size(), static_cast<std::size_t>(k * k / 2));
+    EXPECT_EQ(ft.aggs.size(), static_cast<std::size_t>(k * k / 2));
+    EXPECT_EQ(ft.cores.size(), static_cast<std::size_t>(k * k / 4));
+    // Links: pods k*(k/2)^2 + core k*(k/2)^2.
+    EXPECT_EQ(ft.net.topo.link_count(),
+              static_cast<std::size_t>(2 * k * (k / 2) * (k / 2)));
+  }
+  // The paper's N values: 20, 45, 80, 125, 180, 245, 320, 500, 2205.
+  EXPECT_EQ(fat_tree_size(4), 20u);
+  EXPECT_EQ(fat_tree_size(6), 45u);
+  EXPECT_EQ(fat_tree_size(14), 245u);
+  EXPECT_EQ(fat_tree_size(42), 2205u);
+  EXPECT_EQ(fat_tree_k_for(245), 14);
+  EXPECT_EQ(fat_tree_k_for(246), 16);
+}
+
+TEST(FatTreeGen, EveryEdgeHasUniquePrefix) {
+  FatTreeOptions o;
+  o.k = 6;
+  const FatTree ft = make_fat_tree(o);
+  ASSERT_EQ(ft.edge_prefixes.size(), ft.edges.size());
+  std::set<Prefix> unique(ft.edge_prefixes.begin(), ft.edge_prefixes.end());
+  EXPECT_EQ(unique.size(), ft.edge_prefixes.size());
+  for (std::size_t i = 0; i < ft.edges.size(); ++i) {
+    const auto& originated = ft.net.device(ft.edges[i]).ospf.originated;
+    ASSERT_EQ(originated.size(), 1u);
+    EXPECT_EQ(originated[0], ft.edge_prefixes[i]);
+  }
+}
+
+TEST(FatTreeGen, MatchingStaticsAgreeWithOspf) {
+  FatTreeOptions o;
+  o.k = 4;
+  o.statics = FatTreeOptions::CoreStatics::kMatching;
+  const FatTree ft = make_fat_tree(o);
+  // Each core has one static per edge prefix, pointing at an agg adjacent
+  // to it in the destination pod.
+  for (const NodeId core : ft.cores) {
+    const auto& statics = ft.net.device(core).statics;
+    EXPECT_EQ(statics.size(), ft.edge_prefixes.size());
+    for (const auto& sr : statics) {
+      EXPECT_NE(ft.net.topo.find_link(core, sr.via_neighbor), kNoLink)
+          << "static next hop must be adjacent";
+    }
+  }
+}
+
+TEST(FatTreeGen, Rfc7938SessionsAreSymmetricAndPerLink) {
+  FatTreeOptions o;
+  o.k = 4;
+  o.routing = FatTreeOptions::Routing::kBgpRfc7938;
+  const FatTree ft = make_fat_tree(o);
+  EXPECT_TRUE(ft.net.validate().empty());
+  std::size_t sessions = 0;
+  std::set<std::uint32_t> asns;
+  for (const auto& dev : ft.net.devices) {
+    ASSERT_TRUE(dev.bgp.has_value());
+    sessions += dev.bgp->sessions.size();
+    asns.insert(dev.bgp->asn);
+  }
+  EXPECT_EQ(sessions, 2 * ft.net.topo.link_count());
+  EXPECT_EQ(asns.size(), ft.size()) << "one private ASN per device";
+}
+
+TEST(AsTopoGen, PublishedNodeCounts) {
+  for (const auto& info : rocketfuel_ases()) {
+    const AsTopo topo = make_as_topo(info.name);
+    EXPECT_EQ(topo.net.topo.node_count(), static_cast<std::size_t>(info.nodes))
+        << info.name;
+    EXPECT_EQ(topo.loopbacks.size(), topo.net.topo.node_count());
+  }
+  EXPECT_THROW(make_as_topo("AS9999"), std::invalid_argument);
+}
+
+TEST(AsTopoGen, DeterministicForName) {
+  const AsTopo a = make_as_topo("AS1755");
+  const AsTopo b = make_as_topo("AS1755");
+  ASSERT_EQ(a.net.topo.link_count(), b.net.topo.link_count());
+  for (LinkId l = 0; l < a.net.topo.link_count(); ++l) {
+    EXPECT_EQ(a.net.topo.link(l).a, b.net.topo.link(l).a);
+    EXPECT_EQ(a.net.topo.link(l).cost_ab, b.net.topo.link(l).cost_ab);
+  }
+}
+
+TEST(AsTopoGen, BackboneIsBiconnectedEnough) {
+  const AsTopo topo = make_as_topo("AS3967");
+  // Every backbone node has degree >= 2 (ring + chords).
+  for (const NodeId b : topo.backbone) {
+    EXPECT_GE(topo.net.topo.neighbors(b).size(), 2u);
+  }
+}
+
+TEST(EnterpriseGen, PaperDeviceCounts) {
+  for (const auto& info : enterprise_networks()) {
+    const Enterprise ent = make_enterprise(info.name);
+    EXPECT_EQ(ent.net.topo.node_count(), static_cast<std::size_t>(info.devices))
+        << info.name;
+    EXPECT_TRUE(ent.net.validate().empty()) << info.name;
+  }
+}
+
+TEST(EnterpriseGen, LargeNetworksHaveRecursiveRouting) {
+  const Enterprise ent = make_enterprise("II");
+  bool recursive_static = false;
+  for (const auto& dev : ent.net.devices) {
+    for (const auto& sr : dev.statics) recursive_static |= sr.via_ip.has_value();
+  }
+  EXPECT_TRUE(recursive_static) << "the paper's configs use recursive routing";
+  EXPECT_TRUE(ent.has_ibgp);
+  const PecSet pecs = compute_pecs(ent.net);
+  const PecDependencies deps = compute_dependencies(ent.net, pecs);
+  EXPECT_TRUE(deps.has_cross_pec_deps());
+  bool self_loop = false;
+  for (const auto s : deps.self_loop) self_loop |= s != 0;
+  EXPECT_TRUE(self_loop) << "the paper observed self-loop PEC dependencies";
+}
+
+TEST(EnterpriseGen, TinyNetworksStillValid) {
+  for (const char* name : {"VI", "IX"}) {
+    const Enterprise ent = make_enterprise(name);
+    EXPECT_TRUE(ent.net.validate().empty());
+    EXPECT_FALSE(ent.subnets.empty());
+  }
+}
+
+TEST(RingGen, Structure) {
+  const Network net = make_ring(8);
+  EXPECT_EQ(net.topo.node_count(), 8u);
+  EXPECT_EQ(net.topo.link_count(), 8u);
+  for (NodeId n = 0; n < 8; ++n) {
+    EXPECT_EQ(net.topo.neighbors(n).size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace plankton
