@@ -51,6 +51,37 @@ int main() {
                 bench::time_cell(r.wall, r.timed_out).c_str(),
                 bench::mb(r.total.model_bytes()), r.holds ? "" : "VERDICT MISMATCH");
   }
+  // Scheduler comparison: the same all-PEC loop check at 8 workers, the
+  // work-stealing deques vs the seed's single-ready-list fixed pool.
+  std::printf("\n%-10s %-14s %16s %10s\n", "N", "scheduler", "time",
+              "speedup");
+  for (const int k : ks) {
+    FatTreeOptions o;
+    o.k = k;
+    const FatTree ft = make_fat_tree(o);
+    const LoopFreedomPolicy policy;
+    double ms_by_kind[2] = {0, 0};
+    for (const auto kind : {sched::SchedulerKind::kFixedPool,
+                            sched::SchedulerKind::kWorkStealing}) {
+      VerifyOptions vo;
+      vo.cores = 8;
+      vo.scheduler = kind;
+      Verifier verifier(ft.net, vo);
+      const VerifyResult r = verifier.verify(policy);
+      const bool stealing = kind == sched::SchedulerKind::kWorkStealing;
+      ms_by_kind[stealing ? 1 : 0] = bench::ms(r.wall);
+      char speedup[32] = "";
+      if (stealing && ms_by_kind[1] > 0) {
+        std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                      ms_by_kind[0] / ms_by_kind[1]);
+      }
+      std::printf("N=%-8zu %-14s %16s %10s %s\n", ft.size(),
+                  sched::to_string(kind),
+                  bench::time_cell(r.wall, r.timed_out).c_str(), speedup,
+                  r.holds ? "" : "VERDICT MISMATCH");
+    }
+  }
+
   std::printf(
       "\npaper_shape: loop checks scale polynomially to thousand-device "
       "fabrics; single-IP reachability is far cheaper than all-PEC loop "

@@ -24,7 +24,8 @@ void run_case(const char* label, const Network& net, const Policy& policy,
   std::uint64_t states[2] = {0, 0};
   for (const bool bitstate : {false, true}) {
     VerifyOptions vo = base;
-    vo.explore.bitstate = bitstate;
+    vo.explore.visited =
+        bitstate ? VisitedKind::kBitstate : VisitedKind::kExact;
     vo.explore.bloom_bits = std::size_t{1} << 22;
     vo.explore.max_states = state_cap;
     Verifier verifier(net, vo);

@@ -3,7 +3,7 @@
 // hash-compacted visited set and the bitstate Bloom filter.
 #include <benchmark/benchmark.h>
 
-#include "checker/visited.hpp"
+#include "engine/visited.hpp"
 #include "netbase/hash.hpp"
 #include "protocols/route.hpp"
 

@@ -15,6 +15,10 @@
 //   --address <ip>     verify only the PEC containing <ip> (default: all)
 //   --all-violations   keep searching after the first counterexample
 //   --trails           print counterexample event traces
+//   --visited <kind>   visited backend: exact | hash-compact | bitstate
+//   --scheduler <s>    PEC scheduler: steal (work-stealing) | pool (fixed)
+//   --simulation       follow one execution path (Batfish-style; may miss
+//                      order-dependent violations)
 //
 // Exit code: 0 = policy holds, 1 = violated, 2 = usage/config error.
 #include <cstdio>
@@ -46,7 +50,9 @@ std::vector<NodeId> parse_node_list(const Network& net, const std::string& arg) 
 int usage() {
   std::fprintf(stderr,
                "usage: plankton_verify <config> <policy> [args] [--failures k] "
-               "[--cores n] [--address ip] [--all-violations] [--trails]\n"
+               "[--cores n] [--address ip] [--all-violations] [--trails] "
+               "[--visited exact|hash-compact|bitstate] [--scheduler steal|pool] "
+               "[--simulation]\n"
                "policies: reach <srcs> | loop | blackhole [srcs] | "
                "bounded <limit> <srcs> | waypoint <srcs> <wps>\n");
   return 2;
@@ -89,6 +95,28 @@ int main(int argc, char** argv) {
         opts.explore.find_all_violations = true;
       } else if (arg == "--trails") {
         trails = true;
+      } else if (arg == "--simulation") {
+        opts.explore.simulation = true;
+      } else if (arg == "--visited" && i + 1 < argc) {
+        const std::string kind = argv[++i];
+        if (kind == "exact") {
+          opts.explore.visited = VisitedKind::kExact;
+        } else if (kind == "hash-compact") {
+          opts.explore.visited = VisitedKind::kHashCompact;
+        } else if (kind == "bitstate") {
+          opts.explore.visited = VisitedKind::kBitstate;
+        } else {
+          throw std::runtime_error("bad --visited '" + kind + "'");
+        }
+      } else if (arg == "--scheduler" && i + 1 < argc) {
+        const std::string s = argv[++i];
+        if (s == "steal") {
+          opts.scheduler = sched::SchedulerKind::kWorkStealing;
+        } else if (s == "pool") {
+          opts.scheduler = sched::SchedulerKind::kFixedPool;
+        } else {
+          throw std::runtime_error("bad --scheduler '" + s + "'");
+        }
       } else if (arg.rfind("--", 0) == 0) {
         return usage();
       } else {

@@ -2,9 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
-#include <thread>
 
 #include "sched/outcome_store.hpp"
 
@@ -25,7 +22,6 @@ class TruePolicy final : public Policy {
 struct SccTask {
   std::uint32_t scc = 0;
   std::vector<PecId> pecs;
-  std::size_t waiting_on = 0;  ///< unfinished dependency SCCs
   bool is_target = false;      ///< contains at least one policy-checked PEC
 };
 
@@ -95,13 +91,15 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
   }
   result.scc_count = tasks.size();
 
-  std::vector<std::vector<std::size_t>> scc_dependents(tasks.size());
+  sched::TaskGraph graph;
+  graph.dependents.resize(tasks.size());
+  graph.waiting_on.assign(tasks.size(), 0);
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     for (const std::uint32_t dep : deps_.scc_deps[tasks[i].scc]) {
       const std::int32_t j = task_of_scc[dep];
       if (j < 0) continue;  // dependency not needed => its pecs carry no info
-      ++tasks[i].waiting_on;
-      scc_dependents[static_cast<std::size_t>(j)].push_back(i);
+      ++graph.waiting_on[i];
+      graph.dependents[static_cast<std::size_t>(j)].push_back(i);
     }
     if (tasks[i].pecs.size() > 1) result.unsupported_scc = true;
   }
@@ -110,17 +108,9 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
   TruePolicy true_policy;
   const bool cross_deps = deps_.has_cross_pec_deps();
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<std::size_t> ready;
-  std::size_t unfinished = tasks.size();
   std::atomic<bool> stop{false};
   const bool has_wall_limit = opts_.wall_limit.count() > 0;
   const auto wall_deadline = start + opts_.wall_limit;
-
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    if (tasks[i].waiting_on == 0) ready.push_back(i);
-  }
 
   auto run_pec = [&](PecId pec_id, bool target) -> PecReport {
     const Pec& pec = pecs_.pecs[pec_id];
@@ -159,57 +149,45 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
     return rep;
   };
 
-  auto worker = [&] {
-    while (true) {
-      std::size_t task_idx;
-      {
-        std::unique_lock lock(mu);
-        cv.wait(lock, [&] { return !ready.empty() || unfinished == 0; });
-        if (ready.empty()) return;
-        task_idx = ready.back();
-        ready.pop_back();
-      }
-      SccTask& task = tasks[task_idx];
-      std::vector<PecReport> reports;
-      if (!stop.load(std::memory_order_relaxed)) {
+  // Result aggregation is lock-free: each worker appends to its own buffer
+  // (the scheduler never runs two bodies on one worker concurrently) and the
+  // buffers are merged after the join. Only the early-stop flag is shared.
+  const int threads = std::max(1, opts_.cores);
+  struct WorkerBuffer {
+    std::vector<PecReport> reports;
+  };
+  std::vector<WorkerBuffer> buffers(static_cast<std::size_t>(threads));
+
+  sched::run_task_graph(
+      opts_.scheduler, threads, graph,
+      [&](std::size_t task_idx, int worker) {
+        const SccTask& task = tasks[task_idx];
+        if (stop.load(std::memory_order_relaxed)) return;
         // SCCs are verified as one unit; our prototype runs multi-PEC SCCs
         // sequentially (the paper expects them to "almost never" occur).
         for (const PecId p : task.pecs) {
-          reports.push_back(run_pec(p, task.is_target && is_target[p] != 0));
-        }
-      }
-      {
-        std::scoped_lock lock(mu);
-        for (auto& rep : reports) {
-          result.total.absorb(rep.result.stats);
-          if (rep.result.timed_out) result.timed_out = true;
-          if (!rep.result.holds) {
-            result.holds = false;
-            if (!opts_.explore.find_all_violations) {
-              stop.store(true, std::memory_order_relaxed);
-            }
+          PecReport rep = run_pec(p, task.is_target && is_target[p] != 0);
+          if (!rep.result.holds && !opts_.explore.find_all_violations) {
+            stop.store(true, std::memory_order_relaxed);
           }
-          if (is_target[rep.pec] != 0) {
-            ++result.pecs_verified;
-            result.reports.push_back(std::move(rep));
-          } else {
-            ++result.pecs_support;
-          }
+          buffers[static_cast<std::size_t>(worker)].reports.push_back(
+              std::move(rep));
         }
-        for (const std::size_t dep_idx : scc_dependents[task_idx]) {
-          if (--tasks[dep_idx].waiting_on == 0) ready.push_back(dep_idx);
-        }
-        --unfinished;
-      }
-      cv.notify_all();
-    }
-  };
+      });
 
-  const int threads = std::max(1, opts_.cores);
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
+  for (auto& buf : buffers) {
+    for (auto& rep : buf.reports) {
+      result.total.absorb(rep.result.stats);
+      if (rep.result.timed_out) result.timed_out = true;
+      if (!rep.result.holds) result.holds = false;
+      if (is_target[rep.pec] != 0) {
+        ++result.pecs_verified;
+        result.reports.push_back(std::move(rep));
+      } else {
+        ++result.pecs_support;
+      }
+    }
+  }
 
   std::sort(result.reports.begin(), result.reports.end(),
             [](const PecReport& x, const PecReport& y) { return x.pec < y.pec; });

@@ -20,12 +20,16 @@
 #include "policy/policy.hpp"
 #include "rpvp/explorer.hpp"
 #include "sched/deps.hpp"
+#include "sched/work_stealing.hpp"
 
 namespace plankton {
 
 struct VerifyOptions {
   ExploreOptions explore;
   int cores = 1;                             ///< worker threads for PEC runs
+  /// Parallel strategy for the SCC task graph; kFixedPool is the baseline
+  /// single-ready-list pool kept for comparison.
+  sched::SchedulerKind scheduler = sched::SchedulerKind::kWorkStealing;
   std::chrono::milliseconds wall_limit{0};   ///< 0 = none (whole verification)
 };
 

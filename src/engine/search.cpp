@@ -1,0 +1,82 @@
+#include "engine/search.hpp"
+
+namespace plankton {
+namespace {
+
+/// Depth-first search over the model's move tree. `branch_limit` caps how
+/// many moves are taken per state: unlimited for the exhaustive check, one
+/// for single-execution simulation.
+class DfsEngine : public SearchEngine {
+ public:
+  explicit DfsEngine(std::size_t branch_limit = SIZE_MAX)
+      : branch_limit_(branch_limit) {}
+
+  [[nodiscard]] const char* name() const override { return "dfs"; }
+
+  SearchFlow search(SearchModel& model, std::size_t phase) override {
+    if (model.budget_exhausted()) return SearchFlow::kStop;
+    if (!model.mark_visited(phase)) return SearchFlow::kContinue;
+    // Reuse one move buffer per recursion level instead of allocating per
+    // state. The buffer is moved out of the pool while in use, so nested
+    // search() calls (recursion below, or advance() re-entering the engine
+    // for the next phase) can never alias it; they are given deeper slots.
+    if (pool_.size() <= depth_) pool_.emplace_back();
+    std::vector<SearchMove> moves = std::move(pool_[depth_]);
+    moves.clear();
+    ++depth_;
+    SearchFlow flow = SearchFlow::kContinue;
+    switch (model.expand(phase, moves, branch_limit_)) {
+      case SearchModel::Step::kPruned:
+        break;
+      case SearchModel::Step::kConverged:
+        flow = model.advance(phase);
+        break;
+      case SearchModel::Step::kBranch: {
+        const std::size_t take =
+            moves.size() < branch_limit_ ? moves.size() : branch_limit_;
+        for (std::size_t i = 0; i < take; ++i) {
+          model.apply(phase, moves[i]);
+          flow = search(model, phase);
+          model.undo(phase, moves[i]);
+          if (flow == SearchFlow::kStop) break;
+        }
+        break;
+      }
+    }
+    --depth_;
+    pool_[depth_] = std::move(moves);
+    return flow;
+  }
+
+ private:
+  std::size_t branch_limit_;
+  std::size_t depth_ = 0;
+  std::vector<std::vector<SearchMove>> pool_;
+};
+
+class SingleExecutionEngine final : public DfsEngine {
+ public:
+  SingleExecutionEngine() : DfsEngine(1) {}
+  [[nodiscard]] const char* name() const override { return "single-execution"; }
+};
+
+}  // namespace
+
+const char* to_string(SearchEngineKind kind) {
+  switch (kind) {
+    case SearchEngineKind::kDfs: return "dfs";
+    case SearchEngineKind::kSingleExecution: return "single-execution";
+  }
+  return "?";
+}
+
+std::unique_ptr<SearchEngine> make_search_engine(SearchEngineKind kind) {
+  switch (kind) {
+    case SearchEngineKind::kDfs: return std::make_unique<DfsEngine>();
+    case SearchEngineKind::kSingleExecution:
+      return std::make_unique<SingleExecutionEngine>();
+  }
+  return std::make_unique<DfsEngine>();
+}
+
+}  // namespace plankton

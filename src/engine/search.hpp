@@ -1,0 +1,101 @@
+// Pluggable exploration strategies for the per-prefix RPVP search.
+//
+// The protocol-semantics side (the RPVP model in src/rpvp/) exposes itself
+// as a SearchModel: it can classify the current state of a phase (pruned /
+// converged / branching, producing the reduced move set after §4.1–§4.2
+// partial-order and policy optimizations), apply and undo single moves in
+// place, and advance to the next phase when a phase converges. A
+// SearchEngine owns only the *order* in which that move tree is walked:
+//
+//   kDfs              exhaustive depth-first search — the paper's strategy;
+//   kSingleExecution  follows the first move at every branch point: one
+//                     non-deterministic execution, i.e. Batfish-style
+//                     simulation (paper Fig. 1, "all data planes" row).
+//
+// Frontier-based strategies (BFS over codec-encoded states, randomized
+// restarts) slot in behind the same interface without touching protocol
+// semantics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netbase/topology.hpp"
+#include "protocols/route.hpp"
+
+namespace plankton {
+
+enum class SearchFlow : std::uint8_t { kContinue, kStop };
+
+/// One transition of the per-phase RPVP state machine.
+struct SearchMove {
+  enum class Kind : std::uint8_t {
+    kSelect,    ///< node adopts an advertised route
+    kWithdraw,  ///< invalid node with no replacement drops its route
+  };
+  Kind kind = Kind::kSelect;
+  NodeId node = kNoNode;
+  NodeId peer = kNoNode;        ///< advertising peer (kNoNode when merged)
+  RouteId route = kNoRoute;
+  RouteId prev = kNoRoute;      ///< filled by apply(); consumed by undo()
+};
+
+/// The model side of the search: protocol semantics + pruning, no strategy.
+class SearchModel {
+ public:
+  enum class Step : std::uint8_t {
+    kPruned,     ///< state is inconsistent / subsumed — do not expand
+    kConverged,  ///< no enabled moves (or outcome already decided, §4.2)
+    kBranch,     ///< expand the returned moves
+  };
+
+  virtual ~SearchModel() = default;
+
+  /// True when a global budget (states, wall clock) is exhausted; the
+  /// engine must unwind with kStop.
+  virtual bool budget_exhausted() = 0;
+
+  /// Records the current state of `phase` in the visited backend; false
+  /// when it was already seen (the engine skips it).
+  virtual bool mark_visited(std::size_t phase) = 0;
+
+  /// Classifies the current state and, for kBranch, fills `moves` with the
+  /// reduced branching choices in preference order. `move_budget` is how
+  /// many moves the engine will actually take: the model may stop
+  /// enumerating once it has that many (single-execution engines pass 1, so
+  /// a simulated step costs O(1) in frontier width, not O(enabled)).
+  virtual Step expand(std::size_t phase, std::vector<SearchMove>& moves,
+                      std::size_t move_budget) = 0;
+
+  /// Applies / reverts one move in place. apply() stores the information
+  /// undo() needs in `m.prev`.
+  virtual void apply(std::size_t phase, SearchMove& m) = 0;
+  virtual void undo(std::size_t phase, const SearchMove& m) = 0;
+
+  /// Called when `phase` converged: runs the next phase (re-entering the
+  /// engine) or, after the last phase, the converged-state handler.
+  virtual SearchFlow advance(std::size_t phase) = 0;
+};
+
+class SearchEngine {
+ public:
+  virtual ~SearchEngine() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Exhausts (per strategy) the move tree of `phase` from the model's
+  /// current in-place state. Must leave the model state as it found it.
+  virtual SearchFlow search(SearchModel& model, std::size_t phase) = 0;
+};
+
+enum class SearchEngineKind : std::uint8_t {
+  kDfs = 0,
+  kSingleExecution = 1,
+};
+
+[[nodiscard]] const char* to_string(SearchEngineKind kind);
+
+[[nodiscard]] std::unique_ptr<SearchEngine> make_search_engine(
+    SearchEngineKind kind);
+
+}  // namespace plankton

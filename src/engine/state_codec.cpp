@@ -1,0 +1,24 @@
+#include "engine/state_codec.hpp"
+
+namespace plankton {
+
+void StateCodec::reset(std::size_t phases) {
+  rib_hash_.assign(phases, 0);
+  ctx_hash_.assign(phases + 1, 0);
+}
+
+void StateCodec::begin_root(std::uint64_t failures_hash,
+                            std::uint64_t upstream_hash) {
+  ctx_hash_[0] =
+      hash_combine(hash_combine(failures_hash, 0x9c0ffee), upstream_hash);
+}
+
+void StateCodec::begin_phase(std::size_t t) {
+  if (t > 0) {
+    ctx_hash_[t] =
+        hash_combine(ctx_hash_[t - 1], hash_combine(rib_hash_[t - 1], 0xbeef));
+  }
+  rib_hash_[t] = 0;
+}
+
+}  // namespace plankton

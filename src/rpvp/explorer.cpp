@@ -6,14 +6,6 @@
 #include "protocols/ospf.hpp"
 
 namespace plankton {
-namespace {
-
-/// Zobrist contribution of (node, route) to the order-independent rib hash.
-std::uint64_t zob(NodeId n, RouteId r) {
-  return hash_mix((std::uint64_t{n} << 32) ^ r ^ 0xabcd1234u);
-}
-
-}  // namespace
 
 std::vector<PrefixTask> make_tasks(const Network& net, const Pec& pec) {
   std::vector<PrefixTask> tasks;
@@ -46,7 +38,9 @@ Explorer::Explorer(const Network& net, const Pec& pec, std::vector<PrefixTask> t
       policy_(policy),
       opts_(opts),
       upstream_provider_(upstream),
-      visited_(opts.bitstate, opts.bloom_bits) {
+      visited_(make_visited_backend(opts.visited,
+                                    VisitedConfig{opts.bloom_bits, 4})),
+      engine_(make_search_engine(opts.engine())) {
   ctx_.net = &net_;
   const std::size_t n = net.topo.node_count();
   const std::size_t t = tasks_.size();
@@ -54,8 +48,7 @@ Explorer::Explorer(const Network& net, const Pec& pec, std::vector<PrefixTask> t
   status_.assign(t, std::vector<NodeStatus>(n));
   is_origin_.assign(t, std::vector<std::uint8_t>(n, 0));
   member_.assign(t, std::vector<std::uint8_t>(n, 0));
-  zobrist_.assign(t, 0);
-  phase_ctx_hash_.assign(t + 1, 0);
+  codec_.reset(t);
   influencer_.assign(n, 0);
   for (std::size_t i = 0; i < t; ++i) {
     for (const NodeId o : tasks_[i].process->origins()) is_origin_[i][o] = 1;
@@ -86,10 +79,10 @@ ExploreResult Explorer::run() {
     has_deadline_ = true;
   }
   explore_failures(0);
-  result_.stats.states_stored = visited_.stored();
+  result_.stats.states_stored = visited_->stored();
   result_.stats.bytes_paths = ctx_.paths.bytes();
   result_.stats.bytes_routes = ctx_.routes.bytes();
-  result_.stats.bytes_visited = visited_.bytes() + failure_sets_seen_.bytes() +
+  result_.stats.bytes_visited = visited_->bytes() + failure_sets_seen_.bytes() +
                                 signatures_seen_.bytes();
   std::size_t rib_bytes = 0;
   for (const auto& r : rib_) rib_bytes += r.capacity() * sizeof(RouteId);
@@ -100,9 +93,9 @@ ExploreResult Explorer::run() {
   return std::move(result_);
 }
 
-bool Explorer::limits_exceeded() {
+bool Explorer::budget_exhausted() {
   if (result_.timed_out || result_.state_limit_hit) return true;
-  if (opts_.max_states != 0 && visited_.stored() > opts_.max_states) {
+  if (opts_.max_states != 0 && visited_->stored() > opts_.max_states) {
     result_.state_limit_hit = true;
     return true;
   }
@@ -175,7 +168,7 @@ std::vector<LinkId> Explorer::failure_candidates(LinkId next_link) const {
 }
 
 Explorer::Flow Explorer::explore_failures(LinkId next_link) {
-  if (limits_exceeded()) return Flow::kStop;
+  if (budget_exhausted()) return Flow::kStop;
   // Different LEC pick orders can produce the same failure set; explore each
   // set once. (With ordered enumeration the hash is unique anyway.)
   if (!failure_sets_seen_.insert(hash_combine(failures_.hash(), 0xfee1))) {
@@ -212,9 +205,8 @@ Explorer::Flow Explorer::check_failure_set() {
   for (std::size_t i = 0; i < ups.size(); ++i) {
     ctx_.upstream = ups[i];
     for (auto& t : tasks_) t.process->prepare(failures_, ctx_);
-    phase_ctx_hash_[0] =
-        hash_combine(hash_combine(failures_.hash(), 0x9c0ffee),
-                     ups[i] != nullptr ? ups[i]->outcome_hash() : 0);
+    codec_.begin_root(failures_.hash(),
+                      ups[i] != nullptr ? ups[i]->outcome_hash() : 0);
     const bool note = ups.size() > 1;
     if (note) {
       TrailEvent ev;
@@ -235,19 +227,14 @@ Explorer::Flow Explorer::check_failure_set() {
 
 Explorer::Flow Explorer::begin_phase(std::size_t task_idx) {
   if (task_idx == tasks_.size()) return handle_converged();
-  if (task_idx > 0) {
-    phase_ctx_hash_[task_idx] =
-        hash_combine(phase_ctx_hash_[task_idx - 1],
-                     hash_combine(zobrist_[task_idx - 1], 0xbeef));
-  }
+  codec_.begin_phase(task_idx);
   auto& proc = *tasks_[task_idx].process;
   auto& rib = rib_[task_idx];
   std::fill(rib.begin(), rib.end(), kNoRoute);
-  zobrist_[task_idx] = 0;
   for (const NodeId o : proc.origins()) {
     const RouteId r = proc.origin_route(o, ctx_);
     rib[o] = r;
-    zobrist_[task_idx] ^= zob(o, kNoRoute) ^ zob(o, r);
+    codec_.record(task_idx, o, kNoRoute, r);
   }
   for (const NodeId m : proc.members()) refresh_node(task_idx, m);
 
@@ -255,14 +242,23 @@ Explorer::Flow Explorer::begin_phase(std::size_t task_idx) {
   ev.kind = TrailEvent::Kind::kBeginPrefix;
   ev.phase = static_cast<std::uint32_t>(task_idx);
   trail_.events.push_back(ev);
-  const Flow f = dfs(task_idx);
+  const Flow f = engine_->search(*this, task_idx);
   trail_.events.pop_back();
   return f;
 }
 
-std::uint64_t Explorer::state_hash(std::size_t task_idx) const {
-  return hash_combine(phase_ctx_hash_[task_idx],
-                      hash_combine(zobrist_[task_idx], task_idx + 1));
+Explorer::Flow Explorer::advance(std::size_t task_idx) {
+  return begin_phase(task_idx + 1);
+}
+
+bool Explorer::mark_visited(std::size_t task_idx) {
+  if (!visited_->insert(codec_.state_key(task_idx))) {
+    ++result_.stats.revisits_skipped;
+    return false;
+  }
+  result_.stats.max_depth =
+      std::max<std::uint64_t>(result_.stats.max_depth, trail_.events.size());
+  return true;
 }
 
 void Explorer::refresh_node(std::size_t task_idx, NodeId n) {
@@ -381,41 +377,34 @@ bool Explorer::influence_allows(std::size_t task_idx, NodeId n) const {
   return !influence_active_ || influencer_[n] != 0;
 }
 
-Explorer::Flow Explorer::apply_and_recurse(std::size_t task_idx, NodeId n,
-                                           NodeId peer, RouteId route,
-                                           TrailEvent::Kind kind) {
+void Explorer::apply(std::size_t task_idx, SearchMove& m) {
   auto& rib = rib_[task_idx];
-  const RouteId old = rib[n];
-  rib[n] = route;
-  zobrist_[task_idx] ^= zob(n, old) ^ zob(n, route);
+  m.prev = rib[m.node];
+  rib[m.node] = m.route;
+  codec_.record(task_idx, m.node, m.prev, m.route);
   TrailEvent ev;
-  ev.kind = kind;
+  ev.kind = m.kind == SearchMove::Kind::kWithdraw ? TrailEvent::Kind::kWithdraw
+                                                  : TrailEvent::Kind::kSelect;
   ev.phase = static_cast<std::uint32_t>(task_idx);
-  ev.node = n;
-  ev.peer = peer;
-  ev.route = route;
+  ev.node = m.node;
+  ev.peer = m.peer;
+  ev.route = m.route;
   trail_.events.push_back(ev);
-  refresh_around(task_idx, n);
+  refresh_around(task_idx, m.node);
   ++result_.stats.states_explored;
-
-  const Flow f = dfs(task_idx);
-
-  trail_.events.pop_back();
-  rib[n] = old;
-  zobrist_[task_idx] ^= zob(n, route) ^ zob(n, old);
-  refresh_around(task_idx, n);
-  return f;
 }
 
-Explorer::Flow Explorer::dfs(std::size_t task_idx) {
-  if (limits_exceeded()) return Flow::kStop;
-  if (!visited_.insert(state_hash(task_idx))) {
-    ++result_.stats.revisits_skipped;
-    return Flow::kContinue;
-  }
-  result_.stats.max_depth =
-      std::max<std::uint64_t>(result_.stats.max_depth, trail_.events.size());
+void Explorer::undo(std::size_t task_idx, const SearchMove& m) {
+  auto& rib = rib_[task_idx];
+  trail_.events.pop_back();
+  rib[m.node] = m.prev;
+  codec_.record(task_idx, m.node, m.route, m.prev);
+  refresh_around(task_idx, m.node);
+}
 
+Explorer::Step Explorer::expand(std::size_t task_idx,
+                                std::vector<SearchMove>& moves,
+                                std::size_t move_budget) {
   auto& proc = *tasks_[task_idx].process;
   if (influence_active_) compute_influencers(task_idx);
 
@@ -428,7 +417,7 @@ Explorer::Flow Explorer::dfs(std::size_t task_idx) {
       // their changes cannot affect the sources (§4.2).
       if (influence_allows(task_idx, n)) {
         ++result_.stats.pruned_inconsistent;
-        return Flow::kContinue;
+        return Step::kPruned;
       }
       continue;
     }
@@ -437,16 +426,26 @@ Explorer::Flow Explorer::dfs(std::size_t task_idx) {
     enabled.push_back(n);
   }
 
-  if (enabled.empty()) return begin_phase(task_idx + 1);  // converged (E = ∅)
+  if (enabled.empty()) return Step::kConverged;  // converged (E = ∅)
 
   // §4.2: once every source has decided, the policy outcome for this phase
   // is fixed; finish the execution here.
   if (early_stop_ok_ && sources_all_committed(task_idx)) {
-    return begin_phase(task_idx + 1);
+    return Step::kConverged;
   }
 
   std::vector<RouteId> updates;
   std::vector<NodeId> update_peers;
+  auto push_moves = [&](NodeId n) {
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      SearchMove m;
+      m.kind = SearchMove::Kind::kSelect;
+      m.node = n;
+      m.peer = update_peers[i];
+      m.route = updates[i];
+      moves.push_back(m);
+    }
+  };
 
   // §4.1.2: deterministic nodes first.
   const bool det_allowed =
@@ -459,20 +458,15 @@ Explorer::Flow Explorer::dfs(std::size_t task_idx) {
     if (dn != kNoNode) {
       collect_updates(task_idx, dn, updates, update_peers);
       if (!updates.empty()) {
+        // Branch over this node's (possibly tied) updates only (Fig. 6,
+        // steps 4-5).
         if (!tie_ok && updates.size() == 1) {
           ++result_.stats.det_steps;
-          return apply_and_recurse(task_idx, dn, update_peers[0], updates[0],
-                                   TrailEvent::Kind::kSelect);
+        } else {
+          ++result_.stats.nondet_branches;
         }
-        // Branch over this node's tied updates only (Fig. 6, steps 4-5).
-        ++result_.stats.nondet_branches;
-        const std::size_t take = opts_.simulation ? 1 : updates.size();
-        for (std::size_t i = 0; i < take; ++i) {
-          const Flow f = apply_and_recurse(task_idx, dn, update_peers[i],
-                                           updates[i], TrailEvent::Kind::kSelect);
-          if (f == Flow::kStop) return Flow::kStop;
-        }
-        return Flow::kContinue;
+        push_moves(dn);
+        return Step::kBranch;
       }
     }
   }
@@ -505,28 +499,24 @@ Explorer::Flow Explorer::dfs(std::size_t task_idx) {
 
   bool counted_branch = false;
   for (const NodeId n : enabled) {
+    if (moves.size() >= move_budget) break;  // engine won't take more
     collect_updates(task_idx, n, updates, update_peers);
     if (updates.empty()) {
       // Invalid node with no usable advertisement: withdraw (naive mode).
-      const Flow f = apply_and_recurse(task_idx, n, kNoNode, kNoRoute,
-                                       TrailEvent::Kind::kWithdraw);
-      if (f == Flow::kStop) return Flow::kStop;
-      if (opts_.simulation) return Flow::kContinue;
+      SearchMove m;
+      m.kind = SearchMove::Kind::kWithdraw;
+      m.node = n;
+      m.route = kNoRoute;
+      moves.push_back(m);
       continue;
     }
     if (!counted_branch && (enabled.size() > 1 || updates.size() > 1)) {
       ++result_.stats.nondet_branches;
       counted_branch = true;
     }
-    const std::size_t take = opts_.simulation ? 1 : updates.size();
-    for (std::size_t i = 0; i < take; ++i) {
-      const Flow f = apply_and_recurse(task_idx, n, update_peers[i], updates[i],
-                                       TrailEvent::Kind::kSelect);
-      if (f == Flow::kStop) return Flow::kStop;
-    }
-    if (opts_.simulation) return Flow::kContinue;
+    push_moves(n);
   }
-  return Flow::kContinue;
+  return Step::kBranch;
 }
 
 Explorer::Flow Explorer::handle_converged() {

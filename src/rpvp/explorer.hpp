@@ -5,14 +5,19 @@
 //
 //   failure phase (§4.1.4, §4.3)
 //     └─ upstream-outcome choice (§3.2)
-//          └─ per-prefix RPVP phases (§3.3), each a DFS over
-//             (node, update) choices with:
+//          └─ per-prefix RPVP phases (§3.3), each driven by a pluggable
+//             SearchEngine over (node, update) choices with:
 //               · consistent-execution pruning        (§4.1.1, Theorem 1)
 //               · deterministic-node execution        (§4.1.2, Theorem 2)
 //               · decision independence (ample sets)  (§4.1.3)
 //               · policy-based pruning + influence    (§4.2)
-//               · hash-compacted / bitstate visited   (§4.4, Fig. 9)
+//               · pluggable visited backends          (§4.4, Fig. 9)
 //                  └─ FIB assembly + policy callback  (§3.5)
+//
+// The Explorer is the SearchModel: it owns protocol semantics and pruning.
+// State identity lives in the StateCodec, visited storage behind the
+// VisitedBackend, and search order in the SearchEngine (src/engine/) — each
+// replaceable without touching the protocols.
 //
 // Every optimization is individually toggleable for the Fig. 8 ablations.
 #pragma once
@@ -23,8 +28,10 @@
 
 #include "checker/stats.hpp"
 #include "checker/trail.hpp"
-#include "checker/visited.hpp"
 #include "dataplane/fib.hpp"
+#include "engine/search.hpp"
+#include "engine/state_codec.hpp"
+#include "engine/visited.hpp"
 #include "eqclass/dec.hpp"
 #include "pec/pec.hpp"
 #include "policy/policy.hpp"
@@ -47,7 +54,9 @@ struct ExploreOptions {
   bool policy_pruning = true;        ///< §4.2
   bool suppress_equivalent = true;   ///< §3.5 equivalence of converged states
 
-  bool bitstate = false;             ///< Bloom-filter visited set (Fig. 9)
+  /// Visited-set storage policy (§4.4, Fig. 9): exact, hash-compacted, or
+  /// bitstate/Bloom. `bloom_bits` sizes the kBitstate filter.
+  VisitedKind visited = VisitedKind::kExact;
   std::size_t bloom_bits = std::size_t{1} << 27;
 
   /// OSPF ECMP merging (the paper's special-case multipath deviation,
@@ -64,9 +73,15 @@ struct ExploreOptions {
 
   /// Batfish-style simulation (paper Fig. 1, "all data planes" row): follow
   /// a single non-deterministic execution path instead of exploring all of
-  /// them. Sound for violations it finds, but misses violations that only
-  /// occur under other advertisement orderings (e.g. BGP wedgies).
+  /// them — the kSingleExecution search engine. Sound for violations it
+  /// finds, but misses violations that only occur under other advertisement
+  /// orderings (e.g. BGP wedgies).
   bool simulation = false;
+
+  [[nodiscard]] SearchEngineKind engine() const {
+    return simulation ? SearchEngineKind::kSingleExecution
+                      : SearchEngineKind::kDfs;
+  }
 
   [[nodiscard]] static ExploreOptions naive() {
     ExploreOptions o;
@@ -133,7 +148,7 @@ class UpstreamProvider {
   [[nodiscard]] virtual bool has_dependents() const { return false; }
 };
 
-class Explorer {
+class Explorer final : public SearchModel {
  public:
   Explorer(const Network& net, const Pec& pec, std::vector<PrefixTask> tasks,
            const Policy& policy, ExploreOptions opts,
@@ -144,8 +159,17 @@ class Explorer {
   /// The interning context (exposed so callers can render trails).
   [[nodiscard]] const ModelContext& context() const { return ctx_; }
 
+  // -- SearchModel (driven by the SearchEngine) -----------------------------
+  bool budget_exhausted() override;
+  bool mark_visited(std::size_t task_idx) override;
+  Step expand(std::size_t task_idx, std::vector<SearchMove>& moves,
+              std::size_t move_budget) override;
+  void apply(std::size_t task_idx, SearchMove& m) override;
+  void undo(std::size_t task_idx, const SearchMove& m) override;
+  SearchFlow advance(std::size_t task_idx) override;
+
  private:
-  enum class Flow { kContinue, kStop };
+  using Flow = SearchFlow;
 
   // -- failure phase --------------------------------------------------------
   Flow explore_failures(LinkId next_link);
@@ -155,22 +179,16 @@ class Explorer {
 
   // -- prefix phases --------------------------------------------------------
   Flow begin_phase(std::size_t task_idx);
-  Flow dfs(std::size_t task_idx);
   Flow handle_converged();
 
   // per-node status maintenance
   void refresh_node(std::size_t task_idx, NodeId n);
   void refresh_around(std::size_t task_idx, NodeId n);
-  Flow apply_and_recurse(std::size_t task_idx, NodeId n, NodeId peer, RouteId route,
-                         TrailEvent::Kind kind);
   void collect_updates(std::size_t task_idx, NodeId n, std::vector<RouteId>& updates,
                        std::vector<NodeId>& update_peers);
   [[nodiscard]] bool influence_allows(std::size_t task_idx, NodeId n) const;
   void compute_influencers(std::size_t task_idx);
   [[nodiscard]] bool sources_all_committed(std::size_t task_idx) const;
-  [[nodiscard]] bool early_stop_valid() const;
-  [[nodiscard]] std::uint64_t state_hash(std::size_t task_idx) const;
-  [[nodiscard]] bool limits_exceeded();
 
   const Network& net_;
   const Pec& pec_;
@@ -181,7 +199,9 @@ class Explorer {
 
   ModelContext ctx_;
   FailureSet failures_;
-  StateStore visited_;
+  StateCodec codec_;                        ///< canonical state identity
+  std::unique_ptr<VisitedBackend> visited_; ///< pluggable visited storage
+  std::unique_ptr<SearchEngine> engine_;    ///< pluggable search strategy
   VisitedSet failure_sets_seen_;
   VisitedSet signatures_seen_;
   VisitedSet outcomes_seen_;
@@ -196,8 +216,6 @@ class Explorer {
   std::vector<std::vector<NodeStatus>> status_;     ///< [task][node]
   std::vector<std::vector<std::uint8_t>> is_origin_;///< [task][node]
   std::vector<std::vector<std::uint8_t>> member_;   ///< [task][node]
-  std::vector<std::uint64_t> zobrist_;              ///< [task] incremental rib hash
-  std::vector<std::uint64_t> phase_ctx_hash_;       ///< [task+1] context chain
   std::vector<std::uint8_t> influencer_;            ///< per node, current task
   bool influence_active_ = false;                   ///< §4.2 influence pruning usable
   bool early_stop_ok_ = false;                      ///< §4.2 source early-stop usable

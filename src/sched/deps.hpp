@@ -10,6 +10,7 @@
 // internally.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -34,13 +35,8 @@ struct PecDependencies {
   std::vector<std::vector<std::uint32_t>> scc_deps;
 
   [[nodiscard]] bool has_cross_pec_deps() const {
-    for (const auto& d : depends_on) {
-      for (const PecId q : d) {
-        (void)q;
-        return true;
-      }
-    }
-    return false;
+    return std::any_of(depends_on.begin(), depends_on.end(),
+                       [](const std::vector<PecId>& d) { return !d.empty(); });
   }
 };
 

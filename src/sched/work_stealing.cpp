@@ -1,0 +1,232 @@
+#include "sched/work_stealing.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace plankton::sched {
+namespace {
+
+/// Runs the whole graph on the calling thread, dependencies first. Used for
+/// workers == 1: no thread, no synchronization, deterministic LIFO order
+/// matching the work-stealing owner-pop order.
+void run_inline(const TaskGraph& graph,
+                const std::function<void(std::size_t, int)>& body) {
+  std::vector<std::size_t> waiting = graph.waiting_on;
+  std::vector<std::size_t> stack;
+  for (std::size_t i = graph.size(); i > 0; --i) {
+    if (waiting[i - 1] == 0) stack.push_back(i - 1);
+  }
+  while (!stack.empty()) {
+    const std::size_t t = stack.back();
+    stack.pop_back();
+    body(t, 0);
+    for (const std::size_t d : graph.dependents[t]) {
+      if (--waiting[d] == 0) stack.push_back(d);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Work stealing
+// ---------------------------------------------------------------------------
+
+/// One worker's job deque. The owner pushes/pops at the back (LIFO — depth
+/// first through the dependency DAG, hot outcome data); thieves take from
+/// the front (FIFO — the oldest, most likely largest subtree). A plain
+/// mutex per deque suffices: it is only contended during steals, which are
+/// rare when the graph has enough width.
+struct alignas(64) WorkerDeque {
+  std::mutex mu;
+  std::deque<std::size_t> jobs;
+};
+
+class WorkStealingRun {
+ public:
+  WorkStealingRun(int workers, const TaskGraph& graph,
+                  const std::function<void(std::size_t, int)>& body)
+      : graph_(graph),
+        body_(body),
+        deques_(static_cast<std::size_t>(workers)),
+        waiting_(std::make_unique<std::atomic<std::size_t>[]>(graph.size())),
+        remaining_(graph.size()) {
+    for (std::size_t i = 0; i < graph.size(); ++i) {
+      waiting_[i].store(graph.waiting_on[i], std::memory_order_relaxed);
+    }
+    // Seed ready tasks round-robin so all workers start with work.
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < graph.size(); ++i) {
+      if (graph.waiting_on[i] != 0) continue;
+      deques_[w % deques_.size()].jobs.push_back(i);
+      queued_.fetch_add(1, std::memory_order_relaxed);
+      w++;
+    }
+  }
+
+  void run() {
+    if (remaining_.load(std::memory_order_relaxed) == 0) return;
+    std::vector<std::thread> threads;
+    threads.reserve(deques_.size());
+    for (std::size_t w = 0; w < deques_.size(); ++w) {
+      threads.emplace_back([this, w] { worker_loop(static_cast<int>(w)); });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+ private:
+  bool try_pop_own(int w, std::size_t& task) {
+    WorkerDeque& d = deques_[static_cast<std::size_t>(w)];
+    std::scoped_lock lock(d.mu);
+    if (d.jobs.empty()) return false;
+    task = d.jobs.back();
+    d.jobs.pop_back();
+    return true;
+  }
+
+  bool try_steal(int w, std::size_t& task) {
+    const std::size_t n = deques_.size();
+    for (std::size_t k = 1; k < n; ++k) {
+      WorkerDeque& d = deques_[(static_cast<std::size_t>(w) + k) % n];
+      std::scoped_lock lock(d.mu);
+      if (d.jobs.empty()) continue;
+      task = d.jobs.front();
+      d.jobs.pop_front();
+      return true;
+    }
+    return false;
+  }
+
+  void push_own(int w, std::size_t task) {
+    // Increment before the push: a thief can steal (and decrement) the
+    // instant the deque lock drops, and a decrement-first interleaving
+    // would wrap `queued_` past zero, leaving idle workers busy-spinning
+    // on a phantom count.
+    queued_.fetch_add(1, std::memory_order_release);
+    {
+      WorkerDeque& d = deques_[static_cast<std::size_t>(w)];
+      std::scoped_lock lock(d.mu);
+      d.jobs.push_back(task);
+    }
+    // Lock prevents a lost wakeup: an idle worker re-checks `queued_` under
+    // this mutex before sleeping.
+    { std::scoped_lock lock(sleep_mu_); }
+    sleep_cv_.notify_one();
+  }
+
+  void complete(int w, std::size_t task) {
+    for (const std::size_t d : graph_.dependents[task]) {
+      if (waiting_[d].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        push_own(w, d);
+      }
+    }
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      { std::scoped_lock lock(sleep_mu_); }
+      sleep_cv_.notify_all();
+    }
+  }
+
+  void worker_loop(int w) {
+    while (true) {
+      std::size_t task = 0;
+      if (try_pop_own(w, task) || try_steal(w, task)) {
+        queued_.fetch_sub(1, std::memory_order_acquire);
+        body_(task, w);
+        complete(w, task);
+        continue;
+      }
+      std::unique_lock lock(sleep_mu_);
+      if (remaining_.load(std::memory_order_acquire) == 0) return;
+      if (queued_.load(std::memory_order_acquire) != 0) continue;  // retry
+      sleep_cv_.wait(lock, [this] {
+        return queued_.load(std::memory_order_acquire) != 0 ||
+               remaining_.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+
+  const TaskGraph& graph_;
+  const std::function<void(std::size_t, int)>& body_;
+  std::vector<WorkerDeque> deques_;
+  std::unique_ptr<std::atomic<std::size_t>[]> waiting_;
+  std::atomic<std::size_t> remaining_;
+  std::atomic<std::size_t> queued_{0};
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+};
+
+// ---------------------------------------------------------------------------
+// Fixed pool (baseline): one ready list behind one mutex + cv.
+// ---------------------------------------------------------------------------
+
+void run_fixed_pool(int workers, const TaskGraph& graph,
+                    const std::function<void(std::size_t, int)>& body) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::size_t> ready;
+  std::vector<std::size_t> waiting = graph.waiting_on;
+  std::size_t unfinished = graph.size();
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    if (waiting[i] == 0) ready.push_back(i);
+  }
+
+  auto worker = [&](int w) {
+    while (true) {
+      std::size_t task;
+      {
+        std::unique_lock lock(mu);
+        cv.wait(lock, [&] { return !ready.empty() || unfinished == 0; });
+        if (ready.empty()) return;
+        task = ready.back();
+        ready.pop_back();
+      }
+      body(task, w);
+      {
+        std::scoped_lock lock(mu);
+        for (const std::size_t d : graph.dependents[task]) {
+          if (--waiting[d] == 0) ready.push_back(d);
+        }
+        --unfinished;
+      }
+      cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) threads.emplace_back(worker, w);
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace
+
+const char* to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kWorkStealing: return "work-stealing";
+    case SchedulerKind::kFixedPool: return "fixed-pool";
+  }
+  return "?";
+}
+
+void run_task_graph(SchedulerKind kind, int workers, const TaskGraph& graph,
+                    const std::function<void(std::size_t, int)>& body) {
+  if (workers < 1) workers = 1;
+  if (workers == 1 || graph.size() <= 1) {
+    run_inline(graph, body);
+    return;
+  }
+  switch (kind) {
+    case SchedulerKind::kWorkStealing: {
+      WorkStealingRun run(workers, graph, body);
+      run.run();
+      break;
+    }
+    case SchedulerKind::kFixedPool:
+      run_fixed_pool(workers, graph, body);
+      break;
+  }
+}
+
+}  // namespace plankton::sched

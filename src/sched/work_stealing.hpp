@@ -1,0 +1,55 @@
+// Dependency-aware parallel task-graph execution (paper §3.2).
+//
+// PEC verification jobs form a DAG (the SCC condensation of the PEC
+// dependency graph); each job becomes runnable when its dependencies have
+// completed. Two strategies run such a graph:
+//
+//   kWorkStealing  per-worker deques: a worker pushes jobs it unblocks onto
+//                  its own deque (locality: a dependent PEC reads the
+//                  converged outcomes its dependency just produced) and pops
+//                  LIFO; idle workers steal FIFO from the opposite end.
+//                  Per-task ready-counters are atomics, so completing a task
+//                  releases dependents without any global lock; workers park
+//                  on a condition variable only when every deque is empty.
+//
+//   kFixedPool     the original single ready-list behind one mutex +
+//                  condition variable — kept as the comparison baseline
+//                  (bench/fig7b_large_fattrees prints both).
+//
+// The scheduler is deliberately generic (task indices + dependents lists):
+// Verifier feeds it SCC tasks today; multi-process sharding can feed it
+// shard-level jobs later.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace plankton::sched {
+
+/// A DAG of schedulable tasks, indexed 0..size()-1.
+struct TaskGraph {
+  /// dependents[i] = tasks whose waiting count drops when i completes.
+  std::vector<std::vector<std::size_t>> dependents;
+  /// waiting_on[i] = number of unfinished dependencies of i (0 = ready).
+  std::vector<std::size_t> waiting_on;
+
+  [[nodiscard]] std::size_t size() const { return waiting_on.size(); }
+};
+
+enum class SchedulerKind : std::uint8_t {
+  kWorkStealing = 0,
+  kFixedPool = 1,
+};
+
+[[nodiscard]] const char* to_string(SchedulerKind kind);
+
+/// Runs body(task, worker) once for every task of `graph`, never before all
+/// of the task's dependencies completed, on `workers` threads (worker ids
+/// are 0..workers-1; workers == 1 runs inline on the calling thread). The
+/// graph must be acyclic. `body` must be safe to call concurrently for
+/// distinct tasks.
+void run_task_graph(SchedulerKind kind, int workers, const TaskGraph& graph,
+                    const std::function<void(std::size_t task, int worker)>& body);
+
+}  // namespace plankton::sched

@@ -22,7 +22,8 @@ TEST(ExplorerOptions, BitstateVerdictAgreesOnWorkloads) {
     bool verdicts[2];
     for (const bool bitstate : {false, true}) {
       VerifyOptions vo;
-      vo.explore.bitstate = bitstate;
+      vo.explore.visited =
+          bitstate ? VisitedKind::kBitstate : VisitedKind::kExact;
       vo.explore.bloom_bits = 1 << 22;
       Verifier v(ft.net, vo);
       verdicts[bitstate ? 1 : 0] = v.verify(policy).holds;

@@ -3,7 +3,7 @@
 
 #include <random>
 
-#include "checker/visited.hpp"
+#include "engine/visited.hpp"
 #include "protocols/route.hpp"
 
 namespace plankton {
@@ -139,16 +139,23 @@ TEST(Bloom, MemoryIsFixed) {
   EXPECT_EQ(bloom.bytes(), bytes);
 }
 
-TEST(StateStore, BitstateUsesLessMemoryAtScale) {
-  StateStore exact(false, 0);
-  StateStore bits(true, 1 << 20);
+TEST(VisitedBackends, CompactionReducesMemoryAtScale) {
+  const auto exact = make_visited_backend(VisitedKind::kExact);
+  const auto compact = make_visited_backend(VisitedKind::kHashCompact);
+  const auto bits =
+      make_visited_backend(VisitedKind::kBitstate, VisitedConfig{1 << 20, 4});
   std::mt19937_64 rng(17);
   for (int i = 0; i < 200000; ++i) {
     const std::uint64_t h = rng();
-    exact.insert(h);
-    bits.insert(h);
+    exact->insert(h);
+    compact->insert(h);
+    bits->insert(h);
   }
-  EXPECT_GT(exact.bytes(), bits.bytes());
+  EXPECT_GT(exact->bytes(), compact->bytes());
+  EXPECT_GT(compact->bytes(), bits->bytes());
+  EXPECT_TRUE(exact->exhaustive());
+  EXPECT_FALSE(compact->exhaustive());
+  EXPECT_FALSE(bits->exhaustive());
 }
 
 }  // namespace

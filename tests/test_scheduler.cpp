@@ -2,9 +2,13 @@
 // scheduler (paper §3.2).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <mutex>
+
 #include "core/verifier.hpp"
 #include "sched/deps.hpp"
 #include "sched/outcome_store.hpp"
+#include "sched/work_stealing.hpp"
 #include "workload/enterprise.hpp"
 
 namespace plankton {
@@ -179,6 +183,100 @@ TEST(Scheduler, ParallelAndSerialAgreeOnEnterprise) {
   const VerifyResult b = Verifier(ent.net, parallel).verify(policy);
   EXPECT_EQ(a.holds, b.holds);
   EXPECT_EQ(a.pecs_verified, b.pecs_verified);
+}
+
+TEST(WorkStealing, StressDependencyOrderAcrossWorkerCounts) {
+  // A layered DAG wide enough to keep 8 workers busy: 25 tasks per layer,
+  // 8 layers; each task depends on two tasks of the previous layer. Every
+  // completion asserts that its dependencies completed first.
+  constexpr std::size_t kLayers = 8;
+  constexpr std::size_t kWidth = 25;
+  constexpr std::size_t kTasks = kLayers * kWidth;
+  sched::TaskGraph graph;
+  graph.dependents.resize(kTasks);
+  graph.waiting_on.assign(kTasks, 0);
+  for (std::size_t layer = 1; layer < kLayers; ++layer) {
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      const std::size_t task = layer * kWidth + i;
+      const std::size_t d1 = (layer - 1) * kWidth + i;
+      const std::size_t d2 = (layer - 1) * kWidth + (i + 1) % kWidth;
+      graph.dependents[d1].push_back(task);
+      graph.dependents[d2].push_back(task);
+      graph.waiting_on[task] = 2;
+    }
+  }
+
+  for (const auto kind : {sched::SchedulerKind::kWorkStealing,
+                          sched::SchedulerKind::kFixedPool}) {
+    for (const int workers : {1, 4, 8}) {
+      std::mutex mu;
+      std::vector<std::uint8_t> done(kTasks, 0);
+      std::atomic<std::size_t> executions{0};
+      bool order_ok = true;
+      sched::run_task_graph(kind, workers, graph,
+                            [&](std::size_t task, int worker) {
+                              ASSERT_GE(worker, 0);
+                              ASSERT_LT(worker, workers);
+                              executions.fetch_add(1);
+                              std::scoped_lock lock(mu);
+                              if (task >= kWidth) {
+                                const std::size_t layer = task / kWidth;
+                                const std::size_t i = task % kWidth;
+                                const std::size_t d1 = (layer - 1) * kWidth + i;
+                                const std::size_t d2 =
+                                    (layer - 1) * kWidth + (i + 1) % kWidth;
+                                order_ok = order_ok && done[d1] && done[d2];
+                              }
+                              done[task] = 1;
+                            });
+      EXPECT_EQ(executions.load(), kTasks)
+          << sched::to_string(kind) << " workers=" << workers;
+      EXPECT_TRUE(order_ok) << sched::to_string(kind)
+                            << " ran a task before its dependencies,"
+                            << " workers=" << workers;
+      for (std::size_t t = 0; t < kTasks; ++t) {
+        ASSERT_TRUE(done[t]) << "task " << t << " never ran";
+      }
+    }
+  }
+}
+
+TEST(WorkStealing, VerifierResultsDeterministicAcrossWorkerCounts) {
+  // With find_all_violations (no early stop) every PEC is fully explored, so
+  // reports and aggregate stats must be identical for 1, 4, and 8 workers
+  // under both schedulers.
+  const Enterprise ent = make_enterprise("VII");
+  const LoopFreedomPolicy policy;
+  struct Snapshot {
+    std::size_t verified, support;
+    std::uint64_t states;
+    std::vector<std::pair<PecId, bool>> reports;
+  };
+  std::vector<Snapshot> snaps;
+  for (const auto kind : {sched::SchedulerKind::kWorkStealing,
+                          sched::SchedulerKind::kFixedPool}) {
+    for (const int workers : {1, 4, 8}) {
+      VerifyOptions vo;
+      vo.cores = workers;
+      vo.scheduler = kind;
+      vo.explore.find_all_violations = true;
+      const VerifyResult r = Verifier(ent.net, vo).verify(policy);
+      Snapshot s;
+      s.verified = r.pecs_verified;
+      s.support = r.pecs_support;
+      s.states = r.total.states_explored;
+      for (const auto& rep : r.reports) {
+        s.reports.emplace_back(rep.pec, rep.result.holds);
+      }
+      snaps.push_back(std::move(s));
+    }
+  }
+  for (std::size_t i = 1; i < snaps.size(); ++i) {
+    EXPECT_EQ(snaps[i].verified, snaps[0].verified) << "config " << i;
+    EXPECT_EQ(snaps[i].support, snaps[0].support) << "config " << i;
+    EXPECT_EQ(snaps[i].states, snaps[0].states) << "config " << i;
+    EXPECT_EQ(snaps[i].reports, snaps[0].reports) << "config " << i;
+  }
 }
 
 TEST(Scheduler, WallLimitStopsGracefully) {
