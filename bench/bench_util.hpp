@@ -9,9 +9,11 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace plankton::bench {
 
@@ -56,6 +58,87 @@ inline void header(const char* figure, const char* description) {
   std::printf("mode: %s scale (set PLANKTON_BENCH_FULL=1 for paper sizes)\n",
               full_scale() ? "paper" : "reduced");
   std::printf("==============================================================\n");
+}
+
+// ---------------------------------------------------------------------------
+// JSON perf trajectory (PLANKTON_BENCH_JSON=<path>)
+//
+// Every timed row of every bench reports itself through emit(); when the
+// environment variable names a file, the rows are written there as a JSON
+// array of {bench, row, time_ms, states, bytes} records at process exit.
+// BENCH_perf.json (written by bench/perf_smoke) is the committed trajectory:
+// one record set per PR, so regressions show up as diffs.
+// ---------------------------------------------------------------------------
+
+struct JsonRecord {
+  std::string bench;
+  std::string row;
+  double time_ms = 0;
+  std::uint64_t states = 0;
+  std::uint64_t bytes = 0;
+};
+
+class JsonSink {
+ public:
+  static JsonSink& instance() {
+    static JsonSink sink;
+    return sink;
+  }
+
+  /// Overrides the output path (otherwise PLANKTON_BENCH_JSON, else off).
+  void set_path(std::string path) { path_ = std::move(path); }
+
+  void add(JsonRecord rec) {
+    if (path_.empty()) return;
+    records_.push_back(std::move(rec));
+  }
+
+  ~JsonSink() { flush(); }
+
+  void flush() {
+    if (path_.empty() || records_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const JsonRecord& r = records_[i];
+      std::fprintf(f,
+                   "  {\"bench\": \"%s\", \"row\": \"%s\", \"time_ms\": %.3f, "
+                   "\"states\": %llu, \"bytes\": %llu}%s\n",
+                   escape(r.bench).c_str(), escape(r.row).c_str(), r.time_ms,
+                   static_cast<unsigned long long>(r.states),
+                   static_cast<unsigned long long>(r.bytes),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+  }
+
+ private:
+  JsonSink() {
+    const char* p = std::getenv("PLANKTON_BENCH_JSON");
+    if (p != nullptr && p[0] != '\0') path_ = p;
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // keep rows simple
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<JsonRecord> records_;
+};
+
+/// Reports one timed row into the JSON trajectory (no-op when disabled).
+inline void emit(const char* bench, const std::string& row, double time_ms,
+                 std::uint64_t states, std::uint64_t bytes) {
+  JsonSink::instance().add(JsonRecord{bench, row, time_ms, states, bytes});
 }
 
 }  // namespace plankton::bench

@@ -36,6 +36,10 @@ int main() {
                   bench::time_cell(mr.elapsed, mr.timed_out).c_str(),
                   bench::mb(mr.bytes),
                   mr.holds == !fail_case || mr.timed_out ? "" : "VERDICT MISMATCH");
+      bench::emit("fig7a_fattree_loop",
+                  "K=" + std::to_string(k) + (fail_case ? " fail" : " pass") +
+                      " minesweeper",
+                  bench::ms(mr.elapsed), 0, mr.bytes);
 
       for (const int c : cores) {
         VerifyOptions vo;
@@ -48,6 +52,11 @@ int main() {
                     c == 1 ? ") " : "s)", bench::time_cell(r.wall, false).c_str(),
                     bench::mb(r.total.model_bytes()),
                     r.holds == expected ? "" : "VERDICT MISMATCH");
+        bench::emit("fig7a_fattree_loop",
+                    "K=" + std::to_string(k) + (fail_case ? " fail" : " pass") +
+                        " cores=" + std::to_string(c),
+                    bench::ms(r.wall), r.total.states_explored,
+                    r.total.model_bytes());
       }
     }
   }

@@ -35,6 +35,11 @@ int main() {
                   fail_case ? "Fail" : "Pass",
                   bench::time_cell(r.wall, r.timed_out).c_str(),
                   bench::mb(r.total.model_bytes()), ok ? "" : "VERDICT MISMATCH");
+      bench::emit("fig7b_large_fattrees",
+                  "N=" + std::to_string(ft.size()) + " loop " +
+                      (fail_case ? "fail" : "pass"),
+                  bench::ms(r.wall), r.total.states_explored,
+                  r.total.model_bytes());
     }
   }
   for (const int k : ks) {
@@ -50,6 +55,9 @@ int main() {
     std::printf("N=%-8zu SingleIP   %16s %12.2f %s\n", ft.size(),
                 bench::time_cell(r.wall, r.timed_out).c_str(),
                 bench::mb(r.total.model_bytes()), r.holds ? "" : "VERDICT MISMATCH");
+    bench::emit("fig7b_large_fattrees", "N=" + std::to_string(ft.size()) + " singleip",
+                bench::ms(r.wall), r.total.states_explored,
+                r.total.model_bytes());
   }
   // Scheduler comparison: the same all-PEC loop check at 8 workers, the
   // work-stealing deques vs the seed's single-ready-list fixed pool.
@@ -79,6 +87,11 @@ int main() {
                   sched::to_string(kind),
                   bench::time_cell(r.wall, r.timed_out).c_str(), speedup,
                   r.holds ? "" : "VERDICT MISMATCH");
+      bench::emit("fig7b_large_fattrees",
+                  "N=" + std::to_string(ft.size()) + " sched=" +
+                      sched::to_string(kind),
+                  bench::ms(r.wall), r.total.states_explored,
+                  r.total.model_bytes());
     }
   }
 

@@ -61,6 +61,10 @@ int main() {
     std::printf("%-10zu %9.2f ms %9.2f ms %9.2f MB %9.2f MB  %d/%d\n", ft.size(),
                 max_ms, sum_ms / trials, max_mb, sum_mb / trials, violations,
                 trials);
+    bench::emit("fig7c_bgp_dc_waypoint", "N=" + std::to_string(ft.size()) + " max",
+                max_ms, 0, static_cast<std::uint64_t>(max_mb * 1e6));
+    bench::emit("fig7c_bgp_dc_waypoint", "N=" + std::to_string(ft.size()) + " avg",
+                sum_ms / trials, 0, 0);
   }
   std::printf(
       "\npaper_shape: worst-case time stays ~seconds as device count grows; "

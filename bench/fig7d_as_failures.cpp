@@ -44,6 +44,8 @@ int main() {
     std::printf("  %-24s %14s  mem %8.2f MB  holds=%s\n", "Minesweeper (1+ cores)",
                 bench::time_cell(mr.elapsed, mr.timed_out).c_str(),
                 bench::mb(mr.bytes), mr.timed_out ? "?" : mr.holds ? "yes" : "no");
+    bench::emit("fig7d_as_failures", name + " minesweeper", bench::ms(mr.elapsed),
+                0, mr.bytes);
 
     for (const int c : cores) {
       VerifyOptions vo;
@@ -55,6 +57,9 @@ int main() {
       std::printf("  Plankton (%2d core%s)      %14s  mem %8.2f MB  holds=%s\n", c,
                   c == 1 ? ") " : "s)", bench::time_cell(r.wall, r.timed_out).c_str(),
                   bench::mb(r.total.model_bytes()), r.holds ? "yes" : "no");
+      bench::emit("fig7d_as_failures", name + " cores=" + std::to_string(c),
+                  bench::ms(r.wall), r.total.states_explored,
+                  r.total.model_bytes());
     }
   }
   std::printf(

@@ -50,6 +50,9 @@ int main() {
           c, c == 1 ? ") " : "s)", bench::time_cell(r.wall, r.timed_out).c_str(),
           bench::mb(r.total.model_bytes()), r.holds ? "yes" : "no",
           r.pecs_support);
+      bench::emit("fig7e_ibgp", name + " cores=" + std::to_string(c),
+                  bench::ms(r.wall), r.total.states_explored,
+                  r.total.model_bytes());
     }
   }
   std::printf(

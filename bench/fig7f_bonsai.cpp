@@ -75,6 +75,10 @@ int main() {
     std::printf("%-8zu %-12zu %-22s %16s %16s\n", ft.size(), abstract_nodes,
                 "Bounded Path Length", bench::time_cell(ms_len, ms_timeout).c_str(),
                 bench::time_cell(pk_len, false).c_str());
+    bench::emit("fig7f_bonsai", "N=" + std::to_string(ft.size()) + " reach",
+                bench::ms(pk_reach), 0, 0);
+    bench::emit("fig7f_bonsai", "N=" + std::to_string(ft.size()) + " boundedlen",
+                bench::ms(pk_len), 0, 0);
   }
   std::printf(
       "\npaper_shape: compression shrinks symmetric fabrics to O(k) abstract "

@@ -85,6 +85,9 @@ int main() {
                   bench::time_cell(arc_time, false).c_str(),
                   bench::time_cell(pk_time, pr.timed_out).c_str(),
                   pr.timed_out ? "?" : ar.holds == pr.holds ? "agree" : "DISAGREE");
+      bench::emit("fig7g_arc", w.name + " k=" + std::to_string(k),
+                  bench::ms(pk_time), pr.total.states_explored,
+                  pr.total.model_bytes());
     }
   }
   std::printf(

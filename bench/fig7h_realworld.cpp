@@ -35,6 +35,10 @@ int main() {
       vo.explore.max_failures = k;
       Verifier verifier(net, vo);
       const VerifyResult r = verifier.verify_address(dst, policy);
+      bench::emit("fig7h_realworld",
+                  info.name + " " + policy.name() + " k=" + std::to_string(k),
+                  bench::ms(r.wall), r.total.states_explored,
+                  r.total.model_bytes());
       return bench::time_cell(r.wall, r.timed_out);
     };
 

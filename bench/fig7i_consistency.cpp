@@ -37,6 +37,10 @@ int main() {
         std::printf("%-10s %-24s <=%-6d %9.2f MB %12s\n", name, pname, k,
                     bench::mb(r.total.model_bytes()),
                     bench::time_cell(r.wall, r.timed_out).c_str());
+        bench::emit("fig7i_consistency",
+                    std::string(name) + " " + pname + " k=" + std::to_string(k),
+                    bench::ms(r.wall), r.total.states_explored,
+                    r.total.model_bytes());
       }
     }
   }

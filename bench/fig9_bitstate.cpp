@@ -34,6 +34,12 @@ void run_case(const char* label, const Network& net, const Policy& policy,
     visited_mb[bitstate ? 1 : 0] = bench::mb(r.total.bytes_visited);
     time_ms[bitstate ? 1 : 0] = bench::ms(r.wall);
     states[bitstate ? 1 : 0] = r.total.states_stored;
+    // `states` is states_explored in every bench's records (fig9's printed
+    // table shows states_stored, which bitstate mode legitimately shrinks).
+    bench::emit("fig9_bitstate",
+                std::string(label) + (bitstate ? " bitstate" : " exact"),
+                bench::ms(r.wall), r.total.states_explored,
+                r.total.bytes_visited);
   }
   std::printf("%-46s %10.2f MB %10.2f MB  %6.2fx  %s\n", label, visited_mb[0],
               visited_mb[1],

@@ -3,6 +3,7 @@
 // hash-compacted visited set and the bitstate Bloom filter.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "engine/visited.hpp"
 #include "netbase/hash.hpp"
 #include "protocols/route.hpp"
@@ -79,6 +80,27 @@ void BM_BloomInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_BloomInsert)->Arg(1 << 14);
 
+/// Console output plus a record per run into the shared JSON trajectory
+/// (PLANKTON_BENCH_JSON), like every other bench in this directory.
+class JsonConsoleReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      plankton::bench::emit("micro_tables", run.benchmark_name(),
+                            run.GetAdjustedRealTime() / 1e6,  // ns/iter -> ms
+                            static_cast<std::uint64_t>(run.iterations), 0);
+    }
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonConsoleReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

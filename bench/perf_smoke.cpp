@@ -1,0 +1,107 @@
+// Perf-trajectory smoke bench: a fixed, fast (<~1 min) workload basket whose
+// timed rows are written to BENCH_perf.json — the first point of the
+// repo-wide performance trajectory. Every perf-affecting PR re-runs this and
+// commits the refreshed JSON, so the history of {time_ms, states, bytes} per
+// row is the regression record. Rows (reduced versions of the paper figures
+// the hot path matters most for):
+//
+//   fattree_loop/K=8        fig7a: OSPF fat tree, loop policy, all PECs
+//   as_failures/AS1755      fig7d: OSPF AS topology, reachability, <=1 failure
+//   bgp_dc_worstcase/K=4    fig9:  BGP DC waypoint, det-node detection off,
+//                                  capped state count (pure hot-path churn)
+//
+// The ad-cache/dirty-set off rows measure the same workloads with the PR-2
+// hot-path optimizations disabled, so their effect is visible inside one
+// run of one binary.
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "core/verifier.hpp"
+#include "workload/as_topo.hpp"
+#include "workload/fat_tree.hpp"
+
+namespace {
+
+using namespace plankton;
+
+void apply_mode(VerifyOptions& vo, bool optimized) {
+  vo.explore.ad_cache = optimized;
+  vo.explore.incremental_expand = optimized;
+}
+
+const char* mode_tag(bool optimized) { return optimized ? "" : " hotpath-off"; }
+
+void row(const std::string& name, const VerifyResult& r) {
+  std::printf("%-36s %10.2f ms  %10llu states  %8.2f MB\n", name.c_str(),
+              bench::ms(r.wall),
+              static_cast<unsigned long long>(r.total.states_explored),
+              bench::mb(r.total.model_bytes()));
+  bench::emit("perf_smoke", name, bench::ms(r.wall), r.total.states_explored,
+              r.total.model_bytes());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Default output: BENCH_perf.json in the working directory (override with
+  // PLANKTON_BENCH_JSON or argv[1]).
+  if (argc > 1) {
+    bench::JsonSink::instance().set_path(argv[1]);
+  } else if (std::getenv("PLANKTON_BENCH_JSON") == nullptr) {
+    bench::JsonSink::instance().set_path("BENCH_perf.json");
+  }
+  bench::header("perf_smoke", "fixed hot-path basket -> BENCH_perf.json");
+
+  for (const bool optimized : {true, false}) {
+    {
+      FatTreeOptions o;
+      o.k = 8;
+      const FatTree ft = make_fat_tree(o);
+      VerifyOptions vo;
+      vo.cores = 1;
+      apply_mode(vo, optimized);
+      Verifier verifier(ft.net, vo);
+      const LoopFreedomPolicy policy;
+      row(std::string("fattree_loop/K=8") + mode_tag(optimized),
+          verifier.verify(policy));
+    }
+    {
+      AsTopo topo = make_as_topo("AS1755");
+      NodeId ingress = topo.backbone[0];
+      for (NodeId n = static_cast<NodeId>(topo.backbone.size());
+           n < topo.net.topo.node_count(); ++n) {
+        if (topo.net.topo.neighbors(n).size() > 1) {
+          ingress = n;
+          break;
+        }
+      }
+      VerifyOptions vo;
+      vo.cores = 1;
+      vo.explore.max_failures = 1;
+      apply_mode(vo, optimized);
+      Verifier verifier(topo.net, vo);
+      const ReachabilityPolicy policy({ingress});
+      row(std::string("as_failures/AS1755") + mode_tag(optimized),
+          verifier.verify(policy));
+    }
+    {
+      FatTreeOptions o;
+      o.k = 4;
+      o.routing = FatTreeOptions::Routing::kBgpRfc7938;
+      const FatTree ft = make_fat_tree(o);
+      const WaypointPolicy policy({ft.edges.back()}, ft.aggs);
+      VerifyOptions vo;
+      vo.cores = 1;
+      vo.explore.det_nodes_bgp = false;
+      vo.explore.suppress_equivalent = false;
+      vo.explore.max_states = 200000;
+      apply_mode(vo, optimized);
+      Verifier verifier(ft.net, vo);
+      row(std::string("bgp_dc_worstcase/K=4") + mode_tag(optimized),
+          verifier.verify_address(ft.edge_prefixes[0].addr(), policy));
+    }
+  }
+
+  std::printf("\nwrote perf trajectory records (bench=perf_smoke)\n");
+  return 0;
+}

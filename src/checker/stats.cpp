@@ -15,11 +15,15 @@ void SearchStats::absorb(const SearchStats& other) {
   det_steps += other.det_steps;
   nondet_branches += other.nondet_branches;
   failure_sets += other.failure_sets;
+  ad_cache_hits += other.ad_cache_hits;
+  ad_cache_misses += other.ad_cache_misses;
+  dirty_refreshes += other.dirty_refreshes;
   max_depth = std::max(max_depth, other.max_depth);
   bytes_paths += other.bytes_paths;
   bytes_routes += other.bytes_routes;
   bytes_visited += other.bytes_visited;
   bytes_stack_peak = std::max(bytes_stack_peak, other.bytes_stack_peak);
+  bytes_ad_cache += other.bytes_ad_cache;
   elapsed = std::max(elapsed, other.elapsed);
 }
 
@@ -31,6 +35,10 @@ std::string SearchStats::summary() const {
   out += ", policy checks: " + std::to_string(policy_checks);
   out += ", det steps: " + std::to_string(det_steps);
   out += ", branches: " + std::to_string(nondet_branches);
+  if (ad_cache_hits + ad_cache_misses > 0) {
+    out += ", ad cache: " + std::to_string(ad_cache_hits) + "/" +
+           std::to_string(ad_cache_hits + ad_cache_misses) + " hits";
+  }
   out += ", model bytes: " + std::to_string(model_bytes());
   return out;
 }

@@ -22,15 +22,20 @@ struct SearchStats {
   std::uint64_t det_steps = 0;          ///< deterministic-node executions (§4.1.2)
   std::uint64_t nondet_branches = 0;    ///< branch points explored
   std::uint64_t failure_sets = 0;       ///< failure combinations explored
+  std::uint64_t ad_cache_hits = 0;      ///< advertisement memo hits
+  std::uint64_t ad_cache_misses = 0;    ///< advertisement memo fills
+  std::uint64_t dirty_refreshes = 0;    ///< incremental node-status refreshes
   std::uint64_t max_depth = 0;
   std::size_t bytes_paths = 0;
   std::size_t bytes_routes = 0;
   std::size_t bytes_visited = 0;
   std::size_t bytes_stack_peak = 0;
+  std::size_t bytes_ad_cache = 0;       ///< advertisement memo tables
   std::chrono::nanoseconds elapsed{0};
 
   [[nodiscard]] std::size_t model_bytes() const {
-    return bytes_paths + bytes_routes + bytes_visited + bytes_stack_peak;
+    return bytes_paths + bytes_routes + bytes_visited + bytes_stack_peak +
+           bytes_ad_cache;
   }
 
   /// Merges per-PEC stats into whole-run totals (memory maxima, counter sums).

@@ -1,0 +1,94 @@
+// Incremental set utilities for allocation-free search hot paths.
+//
+// The SearchModel contract (engine/search.hpp) guarantees strict LIFO
+// apply()/undo() pairing per phase, so a model can maintain its enabled /
+// conflict bookkeeping *incrementally*: each apply or undo tells the model
+// exactly which nodes' status may have changed (the move's node and its
+// peers — the dirty set), and expand() then consumes the maintained set
+// instead of rescanning every member. These two containers are the
+// engine-layer substrate for that protocol:
+//
+//   · IncrementalActiveSet — a sorted id set with O(1) membership flags and
+//     localized insert/erase, iterated in ascending id order so an
+//     incremental expand() enumerates moves in exactly the order a full
+//     member rescan would (bit-identical exploration);
+//   · StampSet — generation-stamped membership, replacing O(n) clear-and-
+//     refill scratch bitmaps (component BFS, influencer marking) with an
+//     O(1) epoch bump.
+//
+// Neither allocates in steady state: capacity is reserved once and reused
+// across the millions of apply/undo/expand cycles of an exploration.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace plankton {
+
+/// Sorted set of small integer ids with O(1) membership and incremental
+/// updates. insert/erase shift the tail of the dense sorted vector — cheap
+/// because active sets in RPVP are tiny compared to the member count.
+class IncrementalActiveSet {
+ public:
+  /// Sizes the membership flags for ids in [0, universe); drops contents.
+  void reset(std::size_t universe) {
+    flag_.assign(universe, 0);
+    items_.clear();
+  }
+
+  /// Removes all items, keeping capacity (O(size), not O(universe)).
+  void clear() {
+    for (const std::uint32_t id : items_) flag_[id] = 0;
+    items_.clear();
+  }
+
+  [[nodiscard]] bool contains(std::uint32_t id) const { return flag_[id] != 0; }
+
+  void insert(std::uint32_t id) {
+    if (flag_[id] != 0) return;
+    flag_[id] = 1;
+    items_.insert(std::lower_bound(items_.begin(), items_.end(), id), id);
+  }
+
+  void erase(std::uint32_t id) {
+    if (flag_[id] == 0) return;
+    flag_[id] = 0;
+    items_.erase(std::lower_bound(items_.begin(), items_.end(), id));
+  }
+
+  /// Members in ascending id order. Invalidated by insert/erase.
+  [[nodiscard]] std::span<const std::uint32_t> items() const { return items_; }
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+ private:
+  std::vector<std::uint32_t> items_;  ///< sorted ascending
+  std::vector<std::uint8_t> flag_;    ///< [id] membership
+};
+
+/// Membership bitmap cleared in O(1) by bumping an epoch instead of
+/// refilling the array. mark()/marked() are valid until the next begin().
+class StampSet {
+ public:
+  void reset(std::size_t universe) {
+    stamp_.assign(universe, 0);
+    epoch_ = 1;  // stamps start at 0: a freshly reset set reads as empty
+  }
+
+  /// Starts a new empty epoch.
+  void begin() { ++epoch_; }
+
+  void mark(std::uint32_t id) { stamp_[id] = epoch_; }
+  [[nodiscard]] bool marked(std::uint32_t id) const {
+    return stamp_[id] == epoch_;
+  }
+
+ private:
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t epoch_ = 1;
+};
+
+}  // namespace plankton

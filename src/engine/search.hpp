@@ -42,6 +42,18 @@ struct SearchMove {
 };
 
 /// The model side of the search: protocol semantics + pruning, no strategy.
+///
+/// Dirty-set contract: engines drive each phase with strict stack
+/// discipline — apply() and undo() come in LIFO pairs, expand() is called
+/// at most once between them, and no other mutation happens in between.
+/// A model may therefore maintain its enabled/conflict bookkeeping
+/// *incrementally*: every apply/undo names the move's node, which together
+/// with its peers is the complete dirty set of nodes whose status can have
+/// changed, so expand() can consume a maintained active set
+/// (engine/active_set.hpp) instead of rescanning all members. Engines that
+/// violate the discipline (e.g. frontier engines that teleport between
+/// states) must instead re-enter the phase through advance()/begin-phase
+/// paths that rebuild the model's sets from scratch.
 class SearchModel {
  public:
   enum class Step : std::uint8_t {

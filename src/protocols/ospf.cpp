@@ -92,7 +92,7 @@ bool OspfProcess::valid(NodeId n, RouteId current, const StateView& s,
   const PathId path = ctx.routes.get(current).path;
   const std::uint32_t metric = ctx.routes.get(current).metric;
   if (path == kEmptyPath) return true;
-  std::vector<NodeId> hops;
+  std::vector<NodeId>& hops = valid_hops_;
   ctx.routes.nexthops(current, ctx.paths, hops);
   for (const NodeId hop : hops) {
     const RouteId adv = advertised(hop, n, s.best(hop), ctx);
@@ -115,14 +115,19 @@ RouteId OspfProcess::merge(NodeId n, std::span<const RouteId> updates,
     }
   }
   if (best == kNoRoute) return kNoRoute;
-  std::vector<NodeId> hops;
+  std::vector<NodeId>& hops = merge_hops_;
+  hops.clear();
   for (const RouteId u : updates) {
     if (u == kNoRoute || ctx.routes.get(u).metric != best_metric) continue;
     hops.push_back(ctx.paths.head(ctx.routes.get(u).path));
   }
   std::sort(hops.begin(), hops.end());
   hops.erase(std::unique(hops.begin(), hops.end()), hops.end());
-  Route merged = ctx.routes.get(best);
+  // Build the candidate in a reusable scratch route, then intern only when
+  // it is genuinely new — in steady state every merge result is already in
+  // the table and this path allocates nothing.
+  Route& merged = merge_scratch_;
+  merged = ctx.routes.get(best);
   if (hops.size() > 1) {
     // Keep the representative path of the lowest-id next hop so the merged
     // route is canonical regardless of update order.
@@ -133,11 +138,13 @@ RouteId OspfProcess::merge(NodeId n, std::span<const RouteId> updates,
         break;
       }
     }
-    merged.ecmp = std::move(hops);
+    merged.ecmp.assign(hops.begin(), hops.end());
   } else {
     merged.ecmp.clear();
   }
-  return ctx.routes.intern(std::move(merged));
+  const RouteId existing = ctx.routes.find(merged);
+  if (existing != kNoRoute) return existing;
+  return ctx.routes.intern(merged);
 }
 
 NodeId OspfProcess::deterministic_node(std::span<const NodeId> enabled,

@@ -34,6 +34,10 @@ class OspfProcess final : public RoutingProcess {
   [[nodiscard]] RouteId advertised(NodeId p, NodeId n, RouteId peer_route,
                                    ModelContext& ctx) const override;
 
+  /// Pure in (p, n, peer_route) given the prepared failure set: link costs
+  /// and loop rejection only — safe to memoize.
+  [[nodiscard]] bool cacheable() const override { return true; }
+
   [[nodiscard]] int compare(NodeId n, RouteId a, RouteId b,
                             const ModelContext& ctx) const override;
 
@@ -59,6 +63,14 @@ class OspfProcess final : public RoutingProcess {
   std::vector<NodeId> origins_;
   std::vector<std::vector<NodeId>> up_peers_;  // per node, under current failures
   std::vector<std::uint32_t> dist_;            // SPF distances (det heuristic cache)
+
+  // Scratch buffers for merge()/valid(), reused so the explorer's
+  // steady-state apply/undo/expand cycle stays allocation-free. A process
+  // belongs to exactly one Explorer (one thread); const methods may use
+  // them as call-local scratch.
+  mutable std::vector<NodeId> merge_hops_;
+  mutable Route merge_scratch_;
+  mutable std::vector<NodeId> valid_hops_;
 };
 
 }  // namespace plankton

@@ -77,6 +77,10 @@ class RoutingProcess {
   [[nodiscard]] virtual Protocol protocol() const = 0;
 
   /// Nodes that participate in this process (others are never enabled).
+  /// Must be sorted ascending by NodeId: the incremental expand path
+  /// (rpvp/Explorer + engine/active_set.hpp) enumerates enabled nodes in
+  /// ascending order and relies on that matching members() order so the
+  /// optimized exploration is bit-identical to the full rescan.
   [[nodiscard]] virtual const std::vector<NodeId>& members() const = 0;
 
   /// Nodes that originate the prefix; RPVP initializes them with
@@ -92,10 +96,27 @@ class RoutingProcess {
   [[nodiscard]] virtual std::span<const NodeId> peers(NodeId n) const = 0;
 
   /// importₙ,ₚ(exportₚ,ₙ(peer_route)) — the route `n` would adopt from peer
-  /// `p`, or kNoRoute when filtered/rejected. Must be a pure function of
-  /// (p, n, peer_route) given the prepared failure set.
+  /// `p`, or kNoRoute when filtered/rejected.
+  ///
+  /// Purity contract (relied on by the explorer's AdCache memoization,
+  /// rpvp/ad_cache.hpp): between two prepare() calls and for a fixed
+  /// ctx.upstream binding, the result is a pure function of
+  /// (p, n, peer_route) — same inputs, same interned RouteId, no observable
+  /// side effects beyond interning that same route/path. In particular
+  /// advertised(p, n, kNoRoute) must be kNoRoute (⊥ in, ⊥ out), and any
+  /// dependence on upstream PEC outcomes (e.g. iBGP IGP costs / next-hop
+  /// resolvability) must go through ctx.upstream only, so that a cache
+  /// keyed per (failure set, upstream outcome) generation is sound.
+  /// Implementations whose result depends on anything else must not be
+  /// memoized — they should override cacheable() to return false.
   [[nodiscard]] virtual RouteId advertised(NodeId p, NodeId n, RouteId peer_route,
                                            ModelContext& ctx) const = 0;
+
+  /// Opt-in to advertisement memoization: overriding to true asserts the
+  /// purity contract on advertised() holds for this implementation. The
+  /// default is false so a protocol written without the AdCache in mind is
+  /// never silently memoized.
+  [[nodiscard]] virtual bool cacheable() const { return false; }
 
   /// Ranking at n: >0 if `a` is preferred over `b`, <0 if `b` over `a`,
   /// 0 when tied (non-deterministic, e.g. BGP age-based tie-breaking).

@@ -71,6 +71,15 @@ RouteId RouteTable::intern(Route r) {
   return id;
 }
 
+RouteId RouteTable::find(const Route& r) const {
+  const auto it = index_.find(r.hash());
+  if (it == index_.end()) return kNoRoute;
+  for (const RouteId id : it->second) {
+    if (routes_[id] == r) return id;
+  }
+  return kNoRoute;
+}
+
 void RouteTable::nexthops(RouteId id, const PathTable& paths,
                           std::vector<NodeId>& out) const {
   out.clear();

@@ -102,6 +102,11 @@ class RouteTable {
 
   RouteId intern(Route r);
 
+  /// Id of `r` if already interned, else kNoRoute. Lets hot paths test for
+  /// an existing route without the by-value copy intern() takes (the
+  /// explorer's steady state re-derives already-interned routes only).
+  [[nodiscard]] RouteId find(const Route& r) const;
+
   [[nodiscard]] const Route& get(RouteId id) const { return routes_[id]; }
   [[nodiscard]] std::size_t size() const { return routes_.size(); }
   [[nodiscard]] std::size_t bytes() const;

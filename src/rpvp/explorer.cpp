@@ -1,6 +1,7 @@
 #include "rpvp/explorer.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "protocols/bgp.hpp"
 #include "protocols/ospf.hpp"
@@ -49,11 +50,31 @@ Explorer::Explorer(const Network& net, const Pec& pec, std::vector<PrefixTask> t
   is_origin_.assign(t, std::vector<std::uint8_t>(n, 0));
   member_.assign(t, std::vector<std::uint8_t>(n, 0));
   codec_.reset(t);
-  influencer_.assign(n, 0);
+  influencer_.reset(n);
+  in_comp_.reset(n);
+  active_.resize(t);
+  for (auto& a : active_) a.reset(n);
+  ad_cache_on_ = opts_.ad_cache;
   for (std::size_t i = 0; i < t; ++i) {
+    // The incremental expand path replays members() order from a sorted
+    // active set; the documented ascending-order contract must hold.
+    assert(std::is_sorted(tasks_[i].process->members().begin(),
+                          tasks_[i].process->members().end()));
     for (const NodeId o : tasks_[i].process->origins()) is_origin_[i][o] = 1;
     for (const NodeId m : tasks_[i].process->members()) member_[i][m] = 1;
+    if (!tasks_[i].process->cacheable()) ad_cache_on_ = false;
   }
+  ad_cache_.reset(t);
+  // Scratch arenas: size for the worst case up front so the hot path never
+  // grows them (peer lists are bounded by the node count).
+  advs_scratch_.reserve(n);
+  cands_scratch_.reserve(n);
+  updates_scratch_.reserve(n);
+  update_peers_scratch_.reserve(n);
+  enabled_scratch_.reserve(n);
+  filtered_scratch_.reserve(n);
+  bfs_queue_.reserve(n);
+  ribs_scratch_.reserve(t);
   sources_ = policy_.sources();
 
   // §4.2 applicability: the paper applies source early-stop and influence
@@ -89,6 +110,7 @@ ExploreResult Explorer::run() {
   for (const auto& s : status_) rib_bytes += s.capacity() * sizeof(NodeStatus);
   result_.stats.bytes_stack_peak =
       rib_bytes + result_.stats.max_depth * sizeof(TrailEvent) * 2;
+  result_.stats.bytes_ad_cache = ad_cache_.bytes();
   result_.stats.elapsed = std::chrono::steady_clock::now() - start;
   return std::move(result_);
 }
@@ -111,7 +133,11 @@ bool Explorer::budget_exhausted() {
 // Failure phase (§4.1.4, §4.3)
 // ---------------------------------------------------------------------------
 
-std::vector<std::uint64_t> Explorer::dec_signatures() const {
+const std::vector<std::uint64_t>& Explorer::dec_signatures() const {
+  // The signature is failure-independent (config, PEC, policy only), but it
+  // used to be recomputed — with O(nodes × prefixes) std::find scans — at
+  // every node of the failure tree. Compute once, reuse everywhere.
+  if (!dec_sigs_.empty()) return dec_sigs_;
   std::vector<std::uint64_t> sig(net_.topo.node_count());
   for (NodeId n = 0; n < sig.size(); ++n) {
     const auto& dev = net_.device(n);
@@ -151,16 +177,19 @@ std::vector<std::uint64_t> Explorer::dec_signatures() const {
     }
     sig[n] = h;
   }
-  return sig;
+  dec_sigs_ = std::move(sig);
+  return dec_sigs_;
 }
 
 std::vector<LinkId> Explorer::failure_candidates(LinkId next_link) const {
-  std::vector<LinkId> out;
   if (opts_.lec_failures) {
+    // (The LEC branch used to construct-and-discard a scratch vector for
+    // the exhaustive path below; keep each mode's storage to itself.)
     const DecPartition dec =
         DecPartition::compute(net_.topo, dec_signatures(), failures_);
     return dec.lec_representatives(net_.topo, failures_);
   }
+  std::vector<LinkId> out;
   for (LinkId l = next_link; l < net_.topo.link_count(); ++l) {
     if (!failures_.is_failed(l)) out.push_back(l);
   }
@@ -205,6 +234,16 @@ Explorer::Flow Explorer::check_failure_set() {
   for (std::size_t i = 0; i < ups.size(); ++i) {
     ctx_.upstream = ups[i];
     for (auto& t : tasks_) t.process->prepare(failures_, ctx_);
+    if (ad_cache_on_) {
+      // One cache generation per (failure set, upstream outcome index):
+      // prepare() changed the live-peer lists, and upstream-dependent
+      // advertised() results (iBGP IGP costs, next-hop resolvability) must
+      // never be reused across ctx_.upstream bindings.
+      ad_cache_.invalidate();
+      for (std::size_t t = 0; t < tasks_.size(); ++t) {
+        ad_cache_.bind(t, *tasks_[t].process, net_.topo.node_count());
+      }
+    }
     codec_.begin_root(failures_.hash(),
                       ups[i] != nullptr ? ups[i]->outcome_hash() : 0);
     const bool note = ups.size() > 1;
@@ -231,6 +270,10 @@ Explorer::Flow Explorer::begin_phase(std::size_t task_idx) {
   auto& proc = *tasks_[task_idx].process;
   auto& rib = rib_[task_idx];
   std::fill(rib.begin(), rib.end(), kNoRoute);
+  // Rebuild this phase's status and active set from scratch; from here on
+  // refresh_node maintains both incrementally (dirty-set protocol).
+  active_[task_idx].clear();
+  for (auto& st : status_[task_idx]) st = NodeStatus{};
   for (const NodeId o : proc.origins()) {
     const RouteId r = proc.origin_route(o, ctx_);
     rib[o] = r;
@@ -264,26 +307,32 @@ bool Explorer::mark_visited(std::size_t task_idx) {
 void Explorer::refresh_node(std::size_t task_idx, NodeId n) {
   auto& proc = *tasks_[task_idx].process;
   NodeStatus& st = status_[task_idx][n];
+  const bool was_enabled = st.enabled;
   st = NodeStatus{};
-  if (is_origin_[task_idx][n] != 0 || member_[task_idx][n] == 0) return;
+  ++result_.stats.dirty_refreshes;
+  if (is_origin_[task_idx][n] != 0 || member_[task_idx][n] == 0) {
+    if (was_enabled) active_[task_idx].erase(n);
+    return;
+  }
   auto& rib = rib_[task_idx];
   const StateView view(rib);
   const RouteId cur = rib[n];
+  const std::span<const NodeId> peers = proc.peers(n);
   if (proc.merge_equal_updates() && opts_.merge_updates) {
-    std::vector<RouteId> advs;
-    for (const NodeId p : proc.peers(n)) {
-      advs.push_back(proc.advertised(p, n, rib[p], ctx_));
+    advs_scratch_.clear();
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      advs_scratch_.push_back(adv(proc, task_idx, n, i, peers[i]));
     }
-    const RouteId cand = proc.merge(n, advs, ctx_);
+    const RouteId cand = proc.merge(n, advs_scratch_, ctx_);
     st.merge_candidate = cand;
     st.enabled = cand != cur;
   } else {
     const bool invalid = cur != kNoRoute && !proc.valid(n, cur, view, ctx_);
     const RouteId base = invalid ? kNoRoute : cur;
     bool can_update = false;
-    for (const NodeId p : proc.peers(n)) {
-      const RouteId adv = proc.advertised(p, n, rib[p], ctx_);
-      if (adv != kNoRoute && proc.compare(n, adv, base, ctx_) > 0) {
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      const RouteId a = adv(proc, task_idx, n, i, peers[i]);
+      if (a != kNoRoute && proc.compare(n, a, base, ctx_) > 0) {
         can_update = true;
         break;
       }
@@ -291,6 +340,13 @@ void Explorer::refresh_node(std::size_t task_idx, NodeId n) {
     st.enabled = invalid || can_update;
   }
   st.conflict = st.enabled && cur != kNoRoute && opts_.consistent_only;
+  if (st.enabled != was_enabled) {
+    if (st.enabled) {
+      active_[task_idx].insert(n);
+    } else {
+      active_[task_idx].erase(n);
+    }
+  }
 }
 
 void Explorer::refresh_around(std::size_t task_idx, NodeId n) {
@@ -300,15 +356,13 @@ void Explorer::refresh_around(std::size_t task_idx, NodeId n) {
   }
 }
 
-void Explorer::collect_updates(std::size_t task_idx, NodeId n,
-                               std::vector<RouteId>& updates,
-                               std::vector<NodeId>& update_peers) {
-  updates.clear();
-  update_peers.clear();
+void Explorer::collect_updates(std::size_t task_idx, NodeId n) {
+  updates_scratch_.clear();
+  update_peers_scratch_.clear();
   auto& proc = *tasks_[task_idx].process;
   if (proc.merge_equal_updates() && opts_.merge_updates) {
-    updates.push_back(status_[task_idx][n].merge_candidate);
-    update_peers.push_back(kNoNode);
+    updates_scratch_.push_back(status_[task_idx][n].merge_candidate);
+    update_peers_scratch_.push_back(kNoNode);
     return;
   }
   auto& rib = rib_[task_idx];
@@ -316,17 +370,18 @@ void Explorer::collect_updates(std::size_t task_idx, NodeId n,
   const RouteId cur = rib[n];
   const bool invalid = cur != kNoRoute && !proc.valid(n, cur, view, ctx_);
   const RouteId base = invalid ? kNoRoute : cur;
-  std::vector<std::pair<RouteId, NodeId>> cands;
-  for (const NodeId p : proc.peers(n)) {
-    const RouteId adv = proc.advertised(p, n, rib[p], ctx_);
-    if (adv != kNoRoute && proc.compare(n, adv, base, ctx_) > 0) {
-      cands.emplace_back(adv, p);
+  const std::span<const NodeId> peers = proc.peers(n);
+  cands_scratch_.clear();
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    const RouteId a = adv(proc, task_idx, n, i, peers[i]);
+    if (a != kNoRoute && proc.compare(n, a, base, ctx_) > 0) {
+      cands_scratch_.emplace_back(a, peers[i]);
     }
   }
   // U = best(...) — the maximal elements of the ranking (line 13 of Alg. 1).
-  for (const auto& [r, p] : cands) {
+  for (const auto& [r, p] : cands_scratch_) {
     bool dominated = false;
-    for (const auto& [r2, p2] : cands) {
+    for (const auto& [r2, p2] : cands_scratch_) {
       (void)p2;
       if (proc.compare(n, r2, r, ctx_) > 0) {
         dominated = true;
@@ -334,8 +389,8 @@ void Explorer::collect_updates(std::size_t task_idx, NodeId n,
       }
     }
     if (!dominated) {
-      updates.push_back(r);
-      update_peers.push_back(p);
+      updates_scratch_.push_back(r);
+      update_peers_scratch_.push_back(p);
     }
   }
 }
@@ -348,33 +403,34 @@ bool Explorer::sources_all_committed(std::size_t task_idx) const {
 }
 
 void Explorer::compute_influencers(std::size_t task_idx) {
-  std::fill(influencer_.begin(), influencer_.end(), 0);
+  influencer_.begin();  // O(1) epoch bump, not an O(nodes) refill
   auto& proc = *tasks_[task_idx].process;
   auto& rib = rib_[task_idx];
-  std::vector<NodeId> queue;
+  bfs_queue_.clear();
   for (const NodeId s : sources_) {
-    if (member_[task_idx][s] != 0 && rib[s] == kNoRoute && influencer_[s] == 0) {
-      influencer_[s] = 1;
-      queue.push_back(s);
+    if (member_[task_idx][s] != 0 && rib[s] == kNoRoute &&
+        !influencer_.marked(s)) {
+      influencer_.mark(s);
+      bfs_queue_.push_back(s);
     }
   }
   // Advertisements reach an uncommitted source only through uncommitted
   // nodes (§4.2): committed nodes never re-advertise (§4.1.1).
-  while (!queue.empty()) {
-    const NodeId n = queue.back();
-    queue.pop_back();
+  while (!bfs_queue_.empty()) {
+    const NodeId n = bfs_queue_.back();
+    bfs_queue_.pop_back();
     for (const NodeId p : proc.peers(n)) {
-      if (influencer_[p] != 0) continue;
+      if (influencer_.marked(p)) continue;
       if (rib[p] != kNoRoute) continue;  // committed: blocks propagation
-      influencer_[p] = 1;
-      queue.push_back(p);
+      influencer_.mark(p);
+      bfs_queue_.push_back(p);
     }
   }
 }
 
 bool Explorer::influence_allows(std::size_t task_idx, NodeId n) const {
   (void)task_idx;
-  return !influence_active_ || influencer_[n] != 0;
+  return !influence_active_ || influencer_.marked(n);
 }
 
 void Explorer::apply(std::size_t task_idx, SearchMove& m) {
@@ -408,8 +464,14 @@ Explorer::Step Explorer::expand(std::size_t task_idx,
   auto& proc = *tasks_[task_idx].process;
   if (influence_active_) compute_influencers(task_idx);
 
-  std::vector<NodeId> enabled;
-  for (const NodeId n : proc.members()) {
+  // The active set holds exactly the members whose status is enabled
+  // (conflict implies enabled), maintained incrementally by refresh_node and
+  // iterated in ascending id order — the same nodes, in the same order, the
+  // O(members) rescan below visits. The rescan is kept as the reference
+  // path (opt matrix, tests/test_exploration_equivalence.cpp).
+  enabled_scratch_.clear();
+  std::vector<NodeId>& enabled = enabled_scratch_;
+  const auto classify = [&](NodeId n) -> bool {  // false = prune
     const NodeStatus& st = status_[task_idx][n];
     if (st.conflict) {
       // §4.1.1: a committed node wants to change — no converged state is
@@ -417,13 +479,23 @@ Explorer::Step Explorer::expand(std::size_t task_idx,
       // their changes cannot affect the sources (§4.2).
       if (influence_allows(task_idx, n)) {
         ++result_.stats.pruned_inconsistent;
-        return Step::kPruned;
+        return false;
       }
-      continue;
+      return true;
     }
-    if (!st.enabled) continue;
-    if (!influence_allows(task_idx, n)) continue;
+    if (!st.enabled) return true;
+    if (!influence_allows(task_idx, n)) return true;
     enabled.push_back(n);
+    return true;
+  };
+  if (opts_.incremental_expand) {
+    for (const NodeId n : active_[task_idx].items()) {
+      if (!classify(n)) return Step::kPruned;
+    }
+  } else {
+    for (const NodeId n : proc.members()) {
+      if (!classify(n)) return Step::kPruned;
+    }
   }
 
   if (enabled.empty()) return Step::kConverged;  // converged (E = ∅)
@@ -434,15 +506,13 @@ Explorer::Step Explorer::expand(std::size_t task_idx,
     return Step::kConverged;
   }
 
-  std::vector<RouteId> updates;
-  std::vector<NodeId> update_peers;
   auto push_moves = [&](NodeId n) {
-    for (std::size_t i = 0; i < updates.size(); ++i) {
+    for (std::size_t i = 0; i < updates_scratch_.size(); ++i) {
       SearchMove m;
       m.kind = SearchMove::Kind::kSelect;
       m.node = n;
-      m.peer = update_peers[i];
-      m.route = updates[i];
+      m.peer = update_peers_scratch_[i];
+      m.route = updates_scratch_[i];
       moves.push_back(m);
     }
   };
@@ -456,11 +526,11 @@ Explorer::Step Explorer::expand(std::size_t task_idx,
     const NodeId dn = proc.deterministic_node(enabled, StateView(rib_[task_idx]),
                                               ctx_, tie_ok);
     if (dn != kNoNode) {
-      collect_updates(task_idx, dn, updates, update_peers);
-      if (!updates.empty()) {
+      collect_updates(task_idx, dn);
+      if (!updates_scratch_.empty()) {
         // Branch over this node's (possibly tied) updates only (Fig. 6,
         // steps 4-5).
-        if (!tie_ok && updates.size() == 1) {
+        if (!tie_ok && updates_scratch_.size() == 1) {
           ++result_.stats.det_steps;
         } else {
           ++result_.stats.nondet_branches;
@@ -475,33 +545,34 @@ Explorer::Step Explorer::expand(std::size_t task_idx,
   // component containing the lowest enabled node; other components commute.
   if (opts_.decision_independence && enabled.size() > 1) {
     auto& rib = rib_[task_idx];
-    std::vector<std::uint8_t> in_comp(net_.topo.node_count(), 0);
-    std::vector<NodeId> queue{enabled.front()};
-    in_comp[enabled.front()] = 1;
-    while (!queue.empty()) {
-      const NodeId n = queue.back();
-      queue.pop_back();
+    in_comp_.begin();
+    bfs_queue_.clear();
+    bfs_queue_.push_back(enabled.front());
+    in_comp_.mark(enabled.front());
+    while (!bfs_queue_.empty()) {
+      const NodeId n = bfs_queue_.back();
+      bfs_queue_.pop_back();
       for (const NodeId p : proc.peers(n)) {
-        if (in_comp[p] != 0 || rib[p] != kNoRoute) continue;
+        if (in_comp_.marked(p) || rib[p] != kNoRoute) continue;
         // Only information flow couples decisions: skip session edges over
         // which neither endpoint can ever send a new advertisement.
         if (!proc.can_transmit(n, p) && !proc.can_transmit(p, n)) continue;
-        in_comp[p] = 1;
-        queue.push_back(p);
+        in_comp_.mark(p);
+        bfs_queue_.push_back(p);
       }
     }
-    std::vector<NodeId> filtered;
+    filtered_scratch_.clear();
     for (const NodeId n : enabled) {
-      if (in_comp[n] != 0) filtered.push_back(n);
+      if (in_comp_.marked(n)) filtered_scratch_.push_back(n);
     }
-    if (!filtered.empty()) enabled = std::move(filtered);
+    if (!filtered_scratch_.empty()) enabled.swap(filtered_scratch_);
   }
 
   bool counted_branch = false;
   for (const NodeId n : enabled) {
     if (moves.size() >= move_budget) break;  // engine won't take more
-    collect_updates(task_idx, n, updates, update_peers);
-    if (updates.empty()) {
+    collect_updates(task_idx, n);
+    if (updates_scratch_.empty()) {
       // Invalid node with no usable advertisement: withdraw (naive mode).
       SearchMove m;
       m.kind = SearchMove::Kind::kWithdraw;
@@ -510,7 +581,7 @@ Explorer::Step Explorer::expand(std::size_t task_idx,
       moves.push_back(m);
       continue;
     }
-    if (!counted_branch && (enabled.size() > 1 || updates.size() > 1)) {
+    if (!counted_branch && (enabled.size() > 1 || updates_scratch_.size() > 1)) {
       ++result_.stats.nondet_branches;
       counted_branch = true;
     }
@@ -521,8 +592,8 @@ Explorer::Step Explorer::expand(std::size_t task_idx,
 
 Explorer::Flow Explorer::handle_converged() {
   ++result_.stats.converged_states;
-  std::vector<TaskRib> ribs;
-  ribs.reserve(tasks_.size());
+  ribs_scratch_.clear();
+  std::vector<TaskRib>& ribs = ribs_scratch_;
   for (std::size_t t = 0; t < tasks_.size(); ++t) {
     ribs.push_back(TaskRib{tasks_[t].prefix_idx, tasks_[t].proto, rib_[t]});
   }
@@ -561,12 +632,13 @@ Explorer::Flow Explorer::handle_converged() {
   }
 
   if (opts_.suppress_equivalent && policy_.supports_equivalence()) {
-    std::vector<NodeId> all;
     std::span<const NodeId> srcs = sources_;
     if (srcs.empty()) {
-      all.resize(net_.topo.node_count());
-      for (NodeId n = 0; n < all.size(); ++n) all[n] = n;
-      srcs = all;
+      if (all_nodes_.empty()) {
+        all_nodes_.resize(net_.topo.node_count());
+        for (NodeId n = 0; n < all_nodes_.size(); ++n) all_nodes_[n] = n;
+      }
+      srcs = all_nodes_;
     }
     const std::uint64_t sig = policy_signature(dp, srcs, policy_.interesting(),
                                                net_.topo.node_count());

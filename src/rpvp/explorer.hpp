@@ -29,6 +29,7 @@
 #include "checker/stats.hpp"
 #include "checker/trail.hpp"
 #include "dataplane/fib.hpp"
+#include "engine/active_set.hpp"
 #include "engine/search.hpp"
 #include "engine/state_codec.hpp"
 #include "engine/visited.hpp"
@@ -36,6 +37,7 @@
 #include "pec/pec.hpp"
 #include "policy/policy.hpp"
 #include "protocols/process.hpp"
+#include "rpvp/ad_cache.hpp"
 
 namespace plankton {
 
@@ -65,6 +67,15 @@ struct ExploreOptions {
   /// of the Fig. 8 ablations (single best path, heavy irrelevant
   /// non-determinism).
   bool merge_updates = true;
+
+  // Hot-path mechanics (exploration-neutral: these change how states are
+  // expanded, never which states are explored — the equivalence tests
+  // assert bit-identical stats across the on/off matrix):
+  /// Memoize advertised() per directed live session edge (rpvp/ad_cache.hpp).
+  bool ad_cache = true;
+  /// Consume the incrementally maintained enabled set in expand() instead
+  /// of rescanning every process member (engine/active_set.hpp).
+  bool incremental_expand = true;
 
   std::uint64_t max_states = 0;               ///< 0 = unlimited
   std::chrono::milliseconds time_limit{0};    ///< 0 = none
@@ -175,7 +186,9 @@ class Explorer final : public SearchModel {
   Flow explore_failures(LinkId next_link);
   Flow check_failure_set();
   [[nodiscard]] std::vector<LinkId> failure_candidates(LinkId next_link) const;
-  [[nodiscard]] std::vector<std::uint64_t> dec_signatures() const;
+  /// Failure-independent DEC node signatures, computed once and cached
+  /// (they depend only on config, policy and PEC — not on failures_).
+  [[nodiscard]] const std::vector<std::uint64_t>& dec_signatures() const;
 
   // -- prefix phases --------------------------------------------------------
   Flow begin_phase(std::size_t task_idx);
@@ -184,11 +197,22 @@ class Explorer final : public SearchModel {
   // per-node status maintenance
   void refresh_node(std::size_t task_idx, NodeId n);
   void refresh_around(std::size_t task_idx, NodeId n);
-  void collect_updates(std::size_t task_idx, NodeId n, std::vector<RouteId>& updates,
-                       std::vector<NodeId>& update_peers);
+  void collect_updates(std::size_t task_idx, NodeId n);
   [[nodiscard]] bool influence_allows(std::size_t task_idx, NodeId n) const;
   void compute_influencers(std::size_t task_idx);
   [[nodiscard]] bool sources_all_committed(std::size_t task_idx) const;
+
+  /// advertised(p, n, rib[p]) through the AdCache when enabled. `peer_idx`
+  /// is p's index in proc.peers(n) under the current failure set.
+  RouteId adv(const RoutingProcess& proc, std::size_t task_idx, NodeId n,
+              std::size_t peer_idx, NodeId p) {
+    const RouteId in = rib_[task_idx][p];
+    if (ad_cache_on_) {
+      return ad_cache_.advertised(proc, task_idx, n, peer_idx, p, in, ctx_,
+                                  result_.stats);
+    }
+    return proc.advertised(p, n, in, ctx_);
+  }
 
   const Network& net_;
   const Pec& pec_;
@@ -216,9 +240,30 @@ class Explorer final : public SearchModel {
   std::vector<std::vector<NodeStatus>> status_;     ///< [task][node]
   std::vector<std::vector<std::uint8_t>> is_origin_;///< [task][node]
   std::vector<std::vector<std::uint8_t>> member_;   ///< [task][node]
-  std::vector<std::uint8_t> influencer_;            ///< per node, current task
+  /// Nodes with status enabled, maintained incrementally by refresh_node
+  /// (dirty-set protocol, engine/search.hpp) — what expand() consumes.
+  std::vector<IncrementalActiveSet> active_;        ///< [task]
+  StampSet influencer_;                             ///< per node, current task
   bool influence_active_ = false;                   ///< §4.2 influence pruning usable
   bool early_stop_ok_ = false;                      ///< §4.2 source early-stop usable
+
+  AdCache ad_cache_;                                ///< advertised() memo
+  bool ad_cache_on_ = false;                        ///< opts_.ad_cache && cacheable
+
+  // Scratch arenas: per-call buffers hoisted out of the hot path so a
+  // steady-state apply/undo/expand cycle performs zero heap allocations
+  // (tests/test_hot_path_alloc.cpp pins this down).
+  std::vector<RouteId> advs_scratch_;               ///< refresh_node merge inputs
+  std::vector<std::pair<RouteId, NodeId>> cands_scratch_;  ///< collect_updates
+  std::vector<RouteId> updates_scratch_;            ///< collect_updates output
+  std::vector<NodeId> update_peers_scratch_;        ///< collect_updates output
+  std::vector<NodeId> enabled_scratch_;             ///< expand enabled list
+  std::vector<NodeId> filtered_scratch_;            ///< §4.1.3 component filter
+  std::vector<NodeId> bfs_queue_;                   ///< influencer/component BFS
+  StampSet in_comp_;                                ///< §4.1.3 component marks
+  std::vector<TaskRib> ribs_scratch_;               ///< handle_converged view
+  std::vector<NodeId> all_nodes_;                   ///< fallback source list
+  mutable std::vector<std::uint64_t> dec_sigs_;     ///< cached dec_signatures()
 
   Trail trail_;
   ExploreResult result_;

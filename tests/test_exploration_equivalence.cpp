@@ -9,10 +9,12 @@
 
 #include <random>
 #include <set>
+#include <string>
 
 #include "core/verifier.hpp"
 #include "pec/pec.hpp"
 #include "rpvp/explorer.hpp"
+#include "workload/fat_tree.hpp"
 
 namespace plankton {
 namespace {
@@ -186,6 +188,164 @@ TEST(OspfConvergence, MatchesDijkstraMetrics) {
     for (NodeId n = 0; n < net.topo.node_count(); ++n) {
       EXPECT_EQ(r.outcomes[0].igp_cost[n], expected[n]) << "node " << n;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path opt matrix (PR 2): the AdCache advertisement memo and the
+// incremental (dirty-set) expand are exploration-*mechanics*, not search
+// reductions — with any combination of the two switched on or off, the
+// exploration must be bit-identical: same transition/branch/convergence
+// counters and the same violations, on the Fig. 6 BGP network and the
+// Fig. 9 BGP-DC worst-case workload.
+// ---------------------------------------------------------------------------
+
+/// Everything a run observed, for exact cross-matrix comparison.
+struct RunFingerprint {
+  std::uint64_t states_explored = 0;
+  std::uint64_t converged_states = 0;
+  std::uint64_t nondet_branches = 0;
+  std::uint64_t det_steps = 0;
+  std::uint64_t pruned_inconsistent = 0;
+  std::uint64_t failure_sets = 0;
+  std::multiset<std::string> violations;
+
+  friend bool operator==(const RunFingerprint&, const RunFingerprint&) = default;
+};
+
+RunFingerprint fingerprint(const Network& net, const Policy& policy,
+                           VerifyOptions vo, bool ad_cache, bool incremental,
+                           const IpAddr* addr = nullptr) {
+  vo.explore.ad_cache = ad_cache;
+  vo.explore.incremental_expand = incremental;
+  vo.explore.find_all_violations = true;
+  Verifier verifier(net, vo);
+  const VerifyResult r = addr != nullptr ? verifier.verify_address(*addr, policy)
+                                         : verifier.verify(policy);
+  RunFingerprint fp;
+  fp.states_explored = r.total.states_explored;
+  fp.converged_states = r.total.converged_states;
+  fp.nondet_branches = r.total.nondet_branches;
+  fp.det_steps = r.total.det_steps;
+  fp.pruned_inconsistent = r.total.pruned_inconsistent;
+  fp.failure_sets = r.total.failure_sets;
+  for (const auto& rep : r.reports) {
+    for (const auto& v : rep.result.violations) {
+      fp.violations.insert(rep.pec_str + "|" +
+                           std::to_string(v.failures.hash()) + "|" + v.message);
+    }
+  }
+  return fp;
+}
+
+void expect_matrix_identical(const Network& net, const Policy& policy,
+                             const VerifyOptions& vo,
+                             const IpAddr* addr = nullptr) {
+  const RunFingerprint ref = fingerprint(net, policy, vo, true, true, addr);
+  EXPECT_GT(ref.states_explored, 0u);
+  for (const bool cache : {false, true}) {
+    for (const bool incr : {false, true}) {
+      if (cache && incr) continue;  // the reference itself
+      const RunFingerprint fp = fingerprint(net, policy, vo, cache, incr, addr);
+      EXPECT_EQ(fp, ref) << "ad_cache=" << cache << " incremental=" << incr;
+    }
+  }
+}
+
+/// The paper's Figure 6 BGP network (one AS per node, R1 origin, local-pref
+/// maps at R5/R6) — the deterministic-node showcase.
+Network figure6_network() {
+  Network net;
+  const auto add = [&net](const char* name) {
+    const NodeId id = net.add_device(name);
+    net.device(id).bgp.emplace();
+    net.device(id).bgp->asn = 65000 + id;
+    return id;
+  };
+  const NodeId r1 = add("R1"), r2 = add("R2"), r3 = add("R3"), r4 = add("R4"),
+               r5 = add("R5"), r6 = add("R6");
+  const auto session = [&net](NodeId a, NodeId b) {
+    net.topo.add_link(a, b);
+    BgpSession sa;
+    sa.peer = b;
+    net.device(a).bgp->sessions.push_back(sa);
+    BgpSession sb;
+    sb.peer = a;
+    net.device(b).bgp->sessions.push_back(sb);
+  };
+  session(r1, r2);
+  session(r1, r3);
+  session(r2, r4);
+  session(r2, r5);
+  session(r3, r4);
+  session(r4, r6);
+  session(r5, r6);
+  net.device(r1).bgp->originated.push_back(*Prefix::parse("10.0.0.0/16"));
+  RouteMapClause high;
+  high.action.set_local_pref = 300;
+  net.device(r5).bgp->session_with(r2)->import.clauses.push_back(high);
+  RouteMapClause low;
+  low.action.set_local_pref = 50;
+  net.device(r6).bgp->session_with(r5)->import.clauses.push_back(low);
+  return net;
+}
+
+TEST(HotPathOptMatrix, Figure6BgpIdenticalAcrossMatrix) {
+  const Network net = figure6_network();
+  VerifyOptions vo;
+  vo.cores = 1;
+  vo.explore.max_failures = 1;
+  vo.explore.lec_failures = false;
+  const ReachabilityPolicy policy({5});
+  expect_matrix_identical(net, policy, vo);
+}
+
+TEST(HotPathOptMatrix, Figure6NaiveModeIdenticalAcrossMatrix) {
+  // The reference (full-rescan) expand path must also agree when the §4
+  // search optimizations are off — exercises the withdraw/naive branches.
+  const Network net = figure6_network();
+  VerifyOptions vo;
+  vo.cores = 1;
+  vo.explore = ExploreOptions::naive();
+  vo.explore.max_states = 200000;
+  const ReachabilityPolicy policy({5});
+  expect_matrix_identical(net, policy, vo);
+}
+
+TEST(HotPathOptMatrix, Fig9BgpDcWorstCaseIdenticalAcrossMatrix) {
+  FatTreeOptions o;
+  o.k = 4;
+  o.routing = FatTreeOptions::Routing::kBgpRfc7938;
+  const FatTree ft = make_fat_tree(o);
+  const WaypointPolicy policy({ft.edges.back()}, ft.aggs);
+  VerifyOptions vo;
+  vo.cores = 1;
+  vo.explore.det_nodes_bgp = false;
+  vo.explore.suppress_equivalent = false;
+  vo.explore.max_states = 20000;
+  const IpAddr addr = ft.edge_prefixes[0].addr();
+  expect_matrix_identical(ft.net, policy, vo, &addr);
+}
+
+TEST(HotPathOptMatrix, OspfFailuresIdenticalAcrossMatrix) {
+  // OSPF exercises the ECMP merge path of refresh_node under failures.
+  std::mt19937 rng(4242);
+  for (int iter = 0; iter < 3; ++iter) {
+    const Network net = random_ospf_network(rng, 6 + static_cast<int>(rng() % 4));
+    // Source: any non-origin device (a source at the origin converges with
+    // zero transitions and would make the comparison vacuous).
+    NodeId src = 0;
+    for (NodeId n = 0; n < net.topo.node_count(); ++n) {
+      if (net.device(n).ospf.originated.empty()) {
+        src = n;
+        break;
+      }
+    }
+    VerifyOptions vo;
+    vo.cores = 1;
+    vo.explore.max_failures = 2;
+    const ReachabilityPolicy policy({src});
+    expect_matrix_identical(net, policy, vo);
   }
 }
 

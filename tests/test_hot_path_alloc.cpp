@@ -1,0 +1,125 @@
+// Zero-heap-allocation guarantee for the explorer's steady-state hot path.
+//
+// The acceptance bar for the incremental hot path (PR 2): once an
+// exploration has warmed every arena, table and cache, a full
+// expand/apply/expand/undo cycle performs *zero* heap allocations. The test
+// replaces global operator new/delete with counting versions, runs a
+// complete exploration to reach steady state, then drives the public
+// SearchModel interface directly and asserts the allocation counter does
+// not move.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "pec/pec.hpp"
+#include "rpvp/explorer.hpp"
+#include "workload/fat_tree.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace plankton {
+namespace {
+
+class TruePolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "true"; }
+  [[nodiscard]] bool check(const ConvergedView&, std::string&) const override {
+    return true;
+  }
+};
+
+/// Warm the explorer with a full run(), then measure N hot-path cycles
+/// through the public SearchModel interface. After run() the phase-0 state
+/// is the (already explored) initial RIB of the last prepared failure set,
+/// so expand() yields real moves and apply/undo traverse real transitions.
+void expect_zero_alloc_cycles(const Network& net, ExploreOptions opts) {
+  const PecSet pecs = compute_pecs(net);
+  const auto routed = pecs.routed();
+  ASSERT_FALSE(routed.empty());
+  const Pec& pec = pecs.pecs[routed[0]];
+  const TruePolicy policy;
+  Explorer ex(net, pec, make_tasks(net, pec), policy, opts);
+  (void)ex.run();  // warm every arena, memo and interning table
+
+  std::vector<SearchMove> moves;
+  moves.reserve(256);
+
+  // One untimed cycle: lets lazily-grown buffers (the move vector above
+  // all) reach their high-water mark before counting starts.
+  SearchModel& model = ex;
+  moves.clear();
+  ASSERT_EQ(model.expand(0, moves, SIZE_MAX), SearchModel::Step::kBranch);
+  ASSERT_FALSE(moves.empty());
+  model.apply(0, moves.front());
+  model.undo(0, moves.front());
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    moves.clear();
+    const auto step = model.expand(0, moves, SIZE_MAX);
+    ASSERT_EQ(step, SearchModel::Step::kBranch);
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+      model.apply(0, moves[i]);
+      model.undo(0, moves[i]);
+    }
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state expand/apply/undo cycles allocated "
+      << (after - before) << " times";
+}
+
+TEST(HotPathAlloc, OspfFatTreeSteadyStateIsAllocationFree) {
+  FatTreeOptions o;
+  o.k = 4;
+  const FatTree ft = make_fat_tree(o);
+  ExploreOptions opts;  // all optimizations on (ad cache + dirty set)
+  expect_zero_alloc_cycles(ft.net, opts);
+}
+
+TEST(HotPathAlloc, BgpDcSteadyStateIsAllocationFree) {
+  FatTreeOptions o;
+  o.k = 4;
+  o.routing = FatTreeOptions::Routing::kBgpRfc7938;
+  const FatTree ft = make_fat_tree(o);
+  ExploreOptions opts;
+  opts.max_states = 20000;  // bounded warm-up; cycles below stay warm
+  expect_zero_alloc_cycles(ft.net, opts);
+}
+
+TEST(HotPathAlloc, ReferenceExpandPathIsAllocationFreeToo) {
+  // The full-rescan expand (incremental_expand=false) shares the arenas;
+  // it must be allocation-free as well, cache on or off.
+  FatTreeOptions o;
+  o.k = 4;
+  const FatTree ft = make_fat_tree(o);
+  for (const bool cache : {false, true}) {
+    ExploreOptions opts;
+    opts.incremental_expand = false;
+    opts.ad_cache = cache;
+    expect_zero_alloc_cycles(ft.net, opts);
+  }
+}
+
+}  // namespace
+}  // namespace plankton
