@@ -9,6 +9,9 @@
 //   as_failures/AS1755      fig7d: OSPF AS topology, reachability, <=1 failure
 //   bgp_dc_worstcase/K=4    fig9:  BGP DC waypoint, det-node detection off,
 //                                  capped state count (pure hot-path churn)
+//   fattree_loop/K=8 bfs    the BFS frontier engine on the first workload —
+//                                  tracks the snapshot-restore overhead of
+//                                  the frontier layer in the trajectory
 //
 // The ad-cache/dirty-set off rows measure the same workloads with the PR-2
 // hot-path optimizations disabled, so their effect is visible inside one
@@ -100,6 +103,20 @@ int main(int argc, char** argv) {
       row(std::string("bgp_dc_worstcase/K=4") + mode_tag(optimized),
           verifier.verify_address(ft.edge_prefixes[0].addr(), policy));
     }
+  }
+
+  {
+    // One frontier-engine row: same workload as the first basket entry, BFS
+    // order, so the trajectory tracks the frontier layer's restore overhead.
+    FatTreeOptions o;
+    o.k = 8;
+    const FatTree ft = make_fat_tree(o);
+    VerifyOptions vo;
+    vo.cores = 1;
+    vo.explore.engine_kind = SearchEngineKind::kBfs;
+    Verifier verifier(ft.net, vo);
+    const LoopFreedomPolicy policy;
+    row("fattree_loop/K=8 bfs", verifier.verify(policy));
   }
 
   std::printf("\nwrote perf trajectory records (bench=perf_smoke)\n");

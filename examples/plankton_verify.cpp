@@ -17,8 +17,11 @@
 //   --trails           print counterexample event traces
 //   --visited <kind>   visited backend: exact | hash-compact | bitstate
 //   --scheduler <s>    PEC scheduler: steal (work-stealing) | pool (fixed)
+//   --engine <e>       exploration strategy: dfs | bfs | priority |
+//                      random-restart | single (single-execution simulation)
+//   --engine-seed <n>  seed for the random-restart engine (default 1)
 //   --simulation       follow one execution path (Batfish-style; may miss
-//                      order-dependent violations)
+//                      order-dependent violations); alias for --engine single
 //
 // Exit code: 0 = policy holds, 1 = violated, 2 = usage/config error.
 #include <cstdio>
@@ -52,7 +55,8 @@ int usage() {
                "usage: plankton_verify <config> <policy> [args] [--failures k] "
                "[--cores n] [--address ip] [--all-violations] [--trails] "
                "[--visited exact|hash-compact|bitstate] [--scheduler steal|pool] "
-               "[--simulation]\n"
+               "[--engine dfs|bfs|priority|random-restart|single] "
+               "[--engine-seed n] [--simulation]\n"
                "policies: reach <srcs> | loop | blackhole [srcs] | "
                "bounded <limit> <srcs> | waypoint <srcs> <wps>\n");
   return 2;
@@ -97,6 +101,22 @@ int main(int argc, char** argv) {
         trails = true;
       } else if (arg == "--simulation") {
         opts.explore.simulation = true;
+      } else if (arg == "--engine" && i + 1 < argc) {
+        SearchEngineKind kind;
+        if (!parse_search_engine(argv[++i], kind)) {
+          throw std::runtime_error(std::string("bad --engine '") + argv[i] + "'");
+        }
+        // Last --engine wins: a non-simulation engine clears a previous
+        // `single` (ExploreOptions::simulation takes precedence otherwise).
+        if (kind == SearchEngineKind::kSingleExecution) {
+          opts.explore.simulation = true;
+        } else {
+          opts.explore.simulation = false;
+          opts.explore.engine_kind = kind;
+        }
+      } else if (arg == "--engine-seed" && i + 1 < argc) {
+        opts.explore.engine_seed =
+            static_cast<std::uint64_t>(std::atoll(argv[++i]));
       } else if (arg == "--visited" && i + 1 < argc) {
         const std::string kind = argv[++i];
         if (kind == "exact") {

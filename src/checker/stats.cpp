@@ -18,6 +18,7 @@ void SearchStats::absorb(const SearchStats& other) {
   ad_cache_hits += other.ad_cache_hits;
   ad_cache_misses += other.ad_cache_misses;
   dirty_refreshes += other.dirty_refreshes;
+  frontier_peak = std::max(frontier_peak, other.frontier_peak);
   max_depth = std::max(max_depth, other.max_depth);
   bytes_paths += other.bytes_paths;
   bytes_routes += other.bytes_routes;
@@ -38,6 +39,9 @@ std::string SearchStats::summary() const {
   if (ad_cache_hits + ad_cache_misses > 0) {
     out += ", ad cache: " + std::to_string(ad_cache_hits) + "/" +
            std::to_string(ad_cache_hits + ad_cache_misses) + " hits";
+  }
+  if (frontier_peak > 0) {
+    out += ", frontier peak: " + std::to_string(frontier_peak);
   }
   out += ", model bytes: " + std::to_string(model_bytes());
   return out;

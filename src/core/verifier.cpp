@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 #include "sched/outcome_store.hpp"
 
@@ -108,6 +109,20 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
   TruePolicy true_policy;
   const bool cross_deps = deps_.has_cross_pec_deps();
 
+  // Outcome eviction: once the last needed dependent of a PEC completes, its
+  // stored outcomes can never be read again — release them so the store stays
+  // bounded on long runs (a multi-process shard coordinator will do the same
+  // per shard). Counters are atomics: the last finishing worker evicts.
+  auto pending_dependents =
+      std::make_unique<std::atomic<std::ptrdiff_t>[]>(pecs_.pecs.size());
+  for (PecId p = 0; p < pecs_.pecs.size(); ++p) {
+    std::ptrdiff_t needed_dependents = 0;
+    for (const PecId q : deps_.dependents[p]) {
+      if (needed[q] != 0) ++needed_dependents;
+    }
+    pending_dependents[p].store(needed_dependents, std::memory_order_relaxed);
+  }
+
   std::atomic<bool> stop{false};
   const bool has_wall_limit = opts_.wall_limit.count() > 0;
   const auto wall_deadline = start + opts_.wall_limit;
@@ -116,7 +131,13 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
     const Pec& pec = pecs_.pecs[pec_id];
     ExploreOptions eo = opts_.explore;
     const bool has_deps = !deps_.depends_on[pec_id].empty();
-    const bool has_dependents = !deps_.dependents[pec_id].empty();
+    // Record outcomes only when a *needed* dependent may still read them.
+    // Acyclic dependents run strictly after this PEC, so the counter is
+    // pristine here; within a cyclic SCC an already-finished mate has
+    // decremented it, which only sharpens the answer (that mate can no
+    // longer read). Dependents outside the needed closure never read.
+    const bool has_dependents =
+        pending_dependents[pec_id].load(std::memory_order_acquire) > 0;
     eo.record_outcomes = has_dependents;
     // §4.3: DEC-based failure choice only without cross-PEC dependencies
     // (failure sets must coordinate exactly across PEC runs).
@@ -149,6 +170,16 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
     return rep;
   };
 
+  // Runs after every run_pec return — including the wall-limit timeout path,
+  // so time-limited runs still release exhausted dependencies.
+  auto release_dependencies = [&](PecId pec_id) {
+    for (const PecId d : deps_.depends_on[pec_id]) {
+      if (pending_dependents[d].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        store.evict(d);
+      }
+    }
+  };
+
   // Result aggregation is lock-free: each worker appends to its own buffer
   // (the scheduler never runs two bodies on one worker concurrently) and the
   // buffers are merged after the join. Only the early-stop flag is shared.
@@ -167,6 +198,7 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
         // sequentially (the paper expects them to "almost never" occur).
         for (const PecId p : task.pecs) {
           PecReport rep = run_pec(p, task.is_target && is_target[p] != 0);
+          release_dependencies(p);
           if (!rep.result.holds && !opts_.explore.find_all_violations) {
             stop.store(true, std::memory_order_relaxed);
           }

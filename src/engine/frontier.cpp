@@ -1,0 +1,130 @@
+#include "engine/frontier.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace plankton {
+
+// ---------------------------------------------------------------------------
+// Frontier
+// ---------------------------------------------------------------------------
+
+void Frontier::add_entry(Entry e) {
+  if (order_ == FrontierOrder::kFifo) {
+    // Reclaim the consumed prefix wholesale once it dominates the vector;
+    // amortized O(1) per push, no deque indirection.
+    if (head_ > 64 && head_ * 2 > pending_.size()) {
+      pending_.erase(pending_.begin(),
+                     pending_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    pending_.push_back(e);
+  } else if (order_ == FrontierOrder::kPriority) {
+    pending_.push_back(e);
+    std::push_heap(pending_.begin(), pending_.end(), heap_after);
+  } else {
+    pending_.push_back(e);
+  }
+  ++live_;
+  peak_ = std::max(peak_, live_);
+}
+
+std::int32_t Frontier::push(std::int32_t parent, const SearchMove& move,
+                            std::uint64_t key) {
+  PathNode node;
+  node.parent = parent;
+  node.depth = depth(parent) + 1;
+  node.move = move;
+  const auto id = static_cast<std::int32_t>(arena_.size());
+  arena_.push_back(node);
+  add_entry(Entry{id, key, node.depth, next_seq_++});
+  return id;
+}
+
+void Frontier::push_root() { add_entry(Entry{kRoot, 0, 0, next_seq_++}); }
+
+std::int32_t Frontier::pop() {
+  assert(live_ > 0);
+  --live_;
+  ++pops_;
+  switch (order_) {
+    case FrontierOrder::kFifo:
+      return pending_[head_++].id;
+    case FrontierOrder::kPriority: {
+      std::pop_heap(pending_.begin(), pending_.end(), heap_after);
+      const std::int32_t id = pending_.back().id;
+      pending_.pop_back();
+      return id;
+    }
+    case FrontierOrder::kRandomRestart: {
+      std::size_t pick;
+      if (restart_interval_ != 0 && pops_ % restart_interval_ == 0) {
+        // Restart: jump to the shallowest pending state (nearest the phase
+        // root), diversifying away from the current deep region.
+        pick = 0;
+        for (std::size_t i = 1; i < pending_.size(); ++i) {
+          if (pending_[i].depth < pending_[pick].depth) pick = i;
+        }
+      } else {
+        pick = static_cast<std::size_t>(rng_() % pending_.size());
+      }
+      const std::int32_t id = pending_[pick].id;
+      pending_[pick] = pending_.back();
+      pending_.pop_back();
+      return id;
+    }
+  }
+  return kRoot;  // unreachable
+}
+
+void Frontier::path_to(std::int32_t id, std::vector<SearchMove>& out) const {
+  out.clear();
+  for (std::int32_t n = id; n != kRoot; n = arena_[static_cast<std::size_t>(n)].parent) {
+    out.push_back(arena_[static_cast<std::size_t>(n)].move);
+  }
+  std::reverse(out.begin(), out.end());
+}
+
+std::size_t Frontier::split(std::vector<StateSnapshot>& out) {
+  const std::size_t take = live_ / 2;
+  if (take == 0) return 0;
+  // Detach the most recently discovered end (for kFifo the back of the
+  // queue, i.e. the states a thief would steal; for the others an arbitrary
+  // but deterministic half — ordering across a split is not part of any
+  // engine's contract).
+  for (std::size_t i = 0; i < take; ++i) {
+    const Entry e = pending_.back();
+    pending_.pop_back();
+    StateSnapshot snap;
+    snap.key = e.key;
+    path_to(e.id, snap.path);
+    out.push_back(std::move(snap));
+  }
+  if (order_ == FrontierOrder::kPriority) {
+    std::make_heap(pending_.begin(), pending_.end(), heap_after);
+  }
+  live_ -= take;
+  return take;
+}
+
+void Frontier::inject(const StateSnapshot& snap) {
+  // Rebuild the snapshot's path as a fresh arena chain from the root. The
+  // interior nodes are not pending — only the endpoint is re-admitted.
+  std::int32_t at = kRoot;
+  for (std::size_t i = 0; i < snap.path.size(); ++i) {
+    PathNode node;
+    node.parent = at;
+    node.depth = depth(at) + 1;
+    node.move = snap.path[i];
+    at = static_cast<std::int32_t>(arena_.size());
+    arena_.push_back(node);
+  }
+  add_entry(Entry{at, snap.key, depth(at), next_seq_++});
+}
+
+std::size_t Frontier::bytes() const {
+  return arena_.capacity() * sizeof(PathNode) +
+         pending_.capacity() * sizeof(Entry);
+}
+
+}  // namespace plankton

@@ -1,5 +1,10 @@
 #include "engine/search.hpp"
 
+#include <algorithm>
+#include <cstring>
+
+#include "engine/frontier.hpp"
+
 namespace plankton {
 namespace {
 
@@ -60,21 +65,192 @@ class SingleExecutionEngine final : public DfsEngine {
   [[nodiscard]] const char* name() const override { return "single-execution"; }
 };
 
+/// Frontier-driven exhaustive search (engine/frontier.hpp): keeps pending
+/// states as restorable snapshots and expands them in the order the Frontier
+/// dictates — FIFO (BFS), priority over StateCodec keys, or seeded random
+/// with periodic restarts. Physically the model still moves one apply/undo
+/// at a time: switching snapshots undoes the current path to the lowest
+/// common ancestor and replays the target suffix, so the model's incremental
+/// dirty-set bookkeeping stays valid.
+class FrontierEngine final : public SearchEngine {
+ public:
+  FrontierEngine(FrontierOrder order, const SearchEngineConfig& config)
+      : order_(order), config_(config) {}
+
+  [[nodiscard]] const char* name() const override {
+    switch (order_) {
+      case FrontierOrder::kFifo: return "bfs";
+      case FrontierOrder::kPriority: return "priority";
+      case FrontierOrder::kRandomRestart: return "random-restart";
+    }
+    return "frontier";
+  }
+
+  [[nodiscard]] std::uint64_t frontier_peak() const override { return peak_; }
+
+  SearchFlow search(SearchModel& model, std::size_t phase) override {
+    // advance() re-enters this engine for the next phase while this
+    // invocation is parked at a converged snapshot, so search state lives in
+    // a per-recursion-depth pool (reset-and-reuse, like DfsEngine::pool_ —
+    // no per-root allocation churn across the failure tree). unique_ptr
+    // slots keep PhaseState addresses stable while nested calls grow the
+    // pool. The seed folds in an invocation counter so each phase entry
+    // gets a distinct (but reproducible) pop order.
+    if (pool_.size() <= depth_) {
+      pool_.push_back(
+          std::make_unique<PhaseState>(order_, config_.restart_interval));
+    }
+    PhaseState& ps = *pool_[depth_];
+    ++depth_;
+    ps.frontier.reset(config_.seed + 0x9e3779b97f4a7c15ull * ++invocations_);
+    ps.moves.clear();
+    ps.backlog.clear();
+    Frontier& frontier = ps.frontier;
+    std::vector<SearchMove>& moves = ps.moves;
+    std::vector<StateSnapshot>& backlog = ps.backlog;
+    std::int32_t cur = Frontier::kRoot;
+    std::uint64_t pops = 0;
+    SearchFlow flow = SearchFlow::kContinue;
+    frontier.push_root();
+    while (flow == SearchFlow::kContinue) {
+      if (frontier.empty()) {
+        if (backlog.empty()) break;
+        // Deferred split-off work comes back once the local frontier drains
+        // (the single-threaded image of steal-and-return work sharing).
+        for (const StateSnapshot& s : backlog) frontier.inject(s);
+        backlog.clear();
+        continue;
+      }
+      if (model.budget_exhausted()) {
+        flow = SearchFlow::kStop;
+        break;
+      }
+      const std::int32_t id = frontier.pop();
+      ++pops;
+      cur = goto_state(model, phase, frontier, cur, id);
+      if (model.mark_visited(phase)) {
+        moves.clear();
+        switch (model.expand(phase, moves, SIZE_MAX)) {
+          case SearchModel::Step::kPruned:
+            break;
+          case SearchModel::Step::kConverged:
+            flow = model.advance(phase);
+            break;
+          case SearchModel::Step::kBranch:
+            for (const SearchMove& m : moves) {
+              const std::uint64_t key =
+                  order_ == FrontierOrder::kPriority
+                      ? model.state_key_after(phase, m)  // Zobrist preview
+                      : 0;
+              frontier.push(cur, m, key);
+            }
+            break;
+        }
+      }
+      if (config_.split_every != 0 && pops % config_.split_every == 0) {
+        frontier.split(backlog);
+      }
+    }
+    // Unwind to the phase-entry state — also on kStop, and with the pending
+    // frontier simply dropped: the contract is to leave the model as found.
+    cur = goto_state(model, phase, frontier, cur, Frontier::kRoot);
+    peak_ = std::max<std::uint64_t>(peak_, frontier.peak());
+    --depth_;
+    return flow;
+  }
+
+ private:
+  /// Moves the model from snapshot `from` to snapshot `to`: LIFO-undoes up
+  /// to their lowest common ancestor, then replays down to `to`.
+  std::int32_t goto_state(SearchModel& model, std::size_t phase, Frontier& frontier,
+                          std::int32_t from, std::int32_t to) {
+    replay_scratch_.clear();
+    std::int32_t a = from;
+    std::int32_t b = to;
+    while (frontier.depth(a) > frontier.depth(b)) {
+      model.undo(phase, frontier.move(a));
+      a = frontier.parent(a);
+    }
+    while (frontier.depth(b) > frontier.depth(a)) {
+      replay_scratch_.push_back(b);
+      b = frontier.parent(b);
+    }
+    while (a != b) {
+      model.undo(phase, frontier.move(a));
+      a = frontier.parent(a);
+      replay_scratch_.push_back(b);
+      b = frontier.parent(b);
+    }
+    for (auto it = replay_scratch_.rbegin(); it != replay_scratch_.rend(); ++it) {
+      model.apply(phase, frontier.move(*it));
+    }
+    return to;
+  }
+
+  /// Reusable per-recursion-depth search state (phase searches nest via
+  /// advance(), so depth is bounded by the task count).
+  struct PhaseState {
+    Frontier frontier;
+    std::vector<SearchMove> moves;
+    std::vector<StateSnapshot> backlog;
+    PhaseState(FrontierOrder order, std::uint32_t restart_interval)
+        : frontier(order, 0, restart_interval) {}
+  };
+
+  FrontierOrder order_;
+  SearchEngineConfig config_;
+  std::uint64_t invocations_ = 0;
+  std::uint64_t peak_ = 0;
+  std::size_t depth_ = 0;
+  std::vector<std::unique_ptr<PhaseState>> pool_;
+  // goto_state never re-enters the engine, so one scratch is safe across
+  // the nested per-phase invocations.
+  std::vector<std::int32_t> replay_scratch_;
+};
+
 }  // namespace
 
 const char* to_string(SearchEngineKind kind) {
   switch (kind) {
     case SearchEngineKind::kDfs: return "dfs";
     case SearchEngineKind::kSingleExecution: return "single-execution";
+    case SearchEngineKind::kBfs: return "bfs";
+    case SearchEngineKind::kPriority: return "priority";
+    case SearchEngineKind::kRandomRestart: return "random-restart";
   }
   return "?";
 }
 
-std::unique_ptr<SearchEngine> make_search_engine(SearchEngineKind kind) {
+bool parse_search_engine(const char* name, SearchEngineKind& out) {
+  for (const auto kind :
+       {SearchEngineKind::kDfs, SearchEngineKind::kSingleExecution,
+        SearchEngineKind::kBfs, SearchEngineKind::kPriority,
+        SearchEngineKind::kRandomRestart}) {
+    if (std::strcmp(name, to_string(kind)) == 0) {
+      out = kind;
+      return true;
+    }
+  }
+  // Convenience aliases for the CLI.
+  if (std::strcmp(name, "single") == 0) {
+    out = SearchEngineKind::kSingleExecution;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<SearchEngine> make_search_engine(SearchEngineKind kind,
+                                                 const SearchEngineConfig& config) {
   switch (kind) {
     case SearchEngineKind::kDfs: return std::make_unique<DfsEngine>();
     case SearchEngineKind::kSingleExecution:
       return std::make_unique<SingleExecutionEngine>();
+    case SearchEngineKind::kBfs:
+      return std::make_unique<FrontierEngine>(FrontierOrder::kFifo, config);
+    case SearchEngineKind::kPriority:
+      return std::make_unique<FrontierEngine>(FrontierOrder::kPriority, config);
+    case SearchEngineKind::kRandomRestart:
+      return std::make_unique<FrontierEngine>(FrontierOrder::kRandomRestart, config);
   }
   return std::make_unique<DfsEngine>();
 }

@@ -10,11 +10,18 @@
 //   kDfs              exhaustive depth-first search — the paper's strategy;
 //   kSingleExecution  follows the first move at every branch point: one
 //                     non-deterministic execution, i.e. Batfish-style
-//                     simulation (paper Fig. 1, "all data planes" row).
+//                     simulation (paper Fig. 1, "all data planes" row);
+//   kBfs              exhaustive breadth-first search over a snapshot
+//                     frontier (engine/frontier.hpp);
+//   kPriority         exhaustive best-first search ordered by StateCodec
+//                     keys (a deterministic shuffle of the move tree);
+//   kRandomRestart    exhaustive seeded random exploration with periodic
+//                     restarts to the shallowest pending state.
 //
-// Frontier-based strategies (BFS over codec-encoded states, randomized
-// restarts) slot in behind the same interface without touching protocol
-// semantics.
+// The frontier strategies visit exactly the same state set as kDfs — they
+// only reorder it — so every exhaustive engine must produce identical
+// violation sets (tests/test_engine_differential.cpp enforces this on
+// randomized topologies).
 #pragma once
 
 #include <cstdint>
@@ -50,10 +57,14 @@ struct SearchMove {
 /// *incrementally*: every apply/undo names the move's node, which together
 /// with its peers is the complete dirty set of nodes whose status can have
 /// changed, so expand() can consume a maintained active set
-/// (engine/active_set.hpp) instead of rescanning all members. Engines that
-/// violate the discipline (e.g. frontier engines that teleport between
-/// states) must instead re-enter the phase through advance()/begin-phase
-/// paths that rebuild the model's sets from scratch.
+/// (engine/active_set.hpp) instead of rescanning all members. Engines must
+/// not teleport between states behind the model's back: frontier engines,
+/// which logically jump around the move tree, physically travel between
+/// snapshots through LIFO undo of the current path and replay of the target
+/// path (engine/frontier.hpp), so the discipline — and with it the
+/// incremental bookkeeping — holds move by move; phase entry itself goes
+/// through the advance()/begin-phase path, which rebuilds the model's sets
+/// from scratch.
 class SearchModel {
  public:
   enum class Step : std::uint8_t {
@@ -88,6 +99,18 @@ class SearchModel {
   /// Called when `phase` converged: runs the next phase (re-entering the
   /// engine) or, after the last phase, the converged-state handler.
   virtual SearchFlow advance(std::size_t phase) = 0;
+
+  /// Canonical StateCodec key the state of `phase` would have after taking
+  /// `m` from the current state — the ordering heuristic of priority
+  /// frontier engines, computable without mutating the model (Zobrist
+  /// preview). Models without a codec may keep the default (priority then
+  /// degrades to discovery order).
+  [[nodiscard]] virtual std::uint64_t state_key_after(std::size_t phase,
+                                                      const SearchMove& m) const {
+    (void)phase;
+    (void)m;
+    return 0;
+  }
 };
 
 class SearchEngine {
@@ -98,16 +121,52 @@ class SearchEngine {
   /// Exhausts (per strategy) the move tree of `phase` from the model's
   /// current in-place state. Must leave the model state as it found it.
   virtual SearchFlow search(SearchModel& model, std::size_t phase) = 0;
+
+  /// High-water mark of pending frontier states across all phase searches
+  /// (0 for stackless strategies like DFS) — feeds SearchStats.
+  [[nodiscard]] virtual std::uint64_t frontier_peak() const { return 0; }
 };
 
 enum class SearchEngineKind : std::uint8_t {
   kDfs = 0,
   kSingleExecution = 1,
+  kBfs = 2,
+  kPriority = 3,
+  kRandomRestart = 4,
+};
+
+/// True for strategies that explore the complete move tree (everything
+/// except single-execution simulation).
+[[nodiscard]] constexpr bool is_exhaustive(SearchEngineKind kind) {
+  return kind != SearchEngineKind::kSingleExecution;
+}
+
+/// True for strategies driven by a snapshot frontier rather than the LIFO
+/// recursion stack.
+[[nodiscard]] constexpr bool is_frontier(SearchEngineKind kind) {
+  return kind == SearchEngineKind::kBfs || kind == SearchEngineKind::kPriority ||
+         kind == SearchEngineKind::kRandomRestart;
+}
+
+struct SearchEngineConfig {
+  /// Seeds kRandomRestart's pop order (fuzz harnesses reproduce a failing
+  /// exploration from the seed alone; see docs/architecture.md).
+  std::uint64_t seed = 1;
+  /// kRandomRestart: pops between restarts to the shallowest pending state.
+  std::uint32_t restart_interval = 64;
+  /// Frontier engines: when nonzero, auto-split the frontier every N pops
+  /// into a deferred backlog that is re-injected once the frontier drains —
+  /// exercises the split()/inject() work-sharing path (tests, bench).
+  std::uint32_t split_every = 0;
 };
 
 [[nodiscard]] const char* to_string(SearchEngineKind kind);
 
+/// Parses "dfs" | "single-execution" | "bfs" | "priority" | "random-restart"
+/// (the CLI --engine vocabulary); returns false on unknown names.
+[[nodiscard]] bool parse_search_engine(const char* name, SearchEngineKind& out);
+
 [[nodiscard]] std::unique_ptr<SearchEngine> make_search_engine(
-    SearchEngineKind kind);
+    SearchEngineKind kind, const SearchEngineConfig& config = {});
 
 }  // namespace plankton

@@ -41,7 +41,7 @@ Explorer::Explorer(const Network& net, const Pec& pec, std::vector<PrefixTask> t
       upstream_provider_(upstream),
       visited_(make_visited_backend(opts.visited,
                                     VisitedConfig{opts.bloom_bits, 4})),
-      engine_(make_search_engine(opts.engine())) {
+      engine_(make_search_engine(opts.engine(), opts.engine_config())) {
   ctx_.net = &net_;
   const std::size_t n = net.topo.node_count();
   const std::size_t t = tasks_.size();
@@ -101,6 +101,7 @@ ExploreResult Explorer::run() {
   }
   explore_failures(0);
   result_.stats.states_stored = visited_->stored();
+  result_.stats.frontier_peak = engine_->frontier_peak();
   result_.stats.bytes_paths = ctx_.paths.bytes();
   result_.stats.bytes_routes = ctx_.routes.bytes();
   result_.stats.bytes_visited = visited_->bytes() + failure_sets_seen_.bytes() +

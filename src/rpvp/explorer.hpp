@@ -86,12 +86,29 @@ struct ExploreOptions {
   /// a single non-deterministic execution path instead of exploring all of
   /// them — the kSingleExecution search engine. Sound for violations it
   /// finds, but misses violations that only occur under other advertisement
-  /// orderings (e.g. BGP wedgies).
+  /// orderings (e.g. BGP wedgies). Takes precedence over `engine_kind`.
   bool simulation = false;
 
+  /// Exploration strategy for the per-prefix move tree (engine/search.hpp):
+  /// kDfs (the paper's strategy) or one of the frontier engines. Every
+  /// exhaustive engine visits the same state set; the frontier engines only
+  /// reorder it (tests/test_engine_differential.cpp).
+  SearchEngineKind engine_kind = SearchEngineKind::kDfs;
+  /// Seeds kRandomRestart's pop order; a failing fuzz instance reproduces
+  /// from (topology seed, engine seed) alone.
+  std::uint64_t engine_seed = 1;
+  /// Frontier work-sharing exercise knob (SearchEngineConfig::split_every).
+  std::uint32_t engine_split_every = 0;
+
   [[nodiscard]] SearchEngineKind engine() const {
-    return simulation ? SearchEngineKind::kSingleExecution
-                      : SearchEngineKind::kDfs;
+    return simulation ? SearchEngineKind::kSingleExecution : engine_kind;
+  }
+
+  [[nodiscard]] SearchEngineConfig engine_config() const {
+    SearchEngineConfig c;
+    c.seed = engine_seed;
+    c.split_every = engine_split_every;
+    return c;
   }
 
   [[nodiscard]] static ExploreOptions naive() {
@@ -178,6 +195,10 @@ class Explorer final : public SearchModel {
   void apply(std::size_t task_idx, SearchMove& m) override;
   void undo(std::size_t task_idx, const SearchMove& m) override;
   SearchFlow advance(std::size_t task_idx) override;
+  [[nodiscard]] std::uint64_t state_key_after(std::size_t task_idx,
+                                              const SearchMove& m) const override {
+    return codec_.preview_key(task_idx, m.node, rib_[task_idx][m.node], m.route);
+  }
 
  private:
   using Flow = SearchFlow;

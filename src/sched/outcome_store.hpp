@@ -3,16 +3,21 @@
 // "For an SCC S, if there is another SCC S′ that depends on it, Plankton
 // forces all possible outcomes of S to be written to an in-memory
 // filesystem... When the verification of S′ gets scheduled, it reads these
-// converged states, and uses them when necessary." This is that store, minus
-// the serialization: outcomes are kept as PecOutcome objects and served to
-// downstream runs as UpstreamResolvers, matched by failure set so topology
-// changes stay coordinated across PECs.
+// converged states, and uses them when necessary." This is that store:
+// outcomes are kept as PecOutcome objects and served to downstream runs as
+// UpstreamResolvers, matched by failure set so topology changes stay
+// coordinated across PECs. serialize()/deserialize() turn an outcome batch
+// into bytes and back — the wire format a future multi-process shard
+// coordinator exchanges — and evict() releases a PEC's outcomes once every
+// dependent has consumed them, bounding the store on long runs.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "pec/pec.hpp"
@@ -28,6 +33,22 @@ class OutcomeStore {
   void put(PecId pec, std::vector<PecOutcome> outcomes);
   [[nodiscard]] bool has(PecId pec) const;
   [[nodiscard]] std::span<const PecOutcome> get(PecId pec) const;
+
+  /// Releases the outcomes stored for `pec`. Only legal once every combos()
+  /// resolver built from them is out of use — i.e. once all of `pec`'s
+  /// dependents have finished their runs (Verifier tracks that count).
+  void evict(PecId pec);
+
+  /// Heap footprint of the stored outcomes (not the handed-out resolvers).
+  [[nodiscard]] std::size_t bytes() const;
+
+  /// Serializes an outcome batch to a self-contained byte string — the wire
+  /// format of the multi-process sharding roadmap item. deserialize() is the
+  /// exact inverse for the same network (link count validated); it returns
+  /// false on truncated or corrupt input and leaves `out` empty.
+  [[nodiscard]] std::string serialize(std::span<const PecOutcome> outcomes) const;
+  [[nodiscard]] bool deserialize(std::string_view data,
+                                 std::vector<PecOutcome>& out) const;
 
   /// All combinations of one outcome per dependency, restricted to outcomes
   /// recorded under exactly `failures`. Returned resolvers are owned by the

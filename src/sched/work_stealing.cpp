@@ -10,22 +10,84 @@
 namespace plankton::sched {
 namespace {
 
+using Body = std::function<void(TaskContext&)>;
+
+// Jobs are encoded as signed ids: >= 0 is an index into the static graph,
+// < 0 addresses slot -(job + 1) of the dynamic-task slab.
+using Job = std::int64_t;
+
+[[nodiscard]] constexpr Job encode_dynamic(std::size_t slot) {
+  return -static_cast<Job>(slot) - 1;
+}
+[[nodiscard]] constexpr std::size_t decode_dynamic(Job job) {
+  return static_cast<std::size_t>(-job - 1);
+}
+
+/// Spawned-subtask storage. Slots are only appended while the run is live;
+/// they are addressed by stable index so deques can carry plain ints. Each
+/// slot is executed exactly once: take() moves the closure out, so captured
+/// state (e.g. a split-off snapshot batch) is freed when the subtask runs,
+/// not when the whole graph finishes.
+class DynSlab {
+ public:
+  std::size_t add(Body fn) {
+    const std::scoped_lock lock(mu_);
+    slots_.push_back(std::make_unique<Body>(std::move(fn)));
+    return slots_.size() - 1;
+  }
+
+  Body take(std::size_t slot) {
+    const std::scoped_lock lock(mu_);
+    Body fn = std::move(*slots_[slot]);
+    slots_[slot].reset();
+    return fn;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Body>> slots_;
+};
+
 /// Runs the whole graph on the calling thread, dependencies first. Used for
 /// workers == 1: no thread, no synchronization, deterministic LIFO order
 /// matching the work-stealing owner-pop order.
-void run_inline(const TaskGraph& graph,
-                const std::function<void(std::size_t, int)>& body) {
+void run_inline(const TaskGraph& graph, const Body& body) {
   std::vector<std::size_t> waiting = graph.waiting_on;
-  std::vector<std::size_t> stack;
+  std::vector<Job> stack;
+  DynSlab dyn;
   for (std::size_t i = graph.size(); i > 0; --i) {
-    if (waiting[i - 1] == 0) stack.push_back(i - 1);
+    if (waiting[i - 1] == 0) stack.push_back(static_cast<Job>(i - 1));
   }
+
+  class Ctx final : public TaskContext {
+   public:
+    Ctx(std::size_t task, std::vector<Job>& stack, DynSlab& dyn)
+        : task_(task), stack_(stack), dyn_(dyn) {}
+    [[nodiscard]] std::size_t task() const override { return task_; }
+    [[nodiscard]] int worker() const override { return 0; }
+    void spawn(Body fn) override {
+      stack_.push_back(encode_dynamic(dyn_.add(std::move(fn))));
+    }
+
+   private:
+    std::size_t task_;
+    std::vector<Job>& stack_;
+    DynSlab& dyn_;
+  };
+
   while (!stack.empty()) {
-    const std::size_t t = stack.back();
+    const Job job = stack.back();
     stack.pop_back();
-    body(t, 0);
+    if (job < 0) {
+      Ctx ctx(kDynamicTask, stack, dyn);
+      dyn.take(decode_dynamic(job))(ctx);
+      continue;
+    }
+    const auto t = static_cast<std::size_t>(job);
+    Ctx ctx(t, stack, dyn);
+    body(ctx);
     for (const std::size_t d : graph.dependents[t]) {
-      if (--waiting[d] == 0) stack.push_back(d);
+      if (--waiting[d] == 0) stack.push_back(static_cast<Job>(d));
     }
   }
 }
@@ -41,13 +103,12 @@ void run_inline(const TaskGraph& graph,
 /// rare when the graph has enough width.
 struct alignas(64) WorkerDeque {
   std::mutex mu;
-  std::deque<std::size_t> jobs;
+  std::deque<Job> jobs;
 };
 
 class WorkStealingRun {
  public:
-  WorkStealingRun(int workers, const TaskGraph& graph,
-                  const std::function<void(std::size_t, int)>& body)
+  WorkStealingRun(int workers, const TaskGraph& graph, const Body& body)
       : graph_(graph),
         body_(body),
         deques_(static_cast<std::size_t>(workers)),
@@ -60,7 +121,7 @@ class WorkStealingRun {
     std::size_t w = 0;
     for (std::size_t i = 0; i < graph.size(); ++i) {
       if (graph.waiting_on[i] != 0) continue;
-      deques_[w % deques_.size()].jobs.push_back(i);
+      deques_[w % deques_.size()].jobs.push_back(static_cast<Job>(i));
       queued_.fetch_add(1, std::memory_order_relaxed);
       w++;
     }
@@ -77,29 +138,50 @@ class WorkStealingRun {
   }
 
  private:
-  bool try_pop_own(int w, std::size_t& task) {
+  class Ctx final : public TaskContext {
+   public:
+    Ctx(WorkStealingRun& run, std::size_t task, int worker)
+        : run_(run), task_(task), worker_(worker) {}
+    [[nodiscard]] std::size_t task() const override { return task_; }
+    [[nodiscard]] int worker() const override { return worker_; }
+    void spawn(Body fn) override { run_.spawn(worker_, std::move(fn)); }
+
+   private:
+    WorkStealingRun& run_;
+    std::size_t task_;
+    int worker_;
+  };
+
+  void spawn(int w, Body fn) {
+    // Count the subtask as outstanding *before* it becomes stealable, so
+    // remaining_ can never hit zero while a spawned job is in flight.
+    remaining_.fetch_add(1, std::memory_order_acq_rel);
+    push_own(w, encode_dynamic(dyn_.add(std::move(fn))));
+  }
+
+  bool try_pop_own(int w, Job& job) {
     WorkerDeque& d = deques_[static_cast<std::size_t>(w)];
     std::scoped_lock lock(d.mu);
     if (d.jobs.empty()) return false;
-    task = d.jobs.back();
+    job = d.jobs.back();
     d.jobs.pop_back();
     return true;
   }
 
-  bool try_steal(int w, std::size_t& task) {
+  bool try_steal(int w, Job& job) {
     const std::size_t n = deques_.size();
     for (std::size_t k = 1; k < n; ++k) {
       WorkerDeque& d = deques_[(static_cast<std::size_t>(w) + k) % n];
       std::scoped_lock lock(d.mu);
       if (d.jobs.empty()) continue;
-      task = d.jobs.front();
+      job = d.jobs.front();
       d.jobs.pop_front();
       return true;
     }
     return false;
   }
 
-  void push_own(int w, std::size_t task) {
+  void push_own(int w, Job job) {
     // Increment before the push: a thief can steal (and decrement) the
     // instant the deque lock drops, and a decrement-first interleaving
     // would wrap `queued_` past zero, leaving idle workers busy-spinning
@@ -108,7 +190,7 @@ class WorkStealingRun {
     {
       WorkerDeque& d = deques_[static_cast<std::size_t>(w)];
       std::scoped_lock lock(d.mu);
-      d.jobs.push_back(task);
+      d.jobs.push_back(job);
     }
     // Lock prevents a lost wakeup: an idle worker re-checks `queued_` under
     // this mutex before sleeping.
@@ -116,10 +198,12 @@ class WorkStealingRun {
     sleep_cv_.notify_one();
   }
 
-  void complete(int w, std::size_t task) {
-    for (const std::size_t d : graph_.dependents[task]) {
-      if (waiting_[d].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        push_own(w, d);
+  void complete(int w, Job job) {
+    if (job >= 0) {
+      for (const std::size_t d : graph_.dependents[static_cast<std::size_t>(job)]) {
+        if (waiting_[d].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          push_own(w, static_cast<Job>(d));
+        }
       }
     }
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -130,11 +214,17 @@ class WorkStealingRun {
 
   void worker_loop(int w) {
     while (true) {
-      std::size_t task = 0;
-      if (try_pop_own(w, task) || try_steal(w, task)) {
+      Job job = 0;
+      if (try_pop_own(w, job) || try_steal(w, job)) {
         queued_.fetch_sub(1, std::memory_order_acquire);
-        body_(task, w);
-        complete(w, task);
+        if (job >= 0) {
+          Ctx ctx(*this, static_cast<std::size_t>(job), w);
+          body_(ctx);
+        } else {
+          Ctx ctx(*this, kDynamicTask, w);
+          dyn_.take(decode_dynamic(job))(ctx);
+        }
+        complete(w, job);
         continue;
       }
       std::unique_lock lock(sleep_mu_);
@@ -148,11 +238,12 @@ class WorkStealingRun {
   }
 
   const TaskGraph& graph_;
-  const std::function<void(std::size_t, int)>& body_;
+  const Body& body_;
   std::vector<WorkerDeque> deques_;
   std::unique_ptr<std::atomic<std::size_t>[]> waiting_;
   std::atomic<std::size_t> remaining_;
   std::atomic<std::size_t> queued_{0};
+  DynSlab dyn_;
   std::mutex sleep_mu_;
   std::condition_variable sleep_cv_;
 };
@@ -161,32 +252,69 @@ class WorkStealingRun {
 // Fixed pool (baseline): one ready list behind one mutex + cv.
 // ---------------------------------------------------------------------------
 
-void run_fixed_pool(int workers, const TaskGraph& graph,
-                    const std::function<void(std::size_t, int)>& body) {
+void run_fixed_pool(int workers, const TaskGraph& graph, const Body& body) {
   std::mutex mu;
   std::condition_variable cv;
-  std::vector<std::size_t> ready;
+  std::vector<Job> ready;
   std::vector<std::size_t> waiting = graph.waiting_on;
   std::size_t unfinished = graph.size();
+  DynSlab dyn;
   for (std::size_t i = 0; i < graph.size(); ++i) {
-    if (waiting[i] == 0) ready.push_back(i);
+    if (waiting[i] == 0) ready.push_back(static_cast<Job>(i));
   }
+
+  class Ctx final : public TaskContext {
+   public:
+    Ctx(std::size_t task, int worker, std::mutex& mu, std::condition_variable& cv,
+        std::vector<Job>& ready, std::size_t& unfinished, DynSlab& dyn)
+        : task_(task), worker_(worker), mu_(mu), cv_(cv), ready_(ready),
+          unfinished_(unfinished), dyn_(dyn) {}
+    [[nodiscard]] std::size_t task() const override { return task_; }
+    [[nodiscard]] int worker() const override { return worker_; }
+    void spawn(Body fn) override {
+      const Job job = encode_dynamic(dyn_.add(std::move(fn)));
+      {
+        std::scoped_lock lock(mu_);
+        ++unfinished_;
+        ready_.push_back(job);
+      }
+      cv_.notify_one();
+    }
+
+   private:
+    std::size_t task_;
+    int worker_;
+    std::mutex& mu_;
+    std::condition_variable& cv_;
+    std::vector<Job>& ready_;
+    std::size_t& unfinished_;
+    DynSlab& dyn_;
+  };
 
   auto worker = [&](int w) {
     while (true) {
-      std::size_t task;
+      Job job;
       {
         std::unique_lock lock(mu);
         cv.wait(lock, [&] { return !ready.empty() || unfinished == 0; });
         if (ready.empty()) return;
-        task = ready.back();
+        job = ready.back();
         ready.pop_back();
       }
-      body(task, w);
+      if (job >= 0) {
+        Ctx ctx(static_cast<std::size_t>(job), w, mu, cv, ready, unfinished, dyn);
+        body(ctx);
+      } else {
+        Ctx ctx(kDynamicTask, w, mu, cv, ready, unfinished, dyn);
+        dyn.take(decode_dynamic(job))(ctx);
+      }
       {
         std::scoped_lock lock(mu);
-        for (const std::size_t d : graph.dependents[task]) {
-          if (--waiting[d] == 0) ready.push_back(d);
+        if (job >= 0) {
+          for (const std::size_t d :
+               graph.dependents[static_cast<std::size_t>(job)]) {
+            if (--waiting[d] == 0) ready.push_back(static_cast<Job>(d));
+          }
         }
         --unfinished;
       }
@@ -211,9 +339,9 @@ const char* to_string(SchedulerKind kind) {
 }
 
 void run_task_graph(SchedulerKind kind, int workers, const TaskGraph& graph,
-                    const std::function<void(std::size_t, int)>& body) {
+                    const std::function<void(TaskContext&)>& body) {
   if (workers < 1) workers = 1;
-  if (workers == 1 || graph.size() <= 1) {
+  if (workers == 1) {
     run_inline(graph, body);
     return;
   }
@@ -227,6 +355,22 @@ void run_task_graph(SchedulerKind kind, int workers, const TaskGraph& graph,
       run_fixed_pool(workers, graph, body);
       break;
   }
+}
+
+void run_task_graph(SchedulerKind kind, int workers, const TaskGraph& graph,
+                    const std::function<void(std::size_t, int)>& body) {
+  const auto wrapper = [&body](TaskContext& ctx) {
+    body(ctx.task(), ctx.worker());
+  };
+  // A plain body can never spawn subtasks, so a 0/1-task graph gains nothing
+  // from a worker pool — keep the cheap inline path for it. (Spawn-capable
+  // bodies go through the TaskContext overload, where even a 1-task graph
+  // must be able to parallelize its spawned work.)
+  if (graph.size() <= 1) {
+    run_inline(graph, wrapper);
+    return;
+  }
+  run_task_graph(kind, workers, graph, wrapper);
 }
 
 }  // namespace plankton::sched

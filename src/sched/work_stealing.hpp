@@ -19,10 +19,18 @@
 // The scheduler is deliberately generic (task indices + dependents lists):
 // Verifier feeds it SCC tasks today; multi-process sharding can feed it
 // shard-level jobs later.
+//
+// Spawn-capable bodies (the TaskContext overload) may additionally inject
+// *dynamic* subtasks mid-run: a spawned job lands on the spawning worker's
+// own deque and is stolen by idle workers like any static task. This is the
+// scheduler side of splittable intra-PEC exploration — a frontier engine
+// splits off half its pending states (engine/frontier.hpp, Frontier::split)
+// and a shard coordinator turns each batch into a spawned job.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 namespace plankton::sched {
@@ -44,6 +52,26 @@ enum class SchedulerKind : std::uint8_t {
 
 [[nodiscard]] const char* to_string(SchedulerKind kind);
 
+/// Task id reported by TaskContext::task() for dynamically spawned subtasks
+/// (they have no slot in the static graph).
+inline constexpr std::size_t kDynamicTask = std::numeric_limits<std::size_t>::max();
+
+/// Execution context of one task body under a spawn-capable run.
+class TaskContext {
+ public:
+  virtual ~TaskContext() = default;
+  /// Static graph index of the running task, or kDynamicTask for a spawned
+  /// subtask.
+  [[nodiscard]] virtual std::size_t task() const = 0;
+  [[nodiscard]] virtual int worker() const = 0;
+  /// Enqueues a dynamic subtask. It is immediately runnable (no
+  /// dependencies), lands on this worker's deque (work-stealing) or the
+  /// shared ready list (fixed pool), and may be stolen by any idle worker.
+  /// The run does not return until every spawned subtask completed. Safe to
+  /// call from static and dynamic task bodies alike.
+  virtual void spawn(std::function<void(TaskContext&)> fn) = 0;
+};
+
 /// Runs body(task, worker) once for every task of `graph`, never before all
 /// of the task's dependencies completed, on `workers` threads (worker ids
 /// are 0..workers-1; workers == 1 runs inline on the calling thread). The
@@ -51,5 +79,10 @@ enum class SchedulerKind : std::uint8_t {
 /// distinct tasks.
 void run_task_graph(SchedulerKind kind, int workers, const TaskGraph& graph,
                     const std::function<void(std::size_t task, int worker)>& body);
+
+/// Spawn-capable variant: the body receives a TaskContext and may inject
+/// dynamic subtasks via spawn().
+void run_task_graph(SchedulerKind kind, int workers, const TaskGraph& graph,
+                    const std::function<void(TaskContext&)>& body);
 
 }  // namespace plankton::sched

@@ -1,0 +1,276 @@
+// Differential fuzzing of the exploration engines (the tentpole harness).
+//
+// Plankton's equivalence-partitioned model checking is only trustworthy if
+// every exploration order visits the same violation set. This harness
+// generates seeded random topology/config instances (tests/support/
+// random_net.hpp: rings, fat-trees, random OSPF/BGP graphs, protocol+static
+// mixes, with failure budgets) and checks, per instance:
+//
+//   · kDfs, kBfs, kBfs+split, kPriority, and kRandomRestart (two seeds)
+//     produce identical verdicts, violation multisets, and state-count
+//     invariants (states stored, converged states, failure sets, policy
+//     checks) — the frontier engines reorder the search, never change it;
+//   · kSingleExecution (Batfish-style simulation) is sound: its violations
+//     and converged outcomes are subsets of the exhaustive ones, one
+//     execution per (failure set × upstream outcome) root;
+//   · on pure single-prefix eBGP instances, every exhaustive engine's
+//     converged path set equals the SPVP message-passing oracle's
+//     (Theorem 1, Appendix A).
+//
+// Reproduction workflow: every assertion names the instance seed; rebuild
+// the instance with make_random_instance(seed) and re-run one engine. The
+// instance count scales with PLANKTON_DIFF_SEEDS (nightly CI runs more).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "core/verifier.hpp"
+#include "pec/pec.hpp"
+#include "protocols/spvp.hpp"
+#include "rpvp/explorer.hpp"
+#include "support/random_net.hpp"
+
+namespace plankton {
+namespace {
+
+using testsupport::RandomInstance;
+using testsupport::make_random_instance;
+
+int instance_count() {
+  const char* v = std::getenv("PLANKTON_DIFF_SEEDS");
+  if (v != nullptr && std::atoi(v) > 0) return std::atoi(v);
+  return 220;
+}
+
+/// One engine configuration of the differential matrix.
+struct EngineSetup {
+  std::string label;
+  SearchEngineKind kind = SearchEngineKind::kDfs;
+  std::uint64_t seed = 1;
+  std::uint32_t split_every = 0;
+};
+
+std::vector<EngineSetup> exhaustive_matrix(std::uint64_t instance_seed) {
+  return {
+      {"dfs", SearchEngineKind::kDfs, 1, 0},
+      {"bfs", SearchEngineKind::kBfs, 1, 0},
+      {"bfs+split", SearchEngineKind::kBfs, 1, 2},
+      {"priority", SearchEngineKind::kPriority, 1, 0},
+      {"random-restart/a", SearchEngineKind::kRandomRestart, instance_seed, 0},
+      {"random-restart/b", SearchEngineKind::kRandomRestart, instance_seed + 7777, 0},
+  };
+}
+
+/// Everything engine-order-independent a full verification observes, plus
+/// the frontier high-water mark (telemetry only — engines differ on it by
+/// design, so it is excluded from the equality used by the matrix).
+struct Fingerprint {
+  bool holds = true;
+  std::uint64_t states_stored = 0;
+  std::uint64_t converged_states = 0;
+  std::uint64_t failure_sets = 0;
+  std::uint64_t policy_checks = 0;
+  std::multiset<std::string> violations;
+  std::uint64_t frontier_peak = 0;
+
+  friend bool operator==(const Fingerprint& a, const Fingerprint& b) {
+    return a.holds == b.holds && a.states_stored == b.states_stored &&
+           a.converged_states == b.converged_states &&
+           a.failure_sets == b.failure_sets &&
+           a.policy_checks == b.policy_checks && a.violations == b.violations;
+  }
+};
+
+VerifyOptions base_options(const RandomInstance& inst) {
+  VerifyOptions vo;
+  vo.cores = 1;
+  vo.explore = inst.explore;  // seeded §4-optimization mix + failure budget
+  vo.explore.find_all_violations = true;
+  // Suppression elides policy checks for signature-equivalent converged
+  // states; which representative gets checked is order-dependent, so the
+  // differential fingerprint runs with it off (and checks *more* states).
+  vo.explore.suppress_equivalent = false;
+  return vo;
+}
+
+Fingerprint fingerprint(const RandomInstance& inst, const EngineSetup& es) {
+  VerifyOptions vo = base_options(inst);
+  if (es.kind == SearchEngineKind::kSingleExecution) {
+    vo.explore.simulation = true;
+  } else {
+    vo.explore.engine_kind = es.kind;
+  }
+  vo.explore.engine_seed = es.seed;
+  vo.explore.engine_split_every = es.split_every;
+  Verifier verifier(inst.net, vo);
+  const VerifyResult r = verifier.verify(*inst.policy);
+  Fingerprint fp;
+  fp.holds = r.holds;
+  fp.states_stored = r.total.states_stored;
+  fp.converged_states = r.total.converged_states;
+  fp.failure_sets = r.total.failure_sets;
+  fp.policy_checks = r.total.policy_checks;
+  fp.frontier_peak = r.total.frontier_peak;
+  for (const auto& rep : r.reports) {
+    for (const auto& v : rep.result.violations) {
+      fp.violations.insert(rep.pec_str + "|" + std::to_string(v.failures.hash()) +
+                           "|" + v.message);
+    }
+  }
+  return fp;
+}
+
+TEST(EngineDifferential, ExhaustiveEnginesAgreeOnRandomInstances) {
+  const int count = instance_count();
+  std::uint64_t widened = 0;  // instances where a frontier actually widened
+  for (int seed = 1; seed <= count; ++seed) {
+    const RandomInstance inst = make_random_instance(static_cast<std::uint64_t>(seed));
+    SCOPED_TRACE("instance seed " + std::to_string(seed) + " (" + inst.kind +
+                 ", k=" + std::to_string(inst.max_failures) + ", policy " +
+                 inst.policy->name() + ")");
+    Fingerprint ref;
+    bool have_ref = false;
+    for (const EngineSetup& es : exhaustive_matrix(static_cast<std::uint64_t>(seed))) {
+      const Fingerprint fp = fingerprint(inst, es);
+      if (!have_ref) {
+        ref = fp;
+        have_ref = true;
+        EXPECT_GT(ref.converged_states, 0u);
+        continue;
+      }
+      EXPECT_EQ(fp, ref) << "engine " << es.label << " diverged from dfs";
+      // Widening telemetry, free from the matrix run: did any frontier ever
+      // hold more than one pending state on this instance?
+      if (es.kind == SearchEngineKind::kBfs && es.split_every == 0 &&
+          fp.frontier_peak > 1) {
+        ++widened;
+      }
+    }
+  }
+  // The corpus must include genuinely non-deterministic searches, otherwise
+  // the differential result is vacuous (everything trivially agrees on
+  // deterministic move trees).
+  EXPECT_GT(widened, static_cast<std::uint64_t>(count) / 20)
+      << "corpus too deterministic: frontier never widened";
+}
+
+TEST(EngineDifferential, SingleExecutionIsSoundOnRandomInstances) {
+  const int count = instance_count();
+  for (int seed = 1; seed <= count; ++seed) {
+    const RandomInstance inst = make_random_instance(static_cast<std::uint64_t>(seed));
+    SCOPED_TRACE("instance seed " + std::to_string(seed) + " (" + inst.kind + ")");
+    const Fingerprint full =
+        fingerprint(inst, {"dfs", SearchEngineKind::kDfs, 1, 0});
+    const Fingerprint sim =
+        fingerprint(inst, {"single", SearchEngineKind::kSingleExecution, 1, 0});
+    // Simulation follows one execution per root: it can never check more
+    // converged states than the exhaustive engine, and every violation it
+    // reports must be one the exhaustive engine also found.
+    EXPECT_LE(sim.converged_states, full.converged_states);
+    EXPECT_EQ(sim.failure_sets, full.failure_sets)
+        << "failure enumeration is model-driven, not engine-driven";
+    if (full.holds) {
+      EXPECT_TRUE(sim.holds) << "simulation reported a phantom violation";
+    }
+    for (const std::string& v : sim.violations) {
+      EXPECT_TRUE(full.violations.contains(v))
+          << "simulation-only violation: " << v;
+    }
+  }
+}
+
+TEST(EngineDifferential, SingleExecutionOutcomesAreSubsetPerPec) {
+  // Explorer-level subset check on the single routed PEC of eligible
+  // instances: simulation's converged outcome hashes ⊆ the exhaustive set.
+  const int count = instance_count();
+  int checked = 0;
+  int nonempty = 0;
+  for (int seed = 1; seed <= count && checked < 60; ++seed) {
+    const RandomInstance inst = make_random_instance(static_cast<std::uint64_t>(seed));
+    if (!inst.spvp_eligible) continue;
+    SCOPED_TRACE("instance seed " + std::to_string(seed) + " (" + inst.kind + ")");
+    const PecSet pecs = compute_pecs(inst.net);
+    const auto routed = pecs.routed();
+    ASSERT_FALSE(routed.empty());
+    const Pec& pec = pecs.pecs[routed[0]];
+    std::set<std::uint64_t> sets[2];
+    for (const bool sim : {false, true}) {
+      ExploreOptions opts = inst.explore;
+      opts.find_all_violations = true;
+      opts.record_outcomes = true;
+      opts.simulation = sim;
+      Explorer ex(inst.net, pec, make_tasks(inst.net, pec), *inst.policy, opts);
+      const ExploreResult r = ex.run();
+      ASSERT_FALSE(r.timed_out);
+      for (const auto& o : r.outcomes) sets[sim ? 1 : 0].insert(o.hash);
+    }
+    EXPECT_TRUE(std::includes(sets[0].begin(), sets[0].end(), sets[1].begin(),
+                              sets[1].end()))
+        << "simulation reached an outcome the exhaustive search did not";
+    EXPECT_FALSE(sets[0].empty());
+    // sets[1] may legitimately be empty: under consistent-execution pruning
+    // a single first-move execution can dead-end without converging.
+    if (!sets[1].empty()) ++nonempty;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+  EXPECT_GT(nonempty, 0) << "simulation never converged on any instance";
+}
+
+/// Policy that records each converged state's per-node best paths (the SPVP
+/// comparison view, mirroring tests/test_spvp_reference.cpp).
+class CollectorPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "collector"; }
+  [[nodiscard]] bool check(const ConvergedView& view, std::string&) const override {
+    spvp::ConvergedState cs(view.net.topo.node_count());
+    for (NodeId n = 0; n < view.net.topo.node_count(); ++n) {
+      const RouteId r = view.ribs[0].routes[n];
+      if (r != kNoRoute) {
+        cs[n] = view.ctx.paths.to_vector(view.ctx.routes.get(r).path);
+      }
+    }
+    collected.insert(std::move(cs));
+    return true;
+  }
+  [[nodiscard]] bool supports_equivalence() const override { return false; }
+
+  mutable std::set<spvp::ConvergedState> collected;
+};
+
+TEST(EngineDifferential, AllEnginesMatchSpvpOracleOnPureBgp) {
+  const int count = instance_count();
+  int checked = 0;
+  for (int seed = 1; seed <= count && checked < 25; ++seed) {
+    const RandomInstance inst = make_random_instance(static_cast<std::uint64_t>(seed));
+    if (!inst.spvp_eligible) continue;
+    SCOPED_TRACE("instance seed " + std::to_string(seed) + " (" + inst.kind + ")");
+    const spvp::SpvpResult oracle = spvp::explore_spvp(
+        inst.net, inst.bgp_prefix, inst.bgp_origins, 200000);
+    if (oracle.state_limit_hit) continue;  // too big to enumerate, skip
+    const PecSet pecs = compute_pecs(inst.net);
+    const Pec& pec = pecs.pecs[pecs.routed()[0]];
+    for (const EngineSetup& es : exhaustive_matrix(static_cast<std::uint64_t>(seed))) {
+      ExploreOptions opts = inst.explore;
+      opts.max_failures = 0;  // the SPVP oracle explores the failure-free net
+      opts.find_all_violations = true;
+      opts.suppress_equivalent = false;
+      opts.engine_kind = es.kind;
+      opts.engine_seed = es.seed;
+      opts.engine_split_every = es.split_every;
+      const CollectorPolicy collector;
+      Explorer ex(inst.net, pec, make_tasks(inst.net, pec), collector, opts);
+      const ExploreResult r = ex.run();
+      ASSERT_FALSE(r.timed_out);
+      EXPECT_EQ(collector.collected, oracle.converged)
+          << "engine " << es.label << " disagrees with the SPVP oracle";
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+}  // namespace
+}  // namespace plankton

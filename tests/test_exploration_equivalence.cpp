@@ -215,9 +215,15 @@ struct RunFingerprint {
 
 RunFingerprint fingerprint(const Network& net, const Policy& policy,
                            VerifyOptions vo, bool ad_cache, bool incremental,
-                           const IpAddr* addr = nullptr) {
+                           const IpAddr* addr = nullptr,
+                           SearchEngineKind engine = SearchEngineKind::kDfs) {
   vo.explore.ad_cache = ad_cache;
   vo.explore.incremental_expand = incremental;
+  if (engine == SearchEngineKind::kSingleExecution) {
+    vo.explore.simulation = true;
+  } else {
+    vo.explore.engine_kind = engine;
+  }
   vo.explore.find_all_violations = true;
   Verifier verifier(net, vo);
   const VerifyResult r = addr != nullptr ? verifier.verify_address(*addr, policy)
@@ -240,16 +246,27 @@ RunFingerprint fingerprint(const Network& net, const Policy& policy,
 
 void expect_matrix_identical(const Network& net, const Policy& policy,
                              const VerifyOptions& vo,
-                             const IpAddr* addr = nullptr) {
-  const RunFingerprint ref = fingerprint(net, policy, vo, true, true, addr);
+                             const IpAddr* addr = nullptr,
+                             SearchEngineKind engine = SearchEngineKind::kDfs) {
+  const RunFingerprint ref = fingerprint(net, policy, vo, true, true, addr, engine);
   EXPECT_GT(ref.states_explored, 0u);
   for (const bool cache : {false, true}) {
     for (const bool incr : {false, true}) {
       if (cache && incr) continue;  // the reference itself
-      const RunFingerprint fp = fingerprint(net, policy, vo, cache, incr, addr);
-      EXPECT_EQ(fp, ref) << "ad_cache=" << cache << " incremental=" << incr;
+      const RunFingerprint fp =
+          fingerprint(net, policy, vo, cache, incr, addr, engine);
+      EXPECT_EQ(fp, ref) << "ad_cache=" << cache << " incremental=" << incr
+                         << " engine=" << to_string(engine);
     }
   }
+}
+
+/// The engine-order-independent projection of a RunFingerprint: frontier
+/// engines take a different number of apply() transitions (path replay) and
+/// status refreshes than DFS, but must agree on everything else.
+RunFingerprint order_independent(RunFingerprint fp) {
+  fp.states_explored = 0;
+  return fp;
 }
 
 /// The paper's Figure 6 BGP network (one AS per node, R1 origin, local-pref
@@ -346,6 +363,112 @@ TEST(HotPathOptMatrix, OspfFailuresIdenticalAcrossMatrix) {
     vo.explore.max_failures = 2;
     const ReachabilityPolicy policy({src});
     expect_matrix_identical(net, policy, vo);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine matrix: the search engines against the opt-matrix workloads.
+// kSingleExecution and the frontier engines must each be bit-identical
+// across the hot-path (ad-cache × incremental-expand) matrix, and every
+// exhaustive engine must agree with kDfs on all order-independent counters
+// and verdicts.
+// ---------------------------------------------------------------------------
+
+TEST(EngineOptMatrix, SingleExecutionIdenticalAcrossMatrix) {
+  // Simulation was previously untested against the opt-matrix workloads:
+  // its single execution must also be mechanics-independent.
+  const Network net = figure6_network();
+  VerifyOptions vo;
+  vo.cores = 1;
+  vo.explore.max_failures = 1;
+  vo.explore.lec_failures = false;
+  const ReachabilityPolicy policy({5});
+  expect_matrix_identical(net, policy, vo, nullptr,
+                          SearchEngineKind::kSingleExecution);
+}
+
+TEST(EngineOptMatrix, SingleExecutionIdenticalAcrossMatrixOnFig9Workload) {
+  FatTreeOptions o;
+  o.k = 4;
+  o.routing = FatTreeOptions::Routing::kBgpRfc7938;
+  const FatTree ft = make_fat_tree(o);
+  const WaypointPolicy policy({ft.edges.back()}, ft.aggs);
+  VerifyOptions vo;
+  vo.cores = 1;
+  vo.explore.det_nodes_bgp = false;
+  vo.explore.suppress_equivalent = false;
+  vo.explore.max_states = 20000;
+  const IpAddr addr = ft.edge_prefixes[0].addr();
+  expect_matrix_identical(ft.net, policy, vo, &addr,
+                          SearchEngineKind::kSingleExecution);
+}
+
+TEST(EngineOptMatrix, FrontierEnginesIdenticalAcrossMatrix) {
+  // A frontier engine's exploration order depends only on the model's move
+  // enumeration and codec keys, both of which the hot-path mechanics leave
+  // bit-identical — so each engine must fingerprint identically across the
+  // ad-cache × incremental matrix.
+  const Network net = figure6_network();
+  VerifyOptions vo;
+  vo.cores = 1;
+  vo.explore.max_failures = 1;
+  vo.explore.lec_failures = false;
+  const ReachabilityPolicy policy({5});
+  for (const auto engine :
+       {SearchEngineKind::kBfs, SearchEngineKind::kPriority,
+        SearchEngineKind::kRandomRestart}) {
+    expect_matrix_identical(net, policy, vo, nullptr, engine);
+  }
+}
+
+TEST(EngineOptMatrix, FrontierEnginesMatchDfsOnOptMatrixWorkloads) {
+  // Cross-engine agreement on the uncapped opt-matrix workloads: same
+  // verdicts, violations, branch/prune/convergence counters — only the raw
+  // transition count (path replay) may differ.
+  struct Workload {
+    Network net;
+    std::unique_ptr<Policy> policy;
+    VerifyOptions vo;
+  };
+  std::vector<Workload> workloads;
+  {
+    Workload w;
+    w.net = figure6_network();
+    w.policy = std::make_unique<ReachabilityPolicy>(std::vector<NodeId>{5});
+    w.vo.cores = 1;
+    w.vo.explore.max_failures = 1;
+    w.vo.explore.lec_failures = false;
+    workloads.push_back(std::move(w));
+  }
+  {
+    std::mt19937 rng(20260730);
+    Workload w;
+    w.net = random_ospf_network(rng, 7);
+    NodeId src = 0;
+    for (NodeId n = 0; n < w.net.topo.node_count(); ++n) {
+      if (w.net.device(n).ospf.originated.empty()) {
+        src = n;
+        break;
+      }
+    }
+    w.policy = std::make_unique<ReachabilityPolicy>(std::vector<NodeId>{src});
+    w.vo.cores = 1;
+    w.vo.explore.max_failures = 2;
+    w.vo.explore.deterministic_nodes = false;  // genuinely branching search
+    workloads.push_back(std::move(w));
+  }
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const Workload& w = workloads[i];
+    const RunFingerprint ref = order_independent(
+        fingerprint(w.net, *w.policy, w.vo, true, true, nullptr,
+                    SearchEngineKind::kDfs));
+    for (const auto engine :
+         {SearchEngineKind::kBfs, SearchEngineKind::kPriority,
+          SearchEngineKind::kRandomRestart}) {
+      const RunFingerprint fp = order_independent(
+          fingerprint(w.net, *w.policy, w.vo, true, true, nullptr, engine));
+      EXPECT_EQ(fp, ref) << "workload " << i << " engine " << to_string(engine);
+    }
   }
 }
 

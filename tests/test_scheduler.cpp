@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <mutex>
+#include <set>
 
 #include "core/verifier.hpp"
 #include "sched/deps.hpp"
@@ -277,6 +278,81 @@ TEST(WorkStealing, VerifierResultsDeterministicAcrossWorkerCounts) {
     EXPECT_EQ(snaps[i].states, snaps[0].states) << "config " << i;
     EXPECT_EQ(snaps[i].reports, snaps[0].reports) << "config " << i;
   }
+}
+
+TEST(SchedulerSpawn, DynamicSubtasksAllRunAcrossSchedulers) {
+  // Spawn-capable bodies inject dynamic subtasks mid-run (the scheduler side
+  // of frontier split() work-sharing): every spawned job — including nested
+  // spawns from dynamic tasks — must run before run_task_graph returns, on
+  // any scheduler and worker count.
+  constexpr std::size_t kStatic = 6;
+  constexpr int kChildren = 8;
+  sched::TaskGraph graph;
+  graph.dependents.resize(kStatic);
+  graph.waiting_on.assign(kStatic, 0);
+  for (std::size_t t = 1; t < kStatic; ++t) {
+    graph.dependents[t - 1].push_back(t);  // a chain, so spawns interleave
+    graph.waiting_on[t] = 1;
+  }
+
+  for (const auto kind : {sched::SchedulerKind::kWorkStealing,
+                          sched::SchedulerKind::kFixedPool}) {
+    for (const int workers : {1, 4}) {
+      std::atomic<int> children{0};
+      std::atomic<int> grandchildren{0};
+      std::atomic<bool> ids_ok{true};
+      sched::run_task_graph(
+          kind, workers, graph, [&](sched::TaskContext& ctx) {
+            if (ctx.task() == sched::kDynamicTask) return;  // child body below
+            if (ctx.worker() < 0 || ctx.worker() >= workers) ids_ok = false;
+            for (int c = 0; c < kChildren; ++c) {
+              ctx.spawn([&](sched::TaskContext& child) {
+                if (child.task() != sched::kDynamicTask) ids_ok = false;
+                children.fetch_add(1);
+                child.spawn([&](sched::TaskContext& grand) {
+                  if (grand.task() != sched::kDynamicTask) ids_ok = false;
+                  grandchildren.fetch_add(1);
+                });
+              });
+            }
+          });
+      EXPECT_EQ(children.load(), static_cast<int>(kStatic) * kChildren)
+          << sched::to_string(kind) << " workers=" << workers;
+      EXPECT_EQ(grandchildren.load(), static_cast<int>(kStatic) * kChildren)
+          << sched::to_string(kind) << " workers=" << workers;
+      EXPECT_TRUE(ids_ok.load());
+    }
+  }
+}
+
+TEST(SchedulerSpawn, SpawnedWorkIsStolenByIdleWorkers) {
+  // One static task fans out many slow-ish subtasks; with several workers at
+  // least two distinct workers must end up executing them (the whole point
+  // of making intra-PEC work splittable).
+  sched::TaskGraph graph;
+  graph.dependents.resize(1);
+  graph.waiting_on.assign(1, 0);
+  std::mutex mu;
+  std::set<int> executed_by;
+  sched::run_task_graph(
+      sched::SchedulerKind::kWorkStealing, 4, graph,
+      [&](sched::TaskContext& ctx) {
+        if (ctx.task() == sched::kDynamicTask) return;
+        for (int c = 0; c < 64; ++c) {
+          ctx.spawn([&](sched::TaskContext& child) {
+            {
+              std::scoped_lock lock(mu);
+              executed_by.insert(child.worker());
+            }
+            // Enough work that the spawner alone cannot drain the queue
+            // before a thief wakes up.
+            volatile std::uint64_t x = 0;
+            for (int i = 0; i < 200000; ++i) x += static_cast<std::uint64_t>(i);
+          });
+        }
+      });
+  EXPECT_GE(executed_by.size(), 2u)
+      << "no idle worker ever stole a spawned subtask";
 }
 
 TEST(Scheduler, WallLimitStopsGracefully) {
