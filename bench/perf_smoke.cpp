@@ -12,6 +12,9 @@
 //   fattree_loop/K=8 bfs    the BFS frontier engine on the first workload —
 //                                  tracks the snapshot-restore overhead of
 //                                  the frontier layer in the trajectory
+//   fattree_loop/K=8 shards=2      the same workload through the 2-shard
+//                                  multi-process coordinator — tracks the
+//                                  fork + wire-protocol overhead
 //
 // The ad-cache/dirty-set off rows measure the same workloads with the PR-2
 // hot-path optimizations disabled, so their effect is visible inside one
@@ -117,6 +120,20 @@ int main(int argc, char** argv) {
     Verifier verifier(ft.net, vo);
     const LoopFreedomPolicy policy;
     row("fattree_loop/K=8 bfs", verifier.verify(policy));
+  }
+
+  {
+    // One multi-process row: same workload again through the 2-shard
+    // coordinator (sched/shard.hpp), so the trajectory tracks the
+    // fork + wire-protocol overhead next to the in-process baseline.
+    FatTreeOptions o;
+    o.k = 8;
+    const FatTree ft = make_fat_tree(o);
+    VerifyOptions vo;
+    vo.shards = 2;
+    Verifier verifier(ft.net, vo);
+    const LoopFreedomPolicy policy;
+    row("fattree_loop/K=8 shards=2", verifier.verify(policy));
   }
 
   std::printf("\nwrote perf trajectory records (bench=perf_smoke)\n");

@@ -12,6 +12,10 @@
 // Options:
 //   --failures <k>     verify under at most k link failures (default 0)
 //   --cores <n>        worker threads (default 1)
+//   --shards <n>       worker *processes*: fork n shard workers and stream
+//                      PEC outcomes/verdicts over the coordinator wire
+//                      protocol (default 0 = in-process). Verdicts are
+//                      bit-identical to the in-process run at any n.
 //   --address <ip>     verify only the PEC containing <ip> (default: all)
 //   --all-violations   keep searching after the first counterexample
 //   --trails           print counterexample event traces
@@ -53,7 +57,8 @@ std::vector<NodeId> parse_node_list(const Network& net, const std::string& arg) 
 int usage() {
   std::fprintf(stderr,
                "usage: plankton_verify <config> <policy> [args] [--failures k] "
-               "[--cores n] [--address ip] [--all-violations] [--trails] "
+               "[--cores n] [--shards n] [--address ip] [--all-violations] "
+               "[--trails] "
                "[--visited exact|hash-compact|bitstate] [--scheduler steal|pool] "
                "[--engine dfs|bfs|priority|random-restart|single] "
                "[--engine-seed n] [--simulation]\n"
@@ -92,6 +97,10 @@ int main(int argc, char** argv) {
         opts.explore.max_failures = std::atoi(argv[++i]);
       } else if (arg == "--cores" && i + 1 < argc) {
         opts.cores = std::atoi(argv[++i]);
+      } else if (arg == "--shards" && i + 1 < argc) {
+        opts.shards = std::atoi(argv[++i]);
+        if (opts.shards < 1) throw std::runtime_error("bad --shards");
+        opts.scheduler = sched::SchedulerKind::kMultiProcess;
       } else if (arg == "--address" && i + 1 < argc) {
         address = IpAddr::parse(argv[++i]);
         if (!address) throw std::runtime_error("bad --address");
@@ -183,6 +192,25 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.total.converged_states),
                 static_cast<double>(result.wall.count()) / 1e6,
                 static_cast<double>(result.total.model_bytes()) / 1e6);
+    if (opts.shards > 0) {
+      const auto& sh = result.shard;
+      std::printf("shards: %zu workers, %llu frames / %.2f KB sent, "
+                  "%llu frames / %.2f KB received (%.2f KB outcomes), "
+                  "%llu reassigned, %llu respawned\n",
+                  sh.tasks_per_shard.size(),
+                  static_cast<unsigned long long>(sh.frames_sent),
+                  static_cast<double>(sh.bytes_sent) / 1e3,
+                  static_cast<unsigned long long>(sh.frames_received),
+                  static_cast<double>(sh.bytes_received) / 1e3,
+                  static_cast<double>(sh.outcome_bytes_sent +
+                                      sh.outcome_bytes_received) / 1e3,
+                  static_cast<unsigned long long>(sh.tasks_reassigned),
+                  static_cast<unsigned long long>(sh.workers_respawned));
+      for (std::size_t w = 0; w < sh.tasks_per_shard.size(); ++w) {
+        std::printf("  shard %zu: %llu tasks\n", w,
+                    static_cast<unsigned long long>(sh.tasks_per_shard[w]));
+      }
+    }
     for (const auto& rep : result.reports) {
       for (const auto& v : rep.result.violations) {
         std::printf("\nviolation in PEC %s: %s\n", rep.pec_str.c_str(),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <memory>
 
 #include "sched/outcome_store.hpp"
@@ -105,39 +106,32 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
     if (tasks[i].pecs.size() > 1) result.unsupported_scc = true;
   }
 
-  OutcomeStore store(net_, pecs_);
   TruePolicy true_policy;
   const bool cross_deps = deps_.has_cross_pec_deps();
 
-  // Outcome eviction: once the last needed dependent of a PEC completes, its
-  // stored outcomes can never be read again — release them so the store stays
-  // bounded on long runs (a multi-process shard coordinator will do the same
-  // per shard). Counters are atomics: the last finishing worker evicts.
-  auto pending_dependents =
-      std::make_unique<std::atomic<std::ptrdiff_t>[]>(pecs_.pecs.size());
+  // Needed dependents per PEC (how many needed PECs will read its outcomes).
+  // The in-process path seeds its eviction atomics from this; the sharded
+  // path uses it directly (static — the coordinator owns eviction there).
+  std::vector<std::ptrdiff_t> needed_dependents(pecs_.pecs.size(), 0);
   for (PecId p = 0; p < pecs_.pecs.size(); ++p) {
-    std::ptrdiff_t needed_dependents = 0;
     for (const PecId q : deps_.dependents[p]) {
-      if (needed[q] != 0) ++needed_dependents;
+      if (needed[q] != 0) ++needed_dependents[p];
     }
-    pending_dependents[p].store(needed_dependents, std::memory_order_relaxed);
   }
 
-  std::atomic<bool> stop{false};
   const bool has_wall_limit = opts_.wall_limit.count() > 0;
   const auto wall_deadline = start + opts_.wall_limit;
 
-  auto run_pec = [&](PecId pec_id, bool target) -> PecReport {
+  // Shared per-PEC execution: the in-process scheduler body and the forked
+  // shard workers both run this. `has_dependents` is passed in because the
+  // two paths track it differently (runtime atomics vs the static count);
+  // recorded outcomes stay in the returned report for the caller to store
+  // or ship.
+  auto run_pec_core = [&](PecId pec_id, bool target, bool has_dependents,
+                          const OutcomeStore& store) -> PecReport {
     const Pec& pec = pecs_.pecs[pec_id];
     ExploreOptions eo = opts_.explore;
     const bool has_deps = !deps_.depends_on[pec_id].empty();
-    // Record outcomes only when a *needed* dependent may still read them.
-    // Acyclic dependents run strictly after this PEC, so the counter is
-    // pristine here; within a cyclic SCC an already-finished mate has
-    // decremented it, which only sharpens the answer (that mate can no
-    // longer read). Dependents outside the needed closure never read.
-    const bool has_dependents =
-        pending_dependents[pec_id].load(std::memory_order_acquire) > 0;
     eo.record_outcomes = has_dependents;
     // §4.3: DEC-based failure choice only without cross-PEC dependencies
     // (failure sets must coordinate exactly across PEC runs).
@@ -165,7 +159,168 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
     rep.pec = pec_id;
     rep.pec_str = pec.str();
     rep.result = explorer.run();
-    if (eo.record_outcomes) store.put(pec_id, std::move(rep.result.outcomes));
+    return rep;
+  };
+
+  // Folds one per-PEC report into the aggregate result — the single
+  // definition both execution paths use, so the sharded and in-process
+  // merges cannot drift (the bit-identical invariant the shard tests pin).
+  auto merge_report = [&](PecReport&& rep) {
+    result.total.absorb(rep.result.stats);
+    if (rep.result.timed_out) result.timed_out = true;
+    if (!rep.result.holds) result.holds = false;
+    if (is_target[rep.pec] != 0) {
+      ++result.pecs_verified;
+      result.reports.push_back(std::move(rep));
+    } else {
+      ++result.pecs_support;
+    }
+  };
+
+  // ---- multi-process sharding (sched/shard.hpp) ---------------------------
+  // The coordinator forks workers, streams upstream outcomes to them in the
+  // OutcomeStore wire format, and merges their verdicts. Exploration is
+  // deterministic per PEC, so the merged result is bit-identical to the
+  // in-process run at any shard count. Returns false only on a
+  // coordinator-level failure (fork exhaustion, poisoned task), in which
+  // case the in-process path below recovers the verdict.
+  auto try_sharded = [&]() -> bool {
+    std::vector<sched::ShardTaskSpec> specs(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      specs[i].pecs = tasks[i].pecs;
+      for (const PecId p : tasks[i].pecs) {
+        for (const PecId d : deps_.depends_on[p]) {
+          if (needed[d] == 0) continue;  // outside the closure: never read
+          const auto& mates = tasks[i].pecs;
+          if (std::find(mates.begin(), mates.end(), d) != mates.end()) continue;
+          if (std::find(specs[i].deps.begin(), specs[i].deps.end(), d) ==
+              specs[i].deps.end()) {
+            specs[i].deps.push_back(d);
+          }
+        }
+      }
+    }
+    sched::ShardRunOptions so;
+    so.shards = std::max(1, opts_.shards);
+    so.stop_on_violation = !opts_.explore.find_all_violations;
+    so.test_on_assign = opts_.shard_test_on_assign;
+    so.test_worker_task_delay_ms = opts_.shard_test_worker_delay_ms;
+
+    // Runs in the forked worker. The in-process path reads its eviction
+    // atomics to decide has_dependents; the only decrements that can have
+    // landed when a PEC starts come from already-finished mates of the same
+    // (cyclic) SCC task — every outside dependent is scheduled strictly
+    // after this task completes. Replaying those mate decrements over the
+    // static counts reproduces the runtime value exactly.
+    const auto body = [&](std::size_t task_idx, OutcomeStore& upstream)
+        -> std::vector<sched::ShardPecResult> {
+      std::vector<sched::ShardPecResult> out;
+      const SccTask& task = tasks[task_idx];
+      for (std::size_t mi = 0; mi < task.pecs.size(); ++mi) {
+        const PecId p = task.pecs[mi];
+        const bool target = task.is_target && is_target[p] != 0;
+        std::ptrdiff_t pending = needed_dependents[p];
+        for (std::size_t mj = 0; mj < mi; ++mj) {
+          const auto& mate_deps = deps_.depends_on[task.pecs[mj]];
+          if (std::find(mate_deps.begin(), mate_deps.end(), p) !=
+              mate_deps.end()) {
+            --pending;
+          }
+        }
+        const bool has_dependents = pending > 0;
+        PecReport rep = run_pec_core(p, target, has_dependents, upstream);
+        // Publish into the worker-local store like the in-process run_pec
+        // does: later mates of a cyclic SCC resolve against them there, and
+        // the worker ships the same single copy back when `record` is set.
+        if (has_dependents) upstream.put(p, std::move(rep.result.outcomes));
+        sched::ShardPecResult r;
+        r.pec = p;
+        r.holds = rep.result.holds;
+        r.timed_out = rep.result.timed_out;
+        r.state_limit_hit = rep.result.state_limit_hit;
+        r.stats = rep.result.stats;
+        for (Violation& v : rep.result.violations) {
+          sched::ViolationMsg vm;
+          vm.pec = p;
+          vm.failed_links.assign(v.failures.ids().begin(),
+                                 v.failures.ids().end());
+          vm.message = std::move(v.message);
+          vm.trail_text = std::move(v.trail_text);
+          r.violations.push_back(std::move(vm));
+        }
+        r.record = has_dependents;
+        out.push_back(std::move(r));
+      }
+      return out;
+    };
+
+    sched::ShardRunResult rr =
+        sched::run_sharded_task_graph(net_, pecs_, so, graph, specs, body);
+    if (!rr.ok) {
+      std::fprintf(stderr,
+                   "plankton: sharded run failed (%s); retrying in-process\n",
+                   rr.error.c_str());
+      return false;
+    }
+    result.shard = std::move(rr.stats);
+    const std::size_t links = net_.topo.link_count();
+    for (sched::ShardPecResult& sr : rr.reports) {
+      PecReport rep;
+      rep.pec = sr.pec;
+      rep.pec_str = pecs_.pecs[sr.pec].str();
+      rep.result.holds = sr.holds;
+      rep.result.timed_out = sr.timed_out;
+      rep.result.state_limit_hit = sr.state_limit_hit;
+      rep.result.stats = sr.stats;
+      for (sched::ViolationMsg& vm : sr.violations) {
+        Violation v;
+        v.failures = FailureSet(links);
+        for (const LinkId l : vm.failed_links) v.failures.fail(l);
+        v.message = std::move(vm.message);
+        v.trail_text = std::move(vm.trail_text);
+        rep.result.violations.push_back(std::move(v));
+      }
+      merge_report(std::move(rep));
+    }
+    std::sort(result.reports.begin(), result.reports.end(),
+              [](const PecReport& x, const PecReport& y) { return x.pec < y.pec; });
+    return true;
+  };
+
+  if (opts_.shards > 0 ||
+      opts_.scheduler == sched::SchedulerKind::kMultiProcess) {
+    if (try_sharded()) {
+      result.wall = std::chrono::steady_clock::now() - start;
+      return result;
+    }
+    // Coordinator-level failure: fall back to the in-process scheduler below
+    // rather than losing the verdict.
+  }
+
+  OutcomeStore store(net_, pecs_);
+
+  // Outcome eviction: once the last needed dependent of a PEC completes, its
+  // stored outcomes can never be read again — release them so the store stays
+  // bounded on long runs (the shard coordinator does the same per worker).
+  // Counters are atomics: the last finishing worker evicts.
+  auto pending_dependents =
+      std::make_unique<std::atomic<std::ptrdiff_t>[]>(pecs_.pecs.size());
+  for (PecId p = 0; p < pecs_.pecs.size(); ++p) {
+    pending_dependents[p].store(needed_dependents[p], std::memory_order_relaxed);
+  }
+
+  std::atomic<bool> stop{false};
+
+  auto run_pec = [&](PecId pec_id, bool target) -> PecReport {
+    // Record outcomes only when a *needed* dependent may still read them.
+    // Acyclic dependents run strictly after this PEC, so the counter is
+    // pristine here; within a cyclic SCC an already-finished mate has
+    // decremented it, which only sharpens the answer (that mate can no
+    // longer read). Dependents outside the needed closure never read.
+    const bool has_dependents =
+        pending_dependents[pec_id].load(std::memory_order_acquire) > 0;
+    PecReport rep = run_pec_core(pec_id, target, has_dependents, store);
+    if (has_dependents) store.put(pec_id, std::move(rep.result.outcomes));
     rep.result.outcomes.clear();
     return rep;
   };
@@ -208,17 +363,7 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
       });
 
   for (auto& buf : buffers) {
-    for (auto& rep : buf.reports) {
-      result.total.absorb(rep.result.stats);
-      if (rep.result.timed_out) result.timed_out = true;
-      if (!rep.result.holds) result.holds = false;
-      if (is_target[rep.pec] != 0) {
-        ++result.pecs_verified;
-        result.reports.push_back(std::move(rep));
-      } else {
-        ++result.pecs_support;
-      }
-    }
+    for (auto& rep : buf.reports) merge_report(std::move(rep));
   }
 
   std::sort(result.reports.begin(), result.reports.end(),

@@ -20,6 +20,7 @@
 #include "policy/policy.hpp"
 #include "rpvp/explorer.hpp"
 #include "sched/deps.hpp"
+#include "sched/shard.hpp"
 #include "sched/work_stealing.hpp"
 
 namespace plankton {
@@ -28,9 +29,21 @@ struct VerifyOptions {
   ExploreOptions explore;
   int cores = 1;                             ///< worker threads for PEC runs
   /// Parallel strategy for the SCC task graph; kFixedPool is the baseline
-  /// single-ready-list pool kept for comparison.
+  /// single-ready-list pool kept for comparison; kMultiProcess shards the
+  /// graph across forked worker processes (implied by shards > 0).
   sched::SchedulerKind scheduler = sched::SchedulerKind::kWorkStealing;
+  /// Worker *processes* for the multi-process shard coordinator
+  /// (sched/shard.hpp). 0 = in-process scheduling (the default); N >= 1
+  /// forks N workers and streams outcomes/verdicts over the wire protocol.
+  /// Verdicts, violation multisets, and state counts are bit-identical to
+  /// the in-process run at any shard count.
+  int shards = 0;
   std::chrono::milliseconds wall_limit{0};   ///< 0 = none (whole verification)
+
+  // Test-only fault injection, forwarded to ShardRunOptions (the
+  // crash-recovery suite kills workers mid-task through these).
+  std::function<void(int shard, pid_t pid, std::size_t task)> shard_test_on_assign;
+  int shard_test_worker_delay_ms = 0;
 };
 
 struct PecReport {
@@ -50,6 +63,8 @@ struct VerifyResult {
   std::size_t pecs_support = 0;     ///< upstream PECs run only for outcomes
   std::size_t scc_count = 0;
   bool unsupported_scc = false;     ///< an SCC with >1 PEC was approximated
+  /// Coordinator wire counters (multi-process runs only; empty otherwise).
+  sched::ShardStats shard;
 
   [[nodiscard]] std::string first_violation(const Topology& topo) const;
 };

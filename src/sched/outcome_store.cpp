@@ -4,26 +4,13 @@
 #include <cstring>
 
 #include "netbase/hash.hpp"
+#include "sched/wire.hpp"
 
 namespace plankton {
 namespace {
 
-// -- wire helpers (little-endian, append-only) ------------------------------
-
-template <typename T>
-void put_int(std::string& out, T v) {
-  char buf[sizeof(T)];
-  std::memcpy(buf, &v, sizeof(T));
-  out.append(buf, sizeof(T));
-}
-
-template <typename T>
-bool get_int(std::string_view& in, T& v) {
-  if (in.size() < sizeof(T)) return false;
-  std::memcpy(&v, in.data(), sizeof(T));
-  in.remove_prefix(sizeof(T));
-  return true;
-}
+using wire::get_int;
+using wire::put_int;
 
 constexpr std::uint32_t kWireMagic = 0x504b4f31;  // "PKO1"
 

@@ -1,0 +1,760 @@
+#include "sched/shard.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <map>
+
+#include "config/network.hpp"
+
+#include "sched/wire.hpp"
+
+namespace plankton::sched {
+namespace {
+
+using wire::fits;
+using wire::get_int;
+using wire::get_string;
+using wire::put_int;
+using wire::put_string;
+
+void put_stats(std::string& out, const SearchStats& s) {
+  put_int(out, s.states_explored);
+  put_int(out, s.states_stored);
+  put_int(out, s.revisits_skipped);
+  put_int(out, s.converged_states);
+  put_int(out, s.policy_checks);
+  put_int(out, s.suppressed_checks);
+  put_int(out, s.pruned_inconsistent);
+  put_int(out, s.det_steps);
+  put_int(out, s.nondet_branches);
+  put_int(out, s.failure_sets);
+  put_int(out, s.ad_cache_hits);
+  put_int(out, s.ad_cache_misses);
+  put_int(out, s.dirty_refreshes);
+  put_int(out, s.frontier_peak);
+  put_int(out, s.max_depth);
+  put_int(out, static_cast<std::uint64_t>(s.bytes_paths));
+  put_int(out, static_cast<std::uint64_t>(s.bytes_routes));
+  put_int(out, static_cast<std::uint64_t>(s.bytes_visited));
+  put_int(out, static_cast<std::uint64_t>(s.bytes_stack_peak));
+  put_int(out, static_cast<std::uint64_t>(s.bytes_ad_cache));
+  put_int(out, static_cast<std::int64_t>(s.elapsed.count()));
+}
+
+bool get_stats(std::string_view& in, SearchStats& s) {
+  std::uint64_t sz[5] = {};
+  std::int64_t ns = 0;
+  const bool ok =
+      get_int(in, s.states_explored) && get_int(in, s.states_stored) &&
+      get_int(in, s.revisits_skipped) && get_int(in, s.converged_states) &&
+      get_int(in, s.policy_checks) && get_int(in, s.suppressed_checks) &&
+      get_int(in, s.pruned_inconsistent) && get_int(in, s.det_steps) &&
+      get_int(in, s.nondet_branches) && get_int(in, s.failure_sets) &&
+      get_int(in, s.ad_cache_hits) && get_int(in, s.ad_cache_misses) &&
+      get_int(in, s.dirty_refreshes) && get_int(in, s.frontier_peak) &&
+      get_int(in, s.max_depth) && get_int(in, sz[0]) && get_int(in, sz[1]) &&
+      get_int(in, sz[2]) && get_int(in, sz[3]) && get_int(in, sz[4]) &&
+      get_int(in, ns);
+  if (!ok) return false;
+  s.bytes_paths = static_cast<std::size_t>(sz[0]);
+  s.bytes_routes = static_cast<std::size_t>(sz[1]);
+  s.bytes_visited = static_cast<std::size_t>(sz[2]);
+  s.bytes_stack_peak = static_cast<std::size_t>(sz[3]);
+  s.bytes_ad_cache = static_cast<std::size_t>(sz[4]);
+  s.elapsed = std::chrono::nanoseconds(ns);
+  return true;
+}
+
+// -- robust fd I/O ----------------------------------------------------------
+
+/// Writes everything, riding out EINTR/EAGAIN (the coordinator keeps its
+/// ends non-blocking so it can also *drain* without blocking). MSG_NOSIGNAL:
+/// a dead peer must surface as EPIPE, not kill the process.
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = send(fd, data, n, MSG_NOSIGNAL);
+    if (w > 0) {
+      data += w;
+      n -= static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      (void)poll(&pfd, 1, 1000);
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::string& s) {
+  return write_all(fd, s.data(), s.size());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+void encode_frame(std::string& out, MsgType type, std::string_view payload) {
+  put_int(out, kFrameMagic);
+  put_int(out, kFrameVersion);
+  put_int(out, static_cast<std::uint16_t>(type));
+  put_int(out, static_cast<std::uint64_t>(payload.size()));
+  out.append(payload);
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  if (failed_) return;
+  // Compact lazily: drop consumed bytes once they dominate the buffer.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame& out) {
+  if (failed_) return Status::kError;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return Status::kNeedMore;
+  std::string_view hdr(buf_.data() + pos_, kFrameHeaderBytes);
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  std::uint16_t type = 0;
+  std::uint64_t len = 0;
+  (void)get_int(hdr, magic);
+  (void)get_int(hdr, version);
+  (void)get_int(hdr, type);
+  (void)get_int(hdr, len);
+  const auto poison = [this](const char* why) {
+    failed_ = true;
+    error_ = why;
+    return Status::kError;
+  };
+  if (magic != kFrameMagic) return poison("bad frame magic");
+  if (version != kFrameVersion) return poison("unsupported frame version");
+  if (type < static_cast<std::uint16_t>(MsgType::kTaskAssign) ||
+      type > static_cast<std::uint16_t>(MsgType::kShutdown)) {
+    return poison("unknown message type");
+  }
+  if (len > max_payload_) return poison("frame payload exceeds limit");
+  if (avail - kFrameHeaderBytes < len) return Status::kNeedMore;
+  out.type = static_cast<MsgType>(type);
+  out.payload.assign(buf_.data() + pos_ + kFrameHeaderBytes,
+                     static_cast<std::size_t>(len));
+  pos_ += kFrameHeaderBytes + static_cast<std::size_t>(len);
+  return Status::kFrame;
+}
+
+// ---------------------------------------------------------------------------
+// Message payload codecs
+// ---------------------------------------------------------------------------
+
+std::string encode_task_assign(const TaskAssignMsg& m) {
+  std::string out;
+  put_int(out, m.task);
+  put_int(out, static_cast<std::uint32_t>(m.evict.size()));
+  for (const PecId p : m.evict) put_int(out, p);
+  return out;
+}
+
+bool decode_task_assign(std::string_view in, TaskAssignMsg& out) {
+  out = TaskAssignMsg{};
+  std::uint32_t n = 0;
+  if (!get_int(in, out.task) || !get_int(in, n) || !fits(in, n, sizeof(PecId))) {
+    out = TaskAssignMsg{};
+    return false;
+  }
+  out.evict.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!get_int(in, out.evict[i])) {
+      out = TaskAssignMsg{};
+      return false;
+    }
+  }
+  if (!in.empty()) {
+    out = TaskAssignMsg{};
+    return false;
+  }
+  return true;
+}
+
+std::string encode_outcome_delivery(const OutcomeDeliveryMsg& m) {
+  std::string out;
+  put_int(out, m.pec);
+  put_string(out, m.outcomes_wire);
+  return out;
+}
+
+bool decode_outcome_delivery(std::string_view in, OutcomeDeliveryMsg& out) {
+  out = OutcomeDeliveryMsg{};
+  if (!get_int(in, out.pec) || !get_string(in, out.outcomes_wire) ||
+      !in.empty()) {
+    out = OutcomeDeliveryMsg{};
+    return false;
+  }
+  return true;
+}
+
+std::string encode_violation(const ViolationMsg& m) {
+  std::string out;
+  put_int(out, m.pec);
+  put_int(out, static_cast<std::uint32_t>(m.failed_links.size()));
+  for (const LinkId l : m.failed_links) put_int(out, l);
+  put_string(out, m.message);
+  put_string(out, m.trail_text);
+  return out;
+}
+
+bool decode_violation(std::string_view in, ViolationMsg& out) {
+  out = ViolationMsg{};
+  const auto fail = [&out] {
+    out = ViolationMsg{};
+    return false;
+  };
+  std::uint32_t n = 0;
+  if (!get_int(in, out.pec) || !get_int(in, n) || !fits(in, n, sizeof(LinkId))) {
+    return fail();
+  }
+  out.failed_links.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!get_int(in, out.failed_links[i])) return fail();
+  }
+  if (!get_string(in, out.message) || !get_string(in, out.trail_text) ||
+      !in.empty()) {
+    return fail();
+  }
+  return true;
+}
+
+std::string encode_task_done(const TaskDoneMsg& m) {
+  std::string out;
+  put_int(out, m.task);
+  put_int(out, static_cast<std::uint32_t>(m.pecs.size()));
+  for (const PecDoneMsg& p : m.pecs) {
+    put_int(out, p.pec);
+    put_int(out, p.holds);
+    put_int(out, p.timed_out);
+    put_int(out, p.state_limit_hit);
+    put_stats(out, p.stats);
+  }
+  return out;
+}
+
+bool decode_task_done(std::string_view in, TaskDoneMsg& out) {
+  out = TaskDoneMsg{};
+  const auto fail = [&out] {
+    out = TaskDoneMsg{};
+    return false;
+  };
+  std::uint32_t n = 0;
+  // One entry's exact wire size: pec (4) + 3 flag bytes + the SearchStats
+  // block (21 x 8). Using the full size matters: fits() with a smaller
+  // stride would let a lying count amplify resize() far past the bytes
+  // present.
+  constexpr std::size_t kPecDoneWireBytes = 4 + 3 + 21 * 8;
+  if (!get_int(in, out.task) || !get_int(in, n) ||
+      !fits(in, n, kPecDoneWireBytes)) {
+    return fail();
+  }
+  out.pecs.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PecDoneMsg& p = out.pecs[i];
+    if (!get_int(in, p.pec) || !get_int(in, p.holds) ||
+        !get_int(in, p.timed_out) || !get_int(in, p.state_limit_hit) ||
+        !get_stats(in, p.stats)) {
+      return fail();
+    }
+    if (p.holds > 1 || p.timed_out > 1 || p.state_limit_hit > 1) return fail();
+  }
+  if (!in.empty()) return fail();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Worker process
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kNoTask = std::numeric_limits<std::size_t>::max();
+
+/// Runs inside the forked child; never returns. Exit codes are diagnostic
+/// only — the coordinator treats any death identically (reassign + respawn).
+[[noreturn]] void worker_main(
+    int fd, const Network& net, const PecSet& pecs, std::size_t task_count,
+    const ShardRunOptions& opts,
+    const std::function<std::vector<ShardPecResult>(std::size_t,
+                                                    OutcomeStore&)>& body) {
+  OutcomeStore store(net, pecs);
+  FrameDecoder decoder(opts.max_frame_payload);
+  char buf[1 << 16];
+  for (;;) {
+    Frame frame;
+    FrameDecoder::Status st;
+    while ((st = decoder.next(frame)) == FrameDecoder::Status::kFrame) {
+      switch (frame.type) {
+        case MsgType::kShutdown:
+          _exit(0);
+        case MsgType::kOutcomeDelivery: {
+          OutcomeDeliveryMsg msg;
+          if (!decode_outcome_delivery(frame.payload, msg)) _exit(3);
+          if (msg.pec >= pecs.pecs.size()) _exit(3);  // corrupt wire id
+          std::vector<PecOutcome> outs;
+          if (!store.deserialize(msg.outcomes_wire, outs)) _exit(3);
+          store.put(msg.pec, std::move(outs));
+          break;
+        }
+        case MsgType::kTaskAssign: {
+          TaskAssignMsg msg;
+          if (!decode_task_assign(frame.payload, msg)) _exit(3);
+          if (msg.task >= task_count) _exit(3);  // corrupt wire id
+          for (const PecId p : msg.evict) {
+            if (p >= pecs.pecs.size()) _exit(3);
+            store.evict(p);
+          }
+          if (opts.test_worker_task_delay_ms > 0) {
+            usleep(static_cast<useconds_t>(opts.test_worker_task_delay_ms) *
+                   1000);
+          }
+          std::vector<ShardPecResult> results;
+          try {
+            results = body(static_cast<std::size_t>(msg.task), store);
+          } catch (...) {
+            _exit(4);
+          }
+          std::string out;
+          TaskDoneMsg done;
+          done.task = msg.task;
+          for (ShardPecResult& r : results) {
+            for (const ViolationMsg& v : r.violations) {
+              encode_frame(out, MsgType::kViolationReport, encode_violation(v));
+            }
+            if (r.record) {
+              // The body published the outcomes into the local store (where
+              // same-task mates and later tasks on this worker read them);
+              // ship that single copy back to the coordinator.
+              OutcomeDeliveryMsg od;
+              od.pec = r.pec;
+              od.outcomes_wire = store.serialize(store.get(r.pec));
+              encode_frame(out, MsgType::kOutcomeDelivery,
+                           encode_outcome_delivery(od));
+            }
+            PecDoneMsg pd;
+            pd.pec = r.pec;
+            pd.holds = r.holds ? 1 : 0;
+            pd.timed_out = r.timed_out ? 1 : 0;
+            pd.state_limit_hit = r.state_limit_hit ? 1 : 0;
+            pd.stats = r.stats;
+            done.pecs.push_back(pd);
+          }
+          encode_frame(out, MsgType::kTaskDone, encode_task_done(done));
+          if (!write_all(fd, out)) _exit(2);
+          break;
+        }
+        default:
+          _exit(3);  // worker never receives reports/results
+      }
+    }
+    if (st == FrameDecoder::Status::kError) _exit(3);
+    const ssize_t r = read(fd, buf, sizeof(buf));
+    if (r > 0) {
+      decoder.feed(buf, static_cast<std::size_t>(r));
+    } else if (r == 0) {
+      _exit(0);  // coordinator went away: orderly orphan exit
+    } else if (errno != EINTR) {
+      _exit(2);
+    }
+  }
+}
+
+struct WorkerSlot {
+  pid_t pid = -1;
+  int fd = -1;
+  bool alive = false;
+  std::size_t current = kNoTask;
+  std::vector<std::uint8_t> delivered;  ///< per-PecId: outcomes on the worker
+  std::deque<PecId> pending_evictions;  ///< piggybacked on the next assign
+  std::vector<ViolationMsg> stash;      ///< violations of the in-flight task
+  FrameDecoder decoder{kDefaultMaxFramePayload};
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+ShardRunResult run_sharded_task_graph(
+    const Network& net, const PecSet& pecs, const ShardRunOptions& opts,
+    const TaskGraph& graph, const std::vector<ShardTaskSpec>& tasks,
+    const std::function<std::vector<ShardPecResult>(
+        std::size_t task, OutcomeStore& upstream)>& body) {
+  ShardRunResult result;
+  const std::size_t total = graph.size();
+  const int shards = std::max(1, opts.shards);
+  result.stats.tasks_per_shard.assign(static_cast<std::size_t>(shards), 0);
+  if (tasks.size() != total) {
+    result.error = "task spec count does not match graph size";
+    return result;
+  }
+  if (total == 0) {
+    result.ok = true;
+    return result;
+  }
+
+  std::vector<std::size_t> waiting = graph.waiting_on;
+  std::deque<std::size_t> ready;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (waiting[i] == 0) ready.push_back(i);
+  }
+
+  // dep_refs[pec] = incomplete tasks that still need pec's outcomes; when it
+  // hits zero the coordinator drops its wire copy and tells every worker
+  // holding a delivered copy to evict (bounded stores on all sides).
+  std::map<PecId, std::size_t> dep_refs;
+  for (const ShardTaskSpec& t : tasks) {
+    for (const PecId p : t.deps) ++dep_refs[p];
+  }
+  std::map<PecId, std::string> outcome_wire;
+
+  std::vector<WorkerSlot> workers(static_cast<std::size_t>(shards));
+  std::vector<int> reassignments(total, 0);
+
+  const auto spawn_worker = [&](std::size_t slot) -> bool {
+    int sv[2];
+    if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return false;
+    std::fflush(nullptr);  // no duplicated stdio buffers in the child
+    const pid_t pid = fork();
+    if (pid < 0) {
+      close(sv[0]);
+      close(sv[1]);
+      return false;
+    }
+    if (pid == 0) {
+      close(sv[0]);
+      for (const WorkerSlot& w : workers) {
+        if (w.alive && w.fd >= 0) close(w.fd);  // not ours to hold
+      }
+      worker_main(sv[1], net, pecs, total, opts, body);  // never returns
+    }
+    close(sv[1]);
+    const int flags = fcntl(sv[0], F_GETFL, 0);
+    (void)fcntl(sv[0], F_SETFL, flags | O_NONBLOCK);
+    WorkerSlot& w = workers[slot];
+    w.pid = pid;
+    w.fd = sv[0];
+    w.alive = true;
+    w.current = kNoTask;
+    w.delivered.assign(pecs.pecs.size(), 0);
+    w.pending_evictions.clear();
+    w.stash.clear();
+    w.decoder = FrameDecoder(opts.max_frame_payload);
+    return true;
+  };
+
+  std::size_t completed = 0;
+  std::size_t inflight = 0;
+  bool stopping = false;
+
+  const auto handle_worker_death = [&](std::size_t slot) {
+    WorkerSlot& w = workers[slot];
+    if (!w.alive) return;
+    w.alive = false;
+    close(w.fd);
+    w.fd = -1;
+    int status = 0;
+    (void)waitpid(w.pid, &status, 0);
+    w.pid = -1;
+    if (w.current != kNoTask) {
+      --inflight;
+      ++result.stats.tasks_reassigned;
+      if (++reassignments[w.current] > opts.max_reassignments_per_task) {
+        stopping = true;
+        result.error = "task " + std::to_string(w.current) +
+                       " exceeded the reassignment cap (worker keeps dying)";
+      } else {
+        ready.push_front(w.current);  // rescue the in-flight task
+      }
+      w.current = kNoTask;
+    }
+    w.stash.clear();
+  };
+
+  const auto poison_worker = [&](std::size_t slot, const char* why) {
+    ++result.stats.decode_errors;
+    std::fprintf(stderr, "plankton shard coordinator: worker %zu poisoned (%s)\n",
+                 slot, why);
+    kill(workers[slot].pid, SIGKILL);
+    handle_worker_death(slot);
+  };
+
+  const auto release_dep_ref = [&](PecId p) {
+    const auto it = dep_refs.find(p);
+    if (it == dep_refs.end() || --it->second > 0) return;
+    dep_refs.erase(it);
+    outcome_wire.erase(p);
+    for (WorkerSlot& w : workers) {
+      if (w.alive && w.delivered[p] != 0) w.pending_evictions.push_back(p);
+    }
+  };
+
+  /// Ships the missing upstream outcomes plus the assignment to one worker.
+  /// false = the worker died underneath us; the task stays undispatched.
+  const auto try_dispatch = [&](std::size_t task, std::size_t slot) -> bool {
+    WorkerSlot& w = workers[slot];
+    std::string out;
+    for (const PecId dep : tasks[task].deps) {
+      if (w.delivered[dep] != 0) {
+        ++result.stats.deliveries_skipped;
+        continue;
+      }
+      // A dependency that recorded no outcomes has nothing to ship — mark it
+      // delivered anyway so we never re-check.
+      const auto it = outcome_wire.find(dep);
+      if (it != outcome_wire.end()) {
+        OutcomeDeliveryMsg od;
+        od.pec = dep;
+        od.outcomes_wire = it->second;
+        const std::string payload = encode_outcome_delivery(od);
+        encode_frame(out, MsgType::kOutcomeDelivery, payload);
+        result.stats.outcome_bytes_sent += payload.size();
+        ++result.stats.frames_sent;
+      }
+      w.delivered[dep] = 1;
+    }
+    TaskAssignMsg assign;
+    assign.task = task;
+    while (!w.pending_evictions.empty()) {
+      const PecId p = w.pending_evictions.front();
+      w.pending_evictions.pop_front();
+      w.delivered[p] = 0;
+      assign.evict.push_back(p);
+    }
+    encode_frame(out, MsgType::kTaskAssign, encode_task_assign(assign));
+    ++result.stats.frames_sent;
+    result.stats.bytes_sent += out.size();
+    if (!write_all(w.fd, out)) {
+      handle_worker_death(slot);
+      return false;
+    }
+    w.current = task;
+    ++inflight;
+    if (opts.test_on_assign) {
+      opts.test_on_assign(static_cast<int>(slot), w.pid, task);
+    }
+    return true;
+  };
+
+  /// Drains one worker's socket; returns false when the worker died.
+  const auto drain_worker = [&](std::size_t slot) -> bool {
+    WorkerSlot& w = workers[slot];
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t r = read(w.fd, buf, sizeof(buf));
+      if (r > 0) {
+        result.stats.bytes_received += static_cast<std::uint64_t>(r);
+        w.decoder.feed(buf, static_cast<std::size_t>(r));
+        continue;
+      }
+      if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (r < 0 && errno == EINTR) continue;
+      handle_worker_death(slot);  // EOF or hard error
+      return false;
+    }
+    Frame frame;
+    FrameDecoder::Status st;
+    while ((st = w.decoder.next(frame)) == FrameDecoder::Status::kFrame) {
+      ++result.stats.frames_received;
+      switch (frame.type) {
+        case MsgType::kViolationReport: {
+          ViolationMsg v;
+          bool links_ok = decode_violation(frame.payload, v);
+          for (const LinkId l : v.failed_links) {
+            links_ok = links_ok && l < net.topo.link_count();
+          }
+          if (!links_ok || v.pec >= pecs.pecs.size() || w.current == kNoTask) {
+            poison_worker(slot, "bad violation report");
+            return false;
+          }
+          w.stash.push_back(std::move(v));
+          break;
+        }
+        case MsgType::kOutcomeDelivery: {
+          OutcomeDeliveryMsg od;
+          if (!decode_outcome_delivery(frame.payload, od) ||
+              od.pec >= pecs.pecs.size() || w.current == kNoTask) {
+            poison_worker(slot, "bad outcome delivery");
+            return false;
+          }
+          // Same quantity as outcome_bytes_sent (the full delivery payload),
+          // so the two directions are comparable in the printed stats.
+          result.stats.outcome_bytes_received += frame.payload.size();
+          w.delivered[od.pec] = 1;  // the producer keeps a local copy
+          if (dep_refs.contains(od.pec)) {
+            outcome_wire[od.pec] = std::move(od.outcomes_wire);
+          }
+          break;
+        }
+        case MsgType::kTaskDone: {
+          TaskDoneMsg done;
+          bool pecs_ok = decode_task_done(frame.payload, done) &&
+                         w.current != kNoTask && done.task == w.current;
+          // The completion must cover exactly the assigned task's PECs, in
+          // task order — a partial or mismatched list would silently drop
+          // stashed violations and corrupt the merge, so it poisons like any
+          // other malformed input.
+          pecs_ok = pecs_ok && done.pecs.size() == tasks[w.current].pecs.size();
+          for (std::size_t i = 0; pecs_ok && i < done.pecs.size(); ++i) {
+            pecs_ok = done.pecs[i].pec == tasks[w.current].pecs[i];
+          }
+          if (!pecs_ok) {
+            poison_worker(slot, "bad task completion");
+            return false;
+          }
+          const std::size_t task = w.current;
+          for (const PecDoneMsg& p : done.pecs) {
+            ShardPecResult rep;
+            rep.pec = p.pec;
+            rep.holds = p.holds != 0;
+            rep.timed_out = p.timed_out != 0;
+            rep.state_limit_hit = p.state_limit_hit != 0;
+            rep.stats = p.stats;
+            for (ViolationMsg& v : w.stash) {
+              if (v.pec == p.pec) rep.violations.push_back(std::move(v));
+            }
+            if (!rep.holds && opts.stop_on_violation) stopping = true;
+            result.reports.push_back(std::move(rep));
+          }
+          w.stash.clear();
+          w.current = kNoTask;
+          --inflight;
+          ++completed;
+          ++result.stats.tasks_per_shard[slot];
+          for (const std::size_t d : graph.dependents[task]) {
+            if (--waiting[d] == 0) ready.push_back(d);
+          }
+          for (const PecId dep : tasks[task].deps) release_dep_ref(dep);
+          break;
+        }
+        default:
+          poison_worker(slot, "unexpected message from worker");
+          return false;
+      }
+    }
+    if (st == FrameDecoder::Status::kError) {
+      poison_worker(slot, w.decoder.error().c_str());
+      return false;
+    }
+    return true;
+  };
+
+  for (std::size_t s = 0; s < workers.size(); ++s) {
+    if (!spawn_worker(s)) {
+      result.error = "failed to spawn shard worker";
+      break;
+    }
+  }
+
+  while (result.error.empty()) {
+    // Dispatch: lowest-index ready task to the idle worker already holding
+    // most of its upstream outcomes (ties to the lowest slot).
+    while (!stopping && !ready.empty()) {
+      std::size_t best = workers.size();
+      std::size_t best_overlap = 0;
+      const std::size_t task = ready.front();
+      for (std::size_t s = 0; s < workers.size(); ++s) {
+        const WorkerSlot& w = workers[s];
+        if (!w.alive || w.current != kNoTask) continue;
+        std::size_t overlap = 0;
+        for (const PecId dep : tasks[task].deps) {
+          overlap += w.delivered[dep] != 0 ? 1 : 0;
+        }
+        if (best == workers.size() || overlap > best_overlap) {
+          best = s;
+          best_overlap = overlap;
+        }
+      }
+      if (best == workers.size()) break;  // everyone busy (or dead)
+      ready.pop_front();
+      if (!try_dispatch(task, best)) ready.push_front(task);
+    }
+
+    if (inflight == 0 && (ready.empty() || stopping)) break;
+
+    // Crash recovery: keep the pool at full strength while work remains.
+    bool any_alive = false;
+    for (std::size_t s = 0; s < workers.size() && result.error.empty(); ++s) {
+      if (workers[s].alive) {
+        any_alive = true;
+        continue;
+      }
+      if (ready.empty() && inflight == 0) continue;
+      if (spawn_worker(s)) {
+        ++result.stats.workers_respawned;
+        any_alive = true;
+      } else if (!any_alive && s + 1 == workers.size()) {
+        result.error = "cannot respawn any shard worker";
+      }
+    }
+    if (!result.error.empty()) break;
+
+    std::vector<pollfd> pfds;
+    std::vector<std::size_t> slot_of;
+    for (std::size_t s = 0; s < workers.size(); ++s) {
+      if (!workers[s].alive) continue;
+      pfds.push_back({workers[s].fd, POLLIN, 0});
+      slot_of.push_back(s);
+    }
+    const int n = poll(pfds.data(), pfds.size(), 200);
+    if (n < 0 && errno != EINTR) {
+      result.error = "poll failed";
+      break;
+    }
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        (void)drain_worker(slot_of[i]);
+      }
+    }
+  }
+
+  // Shutdown: orderly for live workers, forceful on the error path (they may
+  // be mid-task and deaf to the socket).
+  std::string bye;
+  encode_frame(bye, MsgType::kShutdown, "");
+  for (WorkerSlot& w : workers) {
+    if (!w.alive) continue;
+    if (!result.error.empty()) {
+      kill(w.pid, SIGKILL);
+    } else {
+      (void)write_all(w.fd, bye);
+      ++result.stats.frames_sent;
+      result.stats.bytes_sent += bye.size();
+    }
+    close(w.fd);
+    w.fd = -1;
+    int status = 0;
+    (void)waitpid(w.pid, &status, 0);
+    w.alive = false;
+  }
+
+  result.stopped_early = stopping && result.error.empty();
+  result.ok = result.error.empty();
+  return result;
+}
+
+}  // namespace plankton::sched

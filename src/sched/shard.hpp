@@ -1,0 +1,246 @@
+// Multi-process shard coordinator for the PEC task graph (paper §6, Fig. 7b
+// — the scalability claim past one address space; ROADMAP "multi-process
+// sharding").
+//
+// The coordinator partitions the SCC-ordered task graph across N worker
+// processes (fork + socketpair on POSIX). Workers are forked from the
+// calling process, so each inherits the network/PEC/task state by copy and
+// only *results* cross the process boundary:
+//
+//   coordinator ──kOutcomeDelivery*──▶ worker   upstream PEC outcomes the
+//                                               assigned task depends on
+//                                               (OutcomeStore wire format)
+//   coordinator ──kTaskAssign────────▶ worker   task index + evictable PECs
+//   worker ──kViolationReport*───────▶ coordinator   one per counterexample
+//   worker ──kOutcomeDelivery*───────▶ coordinator   recorded outcomes
+//   worker ──kTaskDone───────────────▶ coordinator   per-PEC verdict + stats
+//   coordinator ──kShutdown──────────▶ worker   clean exit
+//
+// Every message is framed (magic, version, type, 64-bit payload length) and
+// decoded with bounds checks: a truncated, corrupt, or absurdly-sized frame
+// poisons the decoder instead of the process (tests fuzz this surface).
+//
+// Fault tolerance: the coordinator is the first failure boundary in the
+// codebase. A worker that dies mid-task (crash, SIGKILL, poisoned stream) is
+// detected via socket EOF, reaped, and replaced; its in-flight task is
+// reassigned. Exploration is deterministic per task, so the merged verdict,
+// violation multiset, and state counts stay bit-identical to a
+// single-process run regardless of shard count, assignment, or crashes. A
+// per-task reassignment cap turns a deterministically-crashing task into a
+// coordinator-level error rather than a fork loop.
+//
+// Assignment is dependency-aware: tasks become eligible in SCC condensation
+// order (sched/deps numbering) and an eligible task prefers the idle worker
+// that already holds the most of its upstream outcomes, minimizing
+// bytes-on-the-wire (ShardStats records what actually moved).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <sys/types.h>
+#include <vector>
+
+#include "checker/stats.hpp"
+#include "pec/pec.hpp"
+#include "rpvp/explorer.hpp"
+#include "sched/outcome_store.hpp"
+#include "sched/work_stealing.hpp"
+
+namespace plankton::sched {
+
+// ---------------------------------------------------------------------------
+// Wire framing
+// ---------------------------------------------------------------------------
+
+enum class MsgType : std::uint16_t {
+  kTaskAssign = 1,       ///< coordinator → worker: task index + evict list
+  kOutcomeDelivery = 2,  ///< either direction: one PEC's outcome batch
+  kViolationReport = 3,  ///< worker → coordinator: one counterexample
+  kTaskDone = 4,         ///< worker → coordinator: per-PEC verdicts + stats
+  kShutdown = 5,         ///< coordinator → worker: exit cleanly
+};
+
+inline constexpr std::uint32_t kFrameMagic = 0x504b5331;  // "PKS1"
+inline constexpr std::uint16_t kFrameVersion = 1;
+/// magic + version + type + payload length.
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 2 + 2 + 8;
+/// Default ceiling for one frame's payload. Anything larger is treated as a
+/// corrupt length field (a single PEC's outcome batch is orders of magnitude
+/// smaller on every workload we run).
+inline constexpr std::uint64_t kDefaultMaxFramePayload = std::uint64_t{1} << 30;
+
+struct Frame {
+  MsgType type = MsgType::kShutdown;
+  std::string payload;
+};
+
+/// Appends one framed message to `out`.
+void encode_frame(std::string& out, MsgType type, std::string_view payload);
+
+/// Incremental, bounds-checked frame parser over a byte stream. feed() bytes
+/// as they arrive; next() pops complete frames. A malformed header (bad
+/// magic/version, unknown type, oversized length) moves the decoder into a
+/// permanent error state — the stream cannot be trusted past the first lie.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::uint64_t max_payload = kDefaultMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void feed(const char* data, std::size_t n);
+
+  enum class Status : std::uint8_t {
+    kNeedMore = 0,  ///< no complete frame buffered
+    kFrame = 1,     ///< `out` holds the next frame
+    kError = 2,     ///< stream poisoned; error() says why
+  };
+  Status next(Frame& out);
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+  std::uint64_t max_payload_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Message payloads. decode_* are the exact inverses of encode_*; they return
+// false on truncated/corrupt/hostile input and leave the output
+// default-initialized, and every length field is validated against the bytes
+// actually present before it sizes an allocation.
+// ---------------------------------------------------------------------------
+
+struct TaskAssignMsg {
+  std::uint64_t task = 0;
+  /// PECs whose outcomes the receiving worker may release: no incomplete
+  /// task depends on them anymore (coordinator-side refcount hit zero).
+  std::vector<PecId> evict;
+};
+
+struct OutcomeDeliveryMsg {
+  PecId pec = 0;
+  /// OutcomeStore::serialize() bytes — the nested PR-3 wire format.
+  std::string outcomes_wire;
+};
+
+struct ViolationMsg {
+  PecId pec = 0;
+  std::vector<LinkId> failed_links;
+  std::string message;
+  std::string trail_text;
+};
+
+struct PecDoneMsg {
+  PecId pec = 0;
+  std::uint8_t holds = 1;
+  std::uint8_t timed_out = 0;
+  std::uint8_t state_limit_hit = 0;
+  SearchStats stats;
+};
+
+struct TaskDoneMsg {
+  std::uint64_t task = 0;
+  std::vector<PecDoneMsg> pecs;
+};
+
+[[nodiscard]] std::string encode_task_assign(const TaskAssignMsg& m);
+[[nodiscard]] bool decode_task_assign(std::string_view in, TaskAssignMsg& out);
+[[nodiscard]] std::string encode_outcome_delivery(const OutcomeDeliveryMsg& m);
+[[nodiscard]] bool decode_outcome_delivery(std::string_view in,
+                                           OutcomeDeliveryMsg& out);
+[[nodiscard]] std::string encode_violation(const ViolationMsg& m);
+[[nodiscard]] bool decode_violation(std::string_view in, ViolationMsg& out);
+[[nodiscard]] std::string encode_task_done(const TaskDoneMsg& m);
+[[nodiscard]] bool decode_task_done(std::string_view in, TaskDoneMsg& out);
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+/// Coordinator-side counters, surfaced through VerifyResult::shard.
+struct ShardStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;          ///< total wire bytes, coordinator → workers
+  std::uint64_t bytes_received = 0;      ///< total wire bytes, workers → coordinator
+  std::uint64_t outcome_bytes_sent = 0;  ///< upstream outcome deliveries only
+  std::uint64_t outcome_bytes_received = 0;
+  std::uint64_t deliveries_skipped = 0;  ///< dep outcomes already on the worker
+  std::uint64_t tasks_reassigned = 0;    ///< in-flight tasks rescued from dead workers
+  std::uint64_t workers_respawned = 0;
+  std::uint64_t decode_errors = 0;       ///< poisoned worker streams
+  /// tasks_per_shard[w] = tasks completed by worker slot w.
+  std::vector<std::uint64_t> tasks_per_shard;
+};
+
+/// What the coordinator must know about one schedulable task. The graph
+/// (TaskGraph) carries the dependency edges; the spec carries the PEC-level
+/// payload bookkeeping.
+struct ShardTaskSpec {
+  std::vector<PecId> pecs;  ///< run in order inside the worker
+  /// Upstream PECs whose recorded outcomes must be on the worker before the
+  /// task runs (deduplicated, excludes PECs of the task itself).
+  std::vector<PecId> deps;
+};
+
+/// Worker-side product of one PEC run. When `record` is set (some incomplete
+/// task depends on this PEC), the body must have published the PEC's
+/// outcomes into its worker-local store — the worker ships the store's
+/// content for `pec` back to the coordinator (no second copy travels here).
+struct ShardPecResult {
+  PecId pec = 0;
+  bool holds = true;
+  bool timed_out = false;
+  bool state_limit_hit = false;
+  SearchStats stats;
+  std::vector<ViolationMsg> violations;
+  bool record = false;
+};
+
+struct ShardRunOptions {
+  int shards = 2;
+  /// Stop dispatching new tasks once any report arrives !holds (the
+  /// in-process early-stop behaviour); in-flight tasks still complete.
+  bool stop_on_violation = false;
+  std::uint64_t max_frame_payload = kDefaultMaxFramePayload;
+  /// Give up on a task after this many worker deaths while it was in flight
+  /// (a deterministically-crashing task must not fork forever).
+  int max_reassignments_per_task = 3;
+
+  // Test hooks (fault injection for the crash-recovery suite):
+  /// Called right after a task assignment has been written to a worker.
+  std::function<void(int shard, pid_t pid, std::size_t task)> test_on_assign;
+  /// Workers sleep this long before running each assigned task, widening the
+  /// window in which test_on_assign can kill them mid-task.
+  int test_worker_task_delay_ms = 0;
+};
+
+struct ShardRunResult {
+  bool ok = false;           ///< coordinator completed (or stopped early by design)
+  bool stopped_early = false;
+  std::string error;         ///< set when !ok (fork failure, poisoned task, ...)
+  std::vector<ShardPecResult> reports;  ///< outcomes stripped; wire order
+  ShardStats stats;
+};
+
+/// Runs `graph` across `opts.shards` forked worker processes. `body` executes
+/// in the *worker* process: it runs every PEC of the assigned task with the
+/// task's upstream outcomes available in `upstream` (a worker-local
+/// OutcomeStore fed from kOutcomeDelivery frames) and returns the per-PEC
+/// results to ship back. The store is mutable so a multi-PEC (cyclic SCC)
+/// task body can publish one mate's outcomes for the next mate mid-task,
+/// matching the in-process scheduler's behaviour. The calling process must
+/// be effectively single-threaded at the first fork (workers are spawned
+/// lazily, including respawns after crashes).
+ShardRunResult run_sharded_task_graph(
+    const Network& net, const PecSet& pecs, const ShardRunOptions& opts,
+    const TaskGraph& graph, const std::vector<ShardTaskSpec>& tasks,
+    const std::function<std::vector<ShardPecResult>(
+        std::size_t task, OutcomeStore& upstream)>& body);
+
+}  // namespace plankton::sched

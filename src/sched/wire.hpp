@@ -1,0 +1,55 @@
+// Little-endian wire codec primitives shared by the OutcomeStore outcome
+// format (sched/outcome_store.cpp) and the shard coordinator framing
+// (sched/shard.cpp) — one definition, so the nested format and its carrier
+// can never drift apart.
+//
+// Decode contract: get_* return false on truncated input and consume
+// nothing on failure beyond what was validated; fits() must guard every
+// element count before it sizes an allocation (hostile counts cannot OOM).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace plankton::wire {
+
+template <typename T>
+inline void put_int(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+template <typename T>
+inline bool get_int(std::string_view& in, T& v) {
+  if (in.size() < sizeof(T)) return false;
+  std::memcpy(&v, in.data(), sizeof(T));
+  in.remove_prefix(sizeof(T));
+  return true;
+}
+
+inline void put_string(std::string& out, std::string_view s) {
+  put_int(out, static_cast<std::uint64_t>(s.size()));
+  out.append(s);
+}
+
+inline bool get_string(std::string_view& in, std::string& s) {
+  std::uint64_t len = 0;
+  if (!get_int(in, len) || len > in.size()) return false;
+  s.assign(in.data(), static_cast<std::size_t>(len));
+  in.remove_prefix(static_cast<std::size_t>(len));
+  return true;
+}
+
+/// `count` forthcoming elements of at least `elem_size` wire bytes each must
+/// fit in what is actually left — the anti-OOM guard for hostile length
+/// fields. `elem_size` must be the element's *minimum encoded size*, not a
+/// smaller prefix, or a lying count can still amplify an allocation.
+inline bool fits(std::string_view in, std::uint64_t count,
+                 std::size_t elem_size) {
+  return count <= in.size() / elem_size;
+}
+
+}  // namespace plankton::wire

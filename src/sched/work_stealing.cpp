@@ -334,6 +334,7 @@ const char* to_string(SchedulerKind kind) {
   switch (kind) {
     case SchedulerKind::kWorkStealing: return "work-stealing";
     case SchedulerKind::kFixedPool: return "fixed-pool";
+    case SchedulerKind::kMultiProcess: return "multi-process";
   }
   return "?";
 }
@@ -346,7 +347,8 @@ void run_task_graph(SchedulerKind kind, int workers, const TaskGraph& graph,
     return;
   }
   switch (kind) {
-    case SchedulerKind::kWorkStealing: {
+    case SchedulerKind::kWorkStealing:
+    case SchedulerKind::kMultiProcess: {  // in-process fallback (see header)
       WorkStealingRun run(workers, graph, body);
       run.run();
       break;

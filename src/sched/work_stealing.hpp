@@ -48,6 +48,11 @@ struct TaskGraph {
 enum class SchedulerKind : std::uint8_t {
   kWorkStealing = 0,
   kFixedPool = 1,
+  /// Shard the task graph across forked worker processes (sched/shard.hpp).
+  /// Only the Verifier can honor this kind — results must cross an explicit
+  /// wire protocol, which a generic in-process body cannot. run_task_graph
+  /// treats it as kWorkStealing so generic callers degrade gracefully.
+  kMultiProcess = 2,
 };
 
 [[nodiscard]] const char* to_string(SchedulerKind kind);

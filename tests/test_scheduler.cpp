@@ -355,6 +355,85 @@ TEST(SchedulerSpawn, SpawnedWorkIsStolenByIdleWorkers) {
       << "no idle worker ever stole a spawned subtask";
 }
 
+TEST(SchedulerSpawn, SpawnUnderContentionSeesCompletedDependencies) {
+  // Known gap closed: the differential harness only reaches spawn() from
+  // single-task searches, never while ready-counters are being decremented
+  // by concurrent completions. Here dynamically spawned subtasks carry
+  // cross-PEC dependencies — each static task of a layered DAG publishes a
+  // value derived from its two dependencies' values, then fans out children
+  // that re-read those dependency slots while other workers complete tasks,
+  // release dependents, and steal the children. A child observing an
+  // unwritten dependency slot means a task (or its spawned work) ran before
+  // the counter release happened-before it.
+  constexpr std::size_t kLayers = 6;
+  constexpr std::size_t kWidth = 12;
+  constexpr std::size_t kTasks = kLayers * kWidth;
+  constexpr int kChildren = 6;
+  sched::TaskGraph graph;
+  graph.dependents.resize(kTasks);
+  graph.waiting_on.assign(kTasks, 0);
+  const auto deps_of = [](std::size_t task) {
+    const std::size_t layer = task / kWidth;
+    const std::size_t i = task % kWidth;
+    return std::pair<std::size_t, std::size_t>{
+        (layer - 1) * kWidth + i, (layer - 1) * kWidth + (i + 1) % kWidth};
+  };
+  for (std::size_t task = kWidth; task < kTasks; ++task) {
+    const auto [d1, d2] = deps_of(task);
+    graph.dependents[d1].push_back(task);
+    graph.dependents[d2].push_back(task);
+    graph.waiting_on[task] = 2;
+  }
+
+  std::vector<std::atomic<std::uint64_t>> value(kTasks);  // 0 = unwritten
+  for (const auto kind : {sched::SchedulerKind::kWorkStealing,
+                          sched::SchedulerKind::kFixedPool}) {
+    for (const int workers : {1, 4, 8}) {
+      for (auto& v : value) v.store(0);
+      std::atomic<std::size_t> child_runs{0};
+      std::atomic<bool> deps_visible{true};
+      sched::run_task_graph(
+          kind, workers, graph, [&](sched::TaskContext& ctx) {
+            if (ctx.task() == sched::kDynamicTask) return;
+            const std::size_t task = ctx.task();
+            std::uint64_t v = 1 + task;
+            if (task >= kWidth) {
+              const auto [d1, d2] = deps_of(task);
+              const std::uint64_t a = value[d1].load(std::memory_order_acquire);
+              const std::uint64_t b = value[d2].load(std::memory_order_acquire);
+              if (a == 0 || b == 0) deps_visible = false;
+              v += a + b;
+            }
+            value[task].store(v, std::memory_order_release);
+            for (int c = 0; c < kChildren; ++c) {
+              ctx.spawn([&, task](sched::TaskContext&) {
+                child_runs.fetch_add(1);
+                if (task >= kWidth) {
+                  // The child inherits its spawner's cross-PEC dependencies:
+                  // wherever it gets stolen to, the dependency results must
+                  // already be visible there.
+                  const auto [d1, d2] = deps_of(task);
+                  if (value[d1].load(std::memory_order_acquire) == 0 ||
+                      value[d2].load(std::memory_order_acquire) == 0) {
+                    deps_visible = false;
+                  }
+                }
+              });
+            }
+          });
+      EXPECT_EQ(child_runs.load(), kTasks * kChildren)
+          << sched::to_string(kind) << " workers=" << workers;
+      EXPECT_TRUE(deps_visible.load())
+          << sched::to_string(kind) << " workers=" << workers
+          << ": a spawned subtask ran before its dependencies' results "
+             "were visible";
+      for (std::size_t t = 0; t < kTasks; ++t) {
+        ASSERT_NE(value[t].load(), 0u) << "task " << t << " never ran";
+      }
+    }
+  }
+}
+
 TEST(Scheduler, WallLimitStopsGracefully) {
   const Enterprise ent = make_enterprise("III");
   VerifyOptions vo;

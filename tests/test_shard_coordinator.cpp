@@ -1,0 +1,639 @@
+// Multi-process shard coordinator (sched/shard.*): wire framing fuzz,
+// coordinator data flow, cross-process determinism, and crash recovery.
+//
+// The headline guarantees under test:
+//   · --shards {1,2,4} × {dfs, bfs, priority} produce verdicts, violation
+//     multisets, and state counts bit-identical to the in-process
+//     scheduler, on the seeded random_net corpus and on the paper's Fig. 6
+//     and fat-tree workloads (corpus scales with PLANKTON_DIFF_SEEDS);
+//   · a worker SIGKILLed mid-task is detected, its task reassigned, and the
+//     run still converges to the identical result;
+//   · the framing decoder survives truncated, corrupt, and hostile-length
+//     input without crashing or allocating absurd buffers (the
+//     test_outcome_store.cpp corrupt-input pattern, extended to frames).
+#include <gtest/gtest.h>
+#include <signal.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "core/verifier.hpp"
+#include "pec/pec.hpp"
+#include "sched/shard.hpp"
+#include "support/figure6.hpp"
+#include "support/random_net.hpp"
+#include "workload/enterprise.hpp"
+#include "workload/fat_tree.hpp"
+#include "workload/ring.hpp"
+
+namespace plankton {
+namespace {
+
+using testsupport::Figure6;
+using testsupport::RandomInstance;
+using testsupport::make_random_instance;
+
+// ---------------------------------------------------------------------------
+// Framing + payload codecs (no processes involved)
+// ---------------------------------------------------------------------------
+
+sched::ViolationMsg sample_violation() {
+  sched::ViolationMsg v;
+  v.pec = 7;
+  v.failed_links = {1, 4, 9};
+  v.message = "loop R1 -> R2 -> R1";
+  v.trail_text = "  [0] R2 adopts 10.0.0.0/16 via R1\n";
+  return v;
+}
+
+sched::TaskDoneMsg sample_done() {
+  sched::TaskDoneMsg d;
+  d.task = 42;
+  sched::PecDoneMsg p;
+  p.pec = 7;
+  p.holds = 0;
+  p.stats.states_explored = 1234;
+  p.stats.states_stored = 99;
+  p.stats.bytes_visited = 4096;
+  p.stats.elapsed = std::chrono::nanoseconds(5555);
+  d.pecs.push_back(p);
+  p.pec = 8;
+  p.holds = 1;
+  d.pecs.push_back(p);
+  return d;
+}
+
+/// A representative multi-frame stream: assign + delivery + violation + done
+/// + shutdown.
+std::string sample_stream() {
+  std::string s;
+  sched::TaskAssignMsg assign;
+  assign.task = 3;
+  assign.evict = {2, 5};
+  sched::encode_frame(s, sched::MsgType::kTaskAssign,
+                      sched::encode_task_assign(assign));
+  sched::OutcomeDeliveryMsg od;
+  od.pec = 5;
+  od.outcomes_wire = std::string("\x31\x4f\x4b\x50", 4) + "payload-ish";
+  sched::encode_frame(s, sched::MsgType::kOutcomeDelivery,
+                      sched::encode_outcome_delivery(od));
+  sched::encode_frame(s, sched::MsgType::kViolationReport,
+                      sched::encode_violation(sample_violation()));
+  sched::encode_frame(s, sched::MsgType::kTaskDone,
+                      sched::encode_task_done(sample_done()));
+  sched::encode_frame(s, sched::MsgType::kShutdown, "");
+  return s;
+}
+
+TEST(ShardFraming, RoundTripsByteByByte) {
+  const std::string stream = sample_stream();
+  sched::FrameDecoder dec;
+  std::vector<sched::Frame> frames;
+  // Worst-case delivery: one byte at a time, draining after every feed.
+  for (const char c : stream) {
+    dec.feed(&c, 1);
+    sched::Frame f;
+    while (dec.next(f) == sched::FrameDecoder::Status::kFrame) {
+      frames.push_back(f);
+    }
+  }
+  ASSERT_EQ(frames.size(), 5u);
+  EXPECT_EQ(frames[0].type, sched::MsgType::kTaskAssign);
+  EXPECT_EQ(frames[4].type, sched::MsgType::kShutdown);
+  EXPECT_TRUE(frames[4].payload.empty());
+
+  sched::TaskAssignMsg assign;
+  ASSERT_TRUE(sched::decode_task_assign(frames[0].payload, assign));
+  EXPECT_EQ(assign.task, 3u);
+  EXPECT_EQ(assign.evict, (std::vector<PecId>{2, 5}));
+
+  sched::ViolationMsg v;
+  ASSERT_TRUE(sched::decode_violation(frames[2].payload, v));
+  const sched::ViolationMsg ref = sample_violation();
+  EXPECT_EQ(v.pec, ref.pec);
+  EXPECT_EQ(v.failed_links, ref.failed_links);
+  EXPECT_EQ(v.message, ref.message);
+  EXPECT_EQ(v.trail_text, ref.trail_text);
+
+  sched::TaskDoneMsg d;
+  ASSERT_TRUE(sched::decode_task_done(frames[3].payload, d));
+  const sched::TaskDoneMsg dref = sample_done();
+  ASSERT_EQ(d.pecs.size(), dref.pecs.size());
+  EXPECT_EQ(d.task, dref.task);
+  EXPECT_EQ(d.pecs[0].holds, 0);
+  EXPECT_EQ(d.pecs[0].stats.states_explored, 1234u);
+  EXPECT_EQ(d.pecs[0].stats.bytes_visited, 4096u);
+  EXPECT_EQ(d.pecs[0].stats.elapsed.count(), 5555);
+}
+
+TEST(ShardFraming, TruncationNeverYieldsAFrameBeyondTheCut) {
+  const std::string stream = sample_stream();
+  // Count the frames a full parse yields up to each cut point; a truncated
+  // stream must yield exactly the complete frames before the cut and then
+  // kNeedMore — never an error, never a phantom frame.
+  for (std::size_t cut = 0; cut < stream.size(); ++cut) {
+    sched::FrameDecoder dec;
+    dec.feed(stream.data(), cut);
+    sched::Frame f;
+    sched::FrameDecoder::Status st;
+    std::size_t frames = 0;
+    while ((st = dec.next(f)) == sched::FrameDecoder::Status::kFrame) ++frames;
+    EXPECT_EQ(st, sched::FrameDecoder::Status::kNeedMore) << "cut at " << cut;
+    EXPECT_LE(frames, 5u);
+  }
+}
+
+TEST(ShardFraming, RejectsCorruptHeaders) {
+  const auto expect_poisoned = [](std::string stream, const char* what) {
+    sched::FrameDecoder dec;
+    dec.feed(stream.data(), stream.size());
+    sched::Frame f;
+    sched::FrameDecoder::Status st;
+    while ((st = dec.next(f)) == sched::FrameDecoder::Status::kFrame) {
+    }
+    EXPECT_EQ(st, sched::FrameDecoder::Status::kError) << what;
+    // Poisoned is permanent: feeding valid bytes cannot resurrect it.
+    std::string good;
+    sched::encode_frame(good, sched::MsgType::kShutdown, "");
+    dec.feed(good.data(), good.size());
+    EXPECT_EQ(dec.next(f), sched::FrameDecoder::Status::kError) << what;
+  };
+
+  std::string bad_magic = sample_stream();
+  bad_magic[0] ^= 0x5a;
+  expect_poisoned(bad_magic, "bad magic");
+
+  std::string bad_version = sample_stream();
+  bad_version[4] = 0x7f;
+  expect_poisoned(bad_version, "unsupported version");
+
+  std::string bad_type = sample_stream();
+  bad_type[6] = 0x6e;  // type 0x..6e: far outside the enum
+  expect_poisoned(bad_type, "unknown type");
+
+  // Hostile length: a header claiming an 2^62-byte payload must be rejected
+  // up front (no buffering until OOM).
+  std::string hostile;
+  const std::uint32_t magic = sched::kFrameMagic;
+  const std::uint16_t version = sched::kFrameVersion;
+  const std::uint16_t type = 1;
+  const std::uint64_t huge = std::uint64_t{1} << 62;
+  hostile.append(reinterpret_cast<const char*>(&magic), 4);
+  hostile.append(reinterpret_cast<const char*>(&version), 2);
+  hostile.append(reinterpret_cast<const char*>(&type), 2);
+  hostile.append(reinterpret_cast<const char*>(&huge), 8);
+  expect_poisoned(hostile, "oversized payload");
+}
+
+TEST(ShardFraming, PayloadDecodersRejectCorruptInput) {
+  const std::string assign = sched::encode_task_assign({3, {2, 5}});
+  const std::string violation = sched::encode_violation(sample_violation());
+  const std::string done = sched::encode_task_done(sample_done());
+  sched::OutcomeDeliveryMsg odm;
+  odm.pec = 5;
+  odm.outcomes_wire = "nested-bytes";
+  const std::string delivery = sched::encode_outcome_delivery(odm);
+
+  // Every strict prefix of a valid payload must be rejected (decoders are
+  // exact inverses: trailing garbage is rejected too).
+  sched::TaskAssignMsg a;
+  sched::ViolationMsg v;
+  sched::TaskDoneMsg d;
+  sched::OutcomeDeliveryMsg od;
+  for (std::size_t cut = 0; cut < assign.size(); ++cut) {
+    EXPECT_FALSE(sched::decode_task_assign(assign.substr(0, cut), a));
+  }
+  for (std::size_t cut = 0; cut < violation.size(); ++cut) {
+    EXPECT_FALSE(sched::decode_violation(violation.substr(0, cut), v));
+  }
+  for (std::size_t cut = 0; cut < done.size(); ++cut) {
+    EXPECT_FALSE(sched::decode_task_done(done.substr(0, cut), d));
+  }
+  for (std::size_t cut = 0; cut < delivery.size(); ++cut) {
+    EXPECT_FALSE(sched::decode_outcome_delivery(delivery.substr(0, cut), od));
+  }
+  EXPECT_FALSE(sched::decode_task_assign(assign + "x", a));
+  EXPECT_FALSE(sched::decode_violation(violation + "x", v));
+  EXPECT_FALSE(sched::decode_task_done(done + "x", d));
+  EXPECT_FALSE(sched::decode_outcome_delivery(delivery + "x", od));
+
+  // Hostile counts: an element count far beyond the bytes present must be
+  // caught by the bounds check, not turned into a huge resize.
+  std::string hostile;
+  const std::uint64_t task = 1;
+  const std::uint32_t absurd = 0xffffffffu;
+  hostile.append(reinterpret_cast<const char*>(&task), 8);
+  hostile.append(reinterpret_cast<const char*>(&absurd), 4);
+  EXPECT_FALSE(sched::decode_task_assign(hostile, a));
+  EXPECT_TRUE(a.evict.empty()) << "failed decode must leave output empty";
+  EXPECT_FALSE(sched::decode_task_done(hostile, d));
+  EXPECT_TRUE(d.pecs.empty());
+
+  // A failed decode leaves the output default-initialized.
+  EXPECT_FALSE(sched::decode_violation(violation.substr(0, 8), v));
+  EXPECT_TRUE(v.message.empty());
+  EXPECT_TRUE(v.failed_links.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator data flow, against a synthetic body (no Verifier involved)
+// ---------------------------------------------------------------------------
+
+TEST(ShardCoordinator, StreamsOutcomesBetweenTasksAcrossProcesses) {
+  // Task 0 records outcomes for PEC `producer`; task 1 (dependent) asserts
+  // it can see them in its worker-local store — i.e. the delivery made it
+  // coordinator -> worker across process boundaries, whatever the shard
+  // assignment. The body communicates the check result through `holds`.
+  const Network net = make_ring(5);
+  const PecSet pecs = compute_pecs(net);
+  const PecId producer = pecs.routed()[0];
+
+  sched::TaskGraph graph;
+  graph.dependents = {{1}, {}};
+  graph.waiting_on = {0, 1};
+  std::vector<sched::ShardTaskSpec> specs(2);
+  specs[0].pecs = {producer};
+  specs[1].pecs = {static_cast<PecId>(producer + 1)};
+  specs[1].deps = {producer};
+
+  const auto make_outcome = [&net] {
+    PecOutcome o;
+    o.failures = FailureSet(net.topo.link_count());
+    o.igp_cost.assign(net.topo.node_count(), 1);
+    o.dp.entries.resize(net.topo.node_count());
+    o.hash = 0xabc;
+    return o;
+  };
+
+  for (const int shards : {1, 2}) {
+    sched::ShardRunOptions opts;
+    opts.shards = shards;
+    const auto body = [&](std::size_t task, OutcomeStore& upstream)
+        -> std::vector<sched::ShardPecResult> {
+      sched::ShardPecResult r;
+      r.pec = specs[task].pecs[0];
+      if (task == 0) {
+        // Contract: the body publishes recorded outcomes into the local
+        // store; the worker ships the store's content when record is set.
+        std::vector<PecOutcome> outs;
+        outs.push_back(make_outcome());
+        outs.push_back(make_outcome());
+        outs.back().hash = 0xdef;
+        upstream.put(producer, std::move(outs));
+        r.record = true;
+      } else {
+        const auto got = upstream.get(producer);
+        r.holds = got.size() == 2 && got[0].hash == 0xabc &&
+                  got[1].hash == 0xdef &&
+                  got[0].igp_cost.size() == net.topo.node_count();
+      }
+      return {r};
+    };
+    const sched::ShardRunResult rr =
+        sched::run_sharded_task_graph(net, pecs, opts, graph, specs, body);
+    ASSERT_TRUE(rr.ok) << rr.error;
+    ASSERT_EQ(rr.reports.size(), 2u);
+    for (const auto& rep : rr.reports) {
+      EXPECT_TRUE(rep.holds) << "dependent worker did not see the outcomes "
+                             << "(shards=" << shards << ")";
+    }
+    EXPECT_EQ(rr.stats.frames_received, 3u + (shards > 0 ? 0u : 0u))
+        << "2 done frames + 1 outcome delivery";
+    if (shards >= 2) {
+      // The delivery had to cross the wire at least when the dependent landed
+      // on a different worker; with locality-preferring assignment it may
+      // also have been skipped — accept either, but the bytes must balance.
+      EXPECT_GT(rr.stats.bytes_received, 0u);
+    }
+    EXPECT_EQ(rr.stats.tasks_reassigned, 0u);
+  }
+}
+
+TEST(ShardCoordinator, DeterministicallyCrashingTaskErrorsOut) {
+  // A body that dies on every attempt must exhaust the per-task
+  // reassignment cap and surface a coordinator error — not fork forever.
+  const Network net = make_ring(4);
+  const PecSet pecs = compute_pecs(net);
+  sched::TaskGraph graph;
+  graph.dependents = {{}};
+  graph.waiting_on = {0};
+  std::vector<sched::ShardTaskSpec> specs(1);
+  specs[0].pecs = {0};
+  sched::ShardRunOptions opts;
+  opts.shards = 2;
+  opts.max_reassignments_per_task = 2;
+  const auto body = [](std::size_t, OutcomeStore&)
+      -> std::vector<sched::ShardPecResult> {
+    throw std::runtime_error("boom");  // worker _exits; coordinator sees EOF
+  };
+  const sched::ShardRunResult rr =
+      sched::run_sharded_task_graph(net, pecs, opts, graph, specs, body);
+  EXPECT_FALSE(rr.ok);
+  EXPECT_NE(rr.error.find("reassignment cap"), std::string::npos) << rr.error;
+  EXPECT_GE(rr.stats.tasks_reassigned, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-process determinism: sharded Verifier runs vs the in-process
+// scheduler
+// ---------------------------------------------------------------------------
+
+/// Everything the acceptance criteria call bit-identical: verdict, violation
+/// multiset (message, failure set, and rendered trail all cross the wire),
+/// and the aggregate state counters.
+struct Fingerprint {
+  bool holds = true;
+  std::size_t pecs_verified = 0;
+  std::size_t pecs_support = 0;
+  std::uint64_t states_explored = 0;
+  std::uint64_t states_stored = 0;
+  std::uint64_t converged_states = 0;
+  std::uint64_t failure_sets = 0;
+  std::uint64_t policy_checks = 0;
+  std::multiset<std::string> violations;
+
+  friend bool operator==(const Fingerprint& a, const Fingerprint& b) {
+    return a.holds == b.holds && a.pecs_verified == b.pecs_verified &&
+           a.pecs_support == b.pecs_support &&
+           a.states_explored == b.states_explored &&
+           a.states_stored == b.states_stored &&
+           a.converged_states == b.converged_states &&
+           a.failure_sets == b.failure_sets &&
+           a.policy_checks == b.policy_checks && a.violations == b.violations;
+  }
+};
+
+Fingerprint fingerprint(const VerifyResult& r) {
+  Fingerprint fp;
+  fp.holds = r.holds;
+  fp.pecs_verified = r.pecs_verified;
+  fp.pecs_support = r.pecs_support;
+  fp.states_explored = r.total.states_explored;
+  fp.states_stored = r.total.states_stored;
+  fp.converged_states = r.total.converged_states;
+  fp.failure_sets = r.total.failure_sets;
+  fp.policy_checks = r.total.policy_checks;
+  for (const auto& rep : r.reports) {
+    for (const auto& v : rep.result.violations) {
+      fp.violations.insert(rep.pec_str + "|" +
+                           std::to_string(v.failures.hash()) + "|" + v.message +
+                           "|" + v.trail_text);
+    }
+  }
+  return fp;
+}
+
+VerifyResult run_verify(const Network& net, const Policy& policy,
+                        VerifyOptions vo) {
+  Verifier verifier(net, vo);
+  return verifier.verify(policy);
+}
+
+TEST(ShardDeterminism, RandomCorpusMatchesInProcessAcrossShardsAndEngines) {
+  // Corpus scaling: PLANKTON_DIFF_SEEDS drives the differential harness at
+  // ~10x this suite's default (each instance here is 12 full verifications,
+  // 9 of them forking worker pools).
+  int count = 18;
+  if (const char* v = std::getenv("PLANKTON_DIFF_SEEDS");
+      v != nullptr && std::atoi(v) > 0) {
+    count = std::max(6, std::atoi(v) / 10);
+  }
+  const SearchEngineKind engines[] = {SearchEngineKind::kDfs,
+                                      SearchEngineKind::kBfs,
+                                      SearchEngineKind::kPriority};
+  for (int seed = 1; seed <= count; ++seed) {
+    const RandomInstance inst =
+        make_random_instance(static_cast<std::uint64_t>(seed));
+    SCOPED_TRACE("instance seed " + std::to_string(seed) + " (" + inst.kind +
+                 ", k=" + std::to_string(inst.max_failures) + ", policy " +
+                 inst.policy->name() + ")");
+    for (const SearchEngineKind engine : engines) {
+      VerifyOptions vo;
+      vo.cores = 1;
+      vo.explore = inst.explore;
+      vo.explore.engine_kind = engine;
+      vo.explore.find_all_violations = true;  // no early-stop nondeterminism
+      vo.explore.suppress_equivalent = false;
+      const Fingerprint ref =
+          fingerprint(run_verify(inst.net, *inst.policy, vo));
+      for (const int shards : {1, 2, 4}) {
+        VerifyOptions sv = vo;
+        sv.shards = shards;
+        const VerifyResult r = run_verify(inst.net, *inst.policy, sv);
+        EXPECT_EQ(fingerprint(r), ref)
+            << "shards=" << shards << " engine=" << to_string(engine)
+            << " diverged from the in-process run";
+      }
+    }
+  }
+}
+
+TEST(ShardDeterminism, Figure6MatchesInProcessAtEveryShardCount) {
+  const Figure6 fx;
+  const ReachabilityPolicy policy({fx.r6});
+  VerifyOptions vo;
+  vo.explore.find_all_violations = true;
+  const Fingerprint ref = fingerprint(run_verify(fx.net, policy, vo));
+  EXPECT_GT(ref.converged_states, 0u);
+  for (const int shards : {1, 2, 4}) {
+    VerifyOptions sv = vo;
+    sv.shards = shards;
+    EXPECT_EQ(fingerprint(run_verify(fx.net, policy, sv)), ref)
+        << "shards=" << shards;
+  }
+}
+
+TEST(ShardDeterminism, FatTreeK6MatchesInProcessAndWorkStealing) {
+  FatTreeOptions o;
+  o.k = 6;
+  const FatTree ft = make_fat_tree(o);
+  const LoopFreedomPolicy policy;
+  VerifyOptions vo;
+  vo.explore.find_all_violations = true;
+  const Fingerprint serial = fingerprint(run_verify(ft.net, policy, vo));
+
+  VerifyOptions steal = vo;
+  steal.cores = 4;
+  steal.scheduler = sched::SchedulerKind::kWorkStealing;
+  EXPECT_EQ(fingerprint(run_verify(ft.net, policy, steal)), serial)
+      << "work-stealing scheduler diverged (reference for the shard runs)";
+
+  for (const int shards : {1, 4}) {
+    VerifyOptions sv = vo;
+    sv.shards = shards;
+    const VerifyResult r = run_verify(ft.net, policy, sv);
+    EXPECT_EQ(fingerprint(r), serial) << "shards=" << shards;
+    EXPECT_EQ(r.shard.tasks_per_shard.size(), static_cast<std::size_t>(shards));
+    std::uint64_t ran = 0;
+    for (const std::uint64_t t : r.shard.tasks_per_shard) ran += t;
+    EXPECT_EQ(ran, r.scc_count) << "every SCC task ran in some shard";
+  }
+}
+
+TEST(ShardDeterminism, DependencyHeavyWorkloadStreamsOutcomes) {
+  // Enterprise VII reaches the DC prefix through recursive statics: the
+  // sharded run must deliver upstream outcomes over the wire (support PECs
+  // run before their dependents, possibly in different workers).
+  const Enterprise ent = make_enterprise("VII");
+  const ReachabilityPolicy policy({ent.access.front()});
+  VerifyOptions vo;
+  vo.explore.find_all_violations = true;
+  const VerifyResult ref =
+      Verifier(ent.net, vo).verify_address(IpAddr(10, 200, 0, 1), policy);
+  ASSERT_GT(ref.pecs_support, 0u) << "workload must exercise dependencies";
+
+  for (const int shards : {1, 2}) {
+    VerifyOptions sv = vo;
+    sv.shards = shards;
+    const VerifyResult r =
+        Verifier(ent.net, sv).verify_address(IpAddr(10, 200, 0, 1), policy);
+    EXPECT_EQ(fingerprint(r), fingerprint(ref)) << "shards=" << shards;
+    EXPECT_GT(r.shard.frames_received, 0u);
+    EXPECT_GT(r.shard.outcome_bytes_received, 0u)
+        << "recorded outcomes must have crossed the wire";
+  }
+}
+
+TEST(ShardDeterminism, CyclicSccTaskMatchesInProcess) {
+  // The paper's footnote case: mutual recursive statics form a PEC SCC of
+  // size 2, which runs as ONE multi-PEC task. Under the current prototype
+  // semantics both mates degenerate identically (each skips exploration
+  // because its mate's outcomes cannot exist yet — Explorer's
+  // ups.empty() -> kContinue), so this pins that the sharded worker body
+  // mirrors the in-process behaviour *exactly* on the unsupported_scc path:
+  // same mid-task outcome publication, same mate-decrement replay of the
+  // eviction counters. If SCC semantics ever improve (fixpoint iteration),
+  // this is the test that must keep passing.
+  Network net;
+  const NodeId a = net.add_device("a");
+  const NodeId b = net.add_device("b");
+  const NodeId c = net.add_device("c");
+  net.topo.add_link(a, b);
+  net.topo.add_link(b, c);
+  for (const NodeId n : {a, b, c}) net.device(n).ospf.enabled = true;
+  net.device(a).ospf.originated.push_back(*Prefix::parse("10.0.0.0/16"));
+  net.device(c).ospf.originated.push_back(*Prefix::parse("20.0.0.0/16"));
+  StaticRoute sa;  // a: shadow half of c's space, via an IP inside a's own
+  sa.dst = *Prefix::parse("20.0.0.0/17");
+  sa.via_ip = IpAddr(10, 0, 0, 1);
+  net.device(a).statics.push_back(sa);
+  StaticRoute sc;  // c: the mirror image
+  sc.dst = *Prefix::parse("10.0.0.0/17");
+  sc.via_ip = IpAddr(20, 0, 0, 1);
+  net.device(c).statics.push_back(sc);
+
+  const LoopFreedomPolicy policy;
+  VerifyOptions vo;
+  vo.explore.find_all_violations = true;
+  const VerifyResult ref = run_verify(net, policy, vo);
+  EXPECT_TRUE(ref.unsupported_scc) << "workload must exercise a >1-PEC SCC";
+  EXPECT_GT(fingerprint(ref).converged_states, 0u);
+  for (const int shards : {1, 2}) {
+    VerifyOptions sv = vo;
+    sv.shards = shards;
+    EXPECT_EQ(fingerprint(run_verify(net, policy, sv)), fingerprint(ref))
+        << "shards=" << shards;
+  }
+}
+
+TEST(ShardDeterminism, ViolationVerdictSurvivesEarlyStop) {
+  // Default mode (stop at first violation): the sharded verdict and the
+  // reported counterexample must match the in-process run even though both
+  // paths stop dispatching early.
+  FatTreeOptions o;
+  o.k = 4;
+  o.statics = FatTreeOptions::CoreStatics::kBroken;
+  const FatTree ft = make_fat_tree(o);
+  const LoopFreedomPolicy policy;
+  VerifyOptions vo;
+  const VerifyResult ref = run_verify(ft.net, policy, vo);
+  ASSERT_FALSE(ref.holds);
+
+  VerifyOptions sv = vo;
+  sv.shards = 2;
+  const VerifyResult r = run_verify(ft.net, policy, sv);
+  EXPECT_FALSE(r.holds);
+  ASSERT_FALSE(r.reports.empty());
+  bool found = false;
+  for (const auto& rep : r.reports) found = found || !rep.result.violations.empty();
+  EXPECT_TRUE(found) << "violated verdict must carry a counterexample";
+  EXPECT_FALSE(r.first_violation(ft.net.topo).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery
+// ---------------------------------------------------------------------------
+
+TEST(ShardCrashRecovery, SigkilledWorkerIsReplacedAndResultIsIdentical) {
+  // Kill the first two workers mid-task (the delay guarantees the SIGKILL
+  // lands while the task is in flight, before any result bytes are
+  // written). The coordinator must reassign both tasks, respawn workers,
+  // and converge to the bit-identical verdict.
+  const Enterprise ent = make_enterprise("VII");
+  const ReachabilityPolicy policy({ent.access.front()});
+  VerifyOptions vo;
+  vo.explore.find_all_violations = true;
+  const Fingerprint ref = fingerprint(
+      Verifier(ent.net, vo).verify_address(IpAddr(10, 200, 0, 1), policy));
+
+  VerifyOptions sv = vo;
+  sv.shards = 2;
+  sv.shard_test_worker_delay_ms = 50;
+  std::atomic<int> kills{0};
+  sv.shard_test_on_assign = [&kills](int, pid_t pid, std::size_t) {
+    if (kills.fetch_add(1) < 2) kill(pid, SIGKILL);
+  };
+  const VerifyResult r =
+      Verifier(ent.net, sv).verify_address(IpAddr(10, 200, 0, 1), policy);
+  EXPECT_EQ(fingerprint(r), ref)
+      << "crash recovery changed the merged verdict";
+  EXPECT_GE(r.shard.tasks_reassigned, 2u);
+  EXPECT_GE(r.shard.workers_respawned, 2u);
+}
+
+TEST(ShardCrashRecovery, SoleWorkerKilledStillConverges) {
+  // shards=1: the only worker dies mid-task; recovery must respawn it (no
+  // sibling to steal the task) and still match the reference.
+  const Figure6 fx;
+  const ReachabilityPolicy policy({fx.r6});
+  VerifyOptions vo;
+  vo.explore.find_all_violations = true;
+  const Fingerprint ref = fingerprint(run_verify(fx.net, policy, vo));
+
+  VerifyOptions sv = vo;
+  sv.shards = 1;
+  sv.shard_test_worker_delay_ms = 50;
+  std::atomic<bool> killed{false};
+  sv.shard_test_on_assign = [&killed](int, pid_t pid, std::size_t) {
+    if (!killed.exchange(true)) kill(pid, SIGKILL);
+  };
+  const VerifyResult r = run_verify(fx.net, policy, sv);
+  EXPECT_EQ(fingerprint(r), ref);
+  EXPECT_GE(r.shard.tasks_reassigned, 1u);
+  EXPECT_GE(r.shard.workers_respawned, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// CI smoke (cheap, named for the dedicated 2-shard CI step)
+// ---------------------------------------------------------------------------
+
+TEST(ShardSmoke, TwoShardFatTreeLoopCheck) {
+  FatTreeOptions o;
+  o.k = 4;
+  const FatTree ft = make_fat_tree(o);
+  const LoopFreedomPolicy policy;
+  VerifyOptions vo;
+  vo.explore.find_all_violations = true;
+  const Fingerprint ref = fingerprint(run_verify(ft.net, policy, vo));
+  VerifyOptions sv = vo;
+  sv.shards = 2;
+  const VerifyResult r = run_verify(ft.net, policy, sv);
+  EXPECT_EQ(fingerprint(r), ref);
+  EXPECT_TRUE(r.holds);
+  EXPECT_GT(r.shard.frames_sent, 0u);
+}
+
+}  // namespace
+}  // namespace plankton
