@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_bgp.dir/examples/datacenter_bgp.cpp.o"
+  "CMakeFiles/datacenter_bgp.dir/examples/datacenter_bgp.cpp.o.d"
+  "datacenter_bgp"
+  "datacenter_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_mc_vs_smt.dir/bench/fig2_mc_vs_smt.cpp.o"
+  "CMakeFiles/fig2_mc_vs_smt.dir/bench/fig2_mc_vs_smt.cpp.o.d"
+  "fig2_mc_vs_smt"
+  "fig2_mc_vs_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_mc_vs_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_mc_vs_smt.
+# This may be replaced when dependencies are built.

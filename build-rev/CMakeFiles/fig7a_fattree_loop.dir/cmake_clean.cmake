@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_fattree_loop.dir/bench/fig7a_fattree_loop.cpp.o"
+  "CMakeFiles/fig7a_fattree_loop.dir/bench/fig7a_fattree_loop.cpp.o.d"
+  "fig7a_fattree_loop"
+  "fig7a_fattree_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_fattree_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

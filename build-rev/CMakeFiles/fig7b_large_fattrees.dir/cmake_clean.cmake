@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_large_fattrees.dir/bench/fig7b_large_fattrees.cpp.o"
+  "CMakeFiles/fig7b_large_fattrees.dir/bench/fig7b_large_fattrees.cpp.o.d"
+  "fig7b_large_fattrees"
+  "fig7b_large_fattrees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_large_fattrees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

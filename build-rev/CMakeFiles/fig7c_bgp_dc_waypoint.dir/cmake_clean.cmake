@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_bgp_dc_waypoint.dir/bench/fig7c_bgp_dc_waypoint.cpp.o"
+  "CMakeFiles/fig7c_bgp_dc_waypoint.dir/bench/fig7c_bgp_dc_waypoint.cpp.o.d"
+  "fig7c_bgp_dc_waypoint"
+  "fig7c_bgp_dc_waypoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_bgp_dc_waypoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

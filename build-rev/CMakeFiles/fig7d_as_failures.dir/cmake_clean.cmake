@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7d_as_failures.dir/bench/fig7d_as_failures.cpp.o"
+  "CMakeFiles/fig7d_as_failures.dir/bench/fig7d_as_failures.cpp.o.d"
+  "fig7d_as_failures"
+  "fig7d_as_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7d_as_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

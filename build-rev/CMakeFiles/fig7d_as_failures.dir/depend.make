@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7d_as_failures.
+# This may be replaced when dependencies are built.

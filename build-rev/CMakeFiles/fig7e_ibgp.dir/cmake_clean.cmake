@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7e_ibgp.dir/bench/fig7e_ibgp.cpp.o"
+  "CMakeFiles/fig7e_ibgp.dir/bench/fig7e_ibgp.cpp.o.d"
+  "fig7e_ibgp"
+  "fig7e_ibgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7e_ibgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7e_ibgp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7e_ibgp.
+# This may be replaced when dependencies are built.

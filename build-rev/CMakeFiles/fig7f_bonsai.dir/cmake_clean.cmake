@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7f_bonsai.dir/bench/fig7f_bonsai.cpp.o"
+  "CMakeFiles/fig7f_bonsai.dir/bench/fig7f_bonsai.cpp.o.d"
+  "fig7f_bonsai"
+  "fig7f_bonsai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7f_bonsai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

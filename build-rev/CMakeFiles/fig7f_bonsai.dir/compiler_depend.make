@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7f_bonsai.
+# This may be replaced when dependencies are built.

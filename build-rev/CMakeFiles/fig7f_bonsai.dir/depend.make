@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7f_bonsai.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7g_arc.dir/bench/fig7g_arc.cpp.o"
+  "CMakeFiles/fig7g_arc.dir/bench/fig7g_arc.cpp.o.d"
+  "fig7g_arc"
+  "fig7g_arc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7g_arc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

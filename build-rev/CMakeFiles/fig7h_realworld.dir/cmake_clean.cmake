@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7h_realworld.dir/bench/fig7h_realworld.cpp.o"
+  "CMakeFiles/fig7h_realworld.dir/bench/fig7h_realworld.cpp.o.d"
+  "fig7h_realworld"
+  "fig7h_realworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7h_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

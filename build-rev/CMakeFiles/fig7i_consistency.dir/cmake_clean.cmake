@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7i_consistency.dir/bench/fig7i_consistency.cpp.o"
+  "CMakeFiles/fig7i_consistency.dir/bench/fig7i_consistency.cpp.o.d"
+  "fig7i_consistency"
+  "fig7i_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7i_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7i_consistency.
+# This may be replaced when dependencies are built.

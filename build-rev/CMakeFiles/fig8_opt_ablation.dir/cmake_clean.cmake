@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_opt_ablation.dir/bench/fig8_opt_ablation.cpp.o"
+  "CMakeFiles/fig8_opt_ablation.dir/bench/fig8_opt_ablation.cpp.o.d"
+  "fig8_opt_ablation"
+  "fig8_opt_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_opt_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_bitstate.dir/bench/fig9_bitstate.cpp.o"
+  "CMakeFiles/fig9_bitstate.dir/bench/fig9_bitstate.cpp.o.d"
+  "fig9_bitstate"
+  "fig9_bitstate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_bitstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

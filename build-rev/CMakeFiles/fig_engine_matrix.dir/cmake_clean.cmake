@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_engine_matrix.dir/bench/fig_engine_matrix.cpp.o"
+  "CMakeFiles/fig_engine_matrix.dir/bench/fig_engine_matrix.cpp.o.d"
+  "fig_engine_matrix"
+  "fig_engine_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_engine_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

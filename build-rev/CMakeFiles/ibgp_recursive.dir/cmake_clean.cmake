@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibgp_recursive.dir/examples/ibgp_recursive.cpp.o"
+  "CMakeFiles/ibgp_recursive.dir/examples/ibgp_recursive.cpp.o.d"
+  "ibgp_recursive"
+  "ibgp_recursive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibgp_recursive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_failure_audit.dir/examples/isp_failure_audit.cpp.o"
+  "CMakeFiles/isp_failure_audit.dir/examples/isp_failure_audit.cpp.o.d"
+  "isp_failure_audit"
+  "isp_failure_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_failure_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/arc/arc.cpp" "CMakeFiles/plankton.dir/src/baselines/arc/arc.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/baselines/arc/arc.cpp.o.d"
+  "/root/repo/src/baselines/sat/solver.cpp" "CMakeFiles/plankton.dir/src/baselines/sat/solver.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/baselines/sat/solver.cpp.o.d"
+  "/root/repo/src/baselines/smt/bitvec.cpp" "CMakeFiles/plankton.dir/src/baselines/smt/bitvec.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/baselines/smt/bitvec.cpp.o.d"
+  "/root/repo/src/baselines/smt/encoder.cpp" "CMakeFiles/plankton.dir/src/baselines/smt/encoder.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/baselines/smt/encoder.cpp.o.d"
+  "/root/repo/src/checker/stats.cpp" "CMakeFiles/plankton.dir/src/checker/stats.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/checker/stats.cpp.o.d"
+  "/root/repo/src/checker/trail.cpp" "CMakeFiles/plankton.dir/src/checker/trail.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/checker/trail.cpp.o.d"
+  "/root/repo/src/config/network.cpp" "CMakeFiles/plankton.dir/src/config/network.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/config/network.cpp.o.d"
+  "/root/repo/src/config/parser.cpp" "CMakeFiles/plankton.dir/src/config/parser.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/config/parser.cpp.o.d"
+  "/root/repo/src/core/verifier.cpp" "CMakeFiles/plankton.dir/src/core/verifier.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/core/verifier.cpp.o.d"
+  "/root/repo/src/dataplane/fib.cpp" "CMakeFiles/plankton.dir/src/dataplane/fib.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/dataplane/fib.cpp.o.d"
+  "/root/repo/src/engine/frontier.cpp" "CMakeFiles/plankton.dir/src/engine/frontier.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/engine/frontier.cpp.o.d"
+  "/root/repo/src/engine/search.cpp" "CMakeFiles/plankton.dir/src/engine/search.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/engine/search.cpp.o.d"
+  "/root/repo/src/engine/state_codec.cpp" "CMakeFiles/plankton.dir/src/engine/state_codec.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/engine/state_codec.cpp.o.d"
+  "/root/repo/src/engine/visited.cpp" "CMakeFiles/plankton.dir/src/engine/visited.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/engine/visited.cpp.o.d"
+  "/root/repo/src/eqclass/bonsai.cpp" "CMakeFiles/plankton.dir/src/eqclass/bonsai.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/eqclass/bonsai.cpp.o.d"
+  "/root/repo/src/eqclass/dec.cpp" "CMakeFiles/plankton.dir/src/eqclass/dec.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/eqclass/dec.cpp.o.d"
+  "/root/repo/src/netbase/ip.cpp" "CMakeFiles/plankton.dir/src/netbase/ip.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/netbase/ip.cpp.o.d"
+  "/root/repo/src/netbase/topology.cpp" "CMakeFiles/plankton.dir/src/netbase/topology.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/netbase/topology.cpp.o.d"
+  "/root/repo/src/pec/pec.cpp" "CMakeFiles/plankton.dir/src/pec/pec.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/pec/pec.cpp.o.d"
+  "/root/repo/src/pec/trie.cpp" "CMakeFiles/plankton.dir/src/pec/trie.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/pec/trie.cpp.o.d"
+  "/root/repo/src/policy/policy.cpp" "CMakeFiles/plankton.dir/src/policy/policy.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/policy/policy.cpp.o.d"
+  "/root/repo/src/protocols/bgp.cpp" "CMakeFiles/plankton.dir/src/protocols/bgp.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/protocols/bgp.cpp.o.d"
+  "/root/repo/src/protocols/bgp_common.cpp" "CMakeFiles/plankton.dir/src/protocols/bgp_common.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/protocols/bgp_common.cpp.o.d"
+  "/root/repo/src/protocols/ospf.cpp" "CMakeFiles/plankton.dir/src/protocols/ospf.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/protocols/ospf.cpp.o.d"
+  "/root/repo/src/protocols/process.cpp" "CMakeFiles/plankton.dir/src/protocols/process.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/protocols/process.cpp.o.d"
+  "/root/repo/src/protocols/route.cpp" "CMakeFiles/plankton.dir/src/protocols/route.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/protocols/route.cpp.o.d"
+  "/root/repo/src/protocols/spvp.cpp" "CMakeFiles/plankton.dir/src/protocols/spvp.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/protocols/spvp.cpp.o.d"
+  "/root/repo/src/rpvp/explorer.cpp" "CMakeFiles/plankton.dir/src/rpvp/explorer.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/rpvp/explorer.cpp.o.d"
+  "/root/repo/src/rpvp/replay.cpp" "CMakeFiles/plankton.dir/src/rpvp/replay.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/rpvp/replay.cpp.o.d"
+  "/root/repo/src/sched/deps.cpp" "CMakeFiles/plankton.dir/src/sched/deps.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/sched/deps.cpp.o.d"
+  "/root/repo/src/sched/outcome_store.cpp" "CMakeFiles/plankton.dir/src/sched/outcome_store.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/sched/outcome_store.cpp.o.d"
+  "/root/repo/src/sched/shard.cpp" "CMakeFiles/plankton.dir/src/sched/shard.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/sched/shard.cpp.o.d"
+  "/root/repo/src/sched/work_stealing.cpp" "CMakeFiles/plankton.dir/src/sched/work_stealing.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/sched/work_stealing.cpp.o.d"
+  "/root/repo/src/workload/as_topo.cpp" "CMakeFiles/plankton.dir/src/workload/as_topo.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/workload/as_topo.cpp.o.d"
+  "/root/repo/src/workload/enterprise.cpp" "CMakeFiles/plankton.dir/src/workload/enterprise.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/workload/enterprise.cpp.o.d"
+  "/root/repo/src/workload/external.cpp" "CMakeFiles/plankton.dir/src/workload/external.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/workload/external.cpp.o.d"
+  "/root/repo/src/workload/fat_tree.cpp" "CMakeFiles/plankton.dir/src/workload/fat_tree.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/workload/fat_tree.cpp.o.d"
+  "/root/repo/src/workload/ring.cpp" "CMakeFiles/plankton.dir/src/workload/ring.cpp.o" "gcc" "CMakeFiles/plankton.dir/src/workload/ring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

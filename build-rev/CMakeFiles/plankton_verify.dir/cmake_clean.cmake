@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plankton_verify.dir/examples/plankton_verify.cpp.o"
+  "CMakeFiles/plankton_verify.dir/examples/plankton_verify.cpp.o.d"
+  "plankton_verify"
+  "plankton_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plankton_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

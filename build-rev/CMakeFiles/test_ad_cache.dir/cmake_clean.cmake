@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ad_cache.dir/tests/test_ad_cache.cpp.o"
+  "CMakeFiles/test_ad_cache.dir/tests/test_ad_cache.cpp.o.d"
+  "test_ad_cache"
+  "test_ad_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ad_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arc_baseline.dir/tests/test_arc_baseline.cpp.o"
+  "CMakeFiles/test_arc_baseline.dir/tests/test_arc_baseline.cpp.o.d"
+  "test_arc_baseline"
+  "test_arc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp_figure6.dir/tests/test_bgp_figure6.cpp.o"
+  "CMakeFiles/test_bgp_figure6.dir/tests/test_bgp_figure6.cpp.o.d"
+  "test_bgp_figure6"
+  "test_bgp_figure6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp_figure6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp_semantics.dir/tests/test_bgp_semantics.cpp.o"
+  "CMakeFiles/test_bgp_semantics.dir/tests/test_bgp_semantics.cpp.o.d"
+  "test_bgp_semantics"
+  "test_bgp_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eqclass.dir/tests/test_eqclass.cpp.o"
+  "CMakeFiles/test_eqclass.dir/tests/test_eqclass.cpp.o.d"
+  "test_eqclass"
+  "test_eqclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eqclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exploration_equivalence.dir/tests/test_exploration_equivalence.cpp.o"
+  "CMakeFiles/test_exploration_equivalence.dir/tests/test_exploration_equivalence.cpp.o.d"
+  "test_exploration_equivalence"
+  "test_exploration_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exploration_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_explorer_options.dir/tests/test_explorer_options.cpp.o"
+  "CMakeFiles/test_explorer_options.dir/tests/test_explorer_options.cpp.o.d"
+  "test_explorer_options"
+  "test_explorer_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_explorer_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

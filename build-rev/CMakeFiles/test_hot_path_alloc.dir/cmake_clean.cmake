@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hot_path_alloc.dir/tests/test_hot_path_alloc.cpp.o"
+  "CMakeFiles/test_hot_path_alloc.dir/tests/test_hot_path_alloc.cpp.o.d"
+  "test_hot_path_alloc"
+  "test_hot_path_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hot_path_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiprefix.dir/tests/test_multiprefix.cpp.o"
+  "CMakeFiles/test_multiprefix.dir/tests/test_multiprefix.cpp.o.d"
+  "test_multiprefix"
+  "test_multiprefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiprefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

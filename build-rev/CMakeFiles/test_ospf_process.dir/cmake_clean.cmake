@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ospf_process.dir/tests/test_ospf_process.cpp.o"
+  "CMakeFiles/test_ospf_process.dir/tests/test_ospf_process.cpp.o.d"
+  "test_ospf_process"
+  "test_ospf_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ospf_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

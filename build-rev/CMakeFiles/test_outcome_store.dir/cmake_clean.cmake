@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_outcome_store.dir/tests/test_outcome_store.cpp.o"
+  "CMakeFiles/test_outcome_store.dir/tests/test_outcome_store.cpp.o.d"
+  "test_outcome_store"
+  "test_outcome_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_outcome_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pec.dir/tests/test_pec.cpp.o"
+  "CMakeFiles/test_pec.dir/tests/test_pec.cpp.o.d"
+  "test_pec"
+  "test_pec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redistribution.dir/tests/test_redistribution.cpp.o"
+  "CMakeFiles/test_redistribution.dir/tests/test_redistribution.cpp.o.d"
+  "test_redistribution"
+  "test_redistribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redistribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replay_and_simulation.dir/tests/test_replay_and_simulation.cpp.o"
+  "CMakeFiles/test_replay_and_simulation.dir/tests/test_replay_and_simulation.cpp.o.d"
+  "test_replay_and_simulation"
+  "test_replay_and_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replay_and_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_maps.dir/tests/test_route_maps.cpp.o"
+  "CMakeFiles/test_route_maps.dir/tests/test_route_maps.cpp.o.d"
+  "test_route_maps"
+  "test_route_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routes.dir/tests/test_routes.cpp.o"
+  "CMakeFiles/test_routes.dir/tests/test_routes.cpp.o.d"
+  "test_routes"
+  "test_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

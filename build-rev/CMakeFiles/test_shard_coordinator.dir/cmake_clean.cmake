@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shard_coordinator.dir/tests/test_shard_coordinator.cpp.o"
+  "CMakeFiles/test_shard_coordinator.dir/tests/test_shard_coordinator.cpp.o.d"
+  "test_shard_coordinator"
+  "test_shard_coordinator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shard_coordinator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smt_baseline.dir/tests/test_smt_baseline.cpp.o"
+  "CMakeFiles/test_smt_baseline.dir/tests/test_smt_baseline.cpp.o.d"
+  "test_smt_baseline"
+  "test_smt_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smt_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

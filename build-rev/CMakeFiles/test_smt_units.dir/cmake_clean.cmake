@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smt_units.dir/tests/test_smt_units.cpp.o"
+  "CMakeFiles/test_smt_units.dir/tests/test_smt_units.cpp.o.d"
+  "test_smt_units"
+  "test_smt_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smt_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spvp_reference.dir/tests/test_spvp_reference.cpp.o"
+  "CMakeFiles/test_spvp_reference.dir/tests/test_spvp_reference.cpp.o.d"
+  "test_spvp_reference"
+  "test_spvp_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spvp_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

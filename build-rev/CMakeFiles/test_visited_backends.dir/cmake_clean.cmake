@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_visited_backends.dir/tests/test_visited_backends.cpp.o"
+  "CMakeFiles/test_visited_backends.dir/tests/test_visited_backends.cpp.o.d"
+  "test_visited_backends"
+  "test_visited_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_visited_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
