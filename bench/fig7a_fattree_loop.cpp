@@ -41,6 +41,7 @@ int main() {
                       " minesweeper",
                   bench::ms(mr.elapsed), 0, mr.bytes);
 
+      double dedup_ms = 0;
       for (const int c : cores) {
         VerifyOptions vo;
         vo.cores = c;
@@ -48,13 +49,38 @@ int main() {
         const LoopFreedomPolicy policy;
         const VerifyResult r = verifier.verify(policy);
         const bool expected = !fail_case;
-        std::printf("  Plankton (%2d core%s)      %14s  mem %8.2f MB  %s\n", c,
+        char classes[48] = "";
+        if (c == 1) {
+          dedup_ms = bench::ms(r.wall);
+          std::snprintf(classes, sizeof(classes), "classes %zu (%zu translated)",
+                        r.pec_classes, r.pecs_deduped);
+        }
+        std::printf("  Plankton (%2d core%s)      %14s  mem %8.2f MB  %s %s\n", c,
                     c == 1 ? ") " : "s)", bench::time_cell(r.wall, false).c_str(),
-                    bench::mb(r.total.model_bytes()),
+                    bench::mb(r.total.model_bytes()), classes,
                     r.holds == expected ? "" : "VERDICT MISMATCH");
         bench::emit("fig7a_fattree_loop",
                     "K=" + std::to_string(k) + (fail_case ? " fail" : " pass") +
                         " cores=" + std::to_string(c),
+                    bench::ms(r.wall), r.total.states_explored,
+                    r.total.model_bytes());
+      }
+      {
+        // Batch PEC verification off: the dedup-on gap at 1 core is the
+        // class-compression win (pass case: all edge PECs share one class).
+        VerifyOptions vo;
+        vo.cores = 1;
+        vo.pec_dedup = false;
+        Verifier verifier(ft.net, vo);
+        const LoopFreedomPolicy policy;
+        const VerifyResult r = verifier.verify(policy);
+        std::printf("  Plankton (no dedup)      %14s  mem %8.2f MB  dedup speedup %.2fx\n",
+                    bench::time_cell(r.wall, false).c_str(),
+                    bench::mb(r.total.model_bytes()),
+                    dedup_ms > 0 ? bench::ms(r.wall) / dedup_ms : 0.0);
+        bench::emit("fig7a_fattree_loop",
+                    "K=" + std::to_string(k) + (fail_case ? " fail" : " pass") +
+                        " cores=1 dedup-off",
                     bench::ms(r.wall), r.total.states_explored,
                     r.total.model_bytes());
       }

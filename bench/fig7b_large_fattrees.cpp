@@ -33,15 +33,33 @@ int main() {
       const LoopFreedomPolicy policy;
       const VerifyResult r = verifier.verify(policy);
       const bool ok = r.holds == !fail_case;
-      std::printf("N=%-8zu Loop(%s) %16s %12.2f %s\n", ft.size(),
-                  fail_case ? "Fail" : "Pass",
+      std::printf("N=%-8zu Loop(%s) %16s %12.2f  classes %zu (%zu translated) %s\n",
+                  ft.size(), fail_case ? "Fail" : "Pass",
                   bench::time_cell(r.wall, r.timed_out).c_str(),
-                  bench::mb(r.total.model_bytes()), ok ? "" : "VERDICT MISMATCH");
+                  bench::mb(r.total.model_bytes()), r.pec_classes,
+                  r.pecs_deduped, ok ? "" : "VERDICT MISMATCH");
       bench::emit("fig7b_large_fattrees",
                   "N=" + std::to_string(ft.size()) + " loop " +
                       (fail_case ? "fail" : "pass"),
                   bench::ms(r.wall), r.total.states_explored,
                   r.total.model_bytes());
+      if (!fail_case) {
+        // Class-compression ablation: the same all-PEC check without batch
+        // PEC verification (one native exploration per edge prefix).
+        VerifyOptions ov = vo;
+        ov.pec_dedup = false;
+        Verifier off_verifier(ft.net, ov);
+        const VerifyResult off = off_verifier.verify(policy);
+        std::printf("N=%-8zu Loop(Pass, no dedup) %9s %12.2f  dedup speedup %.2fx\n",
+                    ft.size(), bench::time_cell(off.wall, off.timed_out).c_str(),
+                    bench::mb(off.total.model_bytes()),
+                    bench::ms(r.wall) > 0 ? bench::ms(off.wall) / bench::ms(r.wall)
+                                          : 0.0);
+        bench::emit("fig7b_large_fattrees",
+                    "N=" + std::to_string(ft.size()) + " loop pass dedup-off",
+                    bench::ms(off.wall), off.total.states_explored,
+                    off.total.model_bytes());
+      }
     }
   }
   for (const int k : ks) {

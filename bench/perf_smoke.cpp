@@ -109,6 +109,20 @@ int main(int argc, char** argv) {
   }
 
   {
+    // Batch PEC verification off: the same all-PEC fat-tree workload without
+    // class dedup. The gap between this row and fattree_loop/K=8 (dedup on
+    // by default) is the class-compression win in the trajectory.
+    FatTreeOptions o;
+    o.k = 8;
+    const FatTree ft = make_fat_tree(o);
+    VerifyOptions vo;
+    vo.cores = 1;
+    vo.pec_dedup = false;
+    Verifier verifier(ft.net, vo);
+    const LoopFreedomPolicy policy;
+    row("fattree_loop/K=8 dedup-off", verifier.verify(policy));
+  }
+  {
     // One frontier-engine row: same workload as the first basket entry, BFS
     // order, so the trajectory tracks the frontier layer's restore overhead.
     FatTreeOptions o;

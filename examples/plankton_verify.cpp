@@ -17,6 +17,9 @@
 //                      protocol (default 0 = in-process). Verdicts are
 //                      bit-identical to the in-process run at any n.
 //   --address <ip>     verify only the PEC containing <ip> (default: all)
+//   --no-pec-dedup     disable batch PEC verification (exploring one
+//                      representative per isomorphic PEC class; on by
+//                      default, verdicts identical either way)
 //   --all-violations   keep searching after the first counterexample
 //   --trails           print counterexample event traces
 //   --visited <kind>   visited backend: exact | hash-compact | bitstate
@@ -57,7 +60,8 @@ std::vector<NodeId> parse_node_list(const Network& net, const std::string& arg) 
 int usage() {
   std::fprintf(stderr,
                "usage: plankton_verify <config> <policy> [args] [--failures k] "
-               "[--cores n] [--shards n] [--address ip] [--all-violations] "
+               "[--cores n] [--shards n] [--address ip] [--no-pec-dedup] "
+               "[--all-violations] "
                "[--trails] "
                "[--visited exact|hash-compact|bitstate] [--scheduler steal|pool] "
                "[--engine dfs|bfs|priority|random-restart|single] "
@@ -104,6 +108,8 @@ int main(int argc, char** argv) {
       } else if (arg == "--address" && i + 1 < argc) {
         address = IpAddr::parse(argv[++i]);
         if (!address) throw std::runtime_error("bad --address");
+      } else if (arg == "--no-pec-dedup") {
+        opts.pec_dedup = false;
       } else if (arg == "--all-violations") {
         opts.explore.find_all_violations = true;
       } else if (arg == "--trails") {
@@ -192,6 +198,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.total.converged_states),
                 static_cast<double>(result.wall.count()) / 1e6,
                 static_cast<double>(result.total.model_bytes()) / 1e6);
+    if (opts.pec_dedup && result.pec_classes > 0) {
+      std::printf("PEC classes: %zu over %zu target PECs (%zu translated, "
+                  "%zu re-run natively; fingerprinting %.2f ms)\n",
+                  result.pec_classes, result.pecs_verified,
+                  result.pecs_deduped, result.dedup_reruns,
+                  static_cast<double>(result.dedup_fingerprint_time.count()) / 1e6);
+    }
     if (opts.shards > 0) {
       const auto& sh = result.shard;
       std::printf("shards: %zu workers, %llu frames / %.2f KB sent, "

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "eqclass/pec_dedup.hpp"
 #include "sched/outcome_store.hpp"
 
 namespace plankton {
@@ -72,7 +73,23 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
     for (const PecId q : deps_.depends_on[p]) frontier.push_back(q);
   }
 
-  // Build the SCC task graph restricted to needed PECs.
+  // Batch PEC verification (eqclass/pec_dedup.hpp): group isomorphic target
+  // PECs and schedule one representative per class. Members are excluded
+  // from the task graph; their reports are produced when their
+  // representative finishes — translated on a clean hold, re-explored
+  // natively otherwise.
+  PecClassSet classes;
+  const bool dedup_on = opts_.pec_dedup;
+  if (dedup_on) {
+    classes = compute_pec_classes(net_, pecs_, deps_, policy, needed, is_target);
+    result.pec_classes = classes.stats.classes;
+    result.pecs_deduped = classes.stats.deduped;
+    result.dedup_fingerprint_time = classes.stats.fingerprint_time;
+  }
+  std::atomic<std::uint64_t> dedup_reruns{0};
+
+  // Build the SCC task graph restricted to needed PECs (minus class members,
+  // which ride on their representative's task).
   std::vector<SccTask> tasks;
   std::vector<std::int32_t> task_of_scc(deps_.sccs.size(), -1);
   for (std::uint32_t s = 0; s < deps_.sccs.size(); ++s) {
@@ -80,6 +97,7 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
     bool target = false;
     for (const PecId p : deps_.sccs[s]) {
       if (needed[p] == 0) continue;
+      if (dedup_on && classes.is_translated_member(p)) continue;
       members.push_back(p);
       target = target || is_target[p] != 0;
     }
@@ -162,11 +180,51 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
     return rep;
   };
 
+  // Class tail of a finished representative run (both execution paths call
+  // this right after run_pec_core on a representative). A clean hold
+  // transfers to every member — the validated isomorphism guarantees the
+  // members' exploration state graphs are isomorphic to the
+  // representative's. Any non-clean result (violation, timeout, state cap)
+  // re-explores the members natively so that reported trails are the
+  // members' own, bit-identical to a dedup-off run; under early stop a
+  // violated representative already decides the verdict and the members are
+  // skipped like any other unscheduled task. `rerun` dispatches one
+  // member's native re-exploration: the sharded worker runs it inline, the
+  // in-process path spawns it as a dynamic subtask so idle workers pick
+  // members up in parallel (what dedup-off parallelism would have done).
+  auto expand_class = [&](const PecReport& rep, auto&& emit, auto&& rerun) {
+    if (!dedup_on) return;
+    const auto& members = classes.members_of[rep.pec];
+    if (members.empty()) return;
+    const bool clean = rep.result.holds && !rep.result.timed_out &&
+                       !rep.result.state_limit_hit &&
+                       rep.result.violations.empty();
+    if (clean) {
+      for (const PecId m : members) {
+        PecReport t;
+        t.pec = m;
+        t.pec_str = pecs_.pecs[m].str();
+        t.translated_from = rep.pec;
+        t.result.holds = true;
+        t.result.stats = rep.result.stats;
+        emit(std::move(t));
+      }
+      return;
+    }
+    if (!rep.result.holds && !opts_.explore.find_all_violations) return;
+    for (const PecId m : members) {
+      dedup_reruns.fetch_add(1, std::memory_order_relaxed);
+      rerun(m);
+    }
+  };
+
   // Folds one per-PEC report into the aggregate result — the single
   // definition both execution paths use, so the sharded and in-process
   // merges cannot drift (the bit-identical invariant the shard tests pin).
   auto merge_report = [&](PecReport&& rep) {
-    result.total.absorb(rep.result.stats);
+    // Translated reports repeat their representative's stats; the aggregate
+    // counts only exploration that actually happened.
+    if (rep.translated_from == kNoPec) result.total.absorb(rep.result.stats);
     if (rep.result.timed_out) result.timed_out = true;
     if (!rep.result.holds) result.holds = false;
     if (is_target[rep.pec] != 0) {
@@ -188,6 +246,15 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
     std::vector<sched::ShardTaskSpec> specs(tasks.size());
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       specs[i].pecs = tasks[i].pecs;
+      if (dedup_on) {
+        // Ship class membership with the task: the worker produces the
+        // members' reports (translated or natively re-run) itself, so only
+        // results ever cross the wire.
+        specs[i].class_members.resize(tasks[i].pecs.size());
+        for (std::size_t mi = 0; mi < tasks[i].pecs.size(); ++mi) {
+          specs[i].class_members[mi] = classes.members_of[tasks[i].pecs[mi]];
+        }
+      }
       for (const PecId p : tasks[i].pecs) {
         for (const PecId d : deps_.depends_on[p]) {
           if (needed[d] == 0) continue;  // outside the closure: never read
@@ -233,23 +300,34 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
         // does: later mates of a cyclic SCC resolve against them there, and
         // the worker ships the same single copy back when `record` is set.
         if (has_dependents) upstream.put(p, std::move(rep.result.outcomes));
-        sched::ShardPecResult r;
-        r.pec = p;
-        r.holds = rep.result.holds;
-        r.timed_out = rep.result.timed_out;
-        r.state_limit_hit = rep.result.state_limit_hit;
-        r.stats = rep.result.stats;
-        for (Violation& v : rep.result.violations) {
-          sched::ViolationMsg vm;
-          vm.pec = p;
-          vm.failed_links.assign(v.failures.ids().begin(),
-                                 v.failures.ids().end());
-          vm.message = std::move(v.message);
-          vm.trail_text = std::move(v.trail_text);
-          r.violations.push_back(std::move(vm));
-        }
-        r.record = has_dependents;
-        out.push_back(std::move(r));
+        auto to_shard_result = [&out](PecReport&& pr, bool record) {
+          sched::ShardPecResult r;
+          r.pec = pr.pec;
+          r.holds = pr.result.holds;
+          r.timed_out = pr.result.timed_out;
+          r.state_limit_hit = pr.result.state_limit_hit;
+          r.stats = pr.result.stats;
+          r.translated = pr.translated_from != kNoPec;
+          for (Violation& v : pr.result.violations) {
+            sched::ViolationMsg vm;
+            vm.pec = pr.pec;
+            vm.failed_links.assign(v.failures.ids().begin(),
+                                   v.failures.ids().end());
+            vm.message = std::move(v.message);
+            vm.trail_text = std::move(v.trail_text);
+            r.violations.push_back(std::move(vm));
+          }
+          r.record = record;
+          out.push_back(std::move(r));
+        };
+        // Class tail before the representative's violations are moved out.
+        // Members re-run inline: the worker process is single-threaded.
+        expand_class(
+            rep, [&](PecReport&& t) { to_shard_result(std::move(t), false); },
+            [&](PecId m) {
+              to_shard_result(run_pec_core(m, true, false, upstream), false);
+            });
+        to_shard_result(std::move(rep), has_dependents);
       }
       return out;
     };
@@ -268,6 +346,11 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
       PecReport rep;
       rep.pec = sr.pec;
       rep.pec_str = pecs_.pecs[sr.pec].str();
+      if (sr.translated) {
+        rep.translated_from = classes.rep_of[sr.pec];
+      } else if (dedup_on && classes.is_translated_member(sr.pec)) {
+        ++result.dedup_reruns;  // member explored natively in the worker
+      }
       rep.result.holds = sr.holds;
       rep.result.timed_out = sr.timed_out;
       rep.result.state_limit_hit = sr.state_limit_hit;
@@ -345,9 +428,8 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
   std::vector<WorkerBuffer> buffers(static_cast<std::size_t>(threads));
 
   sched::run_task_graph(
-      opts_.scheduler, threads, graph,
-      [&](std::size_t task_idx, int worker) {
-        const SccTask& task = tasks[task_idx];
+      opts_.scheduler, threads, graph, [&](sched::TaskContext& tc) {
+        const SccTask& task = tasks[tc.task()];
         if (stop.load(std::memory_order_relaxed)) return;
         // SCCs are verified as one unit; our prototype runs multi-PEC SCCs
         // sequentially (the paper expects them to "almost never" occur).
@@ -357,14 +439,28 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
           if (!rep.result.holds && !opts_.explore.find_all_violations) {
             stop.store(true, std::memory_order_relaxed);
           }
-          buffers[static_cast<std::size_t>(worker)].reports.push_back(
-              std::move(rep));
+          auto& buf = buffers[static_cast<std::size_t>(tc.worker())].reports;
+          expand_class(
+              rep, [&](PecReport&& t) { buf.push_back(std::move(t)); },
+              [&](PecId m) {
+                // Fallback members become dynamic subtasks: they land on
+                // this worker's deque and idle workers steal them, matching
+                // the parallelism of the dedup-off task graph (reruns only
+                // happen in find-all mode, so no stop-flag handling here).
+                tc.spawn([&, m](sched::TaskContext& sub) {
+                  // Verdict folding happens in merge_report after the join.
+                  buffers[static_cast<std::size_t>(sub.worker())]
+                      .reports.push_back(run_pec_core(m, true, false, store));
+                });
+              });
+          buf.push_back(std::move(rep));
         }
       });
 
   for (auto& buf : buffers) {
     for (auto& rep : buf.reports) merge_report(std::move(rep));
   }
+  result.dedup_reruns = dedup_reruns.load(std::memory_order_relaxed);
 
   std::sort(result.reports.begin(), result.reports.end(),
             [](const PecReport& x, const PecReport& y) { return x.pec < y.pec; });

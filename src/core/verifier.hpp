@@ -38,6 +38,13 @@ struct VerifyOptions {
   /// Verdicts, violation multisets, and state counts are bit-identical to
   /// the in-process run at any shard count.
   int shards = 0;
+  /// Batch PEC verification (eqclass/pec_dedup.hpp): group isomorphic PECs
+  /// and explore one representative per class, transferring clean "holds"
+  /// verdicts to the members. Falls back to native member exploration on any
+  /// non-clean representative result, so verdicts, violation multisets, and
+  /// trail text stay bit-identical to a dedup-off run. Default on;
+  /// `plankton_verify --no-pec-dedup` turns it off.
+  bool pec_dedup = true;
   std::chrono::milliseconds wall_limit{0};   ///< 0 = none (whole verification)
 
   // Test-only fault injection, forwarded to ShardRunOptions (the
@@ -50,6 +57,11 @@ struct PecReport {
   PecId pec = 0;
   std::string pec_str;
   ExploreResult result;
+  /// Representative PEC this report was translated from (kNoPec when the PEC
+  /// was explored natively). Translated reports carry the representative's
+  /// stats for reference but are excluded from VerifyResult::total, so the
+  /// aggregate counts only work actually performed.
+  PecId translated_from = kNoPec;
 };
 
 struct VerifyResult {
@@ -63,6 +75,15 @@ struct VerifyResult {
   std::size_t pecs_support = 0;     ///< upstream PECs run only for outcomes
   std::size_t scc_count = 0;
   bool unsupported_scc = false;     ///< an SCC with >1 PEC was approximated
+  /// Batch PEC verification counters (VerifyOptions::pec_dedup). The
+  /// class-compression ratio is pecs_verified / pec_classes when every
+  /// target PEC is classed; pecs_deduped counts member PECs whose verdicts
+  /// were translated from a representative, dedup_reruns those re-explored
+  /// natively because the representative's result was not a clean hold.
+  std::size_t pec_classes = 0;
+  std::size_t pecs_deduped = 0;
+  std::size_t dedup_reruns = 0;
+  std::chrono::nanoseconds dedup_fingerprint_time{0};
   /// Coordinator wire counters (multi-process runs only; empty otherwise).
   sched::ShardStats shard;
 

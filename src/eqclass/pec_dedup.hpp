@@ -1,0 +1,84 @@
+// Batch PEC verification: equivalence classes of isomorphic PECs (ROADMAP
+// "Batch PEC verification", the Bonsai observation applied *across* PECs).
+//
+// On symmetric fabrics most PECs induce the same relevant configuration
+// slice up to a renaming of devices — the fat-tree all-pairs workloads of
+// Fig. 7a/7b differ per PEC only in which edge switch originates the prefix.
+// Exploring each of those PECs repeats bit-for-bit isomorphic work. This
+// module fingerprints every dedup-eligible PEC's relevant slice with a
+// color-refinement canonical form (the same machinery as DEC/Bonsai, §4.3),
+// groups PECs whose fingerprints coincide, and then *proves* each grouping
+// by constructing an explicit node bijection and validating it as a full
+// configuration isomorphism:
+//
+//   · topology automorphism (per-direction link costs, parallel links),
+//   · per-device config equivalence (OSPF role, BGP sessions with
+//     route maps canonicalized to their evaluation footprint on the PEC's
+//     prefixes, static-route slices, /32 loopback delivery),
+//   · per-prefix slice correspondence (origins, statics, prefix lengths),
+//   · policy fixed points (every declared source/interesting node must map
+//     to itself — the same contract §4.2/§4.3 pruning already relies on).
+//
+// A validated isomorphism guarantees the two PECs' exploration state graphs
+// are isomorphic, so a clean "holds" verdict transfers soundly from the
+// class representative to every member. Anything short of clean holds
+// (violation, timeout, state cap) makes the verifier fall back to exploring
+// the members natively, so reported counterexample trails stay bit-identical
+// to a dedup-off run. PECs with cross-PEC dependencies (either direction,
+// §3.2) or self-loops are never grouped: their explorations consume or
+// produce per-PEC converged outcomes that do not transfer. Failed validation
+// degrades to a singleton class — asymmetric networks pay only the
+// fingerprinting cost.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "config/network.hpp"
+#include "pec/pec.hpp"
+#include "policy/policy.hpp"
+#include "sched/deps.hpp"
+
+namespace plankton {
+
+struct PecDedupStats {
+  std::size_t classes = 0;     ///< classes over dedup-eligible PECs
+  std::size_t deduped = 0;     ///< member PECs riding on a representative
+  std::size_t singletons = 0;  ///< classes with exactly one member
+  /// Wall time spent fingerprinting + validating (the dedup overhead a
+  /// fully-asymmetric workload pays for nothing).
+  std::chrono::nanoseconds fingerprint_time{0};
+};
+
+/// The class partition over the needed PECs of one verification.
+struct PecClassSet {
+  /// rep_of[p]: class representative of PEC p — p itself for representatives,
+  /// singletons, and every PEC dedup does not apply to (kNoPec when p was not
+  /// considered, i.e. outside the needed set).
+  std::vector<PecId> rep_of;
+  /// members_of[r]: member PECs translated from representative r, excluding
+  /// r itself. Non-empty only for representatives of multi-member classes.
+  std::vector<std::vector<PecId>> members_of;
+  PecDedupStats stats;
+
+  [[nodiscard]] bool is_translated_member(PecId p) const {
+    return p < rep_of.size() && rep_of[p] != kNoPec && rep_of[p] != p;
+  }
+};
+
+/// Groups the needed target PECs of a verification into isomorphism classes.
+/// `needed` / `is_target` are the dependency-closure masks Verifier computes
+/// (sized to pecs.pecs.size()). Only PECs that are needed, policy-checked
+/// targets, and free of cross-PEC dependencies in either direction are
+/// considered; everything else keeps rep_of[p] == p semantics via singleton
+/// treatment at the verifier (rep_of[p] is set to p for needed-but-ineligible
+/// PECs so callers can treat the vector uniformly).
+PecClassSet compute_pec_classes(const Network& net, const PecSet& pecs,
+                                const PecDependencies& deps,
+                                const Policy& policy,
+                                std::span<const std::uint8_t> needed,
+                                std::span<const std::uint8_t> is_target);
+
+}  // namespace plankton

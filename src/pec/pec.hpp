@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,9 @@
 namespace plankton {
 
 using PecId = std::uint32_t;
+
+/// Sentinel "no PEC" id (used by the dedup layer and report translation).
+inline constexpr PecId kNoPec = std::numeric_limits<PecId>::max();
 
 /// One contributing prefix inside a PEC, with its configuration slice.
 struct PecPrefix {

@@ -7,6 +7,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -250,6 +251,7 @@ std::string encode_task_done(const TaskDoneMsg& m) {
     put_int(out, p.holds);
     put_int(out, p.timed_out);
     put_int(out, p.state_limit_hit);
+    put_int(out, p.translated);
     put_stats(out, p.stats);
   }
   return out;
@@ -262,11 +264,11 @@ bool decode_task_done(std::string_view in, TaskDoneMsg& out) {
     return false;
   };
   std::uint32_t n = 0;
-  // One entry's exact wire size: pec (4) + 3 flag bytes + the SearchStats
+  // One entry's exact wire size: pec (4) + 4 flag bytes + the SearchStats
   // block (21 x 8). Using the full size matters: fits() with a smaller
   // stride would let a lying count amplify resize() far past the bytes
   // present.
-  constexpr std::size_t kPecDoneWireBytes = 4 + 3 + 21 * 8;
+  constexpr std::size_t kPecDoneWireBytes = 4 + 4 + 21 * 8;
   if (!get_int(in, out.task) || !get_int(in, n) ||
       !fits(in, n, kPecDoneWireBytes)) {
     return fail();
@@ -276,10 +278,13 @@ bool decode_task_done(std::string_view in, TaskDoneMsg& out) {
     PecDoneMsg& p = out.pecs[i];
     if (!get_int(in, p.pec) || !get_int(in, p.holds) ||
         !get_int(in, p.timed_out) || !get_int(in, p.state_limit_hit) ||
-        !get_stats(in, p.stats)) {
+        !get_int(in, p.translated) || !get_stats(in, p.stats)) {
       return fail();
     }
-    if (p.holds > 1 || p.timed_out > 1 || p.state_limit_hit > 1) return fail();
+    if (p.holds > 1 || p.timed_out > 1 || p.state_limit_hit > 1 ||
+        p.translated > 1) {
+      return fail();
+    }
   }
   if (!in.empty()) return fail();
   return true;
@@ -359,6 +364,7 @@ constexpr std::size_t kNoTask = std::numeric_limits<std::size_t>::max();
             pd.holds = r.holds ? 1 : 0;
             pd.timed_out = r.timed_out ? 1 : 0;
             pd.state_limit_hit = r.state_limit_hit ? 1 : 0;
+            pd.translated = r.translated ? 1 : 0;
             pd.stats = r.stats;
             done.pecs.push_back(pd);
           }
@@ -614,13 +620,55 @@ ShardRunResult run_sharded_task_graph(
           TaskDoneMsg done;
           bool pecs_ok = decode_task_done(frame.payload, done) &&
                          w.current != kNoTask && done.task == w.current;
-          // The completion must cover exactly the assigned task's PECs, in
-          // task order — a partial or mismatched list would silently drop
-          // stashed violations and corrupt the merge, so it poisons like any
-          // other malformed input.
-          pecs_ok = pecs_ok && done.pecs.size() == tasks[w.current].pecs.size();
-          for (std::size_t i = 0; pecs_ok && i < done.pecs.size(); ++i) {
-            pecs_ok = done.pecs[i].pec == tasks[w.current].pecs[i];
+          // The completion must cover every PEC of the assigned task exactly
+          // once, plus each task PEC's dedup class members exactly once —
+          // a member is legitimately absent only when its representative
+          // reported a violation under early stop (the worker skips the
+          // class tail then, like any unscheduled task). Anything else —
+          // unknown PECs, duplicates, a silently dropped member whose
+          // verdict is mandatory — would corrupt the merge or swallow
+          // stashed violations, so it poisons like malformed input.
+          // Sorted lookups keep this O(n log n) per completion.
+          if (pecs_ok) {
+            const ShardTaskSpec& spec = tasks[w.current];
+            std::vector<PecId> allowed = spec.pecs;
+            for (const auto& members : spec.class_members) {
+              allowed.insert(allowed.end(), members.begin(), members.end());
+            }
+            std::sort(allowed.begin(), allowed.end());
+            std::vector<PecId> seen;
+            seen.reserve(done.pecs.size());
+            for (const PecDoneMsg& p : done.pecs) seen.push_back(p.pec);
+            std::sort(seen.begin(), seen.end());
+            pecs_ok = std::adjacent_find(seen.begin(), seen.end()) == seen.end();
+            for (const PecId p : seen) {
+              pecs_ok = pecs_ok &&
+                        std::binary_search(allowed.begin(), allowed.end(), p);
+            }
+            const auto present = [&seen](PecId p) {
+              return std::binary_search(seen.begin(), seen.end(), p);
+            };
+            for (std::size_t i = 0; pecs_ok && i < spec.pecs.size(); ++i) {
+              pecs_ok = present(spec.pecs[i]);
+              if (!pecs_ok || i >= spec.class_members.size()) continue;
+              // Members are optional only under early stop with a violated
+              // representative; every other mode must report them
+              // (translated clean holds or native re-runs).
+              const PecDoneMsg* rep_done = nullptr;
+              for (const PecDoneMsg& p : done.pecs) {
+                if (p.pec == spec.pecs[i]) {
+                  rep_done = &p;
+                  break;
+                }
+              }
+              const bool members_optional =
+                  opts.stop_on_violation && rep_done != nullptr &&
+                  rep_done->holds == 0;
+              if (members_optional) continue;
+              for (const PecId m : spec.class_members[i]) {
+                pecs_ok = pecs_ok && present(m);
+              }
+            }
           }
           if (!pecs_ok) {
             poison_worker(slot, "bad task completion");
@@ -633,6 +681,7 @@ ShardRunResult run_sharded_task_graph(
             rep.holds = p.holds != 0;
             rep.timed_out = p.timed_out != 0;
             rep.state_limit_hit = p.state_limit_hit != 0;
+            rep.translated = p.translated != 0;
             rep.stats = p.stats;
             for (ViolationMsg& v : w.stash) {
               if (v.pec == p.pec) rep.violations.push_back(std::move(v));

@@ -140,6 +140,10 @@ struct PecDoneMsg {
   std::uint8_t holds = 1;
   std::uint8_t timed_out = 0;
   std::uint8_t state_limit_hit = 0;
+  /// Verdict translated from the PEC's class representative (batch PEC
+  /// verification) rather than explored natively; the stats are the
+  /// representative's and must not be double-counted into run totals.
+  std::uint8_t translated = 0;
   SearchStats stats;
 };
 
@@ -186,6 +190,13 @@ struct ShardTaskSpec {
   /// Upstream PECs whose recorded outcomes must be on the worker before the
   /// task runs (deduplicated, excludes PECs of the task itself).
   std::vector<PecId> deps;
+  /// Batch PEC verification: class_members[i] lists the PECs whose verdicts
+  /// ride on pecs[i] (the class representative). The worker emits one
+  /// ShardPecResult per member — translated from the representative's clean
+  /// hold or natively re-explored — so only results cross the wire. Empty
+  /// when dedup is off or the class is a singleton. (Specs are inherited by
+  /// fork, so this ships with the task at no wire cost.)
+  std::vector<std::vector<PecId>> class_members;
 };
 
 /// Worker-side product of one PEC run. When `record` is set (some incomplete
@@ -200,6 +211,8 @@ struct ShardPecResult {
   SearchStats stats;
   std::vector<ViolationMsg> violations;
   bool record = false;
+  /// See PecDoneMsg::translated.
+  bool translated = false;
 };
 
 struct ShardRunOptions {

@@ -156,6 +156,70 @@ TEST(EngineDifferential, ExhaustiveEnginesAgreeOnRandomInstances) {
       << "corpus too deterministic: frontier never widened";
 }
 
+/// Dedup contract view: verdict + violation multiset *including rendered
+/// trail text* + the per-PEC report identity — everything batch PEC
+/// verification promises stays bit-identical to a dedup-off run. (State
+/// counts are deliberately absent: dedup exists to change them.)
+struct DedupView {
+  bool holds = true;
+  std::size_t reports = 0;
+  std::multiset<std::string> pec_strs;
+  std::multiset<std::string> violations;
+  std::size_t pecs_deduped = 0;
+
+  friend bool operator==(const DedupView& a, const DedupView& b) {
+    return a.holds == b.holds && a.reports == b.reports &&
+           a.pec_strs == b.pec_strs && a.violations == b.violations;
+  }
+};
+
+DedupView dedup_view(const RandomInstance& inst, SearchEngineKind kind,
+                     bool dedup) {
+  VerifyOptions vo = base_options(inst);
+  vo.explore.engine_kind = kind;
+  vo.pec_dedup = dedup;
+  Verifier verifier(inst.net, vo);
+  const VerifyResult r = verifier.verify(*inst.policy);
+  DedupView v;
+  v.holds = r.holds;
+  v.reports = r.reports.size();
+  v.pecs_deduped = r.pecs_deduped;
+  for (const auto& rep : r.reports) {
+    v.pec_strs.insert(rep.pec_str);
+    for (const auto& viol : rep.result.violations) {
+      v.violations.insert(rep.pec_str + "|" +
+                          std::to_string(viol.failures.hash()) + "|" +
+                          viol.message + "|" + viol.trail_text);
+    }
+  }
+  return v;
+}
+
+TEST(EngineDifferential, DedupOnMatchesDedupOffOnRandomInstances) {
+  // Batch PEC verification (eqclass/pec_dedup.hpp) against the dedup-off
+  // oracle: identical verdicts, per-PEC reports, and violation multisets
+  // with bit-identical trail text, per engine. An unsound class merge shows
+  // up here as a clean translated hold against a native violation.
+  const int count = instance_count();
+  std::uint64_t merged = 0;
+  for (int seed = 1; seed <= count; ++seed) {
+    const RandomInstance inst = make_random_instance(static_cast<std::uint64_t>(seed));
+    SCOPED_TRACE("instance seed " + std::to_string(seed) + " (" + inst.kind +
+                 ", policy " + inst.policy->name() + ")");
+    for (const SearchEngineKind kind :
+         {SearchEngineKind::kDfs, SearchEngineKind::kBfs}) {
+      const DedupView on = dedup_view(inst, kind, true);
+      const DedupView off = dedup_view(inst, kind, false);
+      EXPECT_EQ(on, off) << "dedup diverged under engine "
+                         << (kind == SearchEngineKind::kDfs ? "dfs" : "bfs");
+      merged += on.pecs_deduped;
+    }
+  }
+  // The corpus must actually exercise class merging (rings and fat-trees
+  // are symmetric), otherwise this oracle is vacuous.
+  EXPECT_GT(merged, 0u) << "corpus never produced a multi-member class";
+}
+
 TEST(EngineDifferential, SingleExecutionIsSoundOnRandomInstances) {
   const int count = instance_count();
   for (int seed = 1; seed <= count; ++seed) {

@@ -430,6 +430,77 @@ TEST(ShardDeterminism, RandomCorpusMatchesInProcessAcrossShardsAndEngines) {
   }
 }
 
+TEST(ShardDeterminism, DedupAcrossShardsMatchesDedupOffInProcess) {
+  // The shard x dedup cross: batch PEC verification inside forked workers
+  // (translated verdicts and native fallback re-runs both crossing the wire)
+  // against the dedup-off in-process oracle. State counters are excluded —
+  // dedup changes them by design — but verdicts, per-PEC reports, and
+  // violation multisets with rendered trails must be bit-identical.
+  int count = 10;
+  if (const char* v = std::getenv("PLANKTON_DIFF_SEEDS");
+      v != nullptr && std::atoi(v) > 0) {
+    count = std::max(6, std::atoi(v) / 20);
+  }
+  std::uint64_t merged = 0;
+  for (int seed = 1; seed <= count; ++seed) {
+    const RandomInstance inst =
+        make_random_instance(static_cast<std::uint64_t>(seed));
+    SCOPED_TRACE("instance seed " + std::to_string(seed) + " (" + inst.kind +
+                 ", policy " + inst.policy->name() + ")");
+    VerifyOptions vo;
+    vo.cores = 1;
+    vo.explore = inst.explore;
+    vo.explore.find_all_violations = true;
+    vo.explore.suppress_equivalent = false;
+    VerifyOptions off = vo;
+    off.pec_dedup = false;
+    const VerifyResult ref = run_verify(inst.net, *inst.policy, off);
+    const Fingerprint ref_fp = fingerprint(ref);
+    for (const int shards : {1, 2, 4}) {
+      VerifyOptions sv = vo;
+      sv.shards = shards;
+      const VerifyResult r = run_verify(inst.net, *inst.policy, sv);
+      merged += r.pecs_deduped;
+      const Fingerprint fp = fingerprint(r);
+      EXPECT_EQ(fp.holds, ref_fp.holds) << "shards=" << shards;
+      EXPECT_EQ(fp.pecs_verified, ref_fp.pecs_verified) << "shards=" << shards;
+      EXPECT_EQ(fp.pecs_support, ref_fp.pecs_support) << "shards=" << shards;
+      EXPECT_EQ(fp.violations, ref_fp.violations) << "shards=" << shards;
+    }
+  }
+  EXPECT_GT(merged, 0u) << "corpus never exercised a translated verdict "
+                           "across the wire";
+}
+
+TEST(ShardDeterminism, TranslatedVerdictsCrossTheWire) {
+  // Fat-tree all-PEC loop check: one class, so the workers ship one native
+  // exploration plus translated member verdicts. The sharded run must match
+  // the in-process dedup-on run bit for bit, counters included, and the
+  // translated flag must survive the PecDoneMsg round trip (the coordinator
+  // excludes translated stats from the aggregate exactly like the
+  // in-process merge).
+  FatTreeOptions o;
+  o.k = 6;
+  const FatTree ft = make_fat_tree(o);
+  const LoopFreedomPolicy policy;
+  VerifyOptions vo;
+  vo.explore.find_all_violations = true;
+  const VerifyResult in_proc = run_verify(ft.net, policy, vo);
+  EXPECT_EQ(in_proc.pecs_deduped, ft.edges.size() - 1);
+  for (const int shards : {1, 2}) {
+    VerifyOptions sv = vo;
+    sv.shards = shards;
+    const VerifyResult r = run_verify(ft.net, policy, sv);
+    EXPECT_EQ(fingerprint(r), fingerprint(in_proc)) << "shards=" << shards;
+    EXPECT_EQ(r.pecs_deduped, in_proc.pecs_deduped);
+    std::size_t translated = 0;
+    for (const auto& rep : r.reports) {
+      if (rep.translated_from != kNoPec) ++translated;
+    }
+    EXPECT_EQ(translated, ft.edges.size() - 1) << "shards=" << shards;
+  }
+}
+
 TEST(ShardDeterminism, Figure6MatchesInProcessAtEveryShardCount) {
   const Figure6 fx;
   const ReachabilityPolicy policy({fx.r6});
