@@ -35,6 +35,10 @@ constexpr SearchEngineKind kEngines[] = {
 };
 
 void apply_engine(VerifyOptions& vo, SearchEngineKind kind) {
+  // The matrix measures engine order/replay overhead over one fixed state
+  // set; POR reduces that set differently per engine (DFS runs source sets,
+  // frontier engines sleep masks), so it is pinned off here.
+  vo.explore.por = false;
   if (kind == SearchEngineKind::kSingleExecution) {
     vo.explore.simulation = true;
   } else {

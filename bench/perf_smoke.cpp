@@ -15,6 +15,11 @@
 //   fattree_loop/K=8 shards=2      the same workload through the 2-shard
 //                                  multi-process coordinator — tracks the
 //                                  fork + wire-protocol overhead
+//   bgp_dc_worstcase/K=4 por[-off] the uncapped interleaving-explosion
+//                                  workload with dynamic partial-order
+//                                  reduction on vs off — the por-off/por
+//                                  time ratio is the DPOR win in the
+//                                  trajectory (verdicts identical)
 //
 // The ad-cache/dirty-set off rows measure the same workloads with the PR-2
 // hot-path optimizations disabled, so their effect is visible inside one
@@ -136,6 +141,34 @@ int main(int argc, char** argv) {
     row("fattree_loop/K=8 bfs", verifier.verify(policy));
   }
 
+  {
+    // The DPOR pair: the fig9 worst-case BGP workload uncapped, por on vs
+    // off. This is the interleaving explosion the sleep/source-set reduction
+    // targets; both rows must report the same verdict, and the time ratio is
+    // the reduction factor tracked in the trajectory.
+    FatTreeOptions o;
+    o.k = 4;
+    o.routing = FatTreeOptions::Routing::kBgpRfc7938;
+    const FatTree ft = make_fat_tree(o);
+    const WaypointPolicy policy({ft.edges.back()}, ft.aggs);
+    for (const bool por : {true, false}) {
+      VerifyOptions vo;
+      vo.cores = 1;
+      vo.explore.det_nodes_bgp = false;
+      vo.explore.suppress_equivalent = false;
+      vo.explore.por = por;
+      Verifier verifier(ft.net, vo);
+      const VerifyResult r =
+          verifier.verify_address(ft.edge_prefixes[0].addr(), policy);
+      row(std::string("bgp_dc_worstcase/K=4 por") + (por ? "" : "-off"), r);
+      if (por) {
+        std::printf("%-36s %10llu pruned  %10llu source sets\n",
+                    "  (reduction counters)",
+                    static_cast<unsigned long long>(r.total.por_pruned),
+                    static_cast<unsigned long long>(r.total.por_source_sets));
+      }
+    }
+  }
   {
     // One multi-process row: same workload again through the 2-shard
     // coordinator (sched/shard.hpp), so the trajectory tracks the

@@ -20,6 +20,9 @@
 //   --no-pec-dedup     disable batch PEC verification (exploring one
 //                      representative per isomorphic PEC class; on by
 //                      default, verdicts identical either way)
+//   --no-por           disable dynamic partial-order reduction (sleep +
+//                      source sets; on by default for exhaustive engines,
+//                      verdicts identical either way)
 //   --all-violations   keep searching after the first counterexample
 //   --trails           print counterexample event traces
 //   --visited <kind>   visited backend: exact | hash-compact | bitstate
@@ -61,7 +64,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: plankton_verify <config> <policy> [args] [--failures k] "
                "[--cores n] [--shards n] [--address ip] [--no-pec-dedup] "
-               "[--all-violations] "
+               "[--no-por] [--all-violations] "
                "[--trails] "
                "[--visited exact|hash-compact|bitstate] [--scheduler steal|pool] "
                "[--engine dfs|bfs|priority|random-restart|single] "
@@ -110,6 +113,8 @@ int main(int argc, char** argv) {
         if (!address) throw std::runtime_error("bad --address");
       } else if (arg == "--no-pec-dedup") {
         opts.pec_dedup = false;
+      } else if (arg == "--no-por") {
+        opts.explore.por = false;
       } else if (arg == "--all-violations") {
         opts.explore.find_all_violations = true;
       } else if (arg == "--trails") {
@@ -198,6 +203,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.total.converged_states),
                 static_cast<double>(result.wall.count()) / 1e6,
                 static_cast<double>(result.total.model_bytes()) / 1e6);
+    if (result.total.por_pruned + result.total.por_source_sets > 0) {
+      std::printf("partial-order reduction: %llu moves pruned, %llu source "
+                  "sets, footprints %.2f ms\n",
+                  static_cast<unsigned long long>(result.total.por_pruned),
+                  static_cast<unsigned long long>(result.total.por_source_sets),
+                  static_cast<double>(result.total.por_footprint_time.count()) /
+                      1e6);
+    }
     if (opts.pec_dedup && result.pec_classes > 0) {
       std::printf("PEC classes: %zu over %zu target PECs (%zu translated, "
                   "%zu re-run natively; fingerprinting %.2f ms)\n",

@@ -18,6 +18,9 @@ void SearchStats::absorb(const SearchStats& other) {
   ad_cache_hits += other.ad_cache_hits;
   ad_cache_misses += other.ad_cache_misses;
   dirty_refreshes += other.dirty_refreshes;
+  por_pruned += other.por_pruned;
+  por_source_sets += other.por_source_sets;
+  por_footprint_time += other.por_footprint_time;
   frontier_peak = std::max(frontier_peak, other.frontier_peak);
   max_depth = std::max(max_depth, other.max_depth);
   bytes_paths += other.bytes_paths;
@@ -39,6 +42,10 @@ std::string SearchStats::summary() const {
   if (ad_cache_hits + ad_cache_misses > 0) {
     out += ", ad cache: " + std::to_string(ad_cache_hits) + "/" +
            std::to_string(ad_cache_hits + ad_cache_misses) + " hits";
+  }
+  if (por_pruned + por_source_sets > 0) {
+    out += ", por pruned: " + std::to_string(por_pruned);
+    out += ", por source sets: " + std::to_string(por_source_sets);
   }
   if (frontier_peak > 0) {
     out += ", frontier peak: " + std::to_string(frontier_peak);

@@ -25,6 +25,9 @@ struct SearchStats {
   std::uint64_t ad_cache_hits = 0;      ///< advertisement memo hits
   std::uint64_t ad_cache_misses = 0;    ///< advertisement memo fills
   std::uint64_t dirty_refreshes = 0;    ///< incremental node-status refreshes
+  std::uint64_t por_pruned = 0;         ///< sleep-set-pruned moves (DPOR)
+  std::uint64_t por_source_sets = 0;    ///< states whose move set was sleep-narrowed
+  std::chrono::nanoseconds por_footprint_time{0};  ///< footprint mask builds
   std::uint64_t frontier_peak = 0;      ///< pending-state high-water (frontier engines)
   std::uint64_t max_depth = 0;
   std::size_t bytes_paths = 0;

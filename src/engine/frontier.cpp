@@ -57,8 +57,21 @@ std::int32_t Frontier::pop() {
       return id;
     }
     case FrontierOrder::kRandomRestart: {
+      bool restart = false;
+      if (restart_interval_ != 0) {
+        if (restart_policy_ == RestartPolicy::kFixedPeriod) {
+          restart = pops_ % restart_interval_ == 0;
+        } else if (pops_ >= next_restart_) {
+          // Luby schedule: successive restart gaps of interval × u_k where
+          // u = 1,1,2,1,1,2,4,… — log-optimal for unknown runtime
+          // distributions, and far less periodic than the fixed schedule.
+          restart = true;
+          next_restart_ +=
+              std::uint64_t{restart_interval_} * luby_value(++luby_index_);
+        }
+      }
       std::size_t pick;
-      if (restart_interval_ != 0 && pops_ % restart_interval_ == 0) {
+      if (restart) {
         // Restart: jump to the shallowest pending state (nearest the phase
         // root), diversifying away from the current deep region.
         pick = 0;
@@ -98,6 +111,12 @@ std::size_t Frontier::split(std::vector<StateSnapshot>& out) {
     StateSnapshot snap;
     snap.key = e.key;
     path_to(e.id, snap.path);
+    if (sleep_words_ != 0 && e.id != kRoot) {
+      // Detached work inherits its DPOR sleep mask (ISSUE: spawned subtasks
+      // must keep pruning what the donor's path already covered).
+      const std::uint64_t* m = sleep_slot(e.id);
+      snap.sleep.assign(m, m + sleep_words_);
+    }
     out.push_back(std::move(snap));
   }
   if (order_ == FrontierOrder::kPriority) {
@@ -119,12 +138,27 @@ void Frontier::inject(const StateSnapshot& snap) {
     at = static_cast<std::int32_t>(arena_.size());
     arena_.push_back(node);
   }
+  if (sleep_words_ != 0 && at != kRoot && !snap.sleep.empty()) {
+    std::copy(snap.sleep.begin(), snap.sleep.end(), sleep_slot(at));
+  }
   add_entry(Entry{at, snap.key, depth(at), next_seq_++});
+}
+
+std::uint32_t luby_value(std::uint32_t i) {
+  // u_i = 2^(k-1) when i == 2^k - 1; else u_{i - 2^(k-1) + 1} for the k
+  // with 2^(k-1) <= i < 2^k - 1 (Luby, Sinclair & Zuckerman 1993).
+  for (std::uint32_t k = 1; k < 32; ++k) {
+    const std::uint32_t pow = std::uint32_t{1} << k;
+    if (i == pow - 1) return pow >> 1;
+    if (i < pow - 1) return luby_value(i - (pow >> 1) + 1);
+  }
+  return 1;
 }
 
 std::size_t Frontier::bytes() const {
   return arena_.capacity() * sizeof(PathNode) +
-         pending_.capacity() * sizeof(Entry);
+         pending_.capacity() * sizeof(Entry) +
+         sleep_pool_.capacity() * sizeof(std::uint64_t);
 }
 
 }  // namespace plankton

@@ -32,10 +32,14 @@ namespace plankton {
 
 /// A self-contained, restorable position in one phase's move tree: the move
 /// path from the phase-entry root, in application order. `key` carries the
-/// StateCodec key used by priority ordering (0 when not computed).
+/// StateCodec key used by priority ordering (0 when not computed). `sleep`
+/// is the snapshot's DPOR sleep mask (empty when POR is off) — split-off
+/// work inherits it, so spawned subtasks keep pruning exactly what the
+/// donor would have pruned.
 struct StateSnapshot {
   std::vector<SearchMove> path;
   std::uint64_t key = 0;
+  std::vector<std::uint64_t> sleep;
 };
 
 /// Pending-state ordering policy of a frontier engine.
@@ -53,8 +57,14 @@ class Frontier {
   /// Arena id of the phase-entry root (the empty path).
   static constexpr std::int32_t kRoot = -1;
 
-  Frontier(FrontierOrder order, std::uint64_t seed, std::uint32_t restart_interval)
-      : order_(order), rng_(seed), restart_interval_(restart_interval) {}
+  Frontier(FrontierOrder order, std::uint64_t seed, std::uint32_t restart_interval,
+           RestartPolicy restart_policy = RestartPolicy::kLuby)
+      : order_(order),
+        rng_(seed),
+        restart_interval_(restart_interval),
+        restart_policy_(restart_policy) {
+    next_restart_ = restart_interval_;
+  }
 
   /// Drops all pending states and the path arena (keeping their capacity)
   /// and reseeds the pop order — engines reuse one Frontier per recursion
@@ -68,6 +78,22 @@ class Frontier {
     head_ = 0;
     live_ = 0;
     peak_ = 0;
+    luby_index_ = 0;
+    next_restart_ = restart_interval_;
+    sleep_words_ = 0;
+    sleep_pool_.clear();
+  }
+
+  /// Opts the arena into per-snapshot DPOR sleep masks of `words` 64-bit
+  /// words (call after reset(); 0 disables). sleep_slot() then hands out
+  /// writable storage per pushed node.
+  void enable_sleep(std::size_t words) { sleep_words_ = words; }
+
+  /// Writable sleep mask of arena node `id` (valid until the next push).
+  [[nodiscard]] std::uint64_t* sleep_slot(std::int32_t id) {
+    const std::size_t need = (static_cast<std::size_t>(id) + 1) * sleep_words_;
+    if (sleep_pool_.size() < need) sleep_pool_.resize(need, 0);
+    return &sleep_pool_[static_cast<std::size_t>(id) * sleep_words_];
   }
 
   [[nodiscard]] bool empty() const { return live_ == 0; }
@@ -135,8 +161,13 @@ class Frontier {
   FrontierOrder order_;
   std::mt19937_64 rng_;
   std::uint32_t restart_interval_;
+  RestartPolicy restart_policy_ = RestartPolicy::kLuby;
+  std::uint32_t luby_index_ = 0;      ///< kLuby: index into the u sequence
+  std::uint64_t next_restart_ = 64;   ///< kLuby: pop count of the next restart
   std::uint64_t pops_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::size_t sleep_words_ = 0;                 ///< 0 = sleep masks off
+  std::vector<std::uint64_t> sleep_pool_;       ///< [arena id][word]
   std::vector<PathNode> arena_;
   /// Pending entries. kFifo consumes from `head_` (stale slots are left
   /// behind and reclaimed wholesale); kPriority keeps [head_, end) as a heap

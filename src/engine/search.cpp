@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "engine/frontier.hpp"
+#include "engine/independence.hpp"
 
 namespace plankton {
 namespace {
@@ -37,13 +38,16 @@ class DfsEngine : public SearchEngine {
         flow = model.advance(phase);
         break;
       case SearchModel::Step::kBranch: {
-        const std::size_t take =
-            moves.size() < branch_limit_ ? moves.size() : branch_limit_;
-        for (std::size_t i = 0; i < take; ++i) {
+        // moves.size() is re-read every iteration: por_extend() may append
+        // source-set backtrack siblings that races in the subtree just
+        // explored proved necessary (and may reallocate the vector, so the
+        // element reference is taken fresh per iteration).
+        for (std::size_t i = 0; i < moves.size() && i < branch_limit_; ++i) {
           model.apply(phase, moves[i]);
           flow = search(model, phase);
           model.undo(phase, moves[i]);
           if (flow == SearchFlow::kStop) break;
+          model.por_extend(phase, moves);
         }
         break;
       }
@@ -97,8 +101,8 @@ class FrontierEngine final : public SearchEngine {
     // pool. The seed folds in an invocation counter so each phase entry
     // gets a distinct (but reproducible) pop order.
     if (pool_.size() <= depth_) {
-      pool_.push_back(
-          std::make_unique<PhaseState>(order_, config_.restart_interval));
+      pool_.push_back(std::make_unique<PhaseState>(
+          order_, config_.restart_interval, config_.restart_policy));
     }
     PhaseState& ps = *pool_[depth_];
     ++depth_;
@@ -108,6 +112,17 @@ class FrontierEngine final : public SearchEngine {
     Frontier& frontier = ps.frontier;
     std::vector<SearchMove>& moves = ps.moves;
     std::vector<StateSnapshot>& backlog = ps.backlog;
+    // Sleep-set DPOR (when the model opts in): every pending snapshot keeps
+    // the sleep mask it was pushed with; the model gets it re-attached on
+    // pop and computes each child's mask at push time, so the reduction
+    // survives the engine's arbitrary pop order and split()/inject() round
+    // trips (spawned subtasks inherit their masks with the snapshot).
+    const std::size_t pw = model.por_words();
+    if (pw != 0) {
+      frontier.enable_sleep(pw);
+      ps.cur_sleep.assign(pw, 0);
+      ps.prior.assign(pw, 0);
+    }
     std::int32_t cur = Frontier::kRoot;
     std::uint64_t pops = 0;
     SearchFlow flow = SearchFlow::kContinue;
@@ -128,6 +143,15 @@ class FrontierEngine final : public SearchEngine {
       const std::int32_t id = frontier.pop();
       ++pops;
       cur = goto_state(model, phase, frontier, cur, id);
+      if (pw != 0) {
+        if (id == Frontier::kRoot) {
+          std::fill(ps.cur_sleep.begin(), ps.cur_sleep.end(), 0);
+        } else {
+          const std::uint64_t* m = frontier.sleep_slot(id);
+          std::copy(m, m + pw, ps.cur_sleep.begin());
+        }
+        model.por_attach_sleep(ps.cur_sleep.data());
+      }
       if (model.mark_visited(phase)) {
         moves.clear();
         switch (model.expand(phase, moves, SIZE_MAX)) {
@@ -137,12 +161,18 @@ class FrontierEngine final : public SearchEngine {
             flow = model.advance(phase);
             break;
           case SearchModel::Step::kBranch:
+            if (pw != 0) std::fill(ps.prior.begin(), ps.prior.end(), 0);
             for (const SearchMove& m : moves) {
               const std::uint64_t key =
                   order_ == FrontierOrder::kPriority
                       ? model.state_key_after(phase, m)  // Zobrist preview
                       : 0;
-              frontier.push(cur, m, key);
+              const std::int32_t child = frontier.push(cur, m, key);
+              if (pw != 0) {
+                model.por_child_sleep(phase, m, ps.prior.data(),
+                                      frontier.sleep_slot(child));
+                mask_set(ps.prior.data(), m.node);
+              }
             }
             break;
         }
@@ -193,8 +223,11 @@ class FrontierEngine final : public SearchEngine {
     Frontier frontier;
     std::vector<SearchMove> moves;
     std::vector<StateSnapshot> backlog;
-    PhaseState(FrontierOrder order, std::uint32_t restart_interval)
-        : frontier(order, 0, restart_interval) {}
+    std::vector<std::uint64_t> cur_sleep;  ///< popped snapshot's sleep mask
+    std::vector<std::uint64_t> prior;      ///< earlier-sibling mask at push
+    PhaseState(FrontierOrder order, std::uint32_t restart_interval,
+               RestartPolicy restart_policy)
+        : frontier(order, 0, restart_interval, restart_policy) {}
   };
 
   FrontierOrder order_;

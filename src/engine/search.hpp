@@ -111,6 +111,41 @@ class SearchModel {
     (void)m;
     return 0;
   }
+
+  // -- partial-order reduction hooks (optional) -----------------------------
+  // A model that returns nonzero por_words() runs sleep-set DPOR (see
+  // docs/architecture.md "Partial-order reduction"). DFS engines keep the
+  // sleep sets implicit in the model's LIFO path and only provide the
+  // source-set backtrack hook; frontier engines store one sleep mask per
+  // pending snapshot and thread it through attach/child-sleep.
+
+  /// Mask width (64-bit words) of this model's sleep sets; 0 = POR off.
+  [[nodiscard]] virtual std::size_t por_words() const { return 0; }
+
+  /// Frontier engines: hands the model the sleep mask (`por_words()` words,
+  /// engine-owned, valid until the next call) of the snapshot just restored,
+  /// before its mark_visited()/expand(). Never called by DFS engines.
+  virtual void por_attach_sleep(const std::uint64_t* sleep) { (void)sleep; }
+
+  /// Frontier engines: computes into `out` the sleep mask of the child
+  /// reached by `m` from the current state — (sleep ∪ prior) ∖ dep(m.node),
+  /// where `prior` marks the siblings pushed before `m` and the state's own
+  /// sleep mask is whatever por_attach_sleep() installed.
+  virtual void por_child_sleep(std::size_t phase, const SearchMove& m,
+                               const std::uint64_t* prior, std::uint64_t* out) {
+    (void)phase;
+    (void)m;
+    (void)prior;
+    (void)out;
+  }
+
+  /// DFS engines: called between sibling subtrees of the current state. The
+  /// model may append source-set backtrack moves to `moves` — siblings that
+  /// races observed inside the explored subtrees proved necessary.
+  virtual void por_extend(std::size_t phase, std::vector<SearchMove>& moves) {
+    (void)phase;
+    (void)moves;
+  }
 };
 
 class SearchEngine {
@@ -148,12 +183,25 @@ enum class SearchEngineKind : std::uint8_t {
          kind == SearchEngineKind::kRandomRestart;
 }
 
+/// When kRandomRestart jumps back to the shallowest pending state.
+enum class RestartPolicy : std::uint8_t {
+  kFixedPeriod,  ///< every `restart_interval` pops (the original behavior)
+  kLuby,         ///< after restart_interval × u_k pops, u = Luby sequence
+                 ///< 1,1,2,1,1,2,4,… (OEIS A182105) — the universal optimal
+                 ///< schedule for restart-based search
+};
+
+/// u_i of the Luby restart sequence, 1-indexed: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,…
+[[nodiscard]] std::uint32_t luby_value(std::uint32_t i);
+
 struct SearchEngineConfig {
   /// Seeds kRandomRestart's pop order (fuzz harnesses reproduce a failing
   /// exploration from the seed alone; see docs/architecture.md).
   std::uint64_t seed = 1;
-  /// kRandomRestart: pops between restarts to the shallowest pending state.
+  /// kRandomRestart: base unit of pops between restarts to the shallowest
+  /// pending state (scaled by the Luby sequence under RestartPolicy::kLuby).
   std::uint32_t restart_interval = 64;
+  RestartPolicy restart_policy = RestartPolicy::kLuby;
   /// Frontier engines: when nonzero, auto-split the frontier every N pops
   /// into a deferred backlog that is re-injected once the frontier drains —
   /// exercises the split()/inject() work-sharing path (tests, bench).

@@ -1,6 +1,7 @@
 #include "rpvp/explorer.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "protocols/bgp.hpp"
@@ -65,6 +66,7 @@ Explorer::Explorer(const Network& net, const Pec& pec, std::vector<PrefixTask> t
     if (!tasks_[i].process->cacheable()) ad_cache_on_ = false;
   }
   ad_cache_.reset(t);
+  sleep_words_ = (n + 63) / 64;
   // Scratch arenas: size for the worst case up front so the hot path never
   // grows them (peer lists are bounded by the node count).
   advs_scratch_.reserve(n);
@@ -91,6 +93,32 @@ Explorer::Explorer(const Network& net, const Pec& pec, std::vector<PrefixTask> t
     if (!pp.ospf_origins.empty() && !pp.bgp_origins.empty()) early_stop_ok_ = false;
   }
   influence_active_ = early_stop_ok_ && pec_.prefixes.size() == 1;
+  is_source_node_.assign(n, 0);
+  for (const NodeId s : sources_) is_source_node_[s] = 1;
+
+  // POR applicability. Exhaustive engines only; the exact visited backend
+  // only (the sleep-aware store is exact — pairing it with a lossy backend
+  // would silently change the Fig. 9 ablation semantics). The §4.2 source
+  // early-stop needs care: the sources' routes at the cut are
+  // linearization-invariant under consistent-only execution, so verdicts
+  // survive the reduction — but the cut state itself (non-source RIBs) is
+  // order-dependent, so the cut-state *multiset* shrinks. POR therefore
+  // turns itself off whenever something enumerates cut states: outcome
+  // recording for dependent PECs, find-all duplicate-violation reporting,
+  // or inconsistent execution (where even source routes churn).
+  por_mode_ = PorMode::kOff;
+  const bool cut_states_observed =
+      early_stop_ok_ && (!opts_.consistent_only || opts_.record_outcomes ||
+                         opts_.find_all_violations);
+  if (opts_.por && opts_.visited == VisitedKind::kExact &&
+      !cut_states_observed) {
+    const SearchEngineKind ek = opts_.engine();
+    if (ek == SearchEngineKind::kDfs) {
+      por_mode_ = PorMode::kDfs;
+    } else if (is_frontier(ek)) {
+      por_mode_ = PorMode::kFrontierSleep;
+    }
+  }
 }
 
 ExploreResult Explorer::run() {
@@ -100,12 +128,20 @@ ExploreResult Explorer::run() {
     has_deadline_ = true;
   }
   explore_failures(0);
-  result_.stats.states_stored = visited_->stored();
+  result_.stats.states_stored = stored_states();
   result_.stats.frontier_peak = engine_->frontier_peak();
   result_.stats.bytes_paths = ctx_.paths.bytes();
   result_.stats.bytes_routes = ctx_.routes.bytes();
   result_.stats.bytes_visited = visited_->bytes() + failure_sets_seen_.bytes() +
                                 signatures_seen_.bytes();
+  if (por_mode_ != PorMode::kOff) {
+    result_.stats.bytes_visited +=
+        por_pool_.capacity() * sizeof(std::uint64_t) +
+        por_entries_.capacity() * sizeof(PorEntry) +
+        por_index_.size() *
+            (sizeof(std::uint64_t) + sizeof(std::uint32_t) + sizeof(void*)) +
+        indep_.bytes();
+  }
   std::size_t rib_bytes = 0;
   for (const auto& r : rib_) rib_bytes += r.capacity() * sizeof(RouteId);
   for (const auto& s : status_) rib_bytes += s.capacity() * sizeof(NodeStatus);
@@ -118,7 +154,7 @@ ExploreResult Explorer::run() {
 
 bool Explorer::budget_exhausted() {
   if (result_.timed_out || result_.state_limit_hit) return true;
-  if (opts_.max_states != 0 && visited_->stored() > opts_.max_states) {
+  if (opts_.max_states != 0 && stored_states() > opts_.max_states) {
     result_.state_limit_hit = true;
     return true;
   }
@@ -235,6 +271,7 @@ Explorer::Flow Explorer::check_failure_set() {
   for (std::size_t i = 0; i < ups.size(); ++i) {
     ctx_.upstream = ups[i];
     for (auto& t : tasks_) t.process->prepare(failures_, ctx_);
+    if (por_mode_ != PorMode::kOff) por_prepare();
     if (ad_cache_on_) {
       // One cache generation per (failure set, upstream outcome index):
       // prepare() changed the live-peer lists, and upstream-dependent
@@ -281,6 +318,18 @@ Explorer::Flow Explorer::begin_phase(std::size_t task_idx) {
     codec_.record(task_idx, o, kNoRoute, r);
   }
   for (const NodeId m : proc.members()) refresh_node(task_idx, m);
+  if (por_mode_ == PorMode::kDfs) {
+    // Fresh phase subtree: empty sleep set at the root, and races never
+    // reach past the phase entry (the previous phases' moves are fixed
+    // context for this phase, not reorderable events).
+    por_ensure_depth(por_depth_);
+    std::fill_n(sleep_stack_.begin() + por_depth_ * sleep_words_, sleep_words_,
+                0);
+    std::fill_n(subtree_stack_.begin() + por_depth_ * sleep_words_,
+                sleep_words_, 0);
+    entry_stack_[por_depth_] = kPorNoEntry;
+    phase_root_stack_.push_back(por_depth_);
+  }
 
   TrailEvent ev;
   ev.kind = TrailEvent::Kind::kBeginPrefix;
@@ -288,6 +337,7 @@ Explorer::Flow Explorer::begin_phase(std::size_t task_idx) {
   trail_.events.push_back(ev);
   const Flow f = engine_->search(*this, task_idx);
   trail_.events.pop_back();
+  if (por_mode_ == PorMode::kDfs) phase_root_stack_.pop_back();
   return f;
 }
 
@@ -296,6 +346,7 @@ Explorer::Flow Explorer::advance(std::size_t task_idx) {
 }
 
 bool Explorer::mark_visited(std::size_t task_idx) {
+  if (por_mode_ != PorMode::kOff) return por_mark_visited(task_idx);
   if (!visited_->insert(codec_.state_key(task_idx))) {
     ++result_.stats.revisits_skipped;
     return false;
@@ -448,10 +499,12 @@ void Explorer::apply(std::size_t task_idx, SearchMove& m) {
   ev.route = m.route;
   trail_.events.push_back(ev);
   refresh_around(task_idx, m.node);
+  if (por_mode_ == PorMode::kDfs) por_on_apply(task_idx, m);
   ++result_.stats.states_explored;
 }
 
 void Explorer::undo(std::size_t task_idx, const SearchMove& m) {
+  if (por_mode_ == PorMode::kDfs) por_on_undo(task_idx, m);
   auto& rib = rib_[task_idx];
   trail_.events.pop_back();
   rib[m.node] = m.prev;
@@ -491,19 +544,29 @@ Explorer::Step Explorer::expand(std::size_t task_idx,
   };
   if (opts_.incremental_expand) {
     for (const NodeId n : active_[task_idx].items()) {
-      if (!classify(n)) return Step::kPruned;
+      if (!classify(n)) {
+        por_mark_terminal();  // inconsistency is sleep-set-independent
+        return Step::kPruned;
+      }
     }
   } else {
     for (const NodeId n : proc.members()) {
-      if (!classify(n)) return Step::kPruned;
+      if (!classify(n)) {
+        por_mark_terminal();
+        return Step::kPruned;
+      }
     }
   }
 
-  if (enabled.empty()) return Step::kConverged;  // converged (E = ∅)
+  if (enabled.empty()) {
+    por_mark_terminal();
+    return Step::kConverged;  // converged (E = ∅)
+  }
 
   // §4.2: once every source has decided, the policy outcome for this phase
   // is fixed; finish the execution here.
   if (early_stop_ok_ && sources_all_committed(task_idx)) {
+    por_mark_terminal();
     return Step::kConverged;
   }
 
@@ -535,6 +598,13 @@ Explorer::Step Explorer::expand(std::size_t task_idx,
           ++result_.stats.det_steps;
         } else {
           ++result_.stats.nondet_branches;
+        }
+        if (por_mode_ != PorMode::kOff) {
+          // §4.1.2 composes with DPOR: the theorem licenses following dn
+          // alone here, so the enabled/emitted sets both become {dn} and any
+          // race backtrack request at this state resolves to nothing.
+          por_nodes_scratch_.assign(1, dn);
+          return por_emit(task_idx, moves, por_nodes_scratch_, true);
         }
         push_moves(dn);
         return Step::kBranch;
@@ -569,6 +639,22 @@ Explorer::Step Explorer::expand(std::size_t task_idx,
     if (!filtered_scratch_.empty()) enabled.swap(filtered_scratch_);
   }
 
+  if (early_stop_ok_ && enabled.size() > 1) {
+    // Cut-minimizing emission order: uncommitted policy sources first, so the
+    // canonical (first-explored) linearizations reach the §4.2 source-commit
+    // cut with as little irrelevant progress as possible; under POR, sleep
+    // and source sets then prune most late-source orderings. Applied
+    // unconditionally so the single-execution engine's leftmost path is the
+    // same path every exhaustive engine (POR on or off) explores first.
+    std::stable_partition(enabled.begin(), enabled.end(), [&](NodeId n) {
+      return is_source_node_[n] != 0;
+    });
+  }
+
+  if (por_mode_ != PorMode::kOff) {
+    return por_emit(task_idx, moves, enabled, false);
+  }
+
   bool counted_branch = false;
   for (const NodeId n : enabled) {
     if (moves.size() >= move_budget) break;  // engine won't take more
@@ -589,6 +675,343 @@ Explorer::Step Explorer::expand(std::size_t task_idx,
     push_moves(n);
   }
   return Step::kBranch;
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic partial-order reduction (sleep + source sets)
+// docs/architecture.md "Partial-order reduction"
+// ---------------------------------------------------------------------------
+
+void Explorer::por_prepare() {
+  // Once per (failure set × upstream outcome): peers() — and with it the
+  // move footprints — depend on which sessions the failure set leaves up.
+  const auto t0 = std::chrono::steady_clock::now();
+  indep_.reset(tasks_.size(), net_.topo.node_count());
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    const auto& proc = *tasks_[t].process;
+    if (!proc.cacheable()) {
+      // Conservative fallback: a process with impure advertisement (hidden
+      // route-map state) has no reliable footprint — make every pair of its
+      // moves conflict, so sleep sets never populate for this task and its
+      // exploration is unchanged.
+      indep_.set_all_dependent(t);
+      continue;
+    }
+    for (const NodeId m : proc.members()) {
+      indep_.add_transition(t, m, proc.peers(m));
+    }
+  }
+  result_.stats.por_footprint_time +=
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0);
+}
+
+void Explorer::por_ensure_depth(std::size_t depth) {
+  const std::size_t need = (depth + 1) * sleep_words_;
+  if (sleep_stack_.size() < need) {
+    sleep_stack_.resize(need, 0);
+    prior_stack_.resize(need, 0);
+    enabled_stack_.resize(need, 0);
+    emitted_stack_.resize(need, 0);
+    bt_stack_.resize(need, 0);
+    subtree_stack_.resize(need, 0);
+  }
+  if (entry_stack_.size() <= depth) {
+    entry_stack_.resize(depth + 1, kPorNoEntry);
+  }
+}
+
+bool Explorer::por_mark_visited(std::size_t task_idx) {
+  const std::size_t w = sleep_words_;
+  const bool dfs = por_mode_ == PorMode::kDfs;
+  const std::uint64_t* cur = por_active_sleep();
+  // The re-exploration restriction (difference rule below) applies only to
+  // the expand() that immediately follows; every visit starts unrestricted.
+  por_mask_scratch_.clear();
+  const auto [it, fresh] = por_index_.try_emplace(
+      codec_.state_key(task_idx), static_cast<std::uint32_t>(0));
+  if (fresh) {
+    const auto idx = static_cast<std::uint32_t>(por_entries_.size());
+    it->second = idx;
+    PorEntry e;
+    e.off = static_cast<std::uint32_t>(por_pool_.size());
+    por_entries_.push_back(e);
+    por_pool_.insert(por_pool_.end(), cur, cur + w);  // the arrival sleep set
+    if (dfs) por_pool_.insert(por_pool_.end(), w, 0);  // subtree summary
+    por_cur_entry_ = idx;
+    if (dfs) entry_stack_[por_depth_] = idx;
+    result_.stats.max_depth =
+        std::max<std::uint64_t>(result_.stats.max_depth, trail_.events.size());
+    return true;
+  }
+  const std::uint32_t idx = it->second;
+  PorEntry& e = por_entries_[idx];
+  if ((e.flags & kPorTerminal) != 0) {
+    // Converged or inconsistency-pruned: the classification is independent
+    // of the sleep set, so the revisit is always redundant.
+    ++result_.stats.revisits_skipped;
+    return false;
+  }
+  std::uint64_t* stored = &por_pool_[e.off];
+  bool subset = true;
+  for (std::size_t i = 0; i < w; ++i) {
+    if ((stored[i] & ~cur[i]) != 0) {
+      subset = false;
+      break;
+    }
+  }
+  if (dfs) {
+    // Whether we skip or partially re-explore, the subtree explored from
+    // this state on earlier visits stays part of the current path's
+    // coverage: replay its executed-node summary against the path for
+    // source-set race detection, and seed the live summary with it so
+    // ancestors inherit it (por_on_undo).
+    const std::uint64_t* sum = stored + w;
+    std::copy(sum, sum + w, subtree_stack_.begin() + por_depth_ * w);
+    por_race_mask(task_idx, sum);
+  }
+  if (subset) {
+    // stored ⊆ current: every move awake now was awake then — the earlier
+    // exploration covers this visit entirely.
+    ++result_.stats.revisits_skipped;
+    return false;
+  }
+  // Godefroid's difference rule (state caching + sleep sets): re-explore
+  // only the moves that were asleep on the stored visit but are awake now
+  // (stored ∖ current) — everything else is covered by the earlier visit.
+  // Children keep the plain arrival sleep set; the restriction is an
+  // emission filter, not a sleep set. The stored mask shrinks to the
+  // intersection, strictly, which bounds the number of re-visits.
+  por_mask_scratch_.resize(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    por_mask_scratch_[i] = stored[i] & ~cur[i];
+    stored[i] &= cur[i];
+  }
+  por_cur_entry_ = idx;
+  if (dfs) entry_stack_[por_depth_] = idx;
+  result_.stats.max_depth =
+      std::max<std::uint64_t>(result_.stats.max_depth, trail_.events.size());
+  return true;
+}
+
+void Explorer::por_mark_terminal() {
+  if (por_mode_ == PorMode::kOff || por_cur_entry_ == kPorNoEntry) return;
+  por_entries_[por_cur_entry_].flags |= kPorTerminal;
+}
+
+void Explorer::emit_node_moves(std::size_t task_idx, NodeId n,
+                               std::vector<SearchMove>& moves) {
+  collect_updates(task_idx, n);
+  if (updates_scratch_.empty()) {
+    // Invalid node with no usable advertisement: withdraw (naive mode).
+    SearchMove m;
+    m.kind = SearchMove::Kind::kWithdraw;
+    m.node = n;
+    m.route = kNoRoute;
+    moves.push_back(m);
+    return;
+  }
+  for (std::size_t i = 0; i < updates_scratch_.size(); ++i) {
+    SearchMove m;
+    m.kind = SearchMove::Kind::kSelect;
+    m.node = n;
+    m.peer = update_peers_scratch_[i];
+    m.route = updates_scratch_[i];
+    moves.push_back(m);
+  }
+}
+
+Explorer::Step Explorer::por_emit(std::size_t task_idx,
+                                  std::vector<SearchMove>& moves,
+                                  std::vector<NodeId>& nodes,
+                                  bool deterministic) {
+  const std::size_t w = sleep_words_;
+  const bool dfs = por_mode_ == PorMode::kDfs;
+  const std::uint64_t* sleep = por_active_sleep();
+  std::size_t kept = 0;
+  for (const NodeId n : nodes) {
+    if (mask_test(sleep, n)) continue;  // covered by an earlier sibling
+    if (!por_mask_scratch_.empty() &&
+        !mask_test(por_mask_scratch_.data(), n)) {
+      continue;  // difference rule: covered by the stored visit
+    }
+    nodes[kept++] = n;
+  }
+  result_.stats.por_pruned += nodes.size() - kept;
+  nodes.resize(kept);
+  por_mask_scratch_.clear();
+  if (kept == 0) return Step::kPruned;  // not terminal: context-dependent
+  if (!dfs) {
+    for (const NodeId n : nodes) emit_node_moves(task_idx, n, moves);
+    return Step::kBranch;
+  }
+  por_ensure_depth(por_depth_);
+  std::uint64_t* en = &enabled_stack_[por_depth_ * w];
+  std::uint64_t* em = &emitted_stack_[por_depth_ * w];
+  std::fill_n(en, w, 0);
+  std::fill_n(em, w, 0);
+  std::fill_n(bt_stack_.begin() + por_depth_ * w, w, 0);
+  std::fill_n(prior_stack_.begin() + por_depth_ * w, w, 0);
+  for (const NodeId n : nodes) mask_set(en, n);
+  // Source-set lazy emission: hand the engine only the first awake node's
+  // moves. Races observed inside its subtree request exactly the siblings
+  // whose orderings that subtree does not cover (por_race → por_extend);
+  // everything never requested is never explored. Deterministic states are
+  // the §4.1.2 exception: dn alone is the theorem's choice, and with
+  // enabled = emitted = {dn} race requests here resolve to nothing.
+  const std::size_t emit_n = deterministic ? kept : 1;
+  if (!deterministic && kept > 1) ++result_.stats.por_source_sets;
+  for (std::size_t i = 0; i < emit_n; ++i) {
+    emit_node_moves(task_idx, nodes[i], moves);
+    mask_set(em, nodes[i]);
+  }
+  // Difference-rule re-visit: the earlier visit's subtree (seeded into this
+  // depth's summary by por_mark_visited) must also file its requests against
+  // the enabled frame that now exists — the sweep in por_mark_visited ran
+  // before it was set.
+  por_race_mask(task_idx, &subtree_stack_[por_depth_ * w]);
+  if (!deterministic && (kept > 1 || moves.size() > 1)) {
+    ++result_.stats.nondet_branches;
+  }
+  return Step::kBranch;
+}
+
+void Explorer::por_on_apply(std::size_t task_idx, const SearchMove& m) {
+  const std::size_t w = sleep_words_;
+  const std::size_t d = por_depth_;
+  por_ensure_depth(d + 1);
+  // Classic sleep-set inheritance: the child sleeps everything the parent
+  // slept plus the siblings explored before this move, minus whatever this
+  // move conflicts with. Only *previously explored* siblings go in (prior),
+  // never later ones — mutual sleeping would drop both orders of an
+  // independent pair.
+  sleep_child(&sleep_stack_[(d + 1) * w], &sleep_stack_[d * w],
+              &prior_stack_[d * w], indep_.row(task_idx, m.node), w);
+  mask_set(&prior_stack_[d * w], m.node);
+  por_race(task_idx, m.node, d);
+  ++por_depth_;
+  // Fresh frames for the child state — por_on_undo and por_race read them
+  // even when the child is skipped as visited and never expands.
+  std::fill_n(subtree_stack_.begin() + (d + 1) * w, w, 0);
+  std::fill_n(enabled_stack_.begin() + (d + 1) * w, w, 0);
+  std::fill_n(emitted_stack_.begin() + (d + 1) * w, w, 0);
+  std::fill_n(bt_stack_.begin() + (d + 1) * w, w, 0);
+  entry_stack_[d + 1] = kPorNoEntry;
+}
+
+void Explorer::por_on_undo(std::size_t task_idx, const SearchMove& m) {
+  (void)task_idx;
+  const std::size_t w = sleep_words_;
+  const std::size_t child = por_depth_;
+  const std::size_t d = child - 1;
+  // The child's expansion is complete: persist what its subtree executed so
+  // future cache hits on it can replay the races (merge, never overwrite —
+  // difference-rule re-visits only add executions).
+  const std::uint32_t e = entry_stack_[child];
+  if (e != kPorNoEntry) {
+    std::uint64_t* sum = &por_pool_[por_entries_[e].off + w];
+    for (std::size_t i = 0; i < w; ++i) sum[i] |= subtree_stack_[child * w + i];
+  }
+  // Awake siblings no race ever demanded are source-set savings.
+  for (std::size_t i = 0; i < w; ++i) {
+    result_.stats.por_pruned += static_cast<std::uint64_t>(std::popcount(
+        enabled_stack_[child * w + i] & ~emitted_stack_[child * w + i]));
+  }
+  for (std::size_t i = 0; i < w; ++i) {
+    subtree_stack_[d * w + i] |= subtree_stack_[child * w + i];
+  }
+  mask_set(&subtree_stack_[d * w], m.node);
+  --por_depth_;
+}
+
+void Explorer::por_race(std::size_t task_idx, NodeId node,
+                        std::size_t below_depth) {
+  // Every awake enabled-but-unexplored sibling of an ancestor state (this
+  // phase only — earlier phases are fixed context, not reorderable events)
+  // that conflicts with `node` must eventually be explored from that
+  // ancestor: only an executed conflicting event can disable it, and a
+  // maximal execution cannot end with it still enabled, so a sibling whose
+  // first-move class would otherwise be lost is guaranteed to file this
+  // request before its class disappears. dep is reflexive, so this subsumes
+  // the classic racing-node request (`node` re-requests itself wherever it
+  // is an unexplored enabled choice).
+  // Empty outside run() (tests drive the SearchModel interface directly):
+  // sweep from depth 0, which can only over-request backtracks, never lose.
+  const std::size_t root = phase_root_stack_.empty() ? 0 : phase_root_stack_.back();
+  const std::uint64_t* dep = indep_.row(task_idx, node);
+  const std::size_t w = sleep_words_;
+  for (std::size_t i = root; i <= below_depth; ++i) {
+    for (std::size_t j = 0; j < w; ++j) {
+      bt_stack_[i * w + j] |= enabled_stack_[i * w + j] &
+                              ~emitted_stack_[i * w + j] & dep[j];
+    }
+  }
+}
+
+void Explorer::por_race_mask(std::size_t task_idx, const std::uint64_t* mask) {
+  // Replaying a cached subtree's executions: one ancestor sweep with the
+  // union of their dependence rows instead of one sweep per node.
+  const std::size_t w = sleep_words_;
+  por_dep_scratch_.assign(w, 0);
+  bool any = false;
+  for (std::size_t wi = 0; wi < w; ++wi) {
+    std::uint64_t bits = mask[wi];
+    while (bits != 0) {
+      const auto n = static_cast<NodeId>(
+          wi * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+      const std::uint64_t* dep = indep_.row(task_idx, n);
+      for (std::size_t j = 0; j < w; ++j) por_dep_scratch_[j] |= dep[j];
+      any = true;
+    }
+  }
+  if (!any) return;
+  const std::size_t root = phase_root_stack_.empty() ? 0 : phase_root_stack_.back();
+  for (std::size_t i = root; i <= por_depth_; ++i) {
+    for (std::size_t j = 0; j < w; ++j) {
+      bt_stack_[i * w + j] |= enabled_stack_[i * w + j] &
+                              ~emitted_stack_[i * w + j] & por_dep_scratch_[j];
+    }
+  }
+}
+
+// -- SearchModel POR hooks ---------------------------------------------------
+
+std::size_t Explorer::por_words() const {
+  return por_mode_ == PorMode::kFrontierSleep ? sleep_words_ : 0;
+}
+
+void Explorer::por_attach_sleep(const std::uint64_t* sleep) {
+  external_sleep_ = sleep;
+}
+
+void Explorer::por_child_sleep(std::size_t task_idx, const SearchMove& m,
+                               const std::uint64_t* prior,
+                               std::uint64_t* out) {
+  sleep_child(out, por_active_sleep(), prior, indep_.row(task_idx, m.node),
+              sleep_words_);
+}
+
+void Explorer::por_extend(std::size_t task_idx,
+                          std::vector<SearchMove>& moves) {
+  if (por_mode_ != PorMode::kDfs) return;
+  const std::size_t w = sleep_words_;
+  const std::size_t d = por_depth_;
+  std::uint64_t* bt = &bt_stack_[d * w];
+  std::uint64_t* em = &emitted_stack_[d * w];
+  const std::uint64_t* en = &enabled_stack_[d * w];
+  for (std::size_t i = 0; i < w; ++i) {
+    std::uint64_t take = bt[i] & en[i] & ~em[i];
+    bt[i] = 0;
+    em[i] |= take;
+    while (take != 0) {
+      const auto n = static_cast<NodeId>(i * 64 +
+                                         static_cast<std::size_t>(
+                                             std::countr_zero(take)));
+      take &= take - 1;
+      emit_node_moves(task_idx, n, moves);
+    }
+  }
 }
 
 Explorer::Flow Explorer::handle_converged() {

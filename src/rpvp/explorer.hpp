@@ -24,12 +24,14 @@
 
 #include <chrono>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "checker/stats.hpp"
 #include "checker/trail.hpp"
 #include "dataplane/fib.hpp"
 #include "engine/active_set.hpp"
+#include "engine/independence.hpp"
 #include "engine/search.hpp"
 #include "engine/state_codec.hpp"
 #include "engine/visited.hpp"
@@ -73,6 +75,16 @@ struct ExploreOptions {
   // assert bit-identical stats across the on/off matrix):
   /// Memoize advertised() per directed live session edge (rpvp/ad_cache.hpp).
   bool ad_cache = true;
+  /// Dynamic partial-order reduction over advertisement interleavings:
+  /// sleep sets + (under DFS) source-set backtracking, driven by the
+  /// footprint commutativity oracle (engine/independence.hpp). Prunes
+  /// redundant interleavings only — verdicts and violation sets are
+  /// identical to por = false; state counts legitimately drop
+  /// (docs/architecture.md "Partial-order reduction"; CLI --no-por).
+  /// Active for exhaustive engines with the exact visited backend; the
+  /// model turns it off itself whenever a composition it cannot prove
+  /// sound would arise (see Explorer's constructor).
+  bool por = true;
   /// Consume the incrementally maintained enabled set in expand() instead
   /// of rescanning every process member (engine/active_set.hpp).
   bool incremental_expand = true;
@@ -99,6 +111,9 @@ struct ExploreOptions {
   std::uint64_t engine_seed = 1;
   /// Frontier work-sharing exercise knob (SearchEngineConfig::split_every).
   std::uint32_t engine_split_every = 0;
+  /// kRandomRestart restart schedule: Luby by default, kFixedPeriod keeps
+  /// the original every-N-pops behavior.
+  RestartPolicy engine_restart_policy = RestartPolicy::kLuby;
 
   [[nodiscard]] SearchEngineKind engine() const {
     return simulation ? SearchEngineKind::kSingleExecution : engine_kind;
@@ -108,6 +123,7 @@ struct ExploreOptions {
     SearchEngineConfig c;
     c.seed = engine_seed;
     c.split_every = engine_split_every;
+    c.restart_policy = engine_restart_policy;
     return c;
   }
 
@@ -119,6 +135,7 @@ struct ExploreOptions {
     o.lec_failures = false;
     o.policy_pruning = false;
     o.suppress_equivalent = false;
+    o.por = false;
     return o;
   }
 };
@@ -199,6 +216,11 @@ class Explorer final : public SearchModel {
                                               const SearchMove& m) const override {
     return codec_.preview_key(task_idx, m.node, rib_[task_idx][m.node], m.route);
   }
+  [[nodiscard]] std::size_t por_words() const override;
+  void por_attach_sleep(const std::uint64_t* sleep) override;
+  void por_child_sleep(std::size_t task_idx, const SearchMove& m,
+                       const std::uint64_t* prior, std::uint64_t* out) override;
+  void por_extend(std::size_t task_idx, std::vector<SearchMove>& moves) override;
 
  private:
   using Flow = SearchFlow;
@@ -270,6 +292,70 @@ class Explorer final : public SearchModel {
 
   AdCache ad_cache_;                                ///< advertised() memo
   bool ad_cache_on_ = false;                        ///< opts_.ad_cache && cacheable
+
+  // -- dynamic partial-order reduction (sleep + source sets) ---------------
+  // docs/architecture.md "Partial-order reduction". kDfs mode runs the full
+  // reduction (sleep sets, source-set lazy sibling emission with race-driven
+  // backtracking, subtree summaries); frontier mode runs sleep sets only,
+  // with masks stored per pending snapshot by the engine.
+  enum class PorMode : std::uint8_t { kOff, kDfs, kFrontierSleep };
+  PorMode por_mode_ = PorMode::kOff;
+  std::size_t sleep_words_ = 0;               ///< ceil(nodes / 64)
+  IndependenceOracle indep_;                  ///< footprint commutativity
+  std::vector<std::uint8_t> is_source_node_;  ///< policy source membership
+  const std::uint64_t* external_sleep_ = nullptr;  ///< frontier-attached mask
+  std::size_t por_depth_ = 0;                 ///< applied moves on path (dfs)
+  // Per-depth frames of the DFS path (each sleep_words_ wide):
+  std::vector<std::uint64_t> sleep_stack_;    ///< inherited sleep sets
+  std::vector<std::uint64_t> prior_stack_;    ///< explored earlier siblings
+  std::vector<std::uint64_t> enabled_stack_;  ///< awake enabled nodes
+  std::vector<std::uint64_t> emitted_stack_;  ///< node groups handed out
+  std::vector<std::uint64_t> bt_stack_;       ///< pending backtrack requests
+  std::vector<std::uint64_t> subtree_stack_;  ///< executed-node summaries
+  std::vector<std::uint32_t> entry_stack_;    ///< visited entry per depth
+  std::vector<std::size_t> phase_root_stack_; ///< por_depth_ at phase entry
+  // Sleep-aware visited store — replaces the visited backend when POR is on
+  // (the ⊆-rule needs the stored sleep mask; the DFS race replay needs the
+  // subtree summary; terminal states are skipped under any sleep set):
+  struct PorEntry {
+    std::uint32_t flags = 0;
+    std::uint32_t off = 0;  ///< index into por_pool_
+  };
+  static constexpr std::uint32_t kPorTerminal = 1;
+  static constexpr std::uint32_t kPorNoEntry = 0xffffffffu;
+  std::unordered_map<std::uint64_t, std::uint32_t> por_index_;
+  std::vector<PorEntry> por_entries_;
+  std::vector<std::uint64_t> por_pool_;  ///< per entry: sleep [+ summary]
+  std::uint32_t por_cur_entry_ = kPorNoEntry;  ///< entry of the state being expanded
+  std::vector<NodeId> por_nodes_scratch_;
+  /// Difference-rule re-exploration restriction for the expand() that
+  /// immediately follows por_mark_visited (empty = unrestricted).
+  std::vector<std::uint64_t> por_mask_scratch_;
+  std::vector<std::uint64_t> por_dep_scratch_;  ///< replay dep-row union
+  [[nodiscard]] std::uint64_t stored_states() const {
+    return por_mode_ == PorMode::kOff ? visited_->stored() : por_index_.size();
+  }
+  /// collect_updates(n) + emit its moves (or the naive-mode withdraw).
+  void emit_node_moves(std::size_t task_idx, NodeId n,
+                       std::vector<SearchMove>& moves);
+  void por_prepare();
+  void por_ensure_depth(std::size_t depth);
+  [[nodiscard]] std::size_t por_stride() const {
+    return por_mode_ == PorMode::kDfs ? 2 * sleep_words_ : sleep_words_;
+  }
+  [[nodiscard]] const std::uint64_t* por_active_sleep() const {
+    return por_mode_ == PorMode::kFrontierSleep
+               ? external_sleep_
+               : &sleep_stack_[por_depth_ * sleep_words_];
+  }
+  bool por_mark_visited(std::size_t task_idx);
+  void por_mark_terminal();
+  Step por_emit(std::size_t task_idx, std::vector<SearchMove>& moves,
+                std::vector<NodeId>& nodes, bool deterministic);
+  void por_on_apply(std::size_t task_idx, const SearchMove& m);
+  void por_on_undo(std::size_t task_idx, const SearchMove& m);
+  void por_race(std::size_t task_idx, NodeId node, std::size_t below_depth);
+  void por_race_mask(std::size_t task_idx, const std::uint64_t* mask);
 
   // Scratch arenas: per-call buffers hoisted out of the hot path so a
   // steady-state apply/undo/expand cycle performs zero heap allocations

@@ -42,6 +42,9 @@ void put_stats(std::string& out, const SearchStats& s) {
   put_int(out, s.ad_cache_hits);
   put_int(out, s.ad_cache_misses);
   put_int(out, s.dirty_refreshes);
+  put_int(out, s.por_pruned);
+  put_int(out, s.por_source_sets);
+  put_int(out, static_cast<std::int64_t>(s.por_footprint_time.count()));
   put_int(out, s.frontier_peak);
   put_int(out, s.max_depth);
   put_int(out, static_cast<std::uint64_t>(s.bytes_paths));
@@ -55,6 +58,7 @@ void put_stats(std::string& out, const SearchStats& s) {
 bool get_stats(std::string_view& in, SearchStats& s) {
   std::uint64_t sz[5] = {};
   std::int64_t ns = 0;
+  std::int64_t por_ns = 0;
   const bool ok =
       get_int(in, s.states_explored) && get_int(in, s.states_stored) &&
       get_int(in, s.revisits_skipped) && get_int(in, s.converged_states) &&
@@ -62,11 +66,14 @@ bool get_stats(std::string_view& in, SearchStats& s) {
       get_int(in, s.pruned_inconsistent) && get_int(in, s.det_steps) &&
       get_int(in, s.nondet_branches) && get_int(in, s.failure_sets) &&
       get_int(in, s.ad_cache_hits) && get_int(in, s.ad_cache_misses) &&
-      get_int(in, s.dirty_refreshes) && get_int(in, s.frontier_peak) &&
+      get_int(in, s.dirty_refreshes) && get_int(in, s.por_pruned) &&
+      get_int(in, s.por_source_sets) && get_int(in, por_ns) &&
+      get_int(in, s.frontier_peak) &&
       get_int(in, s.max_depth) && get_int(in, sz[0]) && get_int(in, sz[1]) &&
       get_int(in, sz[2]) && get_int(in, sz[3]) && get_int(in, sz[4]) &&
       get_int(in, ns);
   if (!ok) return false;
+  s.por_footprint_time = std::chrono::nanoseconds(por_ns);
   s.bytes_paths = static_cast<std::size_t>(sz[0]);
   s.bytes_routes = static_cast<std::size_t>(sz[1]);
   s.bytes_visited = static_cast<std::size_t>(sz[2]);
@@ -265,10 +272,10 @@ bool decode_task_done(std::string_view in, TaskDoneMsg& out) {
   };
   std::uint32_t n = 0;
   // One entry's exact wire size: pec (4) + 4 flag bytes + the SearchStats
-  // block (21 x 8). Using the full size matters: fits() with a smaller
+  // block (24 x 8). Using the full size matters: fits() with a smaller
   // stride would let a lying count amplify resize() far past the bytes
   // present.
-  constexpr std::size_t kPecDoneWireBytes = 4 + 4 + 21 * 8;
+  constexpr std::size_t kPecDoneWireBytes = 4 + 4 + 24 * 8;
   if (!get_int(in, out.task) || !get_int(in, n) ||
       !fits(in, n, kPecDoneWireBytes)) {
     return fail();

@@ -92,11 +92,20 @@ VerifyOptions base_options(const RandomInstance& inst) {
   // states; which representative gets checked is order-dependent, so the
   // differential fingerprint runs with it off (and checks *more* states).
   vo.explore.suppress_equivalent = false;
+  // Partial-order reduction is order-sensitive by design (which interleaving
+  // survives depends on the engine's visit order), so the cross-engine
+  // state-count fingerprint pins it off. PorOnMatchesPorOff below is the
+  // dedicated oracle for the reduction itself.
+  vo.explore.por = false;
   return vo;
 }
 
-Fingerprint fingerprint(const RandomInstance& inst, const EngineSetup& es) {
+Fingerprint fingerprint(const RandomInstance& inst, const EngineSetup& es,
+                        bool por = false, bool find_all = true,
+                        std::uint64_t* por_pruned = nullptr) {
   VerifyOptions vo = base_options(inst);
+  vo.explore.por = por;
+  vo.explore.find_all_violations = find_all;
   if (es.kind == SearchEngineKind::kSingleExecution) {
     vo.explore.simulation = true;
   } else {
@@ -106,6 +115,7 @@ Fingerprint fingerprint(const RandomInstance& inst, const EngineSetup& es) {
   vo.explore.engine_split_every = es.split_every;
   Verifier verifier(inst.net, vo);
   const VerifyResult r = verifier.verify(*inst.policy);
+  if (por_pruned != nullptr) *por_pruned += r.total.por_pruned;
   Fingerprint fp;
   fp.holds = r.holds;
   fp.states_stored = r.total.states_stored;
@@ -154,6 +164,54 @@ TEST(EngineDifferential, ExhaustiveEnginesAgreeOnRandomInstances) {
   // deterministic move trees).
   EXPECT_GT(widened, static_cast<std::uint64_t>(count) / 20)
       << "corpus too deterministic: frontier never widened";
+}
+
+TEST(EngineDifferential, PorOnMatchesPorOffOnRandomInstances) {
+  // Dynamic partial-order reduction against the por-off oracle. The
+  // reduction prunes *interior* interleavings only: every converged data
+  // plane is a terminal state of the move tree and keeps exactly one
+  // surviving path to it, so verdicts, violation multisets, converged-state
+  // counts, failure sets, and policy checks are all invariants — only
+  // states_stored legitimately drops. Checked per engine (kDfs runs the
+  // source-set reduction, the frontier engines the sleep-mask one, in two
+  // different visit orders).
+  const int count = instance_count();
+  std::uint64_t pruned = 0;
+  const std::vector<EngineSetup> engines = {
+      {"dfs", SearchEngineKind::kDfs, 1, 0},
+      {"bfs", SearchEngineKind::kBfs, 1, 0},
+      {"random-restart", SearchEngineKind::kRandomRestart, 42, 0},
+  };
+  for (int seed = 1; seed <= count; ++seed) {
+    const RandomInstance inst = make_random_instance(static_cast<std::uint64_t>(seed));
+    SCOPED_TRACE("instance seed " + std::to_string(seed) + " (" + inst.kind +
+                 ", k=" + std::to_string(inst.max_failures) + ", policy " +
+                 inst.policy->name() + ")");
+    for (const EngineSetup& es : engines) {
+      const Fingerprint off = fingerprint(inst, es, false);
+      Fingerprint on = fingerprint(inst, es, true, true, &pruned);
+      EXPECT_EQ(on.holds, off.holds) << "por changed the verdict under " << es.label;
+      EXPECT_EQ(on.violations, off.violations)
+          << "por changed the violation multiset under " << es.label;
+      EXPECT_EQ(on.converged_states, off.converged_states)
+          << "por lost a converged data plane under " << es.label;
+      EXPECT_EQ(on.failure_sets, off.failure_sets);
+      EXPECT_EQ(on.policy_checks, off.policy_checks);
+      EXPECT_LE(on.states_stored, off.states_stored)
+          << "por stored more states than the unreduced search";
+    }
+    // Early-stop + find-all instances self-gate POR off (duplicate violation
+    // counts at order-dependent cut states); the first-violation arm keeps
+    // the reduction active there, so the corpus also exercises that regime.
+    const Fingerprint off1 =
+        fingerprint(inst, {"dfs", SearchEngineKind::kDfs, 1, 0}, false, false);
+    const Fingerprint on1 = fingerprint(
+        inst, {"dfs", SearchEngineKind::kDfs, 1, 0}, true, false, &pruned);
+    EXPECT_EQ(on1.holds, off1.holds) << "por changed the first-violation verdict";
+  }
+  // The reduction must actually fire across the corpus, or the oracle above
+  // is vacuous.
+  EXPECT_GT(pruned, 0u) << "por never pruned a move across the corpus";
 }
 
 /// Dedup contract view: verdict + violation multiset *including rendered
