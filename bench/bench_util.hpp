@@ -141,4 +141,22 @@ inline void emit(const char* bench, const std::string& row, double time_ms,
   JsonSink::instance().add(JsonRecord{bench, row, time_ms, states, bytes});
 }
 
+/// Guards a timed row against accidental resource-governance budgets
+/// (VerifyOptions::budget, checker/budget.hpp): a tripped budget stops the
+/// exploration early, and a silently-truncated row would enter the committed
+/// trajectory as a fake speedup. Figure-intrinsic caps (wall_limit timeout
+/// bars, the fig9 state caps) are part of a row's definition and stay
+/// allowed. Deliberately budgeted rows must label themselves and skip this
+/// guard (the perf_smoke "budgeted" rows).
+template <typename VerifyOptionsT>
+inline const VerifyOptionsT& assert_unbudgeted(const VerifyOptionsT& vo) {
+  if (vo.budget.any()) {
+    std::fprintf(stderr,
+                 "bench: an unlabelled trajectory row carries a resource "
+                 "budget; budgeted rows must say so in their name\n");
+    std::abort();
+  }
+  return vo;
+}
+
 }  // namespace plankton::bench

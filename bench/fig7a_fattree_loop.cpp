@@ -45,7 +45,7 @@ int main() {
       for (const int c : cores) {
         VerifyOptions vo;
         vo.cores = c;
-        Verifier verifier(ft.net, vo);
+        Verifier verifier(ft.net, bench::assert_unbudgeted(vo));
         const LoopFreedomPolicy policy;
         const VerifyResult r = verifier.verify(policy);
         const bool expected = !fail_case;
@@ -71,7 +71,7 @@ int main() {
         VerifyOptions vo;
         vo.cores = 1;
         vo.pec_dedup = false;
-        Verifier verifier(ft.net, vo);
+        Verifier verifier(ft.net, bench::assert_unbudgeted(vo));
         const LoopFreedomPolicy policy;
         const VerifyResult r = verifier.verify(policy);
         std::printf("  Plankton (no dedup)      %14s  mem %8.2f MB  dedup speedup %.2fx\n",

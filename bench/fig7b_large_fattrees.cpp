@@ -29,7 +29,7 @@ int main() {
       const FatTree ft = make_fat_tree(o);
       VerifyOptions vo;
       vo.cores = 1;
-      Verifier verifier(ft.net, vo);
+      Verifier verifier(ft.net, bench::assert_unbudgeted(vo));
       const LoopFreedomPolicy policy;
       const VerifyResult r = verifier.verify(policy);
       const bool ok = r.holds == !fail_case;
@@ -68,7 +68,7 @@ int main() {
     const FatTree ft = make_fat_tree(o);
     VerifyOptions vo;
     vo.cores = 1;
-    Verifier verifier(ft.net, vo);
+    Verifier verifier(ft.net, bench::assert_unbudgeted(vo));
     const ReachabilityPolicy policy({ft.edges.begin(), ft.edges.end()});
     const VerifyResult r =
         verifier.verify_address(ft.edge_prefixes.back().addr(), policy);
@@ -94,7 +94,7 @@ int main() {
       VerifyOptions vo;
       vo.cores = 8;
       vo.scheduler = kind;
-      Verifier verifier(ft.net, vo);
+      Verifier verifier(ft.net, bench::assert_unbudgeted(vo));
       const VerifyResult r = verifier.verify(policy);
       const bool stealing = kind == sched::SchedulerKind::kWorkStealing;
       ms_by_kind[stealing ? 1 : 0] = bench::ms(r.wall);
@@ -133,7 +133,7 @@ int main() {
     for (const int shards : {1, 2, 4}) {
       VerifyOptions vo;
       vo.shards = shards;
-      Verifier verifier(ft.net, vo);
+      Verifier verifier(ft.net, bench::assert_unbudgeted(vo));
       const VerifyResult r = verifier.verify(policy);
       if (shards == 1) ms_one_shard = bench::ms(r.wall);
       char speedup[32] = "";

@@ -47,7 +47,7 @@ int main() {
 
       VerifyOptions vo;
       vo.cores = 1;
-      Verifier verifier(ft.net, vo);
+      Verifier verifier(ft.net, bench::assert_unbudgeted(vo));
       const VerifyResult r =
           verifier.verify_address(ft.edge_prefixes[0].addr(), policy);
       if (!r.holds) ++violations;
@@ -88,7 +88,7 @@ int main() {
       VerifyOptions vo;
       vo.cores = 1;
       vo.pec_dedup = dedup;
-      Verifier verifier(ft.net, vo);
+      Verifier verifier(ft.net, bench::assert_unbudgeted(vo));
       const VerifyResult r = verifier.verify(policy);
       wall[dedup ? 0 : 1] = bench::ms(r.wall);
       if (dedup) {

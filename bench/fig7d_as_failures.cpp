@@ -51,7 +51,7 @@ int main() {
       VerifyOptions vo;
       vo.cores = c;
       vo.explore.max_failures = 1;
-      Verifier verifier(topo.net, vo);
+      Verifier verifier(topo.net, bench::assert_unbudgeted(vo));
       const ReachabilityPolicy policy({ingress});
       const VerifyResult r = verifier.verify(policy);
       std::printf("  Plankton (%2d core%s)      %14s  mem %8.2f MB  holds=%s\n", c,

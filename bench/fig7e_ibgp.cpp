@@ -40,7 +40,7 @@ int main() {
     for (const int c : cores) {
       VerifyOptions vo;
       vo.cores = c;
-      Verifier verifier(topo.net, vo);
+      Verifier verifier(topo.net, bench::assert_unbudgeted(vo));
       const ReachabilityPolicy policy(
           {overlay.speakers.begin(), overlay.speakers.end()});
       const VerifyResult r = verifier.verify_address(overlay.external.addr(), policy);

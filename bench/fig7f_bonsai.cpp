@@ -42,14 +42,14 @@ int main() {
       vo.cores = 8;
       {
         bench::WallTimer t;
-        Verifier v(b.net, vo);
+        Verifier v(b.net, bench::assert_unbudgeted(vo));
         const ReachabilityPolicy p({qsrc});
         (void)v.verify_address(ft.edge_prefixes[d].addr(), p);
         pk_reach += t.elapsed();
       }
       {
         bench::WallTimer t;
-        Verifier v(b.net, vo);
+        Verifier v(b.net, bench::assert_unbudgeted(vo));
         const BoundedPathLengthPolicy p({qsrc}, 4);
         (void)v.verify_address(ft.edge_prefixes[d].addr(), p);
         pk_len += t.elapsed();

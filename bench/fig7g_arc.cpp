@@ -72,7 +72,7 @@ int main() {
       vo.cores = 8;
       vo.explore.max_failures = k;
       vo.wall_limit = std::chrono::milliseconds(60000);
-      Verifier verifier(w.net, vo);
+      Verifier verifier(w.net, bench::assert_unbudgeted(vo));
       // Same pairs as ARC: every host must reach every host destination.
       std::vector<PecId> targets;
       for (const IpAddr a : w.host_addrs) targets.push_back(verifier.pecs().find(a));

@@ -33,7 +33,7 @@ int main() {
       VerifyOptions vo;
       vo.cores = 1;
       vo.explore.max_failures = k;
-      Verifier verifier(net, vo);
+      Verifier verifier(net, bench::assert_unbudgeted(vo));
       const VerifyResult r = verifier.verify_address(dst, policy);
       bench::emit("fig7h_realworld",
                   info.name + " " + policy.name() + " k=" + std::to_string(k),

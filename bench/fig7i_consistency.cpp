@@ -32,7 +32,7 @@ int main() {
         VerifyOptions vo;
         vo.cores = 4;
         vo.explore.max_failures = k;
-        Verifier verifier(net, vo);
+        Verifier verifier(net, bench::assert_unbudgeted(vo));
         const VerifyResult r = verifier.verify(*policy);
         std::printf("%-10s %-24s <=%-6d %9.2f MB %12s\n", name, pname, k,
                     bench::mb(r.total.model_bytes()),

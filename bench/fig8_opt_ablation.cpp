@@ -38,7 +38,7 @@ void print_row(const Row& r) {
 VerifyResult run(const Network& net, const Policy& policy, VerifyOptions vo,
                  std::optional<IpAddr> addr = std::nullopt) {
   vo.wall_limit = std::chrono::milliseconds(15000);  // the paper's "> 5 min" cap
-  Verifier verifier(net, vo);
+  Verifier verifier(net, bench::assert_unbudgeted(vo));
   return addr ? verifier.verify_address(*addr, policy) : verifier.verify(policy);
 }
 

@@ -32,7 +32,7 @@ void run_case(const char* label, const Network& net, const Policy& policy,
         bitstate ? VisitedKind::kBitstate : VisitedKind::kExact;
     vo.explore.bloom_bits = std::size_t{1} << 22;
     vo.explore.max_states = state_cap;
-    Verifier verifier(net, vo);
+    Verifier verifier(net, bench::assert_unbudgeted(vo));
     const VerifyResult r = verifier.verify_address(addr, policy);
     verdict[bitstate ? 1 : 0] = r.holds;
     visited_mb[bitstate ? 1 : 0] = bench::mb(r.total.bytes_visited);

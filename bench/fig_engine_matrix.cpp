@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
     VerifyOptions vo;
     vo.cores = 1;
     apply_engine(vo, kind);
-    Verifier verifier(ft.net, vo);
+    Verifier verifier(ft.net, bench::assert_unbudgeted(vo));
     const LoopFreedomPolicy policy;
     row("fattree_loop/K=" + std::to_string(k), kind, verifier.verify(policy));
   }
@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
     vo.cores = 1;
     vo.explore.max_failures = 1;
     apply_engine(vo, kind);
-    Verifier verifier(topo.net, vo);
+    Verifier verifier(topo.net, bench::assert_unbudgeted(vo));
     const ReachabilityPolicy policy({ingress});
     row("as_failures/AS1755", kind, verifier.verify(policy));
   }
@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
     vo.explore.suppress_equivalent = false;
     vo.explore.max_states = 50000;
     apply_engine(vo, kind);
-    Verifier verifier(ft.net, vo);
+    Verifier verifier(ft.net, bench::assert_unbudgeted(vo));
     row("bgp_dc/K=4", kind,
         verifier.verify_address(ft.edge_prefixes[0].addr(), policy));
   }

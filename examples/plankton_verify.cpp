@@ -32,9 +32,22 @@
 //   --engine-seed <n>  seed for the random-restart engine (default 1)
 //   --simulation       follow one execution path (Batfish-style; may miss
 //                      order-dependent violations); alias for --engine single
+//   --deadline-ms <t>  whole-run wall-clock budget; tripping it yields the
+//                      INCONCLUSIVE verdict (exit 2), never a spurious hold
+//   --budget-states <n> cap stored states per PEC exploration
+//   --budget-bytes <n>  approximate model-memory cap per PEC exploration
+//   --degrade-visited  under memory pressure, migrate the exact visited set
+//                      to hash-compact instead of stopping (the run then
+//                      self-reports as non-exhaustive)
+//   --fault-plan <p>   deterministic shard fault injection (sched/fault.hpp
+//                      syntax, e.g. 'crash@2;slot=1'); also read from
+//                      PLANKTON_FAULT_PLAN when the flag is absent
 //
-// Exit code: 0 = policy holds, 1 = violated, 2 = usage/config error.
+// Exit code: 0 = policy holds (exhaustive), 1 = violated,
+//            2 = inconclusive (budget tripped / lossy search; no violation
+//                found but the search was partial), 3 = usage/config error.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -68,10 +81,12 @@ int usage() {
                "[--trails] "
                "[--visited exact|hash-compact|bitstate] [--scheduler steal|pool] "
                "[--engine dfs|bfs|priority|random-restart|single] "
-               "[--engine-seed n] [--simulation]\n"
+               "[--engine-seed n] [--simulation] "
+               "[--deadline-ms t] [--budget-states n] [--budget-bytes n] "
+               "[--degrade-visited] [--fault-plan p]\n"
                "policies: reach <srcs> | loop | blackhole [srcs] | "
                "bounded <limit> <srcs> | waypoint <srcs> <wps>\n");
-  return 2;
+  return 3;
 }
 
 }  // namespace
@@ -81,10 +96,11 @@ int main(int argc, char** argv) {
   std::ifstream file(argv[1]);
   if (!file) {
     std::fprintf(stderr, "cannot open %s\n", argv[1]);
-    return 2;
+    return 3;
   }
   std::stringstream buffer;
   buffer << file.rdbuf();
+  bool fault_plan_given = false;
 
   try {
     ParsedNetwork parsed = parse_network_config(buffer.str());
@@ -137,6 +153,26 @@ int main(int argc, char** argv) {
       } else if (arg == "--engine-seed" && i + 1 < argc) {
         opts.explore.engine_seed =
             static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (arg == "--deadline-ms" && i + 1 < argc) {
+        const long long ms = std::atoll(argv[++i]);
+        if (ms <= 0) throw std::runtime_error("bad --deadline-ms");
+        opts.budget.deadline = std::chrono::milliseconds(ms);
+      } else if (arg == "--budget-states" && i + 1 < argc) {
+        const long long n = std::atoll(argv[++i]);
+        if (n <= 0) throw std::runtime_error("bad --budget-states");
+        opts.budget.max_states = static_cast<std::uint64_t>(n);
+      } else if (arg == "--budget-bytes" && i + 1 < argc) {
+        const long long n = std::atoll(argv[++i]);
+        if (n <= 0) throw std::runtime_error("bad --budget-bytes");
+        opts.budget.max_bytes = static_cast<std::size_t>(n);
+      } else if (arg == "--degrade-visited") {
+        opts.budget.degrade_visited = true;
+      } else if (arg == "--fault-plan" && i + 1 < argc) {
+        std::string perr;
+        if (!sched::parse_fault_plan(argv[++i], opts.shard_fault_plan, perr)) {
+          throw std::runtime_error("bad --fault-plan: " + perr);
+        }
+        fault_plan_given = true;
       } else if (arg == "--visited" && i + 1 < argc) {
         const std::string kind = argv[++i];
         if (kind == "exact") {
@@ -164,6 +200,15 @@ int main(int argc, char** argv) {
       }
     }
     if (pos.empty()) return usage();
+
+    if (!fault_plan_given) {
+      if (const char* env = std::getenv("PLANKTON_FAULT_PLAN")) {
+        std::string perr;
+        if (!sched::parse_fault_plan(env, opts.shard_fault_plan, perr)) {
+          throw std::runtime_error("bad PLANKTON_FAULT_PLAN: " + perr);
+        }
+      }
+    }
 
     std::unique_ptr<Policy> policy;
     const std::string& kind = pos[0];
@@ -194,8 +239,13 @@ int main(int argc, char** argv) {
         address ? verifier.verify_address(*address, *policy)
                 : verifier.verify(*policy);
 
-    std::printf("policy %s: %s%s\n", policy->name().c_str(),
-                result.holds ? "HOLDS" : "VIOLATED",
+    const char* verdict_text = "HOLDS";
+    if (result.verdict == Verdict::kViolated) {
+      verdict_text = "VIOLATED";
+    } else if (result.verdict == Verdict::kInconclusive) {
+      verdict_text = "INCONCLUSIVE";
+    }
+    std::printf("policy %s: %s%s\n", policy->name().c_str(), verdict_text,
                 result.timed_out ? " (incomplete: timed out)" : "");
     std::printf("PECs verified: %zu (+%zu support), converged states: %llu, "
                 "wall: %.2f ms, model memory: %.2f MB\n",
@@ -203,6 +253,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.total.converged_states),
                 static_cast<double>(result.wall.count()) / 1e6,
                 static_cast<double>(result.total.model_bytes()) / 1e6);
+    if (result.verdict == Verdict::kInconclusive) {
+      std::printf("inconclusive: budget tripped = %s, %zu PEC(s) partial, "
+                  "search %s, %llu budget checks\n",
+                  to_string(result.budget_tripped),
+                  result.pecs_inconclusive,
+                  result.exhaustive ? "exhaustive" : "non-exhaustive",
+                  static_cast<unsigned long long>(result.total.budget_checks));
+    }
     if (result.total.por_pruned + result.total.por_source_sets > 0) {
       std::printf("partial-order reduction: %llu moves pruned, %llu source "
                   "sets, footprints %.2f ms\n",
@@ -247,9 +305,15 @@ int main(int argc, char** argv) {
         if (trails) std::printf("%s", v.trail_text.c_str());
       }
     }
-    return result.holds ? 0 : 1;
+    switch (result.verdict) {
+      case Verdict::kHolds: return 0;
+      case Verdict::kViolated: return 1;
+      case Verdict::kInconclusive: return 2;
+      case Verdict::kError: break;
+    }
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+    return 3;
   }
 }

@@ -1,0 +1,69 @@
+// Resource budgets and the verdict taxonomy for bounded verification.
+//
+// A production verifier cannot afford "run until done": one oversized PEC
+// would starve every other query. A ResourceBudget bounds an exploration on
+// three axes — wall clock, stored states, and approximate model memory (fed
+// by the visited-backend / arena `bytes()` accounting, so the cap is
+// deterministic and reproducible, unlike RSS). Exhausting a budget is a
+// *sound* outcome with its own verdict: the run reports `kInconclusive`
+// together with which budget tripped and how far exploration got (the
+// SearchStats). Exhaustion is never reported as a hold.
+//
+// Budgets thread through VerifyOptions -> Verifier -> ExploreOptions ->
+// Explorer::budget_exhausted. The Verifier derives per-PEC deadlines from the
+// global one (a fair share of the remaining time over the remaining PECs),
+// so a monster PEC trips its own slice instead of starving the rest.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace plankton {
+
+/// Which budget axis ended an exploration early (kNone = it ran to
+/// completion). Recorded per PEC and aggregated into the run verdict.
+enum class BudgetKind : std::uint8_t {
+  kNone = 0,
+  kDeadline = 1,  ///< wall-clock deadline (global or per-PEC slice)
+  kStates = 2,    ///< stored-state cap
+  kMemory = 3,    ///< approximate model-memory cap
+};
+
+[[nodiscard]] const char* to_string(BudgetKind kind);
+
+/// Outcome classification for a verification run. `kHolds` requires the
+/// exploration to have completed within budget; any budget exhaustion
+/// degrades a would-be hold to `kInconclusive` (a found violation stays
+/// `kViolated` — counterexamples are sound even from a partial search).
+/// `kError` is reserved for infrastructure failures (config, I/O), surfaced
+/// by the CLI as exit code 3.
+enum class Verdict : std::uint8_t {
+  kHolds = 0,
+  kViolated = 1,
+  kInconclusive = 2,
+  kError = 3,
+};
+
+[[nodiscard]] const char* to_string(Verdict verdict);
+
+/// Resource bounds for one verification. Zero on any axis means "no bound"
+/// (the seed behaviour). `deadline` is the whole-run wall budget: the
+/// Verifier converts it into per-PEC slices. `max_states` / `max_bytes`
+/// bound each single PEC exploration (states stored; visited + arena bytes).
+struct ResourceBudget {
+  std::chrono::milliseconds deadline{0};
+  std::uint64_t max_states = 0;
+  std::size_t max_bytes = 0;
+  /// Graceful degradation: on memory pressure, migrate an exact visited set
+  /// to hash-compacted storage (half the bytes) instead of tripping the
+  /// budget immediately. Opt-in, because the degraded run loses
+  /// exhaustiveness — the result self-reports it (ExploreResult::exhaustive
+  /// turns false) so a "holds" can be read as probabilistic coverage.
+  bool degrade_visited = false;
+
+  [[nodiscard]] bool any() const {
+    return deadline.count() > 0 || max_states != 0 || max_bytes != 0;
+  }
+};
+
+}  // namespace plankton

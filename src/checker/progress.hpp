@@ -1,0 +1,31 @@
+// Per-process exploration liveness counter.
+//
+// The Explorer bumps this from its periodic budget check (every 256 model
+// steps — cheap enough for the hot path, frequent enough that any live
+// exploration advances it many times per millisecond). The shard worker's
+// heartbeat thread samples it and ships the value to the coordinator in
+// kHeartbeat frames; a worker whose counter stops advancing while a task is
+// in flight is alive-but-stuck (the hang class of failure that socket EOF
+// can never detect) and gets escalated: progress probe at the soft deadline,
+// SIGKILL + reassignment at the hard one.
+//
+// A plain global (not per-Explorer) on purpose: the coordinator only needs a
+// monotone "this process is still exploring" signal, and worker processes
+// run one task at a time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace plankton {
+
+inline std::atomic<std::uint64_t>& progress_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
+inline void progress_tick() {
+  progress_counter().fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace plankton

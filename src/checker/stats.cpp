@@ -22,6 +22,7 @@ void SearchStats::absorb(const SearchStats& other) {
   por_source_sets += other.por_source_sets;
   por_footprint_time += other.por_footprint_time;
   frontier_peak = std::max(frontier_peak, other.frontier_peak);
+  budget_checks += other.budget_checks;
   max_depth = std::max(max_depth, other.max_depth);
   bytes_paths += other.bytes_paths;
   bytes_routes += other.bytes_routes;
@@ -52,6 +53,26 @@ std::string SearchStats::summary() const {
   }
   out += ", model bytes: " + std::to_string(model_bytes());
   return out;
+}
+
+const char* to_string(BudgetKind kind) {
+  switch (kind) {
+    case BudgetKind::kNone: return "none";
+    case BudgetKind::kDeadline: return "deadline";
+    case BudgetKind::kStates: return "states";
+    case BudgetKind::kMemory: return "memory";
+  }
+  return "?";
+}
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kHolds: return "holds";
+    case Verdict::kViolated: return "violated";
+    case Verdict::kInconclusive: return "inconclusive";
+    case Verdict::kError: return "error";
+  }
+  return "?";
 }
 
 }  // namespace plankton

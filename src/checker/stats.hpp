@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <string>
 
+#include "checker/budget.hpp"
+
 namespace plankton {
 
 struct SearchStats {
@@ -29,6 +31,7 @@ struct SearchStats {
   std::uint64_t por_source_sets = 0;    ///< states whose move set was sleep-narrowed
   std::chrono::nanoseconds por_footprint_time{0};  ///< footprint mask builds
   std::uint64_t frontier_peak = 0;      ///< pending-state high-water (frontier engines)
+  std::uint64_t budget_checks = 0;      ///< periodic budget/liveness ticks
   std::uint64_t max_depth = 0;
   std::size_t bytes_paths = 0;
   std::size_t bytes_routes = 0;

@@ -140,6 +140,18 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
   const bool has_wall_limit = opts_.wall_limit.count() > 0;
   const auto wall_deadline = start + opts_.wall_limit;
 
+  // Budget deadline fair-sharing: the global deadline is split into per-PEC
+  // slices of remaining_time / remaining_unstarted_pecs, so one monster PEC
+  // trips its own slice instead of starving everything scheduled after it.
+  // `pecs_started` is exact in-process; in forked shard workers each sees
+  // only its own copy-on-write increments, which *under*-counts started PECs
+  // and therefore only makes slices more conservative — never unfair.
+  const bool has_budget_deadline = opts_.budget.deadline.count() > 0;
+  const auto budget_deadline = start + opts_.budget.deadline;
+  std::size_t scheduled_pecs = 0;
+  for (const SccTask& t : tasks) scheduled_pecs += t.pecs.size();
+  std::atomic<std::size_t> pecs_started{0};
+
   // Shared per-PEC execution: the in-process scheduler body and the forked
   // shard workers both run this. `has_dependents` is passed in because the
   // two paths track it differently (runtime atomics vs the static count);
@@ -154,20 +166,39 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
     // §4.3: DEC-based failure choice only without cross-PEC dependencies
     // (failure sets must coordinate exactly across PEC runs).
     if (cross_deps && (has_deps || has_dependents)) eo.lec_failures = false;
+    // State/memory caps and the degradation opt-in apply per exploration;
+    // the deadline is replaced by this PEC's fair-share slice below.
+    eo.budget = opts_.budget;
+    eo.budget.deadline = std::chrono::milliseconds(0);
+    const auto deadline_exhausted = [&]() {
+      PecReport rep;
+      rep.pec = pec_id;
+      rep.pec_str = pec.str();
+      rep.result.timed_out = true;
+      rep.result.budget_tripped = BudgetKind::kDeadline;
+      return rep;
+    };
     if (has_wall_limit) {
       const auto now = std::chrono::steady_clock::now();
       const auto remaining =
           std::chrono::duration_cast<std::chrono::milliseconds>(wall_deadline - now);
-      if (remaining.count() <= 0) {
-        PecReport rep;
-        rep.pec = pec_id;
-        rep.pec_str = pec.str();
-        rep.result.timed_out = true;
-        return rep;
-      }
+      if (remaining.count() <= 0) return deadline_exhausted();
       if (eo.time_limit.count() == 0 || remaining < eo.time_limit) {
         eo.time_limit = remaining;
       }
+    }
+    if (has_budget_deadline) {
+      const std::size_t started =
+          pecs_started.fetch_add(1, std::memory_order_relaxed);
+      const auto now = std::chrono::steady_clock::now();
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          budget_deadline - now);
+      if (remaining.count() <= 0) return deadline_exhausted();
+      const std::size_t left =
+          scheduled_pecs > started ? scheduled_pecs - started : 1;
+      auto slice = remaining / static_cast<std::int64_t>(left);
+      if (slice.count() <= 0) slice = std::chrono::milliseconds(1);
+      eo.budget.deadline = slice;
     }
     StoreProvider provider(store, deps_.depends_on[pec_id], has_dependents);
     Explorer explorer(net_, pec, make_tasks(net_, pec),
@@ -198,7 +229,9 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
     if (members.empty()) return;
     const bool clean = rep.result.holds && !rep.result.timed_out &&
                        !rep.result.state_limit_hit &&
-                       rep.result.violations.empty();
+                       !rep.result.memory_limit_hit &&
+                       rep.result.budget_tripped == BudgetKind::kNone &&
+                       rep.result.exhaustive && rep.result.violations.empty();
     if (clean) {
       for (const PecId m : members) {
         PecReport t;
@@ -227,12 +260,40 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
     if (rep.translated_from == kNoPec) result.total.absorb(rep.result.stats);
     if (rep.result.timed_out) result.timed_out = true;
     if (!rep.result.holds) result.holds = false;
+    if (rep.result.budget_tripped != BudgetKind::kNone &&
+        result.budget_tripped == BudgetKind::kNone) {
+      result.budget_tripped = rep.result.budget_tripped;
+    }
+    if (!rep.result.exhaustive) result.exhaustive = false;
+    if (rep.translated_from == kNoPec &&
+        rep.result.verdict() == Verdict::kInconclusive) {
+      ++result.pecs_inconclusive;
+    }
     if (is_target[rep.pec] != 0) {
       ++result.pecs_verified;
       result.reports.push_back(std::move(rep));
     } else {
       ++result.pecs_support;
     }
+  };
+
+  // Verdict taxonomy (checker/budget.hpp): a violation is sound even from a
+  // partial search, so it always wins; any exhaustion or lossy search mode
+  // degrades a would-be hold to kInconclusive — never to a spurious kHolds.
+  auto finalize_verdict = [&]() {
+    if (!result.holds) {
+      result.verdict = Verdict::kViolated;
+    } else if (result.timed_out ||
+               result.budget_tripped != BudgetKind::kNone ||
+               result.pecs_inconclusive > 0 || !result.exhaustive) {
+      result.verdict = Verdict::kInconclusive;
+      if (result.budget_tripped == BudgetKind::kNone && result.timed_out) {
+        result.budget_tripped = BudgetKind::kDeadline;
+      }
+    } else {
+      result.verdict = Verdict::kHolds;
+    }
+    result.wall = std::chrono::steady_clock::now() - start;
   };
 
   // ---- multi-process sharding (sched/shard.hpp) ---------------------------
@@ -272,6 +333,10 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
     so.stop_on_violation = !opts_.explore.find_all_violations;
     so.test_on_assign = opts_.shard_test_on_assign;
     so.test_worker_task_delay_ms = opts_.shard_test_worker_delay_ms;
+    so.heartbeat_interval_ms = opts_.shard_heartbeat_interval_ms;
+    so.soft_deadline_ms = opts_.shard_soft_deadline_ms;
+    so.hard_deadline_ms = opts_.shard_hard_deadline_ms;
+    so.fault_plan = opts_.shard_fault_plan;
 
     // Runs in the forked worker. The in-process path reads its eviction
     // atomics to decide has_dependents; the only decrements that can have
@@ -306,6 +371,9 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
           r.holds = pr.result.holds;
           r.timed_out = pr.result.timed_out;
           r.state_limit_hit = pr.result.state_limit_hit;
+          r.memory_limit_hit = pr.result.memory_limit_hit;
+          r.budget_tripped = pr.result.budget_tripped;
+          r.exhaustive = pr.result.exhaustive;
           r.stats = pr.result.stats;
           r.translated = pr.translated_from != kNoPec;
           for (Violation& v : pr.result.violations) {
@@ -354,6 +422,9 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
       rep.result.holds = sr.holds;
       rep.result.timed_out = sr.timed_out;
       rep.result.state_limit_hit = sr.state_limit_hit;
+      rep.result.memory_limit_hit = sr.memory_limit_hit;
+      rep.result.budget_tripped = sr.budget_tripped;
+      rep.result.exhaustive = sr.exhaustive;
       rep.result.stats = sr.stats;
       for (sched::ViolationMsg& vm : sr.violations) {
         Violation v;
@@ -373,7 +444,7 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
   if (opts_.shards > 0 ||
       opts_.scheduler == sched::SchedulerKind::kMultiProcess) {
     if (try_sharded()) {
-      result.wall = std::chrono::steady_clock::now() - start;
+      finalize_verdict();
       return result;
     }
     // Coordinator-level failure: fall back to the in-process scheduler below
@@ -464,7 +535,7 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
 
   std::sort(result.reports.begin(), result.reports.end(),
             [](const PecReport& x, const PecReport& y) { return x.pec < y.pec; });
-  result.wall = std::chrono::steady_clock::now() - start;
+  finalize_verdict();
   return result;
 }
 

@@ -47,6 +47,25 @@ struct VerifyOptions {
   bool pec_dedup = true;
   std::chrono::milliseconds wall_limit{0};   ///< 0 = none (whole verification)
 
+  /// Resource governance (checker/budget.hpp). `budget.deadline` bounds the
+  /// whole verification like `wall_limit`, but is split into per-PEC slices
+  /// (a fair share of the remaining time over the PECs still unstarted) so
+  /// one monster PEC cannot starve the rest; the state and memory caps apply
+  /// to each PEC exploration. Exhaustion yields Verdict::kInconclusive with
+  /// the tripped axis recorded — never a spurious hold.
+  ResourceBudget budget;
+
+  /// Shard supervision (sched/shard.hpp): worker heartbeat cadence and the
+  /// coordinator's escalation ladder (soft deadline → progress probe, hard
+  /// deadline → SIGKILL + reassign). Forwarded to ShardRunOptions.
+  int shard_heartbeat_interval_ms = 100;
+  int shard_soft_deadline_ms = 2000;
+  int shard_hard_deadline_ms = 30000;
+  /// Deterministic fault injection for the shard transport and worker loop
+  /// (sched/fault.hpp); empty = no faults. CLI --fault-plan / env
+  /// PLANKTON_FAULT_PLAN.
+  sched::FaultPlan shard_fault_plan;
+
   // Test-only fault injection, forwarded to ShardRunOptions (the
   // crash-recovery suite kills workers mid-task through these).
   std::function<void(int shard, pid_t pid, std::size_t task)> shard_test_on_assign;
@@ -67,6 +86,15 @@ struct PecReport {
 struct VerifyResult {
   bool holds = true;
   bool timed_out = false;
+  /// Sound whole-run classification: kViolated on any violation, kHolds only
+  /// when every PEC ran to completion within budget, kInconclusive otherwise.
+  Verdict verdict = Verdict::kHolds;
+  /// First budget axis that ended a PEC search early (kNone = none did).
+  BudgetKind budget_tripped = BudgetKind::kNone;
+  std::size_t pecs_inconclusive = 0;  ///< PEC runs ended by a budget
+  /// False when any PEC's coverage was probabilistic (lossy visited backend
+  /// or the memory-pressure exact→compact degradation).
+  bool exhaustive = true;
   std::vector<PecReport> reports;   ///< one per verified (target) PEC
   SearchStats total;                ///< aggregated over all runs
   std::chrono::nanoseconds wall{0};

@@ -44,6 +44,8 @@ const char* to_string(VisitedKind kind) {
 
 namespace {
 
+class HashCompactVisited;
+
 class ExactVisited final : public VisitedBackend {
  public:
   bool insert(std::uint64_t key) override { return set_.insert(key); }
@@ -52,6 +54,8 @@ class ExactVisited final : public VisitedBackend {
   void clear() override { set_.clear(); }
   [[nodiscard]] VisitedKind kind() const override { return VisitedKind::kExact; }
   [[nodiscard]] bool exhaustive() const override { return true; }
+  [[nodiscard]] std::unique_ptr<VisitedBackend> degrade_to_compact()
+      const override;
 
  private:
   VisitedSet set_;
@@ -100,6 +104,12 @@ class BitstateVisited final : public VisitedBackend {
  private:
   BloomFilter bloom_;
 };
+
+std::unique_ptr<VisitedBackend> ExactVisited::degrade_to_compact() const {
+  auto compact = std::make_unique<HashCompactVisited>();
+  set_.for_each([&compact](std::uint64_t key) { compact->insert(key); });
+  return compact;
+}
 
 }  // namespace
 

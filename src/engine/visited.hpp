@@ -57,6 +57,16 @@ class OpenAddressSet {
     return slots_.size() * sizeof(Slot);
   }
 
+  /// Visits every stored value (order is table order, not insertion order).
+  /// Used by the graceful-degradation path to migrate an exact store into a
+  /// compacted one under memory pressure.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot v : slots_) {
+      if (v != 0) fn(v);
+    }
+  }
+
   void clear() {
     slots_.assign(slots_.size(), 0);
     size_ = 0;
@@ -96,6 +106,11 @@ class VisitedSet {
 
   [[nodiscard]] std::size_t size() const { return set_.size(); }
   [[nodiscard]] std::size_t bytes() const { return set_.bytes(); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    set_.for_each(fn);
+  }
 
   void clear() { set_.clear(); }
 
@@ -149,6 +164,15 @@ class VisitedBackend {
   /// False when the backend may report an unseen state as seen (lossy
   /// compaction) — coverage is then probabilistic, as in Fig. 9.
   [[nodiscard]] virtual bool exhaustive() const = 0;
+  /// Graceful degradation under memory pressure
+  /// (ResourceBudget::degrade_visited): rebuilds this backend's contents in
+  /// hash-compacted form — half the bytes, exhaustive() turns false. Only
+  /// the exact backend can migrate (it alone still holds full keys); lossy
+  /// backends return nullptr and the memory budget trips instead.
+  [[nodiscard]] virtual std::unique_ptr<VisitedBackend> degrade_to_compact()
+      const {
+    return nullptr;
+  }
   [[nodiscard]] const char* name() const { return to_string(kind()); }
 };
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 
+#include "checker/progress.hpp"
 #include "protocols/bgp.hpp"
 #include "protocols/ospf.hpp"
 
@@ -123,9 +124,19 @@ Explorer::Explorer(const Network& net, const Pec& pec, std::vector<PrefixTask> t
 
 ExploreResult Explorer::run() {
   const auto start = std::chrono::steady_clock::now();
-  if (opts_.time_limit.count() > 0) {
-    deadline_ = start + opts_.time_limit;
+  // The legacy time_limit and the budget deadline compose: earliest wins.
+  for (const auto limit : {opts_.time_limit, opts_.budget.deadline}) {
+    if (limit.count() <= 0) continue;
+    const auto candidate = start + limit;
+    if (!has_deadline_ || candidate < deadline_) deadline_ = candidate;
     has_deadline_ = true;
+  }
+  // Smaller non-zero state cap wins between the legacy knob and the budget.
+  effective_max_states_ = opts_.max_states;
+  if (opts_.budget.max_states != 0 &&
+      (effective_max_states_ == 0 ||
+       opts_.budget.max_states < effective_max_states_)) {
+    effective_max_states_ = opts_.budget.max_states;
   }
   explore_failures(0);
   result_.stats.states_stored = stored_states();
@@ -149,19 +160,63 @@ ExploreResult Explorer::run() {
       rib_bytes + result_.stats.max_depth * sizeof(TrailEvent) * 2;
   result_.stats.bytes_ad_cache = ad_cache_.bytes();
   result_.stats.elapsed = std::chrono::steady_clock::now() - start;
+  if (!visited_->exhaustive()) result_.exhaustive = false;
   return std::move(result_);
 }
 
+std::size_t Explorer::current_model_bytes() const {
+  std::size_t b = ctx_.paths.bytes() + ctx_.routes.bytes() +
+                  visited_->bytes() + failure_sets_seen_.bytes() +
+                  signatures_seen_.bytes() + ad_cache_.bytes();
+  if (por_mode_ != PorMode::kOff) {
+    b += por_pool_.capacity() * sizeof(std::uint64_t) +
+         por_entries_.capacity() * sizeof(PorEntry) +
+         por_index_.size() *
+             (sizeof(std::uint64_t) + sizeof(std::uint32_t) + sizeof(void*));
+  }
+  return b;
+}
+
+bool Explorer::try_degrade_visited() {
+  // Migration needs the exact backend's full keys and must not race the POR
+  // store (which replaces the visited backend entirely when POR is on).
+  if (!opts_.budget.degrade_visited || degraded_visited_) return false;
+  if (por_mode_ != PorMode::kOff) return false;
+  auto compact = visited_->degrade_to_compact();
+  if (!compact) return false;
+  visited_ = std::move(compact);
+  degraded_visited_ = true;
+  result_.exhaustive = false;  // self-reported loss of exhaustiveness
+  return current_model_bytes() <= opts_.budget.max_bytes;
+}
+
 bool Explorer::budget_exhausted() {
-  if (result_.timed_out || result_.state_limit_hit) return true;
-  if (opts_.max_states != 0 && stored_states() > opts_.max_states) {
+  if (result_.budget_tripped != BudgetKind::kNone) return true;
+  // The state cap is checked on every call: trip points are a deterministic
+  // function of the exploration order, so two runs with the same budget stop
+  // at the same state (the budget-determinism tests pin this down).
+  if (effective_max_states_ != 0 && stored_states() > effective_max_states_) {
     result_.state_limit_hit = true;
+    result_.budget_tripped = BudgetKind::kStates;
     return true;
   }
-  if (has_deadline_ && (++limit_check_counter_ & 0xff) == 0 &&
-      std::chrono::steady_clock::now() > deadline_) {
+  // Clock reads, memory accounting, and the liveness tick amortize over 256
+  // model steps to stay off the hot path.
+  if ((++limit_check_counter_ & 0xff) != 0) return false;
+  ++result_.stats.budget_checks;
+  progress_tick();
+  if (has_deadline_ && std::chrono::steady_clock::now() > deadline_) {
     result_.timed_out = true;
+    result_.budget_tripped = BudgetKind::kDeadline;
     return true;
+  }
+  if (opts_.budget.max_bytes != 0 &&
+      current_model_bytes() > opts_.budget.max_bytes) {
+    if (!try_degrade_visited()) {
+      result_.memory_limit_hit = true;
+      result_.budget_tripped = BudgetKind::kMemory;
+      return true;
+    }
   }
   return false;
 }

@@ -91,6 +91,14 @@ struct ExploreOptions {
 
   std::uint64_t max_states = 0;               ///< 0 = unlimited
   std::chrono::milliseconds time_limit{0};    ///< 0 = none
+  /// Resource governance for this exploration (checker/budget.hpp). The
+  /// deadline composes with `time_limit` (whichever is earlier wins); the
+  /// state cap composes with `max_states` (smaller non-zero wins); the
+  /// memory cap is checked against the checker's own deterministic byte
+  /// accounting every 256 steps. Exhaustion sets ExploreResult::
+  /// budget_tripped and the verdict degrades to kInconclusive — never a
+  /// hold.
+  ResourceBudget budget;
   bool find_all_violations = false;
   bool record_outcomes = false;  ///< keep converged states for dependent PECs
 
@@ -175,9 +183,29 @@ struct ExploreResult {
   bool holds = true;
   bool timed_out = false;
   bool state_limit_hit = false;
+  bool memory_limit_hit = false;
+  /// Which budget axis ended the search early (kNone = ran to completion).
+  BudgetKind budget_tripped = BudgetKind::kNone;
+  /// False when coverage was probabilistic: a lossy visited backend was
+  /// selected up front, or the memory-pressure degradation migrated the
+  /// exact store to hash compaction mid-run. A `holds` with
+  /// exhaustive == false is a coverage claim, not a proof.
+  bool exhaustive = true;
   std::vector<Violation> violations;
   std::vector<PecOutcome> outcomes;
   SearchStats stats;
+
+  /// Sound classification: a found violation is conclusive even from a
+  /// partial search; a completed search holds; an exhausted budget is
+  /// inconclusive — never reported as a hold.
+  [[nodiscard]] Verdict verdict() const {
+    if (!holds) return Verdict::kViolated;
+    if (budget_tripped != BudgetKind::kNone || timed_out || state_limit_hit ||
+        memory_limit_hit) {
+      return Verdict::kInconclusive;
+    }
+    return Verdict::kHolds;
+  }
 };
 
 /// Supplies, per coordinated failure set, the alternative upstream converged
@@ -377,6 +405,15 @@ class Explorer final : public SearchModel {
   std::chrono::steady_clock::time_point deadline_{};
   bool has_deadline_ = false;
   std::uint64_t limit_check_counter_ = 0;
+  std::uint64_t effective_max_states_ = 0;  ///< min non-zero of the two caps
+  bool degraded_visited_ = false;           ///< exact→compact migration done
+
+  /// Deterministic model-memory accounting for the budget check (the same
+  /// structures run() reports, minus the end-of-run stack peak).
+  [[nodiscard]] std::size_t current_model_bytes() const;
+  /// Memory-pressure relief: migrate exact→hash-compact when permitted.
+  /// Returns true when the migration brought usage back under the cap.
+  bool try_degrade_visited();
 
   // policy source bookkeeping
   std::vector<NodeId> sources_storage_;

@@ -1,0 +1,92 @@
+// Deterministic fault injection for the shard transport and worker loop.
+//
+// A FaultPlan is a compact, human-writable description of *exactly when and
+// how* a worker misbehaves, so every recovery path in the coordinator
+// (EOF reap + reassign, torn-frame poison, heartbeat hang detection, bounded
+// write retries) is driven by tests instead of theorized about. Plans are
+// deterministic: the same plan over the same workload produces the same
+// fault at the same frame, so a divergence reproduces from the plan string
+// alone (docs/architecture.md "Resource governance & failure handling").
+//
+// Syntax: semicolon- or comma-separated directives.
+//
+//   crash@F      _exit immediately before writing outbound data frame F
+//                (1-based; heartbeats are not counted)
+//   torn@F       write the first half of data frame F, then _exit — the
+//                coordinator sees a truncated stream mid-frame
+//   hang@F:MS    sleep MS ms before writing data frame F; heartbeats keep
+//                flowing (a slow-but-alive worker)
+//   wedge@F:MS   hold the frame-write lock for MS ms before data frame F so
+//                heartbeats stall too (MS=0: wedge forever — the worker is
+//                alive but stuck and only the hard-deadline SIGKILL ends it)
+//   shortw       chunk every outbound write into <=7-byte pieces (partial
+//                write exercise for the reassembling decoder)
+//   eintr@N      fail the first N write() attempts of every frame with a
+//                synthetic EINTR (retry-storm exercise for bounded write_all)
+//   slot=S       scope the plan to worker slot S (default: all workers)
+//   gen*         faults persist across respawns of a slot; without it a
+//                fault fires only at generation 0, so recovery always
+//                succeeds within the reassignment cap
+//   seed=X       derive a deterministic plan from X (from_seed) — used by
+//                the fault-injection sweep to scale diversity
+//
+// Example: "crash@2;slot=1" — worker slot 1's first incarnation dies just
+// before its second result frame; respawns behave normally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace plankton::sched {
+
+/// The faults one specific worker incarnation must act out (resolved from a
+/// FaultPlan via for_worker). All-defaults means "behave normally".
+struct WorkerFaults {
+  std::uint64_t crash_at_frame = 0;  ///< 0 = off; 1-based outbound data frame
+  std::uint64_t torn_at_frame = 0;
+  std::uint64_t hang_at_frame = 0;
+  std::uint32_t hang_ms = 0;
+  std::uint64_t wedge_at_frame = 0;
+  std::uint32_t wedge_ms = 0;  ///< 0 = wedge forever (until SIGKILL)
+  bool short_writes = false;
+  std::uint32_t eintr_burst = 0;
+
+  [[nodiscard]] bool any() const {
+    return crash_at_frame != 0 || torn_at_frame != 0 || hang_at_frame != 0 ||
+           wedge_at_frame != 0 || short_writes || eintr_burst != 0;
+  }
+};
+
+struct FaultPlan {
+  WorkerFaults faults;
+  std::int32_t slot = -1;        ///< -1 = every worker slot
+  bool all_generations = false;  ///< gen*: survive respawns
+  std::uint64_t seed = 0;        ///< non-zero when derived via from_seed
+
+  [[nodiscard]] bool empty() const { return !faults.any(); }
+
+  /// The faults worker `slot` at respawn `generation` must act out. By
+  /// default faults fire only at generation 0: the respawned worker is
+  /// healthy and recovery completes within the reassignment cap.
+  [[nodiscard]] WorkerFaults for_worker(int worker_slot,
+                                        int generation) const {
+    if (slot >= 0 && worker_slot != slot) return {};
+    if (generation > 0 && !all_generations) return {};
+    return faults;
+  }
+
+  /// Canonical plan string (parse(str()) round-trips).
+  [[nodiscard]] std::string str() const;
+
+  /// Deterministic plan derived from a seed: picks one fault class and a
+  /// small frame index. The sweep tests iterate seeds to cover the matrix.
+  [[nodiscard]] static FaultPlan from_seed(std::uint64_t seed);
+};
+
+/// Parses the directive syntax above. Returns false (and sets `error`)
+/// on unknown directives or malformed numbers; `out` is reset first.
+[[nodiscard]] bool parse_fault_plan(std::string_view text, FaultPlan& out,
+                                    std::string& error);
+
+}  // namespace plankton::sched

@@ -9,12 +9,16 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <deque>
 #include <limits>
 #include <map>
+#include <mutex>
+#include <thread>
 
+#include "checker/progress.hpp"
 #include "config/network.hpp"
 
 #include "sched/wire.hpp"
@@ -46,6 +50,7 @@ void put_stats(std::string& out, const SearchStats& s) {
   put_int(out, s.por_source_sets);
   put_int(out, static_cast<std::int64_t>(s.por_footprint_time.count()));
   put_int(out, s.frontier_peak);
+  put_int(out, s.budget_checks);
   put_int(out, s.max_depth);
   put_int(out, static_cast<std::uint64_t>(s.bytes_paths));
   put_int(out, static_cast<std::uint64_t>(s.bytes_routes));
@@ -68,7 +73,7 @@ bool get_stats(std::string_view& in, SearchStats& s) {
       get_int(in, s.ad_cache_hits) && get_int(in, s.ad_cache_misses) &&
       get_int(in, s.dirty_refreshes) && get_int(in, s.por_pruned) &&
       get_int(in, s.por_source_sets) && get_int(in, por_ns) &&
-      get_int(in, s.frontier_peak) &&
+      get_int(in, s.frontier_peak) && get_int(in, s.budget_checks) &&
       get_int(in, s.max_depth) && get_int(in, sz[0]) && get_int(in, sz[1]) &&
       get_int(in, sz[2]) && get_int(in, sz[3]) && get_int(in, sz[4]) &&
       get_int(in, ns);
@@ -85,21 +90,60 @@ bool get_stats(std::string_view& in, SearchStats& s) {
 
 // -- robust fd I/O ----------------------------------------------------------
 
-/// Writes everything, riding out EINTR/EAGAIN (the coordinator keeps its
-/// ends non-blocking so it can also *drain* without blocking). MSG_NOSIGNAL:
-/// a dead peer must surface as EPIPE, not kill the process.
-bool write_all(int fd, const char* data, std::size_t n) {
+/// A peer that accepts nothing for this long is presumed wedged: the write
+/// degrades to a transport error (→ the reassignment path) instead of
+/// spinning forever. Polls ride in short slices so the budget is accurate.
+constexpr int kWriteStallBudgetMs = 10000;
+constexpr int kWritePollSliceMs = 100;
+/// EINTR ceiling per write_all call: a signal storm must not become an
+/// unbounded retry loop either.
+constexpr int kMaxEintrRetries = 1024;
+
+/// Writes everything, riding out EINTR/EAGAIN with *bounded* retries (the
+/// coordinator keeps its ends non-blocking so it can also drain without
+/// blocking). MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the
+/// process. On failure, `stalled` (when given) reports whether the give-up
+/// was a retry-budget exhaustion rather than a hard socket error.
+/// `synthetic_eintr` injects that many fake EINTR results before the first
+/// real send — the FaultPlan eintr@N storm, driving the same retry
+/// accounting a real signal storm would.
+bool write_all(int fd, const char* data, std::size_t n, bool* stalled = nullptr,
+               std::uint32_t synthetic_eintr = 0) {
+  if (stalled != nullptr) *stalled = false;
+  int stalled_ms = 0;
+  int eintr_count = 0;
   while (n > 0) {
+    if (synthetic_eintr > 0) {
+      --synthetic_eintr;
+      if (++eintr_count > kMaxEintrRetries) {
+        if (stalled != nullptr) *stalled = true;
+        return false;
+      }
+      continue;
+    }
     const ssize_t w = send(fd, data, n, MSG_NOSIGNAL);
     if (w > 0) {
       data += w;
       n -= static_cast<std::size_t>(w);
+      stalled_ms = 0;
+      eintr_count = 0;
       continue;
     }
-    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && errno == EINTR) {
+      if (++eintr_count > kMaxEintrRetries) {
+        if (stalled != nullptr) *stalled = true;
+        return false;
+      }
+      continue;
+    }
     if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (stalled_ms >= kWriteStallBudgetMs) {
+        if (stalled != nullptr) *stalled = true;
+        return false;
+      }
       pollfd pfd{fd, POLLOUT, 0};
-      (void)poll(&pfd, 1, 1000);
+      (void)poll(&pfd, 1, kWritePollSliceMs);
+      stalled_ms += kWritePollSliceMs;
       continue;
     }
     return false;
@@ -107,8 +151,8 @@ bool write_all(int fd, const char* data, std::size_t n) {
   return true;
 }
 
-bool write_all(int fd, const std::string& s) {
-  return write_all(fd, s.data(), s.size());
+bool write_all(int fd, const std::string& s, bool* stalled = nullptr) {
+  return write_all(fd, s.data(), s.size(), stalled);
 }
 
 }  // namespace
@@ -156,7 +200,7 @@ FrameDecoder::Status FrameDecoder::next(Frame& out) {
   if (magic != kFrameMagic) return poison("bad frame magic");
   if (version != kFrameVersion) return poison("unsupported frame version");
   if (type < static_cast<std::uint16_t>(MsgType::kTaskAssign) ||
-      type > static_cast<std::uint16_t>(MsgType::kShutdown)) {
+      type > static_cast<std::uint16_t>(MsgType::kHeartbeat)) {
     return poison("unknown message type");
   }
   if (len > max_payload_) return poison("frame payload exceeds limit");
@@ -258,6 +302,9 @@ std::string encode_task_done(const TaskDoneMsg& m) {
     put_int(out, p.holds);
     put_int(out, p.timed_out);
     put_int(out, p.state_limit_hit);
+    put_int(out, p.memory_limit_hit);
+    put_int(out, p.budget_tripped);
+    put_int(out, p.exhaustive);
     put_int(out, p.translated);
     put_stats(out, p.stats);
   }
@@ -271,11 +318,11 @@ bool decode_task_done(std::string_view in, TaskDoneMsg& out) {
     return false;
   };
   std::uint32_t n = 0;
-  // One entry's exact wire size: pec (4) + 4 flag bytes + the SearchStats
-  // block (24 x 8). Using the full size matters: fits() with a smaller
+  // One entry's exact wire size: pec (4) + 7 flag bytes + the SearchStats
+  // block (25 x 8). Using the full size matters: fits() with a smaller
   // stride would let a lying count amplify resize() far past the bytes
   // present.
-  constexpr std::size_t kPecDoneWireBytes = 4 + 4 + 24 * 8;
+  constexpr std::size_t kPecDoneWireBytes = 4 + 7 + 25 * 8;
   if (!get_int(in, out.task) || !get_int(in, n) ||
       !fits(in, n, kPecDoneWireBytes)) {
     return fail();
@@ -285,15 +332,33 @@ bool decode_task_done(std::string_view in, TaskDoneMsg& out) {
     PecDoneMsg& p = out.pecs[i];
     if (!get_int(in, p.pec) || !get_int(in, p.holds) ||
         !get_int(in, p.timed_out) || !get_int(in, p.state_limit_hit) ||
-        !get_int(in, p.translated) || !get_stats(in, p.stats)) {
+        !get_int(in, p.memory_limit_hit) || !get_int(in, p.budget_tripped) ||
+        !get_int(in, p.exhaustive) || !get_int(in, p.translated) ||
+        !get_stats(in, p.stats)) {
       return fail();
     }
     if (p.holds > 1 || p.timed_out > 1 || p.state_limit_hit > 1 ||
-        p.translated > 1) {
+        p.memory_limit_hit > 1 || p.exhaustive > 1 || p.translated > 1 ||
+        p.budget_tripped > static_cast<std::uint8_t>(BudgetKind::kMemory)) {
       return fail();
     }
   }
   if (!in.empty()) return fail();
+  return true;
+}
+
+std::string encode_heartbeat(const HeartbeatMsg& m) {
+  std::string out;
+  put_int(out, m.progress);
+  return out;
+}
+
+bool decode_heartbeat(std::string_view in, HeartbeatMsg& out) {
+  out = HeartbeatMsg{};
+  if (!get_int(in, out.progress) || !in.empty()) {
+    out = HeartbeatMsg{};
+    return false;
+  }
   return true;
 }
 
@@ -305,13 +370,93 @@ namespace {
 
 constexpr std::size_t kNoTask = std::numeric_limits<std::size_t>::max();
 
+/// The worker's outbound side: one socket shared by the task loop (data
+/// frames) and the heartbeat beacon thread, serialized by `mu` so frames
+/// can never interleave mid-frame. `data_frames` counts outbound data frames
+/// over the worker's lifetime — the index FaultPlan directives key on.
+struct WorkerIo {
+  int fd = -1;
+  std::mutex mu;
+  WorkerFaults faults;
+  std::uint64_t data_frames = 0;
+};
+
+/// Ships one data frame, acting out any fault the plan schedules for it.
+/// false = the coordinator is unreachable (the worker exits).
+bool send_data_frame(WorkerIo& io, MsgType type, const std::string& payload) {
+  std::string out;
+  encode_frame(out, type, payload);
+  const std::uint64_t frame_no = ++io.data_frames;
+  const WorkerFaults& f = io.faults;
+  if (f.hang_at_frame == frame_no && f.hang_ms > 0) {
+    // Slow-but-alive: the beacon thread keeps heartbeating (lock not held),
+    // so the coordinator must NOT escalate past the probe for this one.
+    usleep(static_cast<useconds_t>(f.hang_ms) * 1000);
+  }
+  std::lock_guard<std::mutex> lock(io.mu);
+  if (f.wedge_at_frame == frame_no) {
+    // Alive-but-stuck: holding the write lock stalls the beacon thread too,
+    // so heartbeats stop — exactly the failure the hard deadline exists for.
+    if (f.wedge_ms == 0) {
+      for (;;) pause();  // wedge forever; only SIGKILL ends this
+    }
+    usleep(static_cast<useconds_t>(f.wedge_ms) * 1000);
+  }
+  if (f.crash_at_frame == frame_no) _exit(9);
+  if (f.torn_at_frame == frame_no) {
+    // Half a frame, then death: the coordinator's decoder must wait for the
+    // rest, see EOF instead, and take the reassignment path — never parse.
+    (void)write_all(io.fd, out.data(), out.size() / 2);
+    _exit(9);
+  }
+  if (!f.short_writes) {
+    return write_all(io.fd, out.data(), out.size(), nullptr, f.eintr_burst);
+  }
+  // shortw: dribble the frame out in tiny pieces so the coordinator's
+  // decoder reassembles across many reads.
+  const char* data = out.data();
+  std::size_t n = out.size();
+  while (n > 0) {
+    const std::size_t chunk = n < 7 ? n : 7;
+    if (!write_all(io.fd, data, chunk, nullptr, f.eintr_burst)) return false;
+    data += chunk;
+    n -= chunk;
+  }
+  return true;
+}
+
 /// Runs inside the forked child; never returns. Exit codes are diagnostic
 /// only — the coordinator treats any death identically (reassign + respawn).
+/// `slot`/`generation` identify this incarnation to the FaultPlan (a fault
+/// fires at generation 0 by default, so the respawn is healthy).
 [[noreturn]] void worker_main(
-    int fd, const Network& net, const PecSet& pecs, std::size_t task_count,
-    const ShardRunOptions& opts,
+    int fd, int slot, int generation, const Network& net, const PecSet& pecs,
+    std::size_t task_count, const ShardRunOptions& opts,
     const std::function<std::vector<ShardPecResult>(std::size_t,
                                                     OutcomeStore&)>& body) {
+  static WorkerIo io;  // static: outlives worker_main's scope for the beacon
+  io.fd = fd;
+  io.faults = opts.fault_plan.for_worker(slot, generation);
+
+  // Heartbeat beacon: a detached thread (the worker only ever exits via
+  // _exit, which takes the thread with it) writing liveness + the sampled
+  // exploration progress counter on a fixed cadence. It shares the frame
+  // write lock with data frames, so a worker wedged holding that lock goes
+  // silent — which is the point.
+  if (opts.heartbeat_interval_ms > 0) {
+    std::thread([interval = opts.heartbeat_interval_ms] {
+      for (;;) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(interval));
+        HeartbeatMsg m;
+        m.progress = progress_counter().load(std::memory_order_relaxed);
+        std::string out;
+        encode_frame(out, MsgType::kHeartbeat, encode_heartbeat(m));
+        std::lock_guard<std::mutex> lock(io.mu);
+        if (!write_all(io.fd, out)) return;  // coordinator went away
+      }
+    }).detach();
+  }
+
   OutcomeStore store(net, pecs);
   FrameDecoder decoder(opts.max_frame_payload);
   char buf[1 << 16];
@@ -349,12 +494,14 @@ constexpr std::size_t kNoTask = std::numeric_limits<std::size_t>::max();
           } catch (...) {
             _exit(4);
           }
-          std::string out;
           TaskDoneMsg done;
           done.task = msg.task;
           for (ShardPecResult& r : results) {
             for (const ViolationMsg& v : r.violations) {
-              encode_frame(out, MsgType::kViolationReport, encode_violation(v));
+              if (!send_data_frame(io, MsgType::kViolationReport,
+                                   encode_violation(v))) {
+                _exit(2);
+              }
             }
             if (r.record) {
               // The body published the outcomes into the local store (where
@@ -363,24 +510,31 @@ constexpr std::size_t kNoTask = std::numeric_limits<std::size_t>::max();
               OutcomeDeliveryMsg od;
               od.pec = r.pec;
               od.outcomes_wire = store.serialize(store.get(r.pec));
-              encode_frame(out, MsgType::kOutcomeDelivery,
-                           encode_outcome_delivery(od));
+              if (!send_data_frame(io, MsgType::kOutcomeDelivery,
+                                   encode_outcome_delivery(od))) {
+                _exit(2);
+              }
             }
             PecDoneMsg pd;
             pd.pec = r.pec;
             pd.holds = r.holds ? 1 : 0;
             pd.timed_out = r.timed_out ? 1 : 0;
             pd.state_limit_hit = r.state_limit_hit ? 1 : 0;
+            pd.memory_limit_hit = r.memory_limit_hit ? 1 : 0;
+            pd.budget_tripped = static_cast<std::uint8_t>(r.budget_tripped);
+            pd.exhaustive = r.exhaustive ? 1 : 0;
             pd.translated = r.translated ? 1 : 0;
             pd.stats = r.stats;
             done.pecs.push_back(pd);
           }
-          encode_frame(out, MsgType::kTaskDone, encode_task_done(done));
-          if (!write_all(fd, out)) _exit(2);
+          if (!send_data_frame(io, MsgType::kTaskDone,
+                               encode_task_done(done))) {
+            _exit(2);
+          }
           break;
         }
         default:
-          _exit(3);  // worker never receives reports/results
+          _exit(3);  // worker never receives reports/results/heartbeats
       }
     }
     if (st == FrameDecoder::Status::kError) _exit(3);
@@ -404,6 +558,15 @@ struct WorkerSlot {
   std::deque<PecId> pending_evictions;  ///< piggybacked on the next assign
   std::vector<ViolationMsg> stash;      ///< violations of the in-flight task
   FrameDecoder decoder{kDefaultMaxFramePayload};
+
+  // -- supervision ----------------------------------------------------------
+  int generation = 0;  ///< respawn count of this slot (FaultPlan scoping)
+  std::chrono::steady_clock::time_point assigned_at{};  ///< current task start
+  std::chrono::steady_clock::time_point last_beat{};    ///< last kHeartbeat
+  std::uint64_t last_progress = 0;  ///< progress counter at last change
+  std::chrono::steady_clock::time_point last_progress_time{};
+  bool probed = false;  ///< soft-deadline probe already fired for this task
+  std::chrono::steady_clock::time_point respawn_after{};  ///< backoff gate
 };
 
 }  // namespace
@@ -452,6 +615,7 @@ ShardRunResult run_sharded_task_graph(
     int sv[2];
     if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return false;
     std::fflush(nullptr);  // no duplicated stdio buffers in the child
+    const int generation = workers[slot].generation;
     const pid_t pid = fork();
     if (pid < 0) {
       close(sv[0]);
@@ -463,7 +627,8 @@ ShardRunResult run_sharded_task_graph(
       for (const WorkerSlot& w : workers) {
         if (w.alive && w.fd >= 0) close(w.fd);  // not ours to hold
       }
-      worker_main(sv[1], net, pecs, total, opts, body);  // never returns
+      worker_main(sv[1], static_cast<int>(slot), generation, net, pecs, total,
+                  opts, body);  // never returns
     }
     close(sv[1]);
     const int flags = fcntl(sv[0], F_GETFL, 0);
@@ -477,6 +642,13 @@ ShardRunResult run_sharded_task_graph(
     w.pending_evictions.clear();
     w.stash.clear();
     w.decoder = FrameDecoder(opts.max_frame_payload);
+    ++w.generation;
+    const auto now = std::chrono::steady_clock::now();
+    w.assigned_at = now;
+    w.last_beat = now;
+    w.last_progress = 0;
+    w.last_progress_time = now;
+    w.probed = false;
     return true;
   };
 
@@ -506,6 +678,17 @@ ShardRunResult run_sharded_task_graph(
       w.current = kNoTask;
     }
     w.stash.clear();
+    // Exponential respawn backoff: the k-th death of this slot gates its
+    // respawn by base << min(k-1, 6), capped at 2 s, so a flapping worker
+    // (deterministic crash, bad host) cannot monopolize the coordinator
+    // with fork storms. generation was already bumped at spawn, so the
+    // first death backs off by the base alone.
+    const int deaths = w.generation;  // spawns so far == deaths now
+    const int shift = std::min(deaths > 0 ? deaths - 1 : 0, 6);
+    const int backoff =
+        std::min(opts.respawn_backoff_ms << shift, 2000);
+    w.respawn_after = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(backoff);
   };
 
   const auto poison_worker = [&](std::size_t slot, const char* why) {
@@ -561,11 +744,17 @@ ShardRunResult run_sharded_task_graph(
     encode_frame(out, MsgType::kTaskAssign, encode_task_assign(assign));
     ++result.stats.frames_sent;
     result.stats.bytes_sent += out.size();
-    if (!write_all(w.fd, out)) {
+    bool stalled = false;
+    if (!write_all(w.fd, out, &stalled)) {
+      if (stalled) ++result.stats.write_timeouts;
       handle_worker_death(slot);
       return false;
     }
     w.current = task;
+    const auto now = std::chrono::steady_clock::now();
+    w.assigned_at = now;
+    w.last_progress_time = now;  // the progress clock restarts per task
+    w.probed = false;
     ++inflight;
     if (opts.test_on_assign) {
       opts.test_on_assign(static_cast<int>(slot), w.pid, task);
@@ -594,6 +783,21 @@ ShardRunResult run_sharded_task_graph(
     while ((st = w.decoder.next(frame)) == FrameDecoder::Status::kFrame) {
       ++result.stats.frames_received;
       switch (frame.type) {
+        case MsgType::kHeartbeat: {
+          HeartbeatMsg hb;
+          if (!decode_heartbeat(frame.payload, hb)) {
+            poison_worker(slot, "bad heartbeat");
+            return false;
+          }
+          ++result.stats.heartbeats;
+          const auto now = std::chrono::steady_clock::now();
+          w.last_beat = now;
+          if (hb.progress != w.last_progress) {
+            w.last_progress = hb.progress;
+            w.last_progress_time = now;
+          }
+          break;
+        }
         case MsgType::kViolationReport: {
           ViolationMsg v;
           bool links_ok = decode_violation(frame.payload, v);
@@ -688,6 +892,9 @@ ShardRunResult run_sharded_task_graph(
             rep.holds = p.holds != 0;
             rep.timed_out = p.timed_out != 0;
             rep.state_limit_hit = p.state_limit_hit != 0;
+            rep.memory_limit_hit = p.memory_limit_hit != 0;
+            rep.budget_tripped = static_cast<BudgetKind>(p.budget_tripped);
+            rep.exhaustive = p.exhaustive != 0;
             rep.translated = p.translated != 0;
             rep.stats = p.stats;
             for (ViolationMsg& v : w.stash) {
@@ -752,18 +959,69 @@ ShardRunResult run_sharded_task_graph(
 
     if (inflight == 0 && (ready.empty() || stopping)) break;
 
-    // Crash recovery: keep the pool at full strength while work remains.
+    // Supervision: the escalation ladder over every in-flight task. With
+    // heartbeats on, liveness has two independent signals — the beacon
+    // itself (a wedged worker holding the frame-write lock goes silent) and
+    // the exploration progress counter the beacons carry (an alive worker
+    // stuck outside exploration beats on with a flat counter). Soft
+    // deadline: one probe, recorded and logged, no action — slow workers
+    // that still advance are left alone. Hard deadline on either signal:
+    // SIGKILL into the same reap/reassign path a crash takes.
+    if (opts.heartbeat_interval_ms > 0 && opts.hard_deadline_ms > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      const auto soft = std::chrono::milliseconds(opts.soft_deadline_ms);
+      const auto hard = std::chrono::milliseconds(opts.hard_deadline_ms);
+      for (std::size_t s = 0; s < workers.size(); ++s) {
+        WorkerSlot& w = workers[s];
+        if (!w.alive || w.current == kNoTask) continue;
+        const auto beat_age = now - w.last_beat;
+        const auto progress_age = now - w.last_progress_time;
+        if (beat_age > hard || progress_age > hard) {
+          ++result.stats.hang_kills;
+          std::fprintf(stderr,
+                       "plankton shard coordinator: worker %zu stuck on task "
+                       "%zu (%s for %lldms), killing\n",
+                       s, w.current,
+                       beat_age > hard ? "no heartbeat" : "no progress",
+                       static_cast<long long>(
+                           std::chrono::duration_cast<std::chrono::milliseconds>(
+                               beat_age > hard ? beat_age : progress_age)
+                               .count()));
+          kill(w.pid, SIGKILL);
+          handle_worker_death(s);
+          continue;
+        }
+        if (!w.probed && (beat_age > soft || progress_age > soft)) {
+          w.probed = true;
+          ++result.stats.progress_probes;
+          std::fprintf(stderr,
+                       "plankton shard coordinator: worker %zu slow on task "
+                       "%zu (probe; hard deadline %dms)\n",
+                       s, w.current, opts.hard_deadline_ms);
+        }
+      }
+      if (!result.error.empty()) break;  // a hang-kill exhausted the cap
+    }
+
+    // Crash recovery: keep the pool at full strength while work remains,
+    // honoring each slot's respawn backoff (a flapping slot waits it out).
     bool any_alive = false;
+    bool any_backing_off = false;
+    const auto respawn_now = std::chrono::steady_clock::now();
     for (std::size_t s = 0; s < workers.size() && result.error.empty(); ++s) {
       if (workers[s].alive) {
         any_alive = true;
         continue;
       }
       if (ready.empty() && inflight == 0) continue;
+      if (respawn_now < workers[s].respawn_after) {
+        any_backing_off = true;
+        continue;
+      }
       if (spawn_worker(s)) {
         ++result.stats.workers_respawned;
         any_alive = true;
-      } else if (!any_alive && s + 1 == workers.size()) {
+      } else if (!any_alive && !any_backing_off && s + 1 == workers.size()) {
         result.error = "cannot respawn any shard worker";
       }
     }
@@ -776,7 +1034,15 @@ ShardRunResult run_sharded_task_graph(
       pfds.push_back({workers[s].fd, POLLIN, 0});
       slot_of.push_back(s);
     }
-    const int n = poll(pfds.data(), pfds.size(), 200);
+    // Poll in slices no coarser than the heartbeat cadence so supervision
+    // reacts within about one interval (and an all-dead pool in backoff
+    // still sleeps instead of spinning).
+    int poll_ms = 200;
+    if (opts.heartbeat_interval_ms > 0) {
+      poll_ms = std::clamp(opts.heartbeat_interval_ms, 10, 200);
+    }
+    const int n = poll(pfds.empty() ? nullptr : pfds.data(),
+                       static_cast<nfds_t>(pfds.size()), poll_ms);
     if (n < 0 && errno != EINTR) {
       result.error = "poll failed";
       break;

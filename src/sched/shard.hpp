@@ -14,6 +14,7 @@
 //   worker ──kViolationReport*───────▶ coordinator   one per counterexample
 //   worker ──kOutcomeDelivery*───────▶ coordinator   recorded outcomes
 //   worker ──kTaskDone───────────────▶ coordinator   per-PEC verdict + stats
+//   worker ──kHeartbeat*─────────────▶ coordinator   liveness + progress
 //   coordinator ──kShutdown──────────▶ worker   clean exit
 //
 // Every message is framed (magic, version, type, 64-bit payload length) and
@@ -23,7 +24,12 @@
 // Fault tolerance: the coordinator is the first failure boundary in the
 // codebase. A worker that dies mid-task (crash, SIGKILL, poisoned stream) is
 // detected via socket EOF, reaped, and replaced; its in-flight task is
-// reassigned. Exploration is deterministic per task, so the merged verdict,
+// reassigned. A worker that is alive but *stuck* — the failure EOF can never
+// see — is caught by the supervision ladder: heartbeats carry the
+// exploration progress counter, a soft per-task deadline triggers a progress
+// probe, and the hard deadline SIGKILLs the worker into the same
+// reap/reassign path (with exponential backoff on respawning a flapping
+// slot). Exploration is deterministic per task, so the merged verdict,
 // violation multiset, and state counts stay bit-identical to a
 // single-process run regardless of shard count, assignment, or crashes. A
 // per-task reassignment cap turns a deterministically-crashing task into a
@@ -45,6 +51,7 @@
 #include "checker/stats.hpp"
 #include "pec/pec.hpp"
 #include "rpvp/explorer.hpp"
+#include "sched/fault.hpp"
 #include "sched/outcome_store.hpp"
 #include "sched/work_stealing.hpp"
 
@@ -60,6 +67,7 @@ enum class MsgType : std::uint16_t {
   kViolationReport = 3,  ///< worker → coordinator: one counterexample
   kTaskDone = 4,         ///< worker → coordinator: per-PEC verdicts + stats
   kShutdown = 5,         ///< coordinator → worker: exit cleanly
+  kHeartbeat = 6,        ///< worker → coordinator: liveness + progress counter
 };
 
 inline constexpr std::uint32_t kFrameMagic = 0x504b5331;  // "PKS1"
@@ -140,6 +148,11 @@ struct PecDoneMsg {
   std::uint8_t holds = 1;
   std::uint8_t timed_out = 0;
   std::uint8_t state_limit_hit = 0;
+  std::uint8_t memory_limit_hit = 0;
+  /// BudgetKind of the budget that ended the search early (0 = none).
+  std::uint8_t budget_tripped = 0;
+  /// 0 when coverage was probabilistic (lossy/degraded visited backend).
+  std::uint8_t exhaustive = 1;
   /// Verdict translated from the PEC's class representative (batch PEC
   /// verification) rather than explored natively; the stats are the
   /// representative's and must not be double-counted into run totals.
@@ -162,6 +175,21 @@ struct TaskDoneMsg {
 [[nodiscard]] std::string encode_task_done(const TaskDoneMsg& m);
 [[nodiscard]] bool decode_task_done(std::string_view in, TaskDoneMsg& out);
 
+/// Worker liveness beacon, written by a dedicated worker thread on a fixed
+/// cadence (ShardRunOptions::heartbeat_interval_ms) and piggybacked on the
+/// PKS1 framing. `progress` samples the worker's exploration liveness
+/// counter (checker/progress.hpp): the coordinator distinguishes
+/// slow-but-advancing workers (counter moves) from alive-but-stuck ones
+/// (beats arrive, counter flat) from wedged ones (beats stop — the beacon
+/// thread shares the frame-write lock with data frames, so a worker stuck
+/// holding it goes silent).
+struct HeartbeatMsg {
+  std::uint64_t progress = 0;
+};
+
+[[nodiscard]] std::string encode_heartbeat(const HeartbeatMsg& m);
+[[nodiscard]] bool decode_heartbeat(std::string_view in, HeartbeatMsg& out);
+
 // ---------------------------------------------------------------------------
 // Coordinator
 // ---------------------------------------------------------------------------
@@ -178,6 +206,10 @@ struct ShardStats {
   std::uint64_t tasks_reassigned = 0;    ///< in-flight tasks rescued from dead workers
   std::uint64_t workers_respawned = 0;
   std::uint64_t decode_errors = 0;       ///< poisoned worker streams
+  std::uint64_t heartbeats = 0;          ///< kHeartbeat frames received
+  std::uint64_t progress_probes = 0;     ///< soft-deadline probes of slow tasks
+  std::uint64_t hang_kills = 0;          ///< hard-deadline SIGKILLs of stuck workers
+  std::uint64_t write_timeouts = 0;      ///< bounded write_all gave up on a peer
   /// tasks_per_shard[w] = tasks completed by worker slot w.
   std::vector<std::uint64_t> tasks_per_shard;
 };
@@ -208,6 +240,9 @@ struct ShardPecResult {
   bool holds = true;
   bool timed_out = false;
   bool state_limit_hit = false;
+  bool memory_limit_hit = false;
+  BudgetKind budget_tripped = BudgetKind::kNone;
+  bool exhaustive = true;
   SearchStats stats;
   std::vector<ViolationMsg> violations;
   bool record = false;
@@ -224,6 +259,30 @@ struct ShardRunOptions {
   /// Give up on a task after this many worker deaths while it was in flight
   /// (a deterministically-crashing task must not fork forever).
   int max_reassignments_per_task = 3;
+
+  // -- supervision (the hang-detection escalation ladder) -------------------
+  /// Worker heartbeat cadence. Each worker runs a beacon thread that writes
+  /// a kHeartbeat frame (carrying the exploration progress counter) every
+  /// interval; 0 disables heartbeats and the deadlines below.
+  int heartbeat_interval_ms = 100;
+  /// Soft per-task deadline: a task in flight this long triggers one
+  /// progress probe (stat + stderr note). A worker whose heartbeats arrive
+  /// and whose progress counter advances is slow-but-alive and is left
+  /// alone until the hard deadline.
+  int soft_deadline_ms = 2000;
+  /// Hard per-task deadline: a worker whose heartbeats have stopped for
+  /// this long, or whose progress counter has been flat this long while a
+  /// task is in flight, is presumed stuck — SIGKILL, reap, reassign under
+  /// the reassignment cap (the same path socket EOF takes).
+  int hard_deadline_ms = 30000;
+  /// Base of the exponential respawn backoff for a flapping worker slot:
+  /// the k-th respawn of a slot waits base << min(k, 6), capped at 2 s, so
+  /// a crash-looping slot cannot monopolize the coordinator with forks.
+  int respawn_backoff_ms = 25;
+
+  /// Deterministic fault injection (sched/fault.hpp) consulted by the
+  /// worker loop and transport at instrumented points. Empty = no faults.
+  FaultPlan fault_plan;
 
   // Test hooks (fault injection for the crash-recovery suite):
   /// Called right after a task assignment has been written to a worker.

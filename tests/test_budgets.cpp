@@ -1,0 +1,314 @@
+// Resource governance (checker/budget.hpp): budget taxonomy, sound
+// kInconclusive verdicts, deterministic trip points, and graceful visited
+// degradation.
+//
+// The headline guarantees under test:
+//   · a tripped budget (deadline / states / memory) degrades a would-be hold
+//     to Verdict::kInconclusive — NEVER to a spurious kHolds — on every
+//     engine × shard-count combination;
+//   · state- and memory-budget trips are deterministic: the same budget on
+//     the same workload twice yields bit-identical partial stats and the
+//     identical kInconclusive report (the budget-determinism satellite);
+//   · opt-in exact→hash-compact visited degradation under memory pressure
+//     preserves every previously seen key and self-reports the loss of
+//     exhaustiveness (exhaustive == false).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/verifier.hpp"
+#include "engine/visited.hpp"
+#include "workload/fat_tree.hpp"
+
+namespace plankton {
+namespace {
+
+/// Everything the budget-determinism satellite calls bit-identical: verdict
+/// taxonomy fields, the partial-exploration counters, and the violation
+/// multiset.
+struct Fingerprint {
+  Verdict verdict = Verdict::kHolds;
+  BudgetKind budget_tripped = BudgetKind::kNone;
+  bool exhaustive = true;
+  std::size_t pecs_inconclusive = 0;
+  std::uint64_t states_explored = 0;
+  std::uint64_t states_stored = 0;
+  std::uint64_t converged_states = 0;
+  std::uint64_t policy_checks = 0;
+  std::multiset<std::string> violations;
+
+  friend bool operator==(const Fingerprint& a, const Fingerprint& b) {
+    return a.verdict == b.verdict && a.budget_tripped == b.budget_tripped &&
+           a.exhaustive == b.exhaustive &&
+           a.pecs_inconclusive == b.pecs_inconclusive &&
+           a.states_explored == b.states_explored &&
+           a.states_stored == b.states_stored &&
+           a.converged_states == b.converged_states &&
+           a.policy_checks == b.policy_checks && a.violations == b.violations;
+  }
+};
+
+Fingerprint fingerprint(const VerifyResult& r) {
+  Fingerprint fp;
+  fp.verdict = r.verdict;
+  fp.budget_tripped = r.budget_tripped;
+  fp.exhaustive = r.exhaustive;
+  fp.pecs_inconclusive = r.pecs_inconclusive;
+  fp.states_explored = r.total.states_explored;
+  fp.states_stored = r.total.states_stored;
+  fp.converged_states = r.total.converged_states;
+  fp.policy_checks = r.total.policy_checks;
+  for (const auto& rep : r.reports) {
+    for (const auto& v : rep.result.violations) {
+      fp.violations.insert(rep.pec_str + "|" +
+                           std::to_string(v.failures.hash()) + "|" + v.message);
+    }
+  }
+  return fp;
+}
+
+/// The fig9 worst-case BGP DC workload (bench/perf_smoke.cpp): a single PEC
+/// whose uncapped exploration runs for hundreds of milliseconds and stores
+/// megabytes — big enough that every budget axis genuinely trips.
+struct WorstCase {
+  FatTree ft;
+  WaypointPolicy policy;
+  IpAddr addr;
+
+  WorstCase()
+      : ft(make_fat_tree([] {
+          FatTreeOptions o;
+          o.k = 4;
+          o.routing = FatTreeOptions::Routing::kBgpRfc7938;
+          return o;
+        }())),
+        policy({ft.edges.back()}, ft.aggs),
+        addr(ft.edge_prefixes[0].addr()) {}
+
+  [[nodiscard]] VerifyResult run(VerifyOptions vo) const {
+    vo.explore.det_nodes_bgp = false;
+    vo.explore.suppress_equivalent = false;
+    Verifier verifier(ft.net, vo);
+    return verifier.verify_address(addr, policy);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Verdict taxonomy
+// ---------------------------------------------------------------------------
+
+TEST(BudgetTaxonomy, VerdictClassification) {
+  ExploreResult r;
+  EXPECT_EQ(r.verdict(), Verdict::kHolds);
+  r.timed_out = true;
+  EXPECT_EQ(r.verdict(), Verdict::kInconclusive);
+  r = {};
+  r.state_limit_hit = true;
+  EXPECT_EQ(r.verdict(), Verdict::kInconclusive);
+  r = {};
+  r.memory_limit_hit = true;
+  EXPECT_EQ(r.verdict(), Verdict::kInconclusive);
+  r = {};
+  r.budget_tripped = BudgetKind::kStates;
+  EXPECT_EQ(r.verdict(), Verdict::kInconclusive);
+  // A violation is sound even from a partial search: it always wins.
+  r.holds = false;
+  EXPECT_EQ(r.verdict(), Verdict::kViolated);
+
+  EXPECT_STREQ(to_string(BudgetKind::kNone), "none");
+  EXPECT_STREQ(to_string(BudgetKind::kDeadline), "deadline");
+  EXPECT_STREQ(to_string(BudgetKind::kStates), "states");
+  EXPECT_STREQ(to_string(BudgetKind::kMemory), "memory");
+  EXPECT_STREQ(to_string(Verdict::kHolds), "holds");
+  EXPECT_STREQ(to_string(Verdict::kViolated), "violated");
+  EXPECT_STREQ(to_string(Verdict::kInconclusive), "inconclusive");
+  EXPECT_STREQ(to_string(Verdict::kError), "error");
+}
+
+TEST(BudgetTaxonomy, UnbudgetedRunIsExhaustiveHold) {
+  const WorstCase wc;
+  VerifyOptions vo;
+  vo.explore.max_states = 50000;  // under the ~180k full exploration: trips
+  const VerifyResult capped = wc.run(vo);
+  EXPECT_EQ(capped.verdict, Verdict::kInconclusive)
+      << "a state-cap stop must not report a hold";
+
+  VerifyOptions unbudgeted;
+  EXPECT_FALSE(unbudgeted.budget.any());
+  FatTreeOptions o;
+  o.k = 4;
+  const FatTree ft = make_fat_tree(o);
+  const LoopFreedomPolicy policy;
+  Verifier verifier(ft.net, unbudgeted);
+  const VerifyResult r = verifier.verify(policy);
+  EXPECT_EQ(r.verdict, Verdict::kHolds);
+  EXPECT_EQ(r.budget_tripped, BudgetKind::kNone);
+  EXPECT_TRUE(r.exhaustive);
+  EXPECT_EQ(r.pecs_inconclusive, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Budget determinism (same budget twice => identical partial stats and the
+// identical kInconclusive report)
+// ---------------------------------------------------------------------------
+
+TEST(BudgetDeterminism, StateBudgetTripsIdenticallyTwice) {
+  const WorstCase wc;
+  VerifyOptions vo;
+  vo.budget.max_states = 5000;
+  const VerifyResult first = wc.run(vo);
+  ASSERT_EQ(first.verdict, Verdict::kInconclusive);
+  EXPECT_EQ(first.budget_tripped, BudgetKind::kStates);
+  EXPECT_TRUE(first.holds) << "no spurious violation from a partial search";
+  EXPECT_EQ(first.pecs_inconclusive, 1u);
+  EXPECT_TRUE(first.exhaustive)
+      << "a state-cap stop with the exact backend is partial, not lossy";
+
+  const VerifyResult second = wc.run(vo);
+  EXPECT_EQ(fingerprint(first), fingerprint(second))
+      << "the same state budget on the same workload must stop at the "
+         "identical partial exploration";
+}
+
+TEST(BudgetDeterminism, MemoryBudgetTripsIdenticallyTwice) {
+  const WorstCase wc;
+  VerifyOptions vo;
+  vo.budget.max_bytes = 2u << 20;  // the uncapped run stores ~10 MB
+  const VerifyResult first = wc.run(vo);
+  ASSERT_EQ(first.verdict, Verdict::kInconclusive);
+  EXPECT_EQ(first.budget_tripped, BudgetKind::kMemory);
+  EXPECT_TRUE(first.holds);
+  EXPECT_TRUE(first.exhaustive) << "without the degradation opt-in the "
+                                   "exact backend stays exact";
+  EXPECT_GT(first.total.budget_checks, 0u);
+
+  const VerifyResult second = wc.run(vo);
+  EXPECT_EQ(fingerprint(first), fingerprint(second))
+      << "memory budgets check a deterministic model-byte count, so the "
+         "trip point must reproduce";
+}
+
+TEST(BudgetDeterminism, DeadlineClassifiesIdenticallyAcrossRuns) {
+  // Wall-clock trips are inherently timing-dependent, so only the verdict
+  // classification is pinned: with a deadline 20x under the unbudgeted
+  // ~500 ms runtime, both runs must come back inconclusive-on-deadline with
+  // no spurious violation (the partial stats legitimately differ).
+  const WorstCase wc;
+  VerifyOptions vo;
+  vo.budget.deadline = std::chrono::milliseconds(25);
+  for (int run = 0; run < 2; ++run) {
+    const VerifyResult r = wc.run(vo);
+    EXPECT_EQ(r.verdict, Verdict::kInconclusive) << "run " << run;
+    EXPECT_EQ(r.budget_tripped, BudgetKind::kDeadline) << "run " << run;
+    EXPECT_TRUE(r.holds) << "run " << run;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Soundness: exhaustion is never reported as a hold, on every engine x
+// shard-count combination (the acceptance matrix)
+// ---------------------------------------------------------------------------
+
+TEST(BudgetSoundness, DeadlineNeverReportsHoldAcrossEnginesAndShards) {
+  const WorstCase wc;
+  const SearchEngineKind engines[] = {SearchEngineKind::kDfs,
+                                      SearchEngineKind::kBfs,
+                                      SearchEngineKind::kPriority};
+  for (const SearchEngineKind engine : engines) {
+    for (const int shards : {0, 1, 2}) {
+      VerifyOptions vo;
+      vo.explore.engine_kind = engine;
+      vo.budget.deadline = std::chrono::milliseconds(25);
+      if (shards > 0) vo.shards = shards;
+      const VerifyResult r = wc.run(vo);
+      EXPECT_NE(r.verdict, Verdict::kHolds)
+          << "engine=" << to_string(engine) << " shards=" << shards
+          << ": a deadline-capped partial search reported a hold";
+      EXPECT_EQ(r.verdict, Verdict::kInconclusive)
+          << "engine=" << to_string(engine) << " shards=" << shards;
+      EXPECT_EQ(r.budget_tripped, BudgetKind::kDeadline)
+          << "engine=" << to_string(engine) << " shards=" << shards;
+    }
+  }
+}
+
+TEST(BudgetSoundness, StateBudgetIsInconclusiveThroughShards) {
+  // The new verdict fields must survive the PecDone wire round-trip: a
+  // sharded budget-tripped run reports the same taxonomy as in-process.
+  const WorstCase wc;
+  VerifyOptions vo;
+  vo.budget.max_states = 5000;
+  const Fingerprint ref = fingerprint(wc.run(vo));
+  for (const int shards : {1, 2}) {
+    VerifyOptions sv = vo;
+    sv.shards = shards;
+    const VerifyResult r = wc.run(sv);
+    EXPECT_EQ(r.verdict, Verdict::kInconclusive) << "shards=" << shards;
+    EXPECT_EQ(r.budget_tripped, BudgetKind::kStates) << "shards=" << shards;
+    EXPECT_EQ(fingerprint(r), ref)
+        << "shards=" << shards
+        << ": budget trip diverged from the in-process run";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Graceful visited degradation (exact -> hash-compact under memory pressure)
+// ---------------------------------------------------------------------------
+
+TEST(VisitedDegradation, MigrationPreservesSeenKeysAndDropsExhaustiveness) {
+  const auto exact = make_visited_backend(VisitedKind::kExact);
+  ASSERT_TRUE(exact->exhaustive());
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_TRUE(exact->insert(k * 0x9e3779b97f4a7c15ull));
+  }
+  const auto compact = exact->degrade_to_compact();
+  ASSERT_NE(compact, nullptr);
+  EXPECT_EQ(compact->kind(), VisitedKind::kHashCompact);
+  EXPECT_FALSE(compact->exhaustive())
+      << "hash compaction is lossy; the migrated set must say so";
+  EXPECT_LT(compact->bytes(), exact->bytes());
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    EXPECT_FALSE(compact->insert(k * 0x9e3779b97f4a7c15ull))
+        << "key " << k << " was forgotten by the migration";
+  }
+}
+
+TEST(VisitedDegradation, LossyBackendsRefuseToMigrate) {
+  EXPECT_EQ(make_visited_backend(VisitedKind::kHashCompact)->degrade_to_compact(),
+            nullptr);
+  EXPECT_EQ(make_visited_backend(VisitedKind::kBitstate)->degrade_to_compact(),
+            nullptr);
+}
+
+TEST(VisitedDegradation, DegradedRunSelfReportsNonExhaustive) {
+  // With the opt-in, memory pressure first migrates the visited set (POR off:
+  // the sleep-set store needs full keys) and the run self-reports
+  // exhaustive == false; the budget is small enough that the trimmed model
+  // still trips kMemory later. Either way the verdict must be inconclusive
+  // and the loss of exhaustiveness visible — and deterministic across runs.
+  const WorstCase wc;
+  VerifyOptions vo;
+  vo.explore.por = false;
+  vo.budget.max_bytes = 2u << 20;
+  vo.budget.degrade_visited = true;
+  const VerifyResult first = wc.run(vo);
+  ASSERT_EQ(first.verdict, Verdict::kInconclusive);
+  EXPECT_FALSE(first.exhaustive)
+      << "degradation happened but the run still claims exhaustive coverage";
+  EXPECT_EQ(first.budget_tripped, BudgetKind::kMemory);
+
+  const VerifyResult second = wc.run(vo);
+  EXPECT_EQ(fingerprint(first), fingerprint(second));
+
+  // Contrast: without the opt-in the same budget trips earlier but the
+  // search stays exact (partial, not lossy).
+  VerifyOptions plain = vo;
+  plain.budget.degrade_visited = false;
+  const VerifyResult r = wc.run(plain);
+  EXPECT_EQ(r.verdict, Verdict::kInconclusive);
+  EXPECT_TRUE(r.exhaustive);
+}
+
+}  // namespace
+}  // namespace plankton
