@@ -1,0 +1,209 @@
+// plankton_client: CLI for the plankton_serve daemon.
+//
+//   plankton_client --socket <path>|--tcp <port> <command> [args]
+//
+// Commands:
+//   load <config-file>           make the config resident
+//   query <policy-spec...>       e.g. `query loop`, `query reach r1 r2`
+//                                [--failures <n>] anywhere after `query`
+//   delta <delta-file>           apply line edits: `add <line>` / `del <line>`
+//   stats                        print verdict-cache counters
+//   shutdown                     persist the cache and stop the daemon
+//
+// Exit codes mirror plankton_verify: 0 holds / command ok, 1 violated,
+// 2 inconclusive, 3 usage/transport/config error.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace plankton;
+using namespace plankton::serve;
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+/// Round trip: send one frame, wait for the reply frame.
+bool rpc(int fd, sched::MsgType type, const std::string& payload,
+         sched::Frame& reply, std::string& error) {
+  if (!send_frame(fd, type, payload)) {
+    error = "send failed";
+    return false;
+  }
+  sched::FrameDecoder decoder;
+  return recv_frame(fd, decoder, reply, error);
+}
+
+int print_reply(const sched::Frame& frame) {
+  VerdictReplyMsg m;
+  if (frame.type != sched::MsgType::kVerdictReply ||
+      !decode_verdict_reply(frame.payload, m)) {
+    std::fprintf(stderr, "plankton_client: malformed reply\n");
+    return 3;
+  }
+  if (!m.ok) {
+    std::fprintf(stderr, "plankton_client: daemon error: %s\n", m.error.c_str());
+    return 3;
+  }
+  std::printf(
+      "verdict=%s targets=%llu cache_hits=%llu reverified=%llu moved=%llu "
+      "wall_ms=%.3f\n",
+      to_string(static_cast<Verdict>(m.verdict)),
+      static_cast<unsigned long long>(m.targets),
+      static_cast<unsigned long long>(m.cache_hits),
+      static_cast<unsigned long long>(m.reverified),
+      static_cast<unsigned long long>(m.moved),
+      static_cast<double>(m.wall_ns) / 1e6);
+  for (const ViolationText& v : m.violations) {
+    std::printf("violation PEC %s: %s\n", v.pec.c_str(), v.message.c_str());
+  }
+  switch (static_cast<Verdict>(m.verdict)) {
+    case Verdict::kHolds: return 0;
+    case Verdict::kViolated: return 1;
+    case Verdict::kInconclusive: return 2;
+    case Verdict::kError: return 3;
+  }
+  return 3;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: plankton_client --socket <path>|--tcp <port> "
+               "load <file> | query <spec...> [--failures n] | "
+               "delta <file> | stats | shutdown\n");
+  return 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path;
+  int tcp_port = 0;
+  int i = 1;
+  while (i < argc && argv[i][0] == '-') {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      unix_path = argv[++i];
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      tcp_port = std::atoi(argv[++i]);
+    } else {
+      return usage();
+    }
+    ++i;
+  }
+  if (i >= argc || (unix_path.empty() && tcp_port == 0)) return usage();
+  const std::string command = argv[i++];
+
+  std::string error;
+  const int fd = unix_path.empty() ? connect_tcp(tcp_port, error)
+                                   : connect_unix(unix_path, error);
+  if (fd < 0) {
+    std::fprintf(stderr, "plankton_client: %s\n", error.c_str());
+    return 3;
+  }
+  sched::Frame reply;
+  int rc = 3;
+  if (command == "load") {
+    if (i >= argc) return usage();
+    LoadNetMsg m;
+    if (!read_file(argv[i], m.config_text)) {
+      std::fprintf(stderr, "plankton_client: cannot read '%s'\n", argv[i]);
+      ::close(fd);
+      return 3;
+    }
+    if (rpc(fd, sched::MsgType::kLoadNet, encode_load_net(m), reply, error)) {
+      rc = print_reply(reply);
+    }
+  } else if (command == "query") {
+    QueryMsg m;
+    std::string spec;
+    for (; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--failures") == 0 && i + 1 < argc) {
+        m.max_failures = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        continue;
+      }
+      if (!spec.empty()) spec += ' ';
+      spec += argv[i];
+    }
+    if (spec.empty()) return usage();
+    m.policy_spec = spec;
+    if (rpc(fd, sched::MsgType::kQuery, encode_query(m), reply, error)) {
+      rc = print_reply(reply);
+    }
+  } else if (command == "delta") {
+    if (i >= argc) return usage();
+    std::string text;
+    if (!read_file(argv[i], text)) {
+      std::fprintf(stderr, "plankton_client: cannot read '%s'\n", argv[i]);
+      ::close(fd);
+      return 3;
+    }
+    ApplyDeltaMsg m;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      DeltaOp op;
+      if (line.rfind("add ", 0) == 0) {
+        op.add = true;
+        op.line = line.substr(4);
+      } else if (line.rfind("del ", 0) == 0) {
+        op.add = false;
+        op.line = line.substr(4);
+      } else {
+        std::fprintf(stderr, "plankton_client: bad delta line '%s'\n",
+                     line.c_str());
+        ::close(fd);
+        return 3;
+      }
+      m.ops.push_back(std::move(op));
+    }
+    if (rpc(fd, sched::MsgType::kApplyDelta, encode_apply_delta(m), reply,
+            error)) {
+      rc = print_reply(reply);
+    }
+  } else if (command == "stats") {
+    if (rpc(fd, sched::MsgType::kCacheStats, "", reply, error)) {
+      CacheStatsMsg m;
+      if (reply.type == sched::MsgType::kCacheStats &&
+          decode_cache_stats(reply.payload, m)) {
+        std::printf(
+            "entries=%llu hits=%llu misses=%llu nonclean_bypass=%llu "
+            "insertions=%llu warm_loaded=%llu\n",
+            static_cast<unsigned long long>(m.entries),
+            static_cast<unsigned long long>(m.hits),
+            static_cast<unsigned long long>(m.misses),
+            static_cast<unsigned long long>(m.nonclean_bypass),
+            static_cast<unsigned long long>(m.insertions),
+            static_cast<unsigned long long>(m.warm_loaded));
+        rc = 0;
+      } else {
+        error = "malformed stats reply";
+      }
+    }
+  } else if (command == "shutdown") {
+    if (rpc(fd, sched::MsgType::kShutdown, "", reply, error)) rc = 0;
+  } else {
+    ::close(fd);
+    return usage();
+  }
+  if (rc == 3 && !error.empty()) {
+    std::fprintf(stderr, "plankton_client: %s\n", error.c_str());
+  }
+  ::close(fd);
+  return rc;
+}

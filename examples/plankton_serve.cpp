@@ -1,0 +1,75 @@
+// plankton_serve: long-running verification daemon. Holds a parsed network
+// resident behind a Unix/TCP socket (PKS1 framing), answers policy queries
+// through the fingerprint-keyed verdict cache, and re-verifies only the PECs
+// a config delta moved. Drive it with plankton_client.
+//
+//   plankton_serve --socket /tmp/plankton.sock --cache /tmp/plankton.cache
+//   plankton_serve --tcp 7411 --all-violations
+//
+// Exit codes: 0 clean shutdown (kShutdown frame), 3 setup/usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: plankton_serve [--socket <path>] [--tcp <port>]\n"
+      "                      [--cache <path>] [--cores <n>]\n"
+      "                      [--all-violations] [--no-pec-dedup] [--no-por]\n"
+      "                      [--deadline-ms <n>] [--budget-states <n>]\n"
+      "at least one of --socket/--tcp is required\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using plankton::serve::ServerOptions;
+  ServerOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "plankton_serve: %s needs a value\n", arg.c_str());
+        std::exit(3);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      opts.unix_path = value();
+    } else if (arg == "--tcp") {
+      opts.tcp_port = std::atoi(value());
+    } else if (arg == "--cache") {
+      opts.cache_path = value();
+    } else if (arg == "--cores") {
+      opts.verify.cores = std::atoi(value());
+    } else if (arg == "--all-violations") {
+      opts.verify.explore.find_all_violations = true;
+    } else if (arg == "--no-pec-dedup") {
+      opts.verify.pec_dedup = false;
+    } else if (arg == "--no-por") {
+      opts.verify.explore.por = false;
+    } else if (arg == "--deadline-ms") {
+      opts.verify.budget.deadline = std::chrono::milliseconds(std::atol(value()));
+    } else if (arg == "--budget-states") {
+      opts.verify.budget.max_states = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "plankton_serve: unknown flag '%s'\n", arg.c_str());
+      usage();
+      return 3;
+    }
+  }
+  if (opts.unix_path.empty() && opts.tcp_port == 0) {
+    usage();
+    return 3;
+  }
+  return plankton::serve::run_server(opts);
+}

@@ -66,4 +66,21 @@ struct ResourceBudget {
   }
 };
 
+/// Per-PEC fair share of the remaining deadline: remaining / (scheduled -
+/// started), clamped so the result is always a positive slice. `started` can
+/// legitimately reach or pass `scheduled` — dedup reruns and racing workers
+/// bump the started counter concurrently with scheduling — and `remaining`
+/// can be non-positive by the time a caller computes the slice; both cases
+/// must degrade to the minimum slice instead of dividing by zero or handing
+/// out a negative/garbage deadline.
+[[nodiscard]] inline std::chrono::milliseconds fair_share_slice(
+    std::chrono::milliseconds remaining, std::size_t scheduled,
+    std::size_t started) {
+  const std::size_t left = scheduled > started ? scheduled - started : 1;
+  if (remaining.count() <= 0) return std::chrono::milliseconds(1);
+  auto slice = remaining / static_cast<std::int64_t>(left);
+  if (slice.count() <= 0) slice = std::chrono::milliseconds(1);
+  return slice;
+}
+
 }  // namespace plankton

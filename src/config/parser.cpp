@@ -71,11 +71,22 @@ class Parser {
     return *p;
   }
 
-  std::uint32_t uint_of(std::string_view text) const {
+  // `max` bounds the accepted value so narrower destination fields
+  // (uint8/uint16) get a parse error instead of a silent truncating cast —
+  // the daemon feeds this parser from an untrusted socket, so "route-map ...
+  // prepend 256" must be rejected, not become prepend 0. from_chars already
+  // rejects sign characters, non-digits, and values beyond uint32.
+  std::uint32_t uint_of(std::string_view text,
+                        std::uint32_t max = UINT32_MAX) const {
     std::uint32_t v = 0;
     auto [next, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
     if (ec != std::errc{} || next != text.data() + text.size())
       throw ConfigParseError(line_no_, "bad number '" + std::string(text) + "'");
+    if (v > max) {
+      throw ConfigParseError(line_no_, "number '" + std::string(text) +
+                                           "' out of range (max " +
+                                           std::to_string(max) + ")");
+    }
     return v;
   }
 
@@ -121,7 +132,8 @@ class Parser {
     const NodeId b = node_of(t[2]);
     std::uint32_t cost_ab = 1, cost_ba = 1;
     bool saw_cost = false;
-    for (std::size_t i = 3; i + 1 < t.size(); i += 2) {
+    std::size_t i = 3;
+    for (; i + 1 < t.size(); i += 2) {
       if (t[i] == "cost") {
         cost_ab = uint_of(t[i + 1]);
         if (!saw_cost) cost_ba = cost_ab;
@@ -132,6 +144,8 @@ class Parser {
         fail("unknown link option '" + std::string(t[i]) + "'");
       }
     }
+    // A dangling option token ("link a b cost") used to be silently ignored.
+    if (i != t.size()) fail("link option '" + std::string(t[i]) + "' needs a value");
     result_.net.topo.add_link(a, b, cost_ab, cost_ba);
   }
 
@@ -241,13 +255,14 @@ class Parser {
       } else if (opt == "match-community") {
         clause.match.community = community_of(val);
       } else if (opt == "match-max-path-len") {
-        clause.match.max_path_len = static_cast<std::uint16_t>(uint_of(val));
+        clause.match.max_path_len =
+            static_cast<std::uint16_t>(uint_of(val, UINT16_MAX));
       } else if (opt == "set-local-pref") {
         clause.action.set_local_pref = uint_of(val);
       } else if (opt == "add-community") {
         clause.action.add_community = community_of(val);
       } else if (opt == "prepend") {
-        clause.action.prepend = static_cast<std::uint8_t>(uint_of(val));
+        clause.action.prepend = static_cast<std::uint8_t>(uint_of(val, UINT8_MAX));
       } else {
         fail("unknown route-map option '" + std::string(opt) + "'");
       }
@@ -276,6 +291,18 @@ class Parser {
 
 ParsedNetwork parse_network_config(std::string_view text) {
   return Parser{}.run(text);
+}
+
+bool parse_network_config(std::string_view text, ParsedNetwork& out,
+                          std::string& error) {
+  try {
+    out = Parser{}.run(text);
+    return true;
+  } catch (const ConfigParseError& e) {
+    out = ParsedNetwork{};
+    error = e.what();
+    return false;
+  }
 }
 
 }  // namespace plankton

@@ -50,4 +50,10 @@ struct ParsedNetwork {
 /// Parses the full text of a configuration file. Throws ConfigParseError.
 ParsedNetwork parse_network_config(std::string_view text);
 
+/// Non-throwing variant for untrusted input (the serve daemon feeds this from
+/// a socket): returns false and fills `error` with the "line N: ..." message
+/// instead of throwing; `out` is default-initialized on failure.
+bool parse_network_config(std::string_view text, ParsedNetwork& out,
+                          std::string& error);
+
 }  // namespace plankton

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "checker/budget.hpp"
 #include "eqclass/pec_dedup.hpp"
 #include "sched/outcome_store.hpp"
 
@@ -146,10 +147,17 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
   // `pecs_started` is exact in-process; in forked shard workers each sees
   // only its own copy-on-write increments, which *under*-counts started PECs
   // and therefore only makes slices more conservative — never unfair.
+  // `scheduled_pecs` is atomic because dedup member reruns are scheduled
+  // dynamically (expand_class bumps it per dispatched rerun) — without that,
+  // started can pass the static count and the final PEC's divisor collapses.
   const bool has_budget_deadline = opts_.budget.deadline.count() > 0;
   const auto budget_deadline = start + opts_.budget.deadline;
-  std::size_t scheduled_pecs = 0;
-  for (const SccTask& t : tasks) scheduled_pecs += t.pecs.size();
+  std::atomic<std::size_t> scheduled_pecs{0};
+  {
+    std::size_t statically_scheduled = 0;
+    for (const SccTask& t : tasks) statically_scheduled += t.pecs.size();
+    scheduled_pecs.store(statically_scheduled, std::memory_order_relaxed);
+  }
   std::atomic<std::size_t> pecs_started{0};
 
   // Shared per-PEC execution: the in-process scheduler body and the forked
@@ -194,11 +202,8 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
       const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
           budget_deadline - now);
       if (remaining.count() <= 0) return deadline_exhausted();
-      const std::size_t left =
-          scheduled_pecs > started ? scheduled_pecs - started : 1;
-      auto slice = remaining / static_cast<std::int64_t>(left);
-      if (slice.count() <= 0) slice = std::chrono::milliseconds(1);
-      eo.budget.deadline = slice;
+      eo.budget.deadline = fair_share_slice(
+          remaining, scheduled_pecs.load(std::memory_order_relaxed), started);
     }
     StoreProvider provider(store, deps_.depends_on[pec_id], has_dependents);
     Explorer explorer(net_, pec, make_tasks(net_, pec),
@@ -247,6 +252,9 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
     if (!rep.result.holds && !opts_.explore.find_all_violations) return;
     for (const PecId m : members) {
       dedup_reruns.fetch_add(1, std::memory_order_relaxed);
+      // Reruns are scheduled work the static count never saw; register them
+      // before dispatch so the fair-share divisor stays ahead of started.
+      scheduled_pecs.fetch_add(1, std::memory_order_relaxed);
       rerun(m);
     }
   };

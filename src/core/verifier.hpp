@@ -122,6 +122,7 @@ class Verifier {
  public:
   Verifier(const Network& net, VerifyOptions opts);
 
+  [[nodiscard]] const Network& net() const { return net_; }
   [[nodiscard]] const PecSet& pecs() const { return pecs_; }
   [[nodiscard]] const PecDependencies& deps() const { return deps_; }
 
@@ -132,7 +133,11 @@ class Verifier {
   /// which is run for outcomes but not policy-checked).
   VerifyResult verify_address(IpAddr addr, const Policy& policy);
 
-  /// Verifies an explicit set of target PECs.
+  /// Verifies an explicit set of target PECs. This is the partial
+  /// re-verification entry point for the serve daemon: after a config delta,
+  /// only the invalidated PECs are passed here; budgets, dedup, POR and
+  /// shards compose exactly as in a full run (dependency-closure PECs are
+  /// still executed for outcomes, but only `targets` are policy-checked).
   VerifyResult verify_pecs(std::vector<PecId> targets, const Policy& policy);
 
  private:

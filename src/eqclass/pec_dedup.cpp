@@ -1,6 +1,7 @@
 #include "eqclass/pec_dedup.hpp"
 
 #include <algorithm>
+#include <string_view>
 #include <unordered_map>
 
 #include "netbase/hash.hpp"
@@ -385,7 +386,190 @@ bool validate_isomorphism(const Network& net, const Pec& a, const Pec& b,
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Serve-layer fingerprints (PecFingerprint in the header): `canon` reuses
+// pec_shape against an empty policy; `residue` pins the identities canon
+// abstracts away. Everything hashes config *values* through the constexpr
+// mixers so the result is stable across processes and runs.
+// ---------------------------------------------------------------------------
+
+/// check() never consulted — fingerprints only read sources()/interesting(),
+/// both empty here so the canon half is policy-independent.
+class NullFingerprintPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "fingerprint-null"; }
+  [[nodiscard]] bool check(const ConvergedView&, std::string&) const override {
+    return true;
+  }
+};
+
+std::uint64_t hash_str(std::uint64_t h, std::string_view s) {
+  h = hash_combine(h, s.size());
+  for (const char c : s) h = hash_combine(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+std::uint64_t hash_prefix_value(std::uint64_t h, const Prefix& p) {
+  return hash_combine(hash_combine(h, p.addr().value()), p.length());
+}
+
+/// True when `p`'s address range intersects [lo, hi] — the config entry can
+/// influence routing for some address of the PEC.
+bool intersects(const Prefix& p, IpAddr lo, IpAddr hi) {
+  return p.first() <= hi && p.last() >= lo;
+}
+
+std::uint64_t hash_static_value(std::uint64_t h, const StaticRoute& sr) {
+  h = hash_prefix_value(h, sr.dst);
+  h = hash_combine(h, sr.via_neighbor);
+  h = hash_combine(h, sr.via_ip ? sr.via_ip->value() : 0u);
+  return hash_combine(h, sr.drop ? 2u : 1u);
+}
+
+/// Route-map residue restricted to one PEC: default-permit plus the full
+/// concrete content of every clause that can *fire* for the PEC's range —
+/// clauses with no prefix condition, or whose prefix range intersects it.
+/// Routes flowing during a PEC's exploration carry prefixes that cover the
+/// whole [lo, hi] range, so a clause whose prefix misses the range can never
+/// match one (exact or or-longer) and first-match-wins falls through it:
+/// editing such a clause must not move this PEC.
+std::uint64_t route_map_residue(std::uint64_t h, const RouteMap& rm, IpAddr lo,
+                                IpAddr hi) {
+  h = hash_combine(h, rm.default_permit ? 2u : 1u);
+  for (const RouteMapClause& c : rm.clauses) {
+    if (c.match.prefix) {
+      if (!intersects(*c.match.prefix, lo, hi)) continue;
+      h = hash_prefix_value(hash_combine(h, 0xA1), *c.match.prefix);
+      h = hash_combine(h, c.match.prefix_mode == RouteMapMatch::PrefixMode::kExact
+                              ? 1u : 2u);
+    } else {
+      h = hash_combine(h, 0xA0);
+    }
+    h = hash_combine(h, c.match.community ? 0x100u + *c.match.community : 1u);
+    h = hash_combine(h, c.match.max_path_len ? 0x10000u + *c.match.max_path_len : 1u);
+    h = hash_combine(h, c.action.permit ? 2u : 1u);
+    h = hash_combine(h, c.action.set_local_pref
+                            ? 0x1000000ull + *c.action.set_local_pref : 1u);
+    h = hash_combine(h, c.action.add_community ? 0x200u + *c.action.add_community : 1u);
+    h = hash_combine(h, c.action.prepend);
+  }
+  return h;
+}
+
+/// Network-wide residue: device identities, protocol roles, session topology,
+/// and link costs — the slice of config that feeds IGP path selection and
+/// BGP propagation for *every* address, so a change here must move every
+/// fingerprint. Prefix-valued config (originated prefixes, static routes,
+/// route-map clause contents) is deliberately absent: it is folded into each
+/// PEC's residue by range intersection below, so a delta touching prefix X
+/// moves only the PECs X can influence. That scoping is what buys the serve
+/// daemon its cache-hit ratio on deltas.
+std::uint64_t network_residue(const Network& net) {
+  std::uint64_t h = hash_mix(0x4E575245ull);  // "NWRE"
+  h = hash_combine(h, net.topo.node_count());
+  for (NodeId n = 0; n < net.topo.node_count(); ++n) {
+    const DeviceConfig& dev = net.device(n);
+    h = hash_str(h, dev.name);
+    h = hash_combine(h, dev.loopback.value());
+    h = hash_combine(h, dev.ospf.enabled ? 2u : 1u);
+    h = hash_combine(h, dev.ospf.advertise_loopback ? 2u : 1u);
+    h = hash_combine(h, dev.ospf.redistribute_static ? 2u : 1u);
+    if (dev.bgp) {
+      h = hash_combine(h, dev.bgp->asn);
+      h = hash_combine(h, dev.bgp->redistribute_ospf ? 2u : 1u);
+      h = hash_combine(h, dev.bgp->sessions.size());
+      for (const BgpSession& s : dev.bgp->sessions) {
+        h = hash_combine(h, s.peer);
+        h = hash_combine(h, s.ibgp ? 2u : 1u);
+      }
+    } else {
+      h = hash_combine(h, 0xB0);
+    }
+  }
+  h = hash_combine(h, net.topo.link_count());
+  for (const Link& l : net.topo.links()) {
+    h = hash_combine(hash_combine(h, l.a), l.b);
+    h = hash_combine(hash_combine(h, l.cost_ab), l.cost_ba);
+  }
+  return h;
+}
+
+/// The prefix-valued config visible from [lo, hi]: every originated prefix,
+/// static route, and fireable route-map clause whose range intersects the
+/// PEC's. Each entry is tagged with its device id and a category marker so
+/// the fold is self-delimiting (an entry moving between devices or
+/// categories cannot alias).
+std::uint64_t scoped_residue(const Network& net, std::uint64_t h, IpAddr lo,
+                             IpAddr hi) {
+  for (NodeId n = 0; n < net.topo.node_count(); ++n) {
+    const DeviceConfig& dev = net.device(n);
+    for (const Prefix& p : dev.ospf.originated) {
+      if (intersects(p, lo, hi)) {
+        h = hash_prefix_value(hash_combine(hash_combine(h, 0xE1), n), p);
+      }
+    }
+    for (const StaticRoute& sr : dev.statics) {
+      if (intersects(sr.dst, lo, hi)) {
+        h = hash_static_value(hash_combine(hash_combine(h, 0xE3), n), sr);
+      }
+    }
+    if (!dev.bgp) continue;
+    for (const Prefix& p : dev.bgp->originated) {
+      if (intersects(p, lo, hi)) {
+        h = hash_prefix_value(hash_combine(hash_combine(h, 0xE2), n), p);
+      }
+    }
+    for (const BgpSession& s : dev.bgp->sessions) {
+      h = hash_combine(hash_combine(h, 0xE4), n);
+      h = hash_combine(h, s.peer);
+      h = route_map_residue(h, s.import, lo, hi);
+      h = route_map_residue(h, s.export_, lo, hi);
+    }
+  }
+  return h;
+}
+
 }  // namespace
+
+std::uint64_t PecFingerprint::combined() const {
+  return hash_combine(canon, residue);
+}
+
+std::vector<PecFingerprint> compute_pec_fingerprints(const Network& net,
+                                                     const PecSet& pecs) {
+  std::vector<PecFingerprint> out(pecs.pecs.size());
+  const NullFingerprintPolicy null_policy;
+  RouteMapCanon canon;
+  const auto topo_edges = topology_edges(net);
+  const std::uint64_t net_res = network_residue(net);
+  for (PecId p = 0; p < pecs.pecs.size(); ++p) {
+    const Pec& pec = pecs.pecs[p];
+    out[p].canon =
+        pec_shape(net, pec, null_policy, topo_edges, canon).fingerprint;
+    // Per-PEC residue: the address range, concrete prefix values, the
+    // identity-bearing slice (who originates, which static routes by value),
+    // and the range-intersecting prefix-valued config.
+    std::uint64_t h = hash_combine(net_res, pec.lo.value());
+    h = hash_combine(h, pec.hi.value());
+    h = hash_combine(h, pec.prefixes.size());
+    for (const PecPrefix& pp : pec.prefixes) {
+      h = hash_prefix_value(h, pp.prefix);
+      h = hash_combine(h, pp.ospf_origins.size());
+      for (const NodeId n : pp.ospf_origins) h = hash_combine(h, n);
+      h = hash_combine(h, pp.bgp_origins.size());
+      for (const NodeId n : pp.bgp_origins) h = hash_combine(h, n);
+      h = hash_combine(h, pp.static_routes.size());
+      // By value, not index: deleting an unrelated static from the same
+      // device shifts indices and must not move this PEC.
+      for (const auto& [dev, idx] : pp.static_routes) {
+        h = hash_static_value(hash_combine(h, dev),
+                              net.device(dev).statics[idx]);
+      }
+    }
+    out[p].residue = scoped_residue(net, h, pec.lo, pec.hi);
+  }
+  return out;
+}
 
 PecClassSet compute_pec_classes(const Network& net, const PecSet& pecs,
                                 const PecDependencies& deps,

@@ -81,4 +81,40 @@ PecClassSet compute_pec_classes(const Network& net, const PecSet& pecs,
                                 std::span<const std::uint8_t> needed,
                                 std::span<const std::uint8_t> is_target);
 
+/// Stable per-PEC identity for the serve-layer verdict cache
+/// (src/serve/verdict_cache.hpp). Two halves with opposite invariances:
+///
+///   · `canon` is the color-refinement canonical fingerprint (the same value
+///     dedup buckets on, computed against an empty policy so it is
+///     policy-independent) — renaming-invariant by construction.
+///   · `residue` pins everything canon deliberately abstracts away: device
+///     identities and names, concrete prefix values, ASNs, loopbacks,
+///     redistribute flags, route-map contents, and per-link costs with
+///     endpoint identities. It is *range-scoped*: globally-routed state
+///     (names, loopbacks, ASNs, session topology, link costs) is shared by
+///     every PEC, but prefix-valued config — originated prefixes, static
+///     routes, route-map clause contents — folds in only where its address
+///     range intersects the PEC's [lo, hi]. A delta touching prefix X moves
+///     exactly the PECs X can influence, which is what keeps the serve
+///     daemon's cache hot across deltas.
+///
+/// A cache key must combine both: canon alone would let a delta that renames
+/// devices or renumbers an ASN — changing observable behaviour for an
+/// identity-sensitive policy — collide with the pre-delta entry. Both halves
+/// are built exclusively from netbase/hash.hpp constexpr mixers over config
+/// *values* (never pointers), so they are bit-identical across processes,
+/// runs, and ASLR — the property the warm-start disk cache depends on.
+struct PecFingerprint {
+  std::uint64_t canon = 0;
+  std::uint64_t residue = 0;
+
+  [[nodiscard]] std::uint64_t combined() const;
+  bool operator==(const PecFingerprint&) const = default;
+};
+
+/// Computes the fingerprint of every PEC in the partition (index-aligned with
+/// `pecs.pecs`). Deterministic: depends only on the network + PEC contents.
+std::vector<PecFingerprint> compute_pec_fingerprints(const Network& net,
+                                                     const PecSet& pecs);
+
 }  // namespace plankton

@@ -49,6 +49,19 @@ LinkId Topology::add_link(NodeId a, NodeId b, std::uint32_t cost_ab,
   return id;
 }
 
+void Topology::set_link_cost(LinkId l, std::uint32_t cost_ab,
+                             std::uint32_t cost_ba) {
+  Link& link = links_[l];
+  link.cost_ab = cost_ab;
+  link.cost_ba = cost_ba;
+  for (Adjacency& adj : adjacency_[link.a]) {
+    if (adj.link == l) adj.cost = cost_ab;
+  }
+  for (Adjacency& adj : adjacency_[link.b]) {
+    if (adj.link == l) adj.cost = cost_ba;
+  }
+}
+
 LinkId Topology::find_link(NodeId a, NodeId b) const {
   for (const auto& adj : adjacency_[a]) {
     if (adj.neighbor == b) return adj.link;

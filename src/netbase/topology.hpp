@@ -97,6 +97,11 @@ class Topology {
   /// Link between a and b, or kNoLink. O(deg(a)).
   [[nodiscard]] LinkId find_link(NodeId a, NodeId b) const;
 
+  /// Rewrites both per-direction costs of an existing link (and the cached
+  /// adjacency costs on both endpoints). Used by workload generators to break
+  /// symmetry; not a runtime mutation path — verifiers snapshot the topology.
+  void set_link_cost(LinkId l, std::uint32_t cost_ab, std::uint32_t cost_ba);
+
   [[nodiscard]] FailureSet no_failures() const { return FailureSet(links_.size()); }
 
  private:

@@ -200,12 +200,17 @@ FrameDecoder::Status FrameDecoder::next(Frame& out) {
   if (magic != kFrameMagic) return poison("bad frame magic");
   if (version != kFrameVersion) return poison("unsupported frame version");
   if (type < static_cast<std::uint16_t>(MsgType::kTaskAssign) ||
-      type > static_cast<std::uint16_t>(MsgType::kHeartbeat)) {
+      type > static_cast<std::uint16_t>(MsgType::kCacheStats)) {
     return poison("unknown message type");
   }
+  // Stream-state machine: kShutdown is terminal. Anything framed after it
+  // (a late kHeartbeat from a confused worker, injected bytes on the serve
+  // socket) is a protocol violation, not data to process.
+  if (shutdown_seen_) return poison("frame after shutdown");
   if (len > max_payload_) return poison("frame payload exceeds limit");
   if (avail - kFrameHeaderBytes < len) return Status::kNeedMore;
   out.type = static_cast<MsgType>(type);
+  if (out.type == MsgType::kShutdown) shutdown_seen_ = true;
   out.payload.assign(buf_.data() + pos_ + kFrameHeaderBytes,
                      static_cast<std::size_t>(len));
   pos_ += kFrameHeaderBytes + static_cast<std::size_t>(len);

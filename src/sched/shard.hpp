@@ -66,8 +66,19 @@ enum class MsgType : std::uint16_t {
   kOutcomeDelivery = 2,  ///< either direction: one PEC's outcome batch
   kViolationReport = 3,  ///< worker → coordinator: one counterexample
   kTaskDone = 4,         ///< worker → coordinator: per-PEC verdicts + stats
-  kShutdown = 5,         ///< coordinator → worker: exit cleanly
+  kShutdown = 5,         ///< coordinator → worker: exit cleanly; also the
+                         ///< serve client's clean-disconnect request
   kHeartbeat = 6,        ///< worker → coordinator: liveness + progress counter
+
+  // Verification-as-a-service frames (src/serve/): the daemon speaks the
+  // same PKS1 framing over its Unix/TCP socket, so one decoder — and one
+  // fuzz surface — covers both transports. Payload codecs live in
+  // serve/serve.hpp next to the daemon that owns them.
+  kLoadNet = 7,          ///< client → daemon: config text to make resident
+  kApplyDelta = 8,       ///< client → daemon: add/del config-line delta ops
+  kQuery = 9,            ///< client → daemon: policy spec to verify
+  kVerdictReply = 10,    ///< daemon → client: verdict + counters + violations
+  kCacheStats = 11,      ///< empty payload: probe; non-empty: counter reply
 };
 
 inline constexpr std::uint32_t kFrameMagic = 0x504b5331;  // "PKS1"
@@ -113,6 +124,7 @@ class FrameDecoder {
   std::size_t pos_ = 0;
   std::uint64_t max_payload_;
   bool failed_ = false;
+  bool shutdown_seen_ = false;  ///< kShutdown is terminal; later frames poison
   std::string error_;
 };
 

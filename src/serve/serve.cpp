@@ -1,0 +1,640 @@
+#include "serve/serve.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <span>
+
+#include "eqclass/pec_dedup.hpp"
+#include "netbase/hash.hpp"
+#include "sched/wire.hpp"
+
+namespace plankton::serve {
+
+using wire::fits;
+using wire::get_int;
+using wire::get_string;
+using wire::put_int;
+using wire::put_string;
+
+// ---------------------------------------------------------------------------
+// Codecs — same contract as the shard ones (sched/shard.cpp): reset the
+// output, validate every count against the bytes present, reject trailing
+// garbage.
+// ---------------------------------------------------------------------------
+
+std::string encode_load_net(const LoadNetMsg& m) {
+  std::string out;
+  put_string(out, m.config_text);
+  return out;
+}
+
+bool decode_load_net(std::string_view in, LoadNetMsg& out) {
+  out = LoadNetMsg{};
+  if (!get_string(in, out.config_text) || !in.empty()) {
+    out = LoadNetMsg{};
+    return false;
+  }
+  return true;
+}
+
+std::string encode_apply_delta(const ApplyDeltaMsg& m) {
+  std::string out;
+  put_int(out, static_cast<std::uint32_t>(m.ops.size()));
+  for (const DeltaOp& op : m.ops) {
+    put_int(out, static_cast<std::uint8_t>(op.add ? 1 : 0));
+    put_string(out, op.line);
+  }
+  return out;
+}
+
+bool decode_apply_delta(std::string_view in, ApplyDeltaMsg& out) {
+  out = ApplyDeltaMsg{};
+  const auto fail = [&out] {
+    out = ApplyDeltaMsg{};
+    return false;
+  };
+  std::uint32_t n = 0;
+  if (!get_int(in, n) || !fits(in, n, 1 + 8)) return fail();
+  out.ops.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint8_t add = 0;
+    if (!get_int(in, add) || add > 1 || !get_string(in, out.ops[i].line)) {
+      return fail();
+    }
+    out.ops[i].add = add == 1;
+  }
+  if (!in.empty()) return fail();
+  return true;
+}
+
+std::string encode_query(const QueryMsg& m) {
+  std::string out;
+  put_string(out, m.policy_spec);
+  put_int(out, m.max_failures);
+  return out;
+}
+
+bool decode_query(std::string_view in, QueryMsg& out) {
+  out = QueryMsg{};
+  if (!get_string(in, out.policy_spec) || !get_int(in, out.max_failures) ||
+      !in.empty()) {
+    out = QueryMsg{};
+    return false;
+  }
+  return true;
+}
+
+std::string encode_verdict_reply(const VerdictReplyMsg& m) {
+  std::string out;
+  put_int(out, static_cast<std::uint8_t>(m.ok ? 1 : 0));
+  put_int(out, m.verdict);
+  put_string(out, m.error);
+  put_int(out, m.targets);
+  put_int(out, m.cache_hits);
+  put_int(out, m.reverified);
+  put_int(out, m.moved);
+  put_int(out, m.wall_ns);
+  put_int(out, static_cast<std::uint32_t>(m.violations.size()));
+  for (const ViolationText& v : m.violations) {
+    put_string(out, v.pec);
+    put_string(out, v.message);
+  }
+  return out;
+}
+
+bool decode_verdict_reply(std::string_view in, VerdictReplyMsg& out) {
+  out = VerdictReplyMsg{};
+  const auto fail = [&out] {
+    out = VerdictReplyMsg{};
+    return false;
+  };
+  std::uint8_t ok = 0;
+  std::uint32_t n = 0;
+  if (!get_int(in, ok) || ok > 1 || !get_int(in, out.verdict) ||
+      out.verdict > static_cast<std::uint8_t>(Verdict::kError) ||
+      !get_string(in, out.error) || !get_int(in, out.targets) ||
+      !get_int(in, out.cache_hits) || !get_int(in, out.reverified) ||
+      !get_int(in, out.moved) || !get_int(in, out.wall_ns) ||
+      !get_int(in, n) || !fits(in, n, 8 + 8)) {
+    return fail();
+  }
+  out.ok = ok == 1;
+  out.violations.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!get_string(in, out.violations[i].pec) ||
+        !get_string(in, out.violations[i].message)) {
+      return fail();
+    }
+  }
+  if (!in.empty()) return fail();
+  return true;
+}
+
+std::string encode_cache_stats(const CacheStatsMsg& m) {
+  std::string out;
+  put_int(out, m.hits);
+  put_int(out, m.misses);
+  put_int(out, m.nonclean_bypass);
+  put_int(out, m.insertions);
+  put_int(out, m.warm_loaded);
+  put_int(out, m.entries);
+  return out;
+}
+
+bool decode_cache_stats(std::string_view in, CacheStatsMsg& out) {
+  out = CacheStatsMsg{};
+  if (!get_int(in, out.hits) || !get_int(in, out.misses) ||
+      !get_int(in, out.nonclean_bypass) || !get_int(in, out.insertions) ||
+      !get_int(in, out.warm_loaded) || !get_int(in, out.entries) ||
+      !in.empty()) {
+    out = CacheStatsMsg{};
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Policy specs
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<std::string_view> split_tokens(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && s[i] == ' ') ++i;
+    const std::size_t start = i;
+    while (i < s.size() && s[i] != ' ') ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+bool nodes_of(const Network& net, std::span<const std::string_view> names,
+              std::vector<NodeId>& out, std::string& error) {
+  for (const std::string_view name : names) {
+    const auto id = net.find_device(name);
+    if (!id) {
+      error = "unknown node '" + std::string(name) + "'";
+      return false;
+    }
+    out.push_back(*id);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::unique_ptr<Policy> make_policy(const Network& net, std::string_view spec,
+                                    std::string& error) {
+  const auto t = split_tokens(spec);
+  if (t.empty()) {
+    error = "empty policy spec";
+    return nullptr;
+  }
+  const std::string_view kind = t[0];
+  const std::span<const std::string_view> rest(t.data() + 1, t.size() - 1);
+  std::vector<NodeId> nodes;
+  if (kind == "loop") {
+    if (!rest.empty()) {
+      error = "loop takes no arguments";
+      return nullptr;
+    }
+    return std::make_unique<LoopFreedomPolicy>();
+  }
+  if (kind == "reach") {
+    if (rest.empty()) {
+      error = "reach needs at least one source node";
+      return nullptr;
+    }
+    if (!nodes_of(net, rest, nodes, error)) return nullptr;
+    return std::make_unique<ReachabilityPolicy>(std::move(nodes));
+  }
+  if (kind == "blackhole") {
+    if (!nodes_of(net, rest, nodes, error)) return nullptr;
+    return std::make_unique<BlackholeFreedomPolicy>(std::move(nodes));
+  }
+  if (kind == "bounded") {
+    if (rest.size() < 2) {
+      error = "usage: bounded <limit> <node>...";
+      return nullptr;
+    }
+    std::uint32_t limit = 0;
+    for (const char c : rest[0]) {
+      if (c < '0' || c > '9' || limit > 400000000u) {
+        error = "bad bound '" + std::string(rest[0]) + "'";
+        return nullptr;
+      }
+      limit = limit * 10 + static_cast<std::uint32_t>(c - '0');
+    }
+    if (!nodes_of(net, rest.subspan(1), nodes, error)) return nullptr;
+    return std::make_unique<BoundedPathLengthPolicy>(std::move(nodes), limit);
+  }
+  if (kind == "waypoint") {
+    if (rest.size() < 2) {
+      error = "usage: waypoint <via> <source>...";
+      return nullptr;
+    }
+    std::vector<NodeId> via;
+    if (!nodes_of(net, rest.subspan(0, 1), via, error)) return nullptr;
+    if (!nodes_of(net, rest.subspan(1), nodes, error)) return nullptr;
+    return std::make_unique<WaypointPolicy>(std::move(nodes), std::move(via));
+  }
+  error = "unknown policy '" + std::string(kind) + "'";
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Config rendering
+// ---------------------------------------------------------------------------
+
+std::unordered_map<std::uint8_t, std::string> community_names_of(
+    const std::map<std::string, std::uint8_t>& communities) {
+  std::unordered_map<std::uint8_t, std::string> out;
+  for (const auto& [name, bit] : communities) out.emplace(bit, name);
+  return out;
+}
+
+namespace {
+
+std::string community_name(
+    const std::unordered_map<std::uint8_t, std::string>& names,
+    std::uint8_t bit) {
+  const auto it = names.find(bit);
+  return it != names.end() ? it->second : "C" + std::to_string(bit);
+}
+
+void render_route_map(std::string& out, const Network& net, NodeId self,
+                      NodeId peer, const char* dir, const RouteMap& rm,
+                      const std::unordered_map<std::uint8_t, std::string>& cn) {
+  const std::string head = "route-map " + net.topo.name(self) + " " +
+                           net.topo.name(peer) + " " + dir + " ";
+  for (const RouteMapClause& c : rm.clauses) {
+    std::string line = head + (c.action.permit ? "permit" : "deny");
+    if (c.match.prefix) {
+      line += " match-prefix " + c.match.prefix->str();
+      if (c.match.prefix_mode == RouteMapMatch::PrefixMode::kOrLonger) {
+        line += " or-longer";
+      }
+    }
+    if (c.match.community) {
+      line += " match-community " + community_name(cn, *c.match.community);
+    }
+    if (c.match.max_path_len) {
+      line += " match-max-path-len " + std::to_string(*c.match.max_path_len);
+    }
+    if (c.action.set_local_pref) {
+      line += " set-local-pref " + std::to_string(*c.action.set_local_pref);
+    }
+    if (c.action.add_community) {
+      line += " add-community " + community_name(cn, *c.action.add_community);
+    }
+    if (c.action.prepend != 0) {
+      line += " prepend " + std::to_string(c.action.prepend);
+    }
+    out += line + "\n";
+  }
+  if (!rm.default_permit) out += head + "deny\n";  // route-map-default below
+}
+
+}  // namespace
+
+std::string render_config(
+    const Network& net,
+    const std::unordered_map<std::uint8_t, std::string>& community_names) {
+  std::string out;
+  const std::size_t n_nodes = net.topo.node_count();
+  for (NodeId n = 0; n < n_nodes; ++n) {
+    const DeviceConfig& dev = net.device(n);
+    out += "node " + dev.name;
+    if (dev.loopback.value() != 0) out += " loopback " + dev.loopback.str();
+    out += "\n";
+  }
+  for (const Link& l : net.topo.links()) {
+    out += "link " + net.topo.name(l.a) + " " + net.topo.name(l.b) + " cost " +
+           std::to_string(l.cost_ab) + " cost-ba " + std::to_string(l.cost_ba) +
+           "\n";
+  }
+  for (NodeId n = 0; n < n_nodes; ++n) {
+    const DeviceConfig& dev = net.device(n);
+    const std::string name = net.topo.name(n);
+    if (dev.ospf.enabled) out += "ospf " + name + " enable\n";
+    if (!dev.ospf.advertise_loopback) out += "ospf " + name + " no-loopback\n";
+    if (dev.ospf.redistribute_static) {
+      out += "ospf " + name + " redistribute-static\n";
+    }
+    for (const Prefix& p : dev.ospf.originated) {
+      out += "ospf " + name + " originate " + p.str() + "\n";
+    }
+    for (const StaticRoute& sr : dev.statics) {
+      out += "static " + name + " " + sr.dst.str();
+      if (sr.drop) {
+        out += " drop";
+      } else if (sr.via_ip) {
+        out += " via-ip " + sr.via_ip->str();
+      } else {
+        out += " via " + net.topo.name(sr.via_neighbor);
+      }
+      out += "\n";
+    }
+  }
+  for (NodeId n = 0; n < n_nodes; ++n) {
+    const DeviceConfig& dev = net.device(n);
+    if (!dev.bgp) continue;
+    const std::string name = net.topo.name(n);
+    if (dev.bgp->asn != 0) {
+      out += "bgp " + name + " asn " + std::to_string(dev.bgp->asn) + "\n";
+    }
+    if (dev.bgp->redistribute_ospf) out += "bgp " + name + " redistribute-ospf\n";
+    for (const Prefix& p : dev.bgp->originated) {
+      out += "bgp " + name + " originate " + p.str() + "\n";
+    }
+  }
+  // Sessions once per pair (the parser materializes both directions), then
+  // route maps — map_for() requires the session lines to precede them.
+  for (NodeId n = 0; n < n_nodes; ++n) {
+    const DeviceConfig& dev = net.device(n);
+    if (!dev.bgp) continue;
+    for (const BgpSession& s : dev.bgp->sessions) {
+      if (s.peer < n) continue;
+      out += "bgp-session " + net.topo.name(n) + " " + net.topo.name(s.peer) +
+             (s.ibgp ? " ibgp" : " ebgp") + "\n";
+    }
+  }
+  for (NodeId n = 0; n < n_nodes; ++n) {
+    const DeviceConfig& dev = net.device(n);
+    if (!dev.bgp) continue;
+    for (const BgpSession& s : dev.bgp->sessions) {
+      render_route_map(out, net, n, s.peer, "import", s.import, community_names);
+      render_route_map(out, net, n, s.peer, "export", s.export_, community_names);
+      if (!s.import.default_permit) {
+        out += "route-map-default " + net.topo.name(n) + " " +
+               net.topo.name(s.peer) + " import deny\n";
+      }
+      if (!s.export_.default_permit) {
+        out += "route-map-default " + net.topo.name(n) + " " +
+               net.topo.name(s.peer) + " export deny\n";
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ServeState
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t hash_str(std::uint64_t h, std::string_view s) {
+  h = hash_combine(h, s.size());
+  for (const char c : s) h = hash_combine(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+/// Format-version salt for cache ctx hashes: bump when the meaning of a
+/// cached verdict changes (policy semantics, explorer fixes, ...).
+constexpr std::uint64_t kCtxSalt = 0x53455256'00000001ull;  // "SERV" v1
+
+}  // namespace
+
+ServeState::ServeState(VerifyOptions opts, std::string cache_path)
+    : opts_(std::move(opts)), cache_path_(std::move(cache_path)) {}
+
+bool ServeState::make_resident(std::string config_text, std::string& error) {
+  ParsedNetwork parsed;
+  if (!parse_network_config(config_text, parsed, error)) return false;
+  const auto problems = parsed.net.validate();
+  if (!problems.empty()) {
+    error = "invalid network: " + problems.front();
+    return false;
+  }
+  // Commit point: nothing above mutated the resident state. The Verifier
+  // holds a reference to the network, so the old one must be torn down
+  // before parsed_ is replaced, and the new one built only afterwards.
+  verifier_.reset();
+  parsed_ = std::move(parsed);
+  verifier_ = std::make_unique<Verifier>(parsed_.net, opts_);
+  config_text_ = std::move(config_text);
+  recompute_cones();
+  return true;
+}
+
+void ServeState::recompute_cones() {
+  const PecSet& pecs = verifier_->pecs();
+  const PecDependencies& deps = verifier_->deps();
+  const std::vector<PecFingerprint> fps =
+      compute_pec_fingerprints(parsed_.net, pecs);
+  cones_.assign(pecs.pecs.size(), 0);
+  std::vector<std::uint8_t> seen(pecs.pecs.size(), 0);
+  std::vector<PecId> frontier;
+  std::vector<std::uint64_t> cone_fps;
+  for (PecId p = 0; p < pecs.pecs.size(); ++p) {
+    // BFS over depends_on: everything this PEC's verification can observe.
+    cone_fps.clear();
+    frontier.assign(1, p);
+    std::fill(seen.begin(), seen.end(), 0);
+    seen[p] = 1;
+    while (!frontier.empty()) {
+      const PecId q = frontier.back();
+      frontier.pop_back();
+      cone_fps.push_back(fps[q].combined());
+      for (const PecId d : deps.depends_on[q]) {
+        if (seen[d] == 0) {
+          seen[d] = 1;
+          frontier.push_back(d);
+        }
+      }
+    }
+    // Sort minus the self entry's position: the fold must not depend on BFS
+    // order, only on the multiset of fingerprints in the cone.
+    std::sort(cone_fps.begin(), cone_fps.end());
+    std::uint64_t h = hash_combine(0xC04E, fps[p].combined());
+    for (const std::uint64_t f : cone_fps) h = hash_combine(h, f);
+    h = hash_combine(h, deps.self_loop[p] != 0 ? 2u : 1u);
+    cones_[p] = h;
+  }
+}
+
+bool ServeState::load(const std::string& config_text, std::string& error) {
+  if (!make_resident(config_text, error)) return false;
+  prev_cones_.clear();
+  last_moved_ = 0;
+  if (!warm_started_ && !cache_path_.empty()) {
+    warm_started_ = true;
+    std::string load_error;
+    (void)cache_.load(cache_path_, load_error);  // absent/corrupt = cold start
+  }
+  return true;
+}
+
+bool ServeState::apply_delta(const ApplyDeltaMsg& delta, std::string& error) {
+  if (!loaded()) {
+    error = "no network loaded";
+    return false;
+  }
+  // Line-level editing of the resident config text.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos <= config_text_.size()) {
+    const std::size_t eol = config_text_.find('\n', pos);
+    if (eol == std::string::npos) {
+      if (pos < config_text_.size()) lines.push_back(config_text_.substr(pos));
+      break;
+    }
+    lines.push_back(config_text_.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  for (const DeltaOp& op : delta.ops) {
+    if (op.add) {
+      lines.push_back(op.line);
+      continue;
+    }
+    const auto it = std::find(lines.begin(), lines.end(), op.line);
+    if (it == lines.end()) {
+      error = "delta removes absent line '" + op.line + "'";
+      return false;
+    }
+    lines.erase(it);
+  }
+  std::string next_text;
+  for (const std::string& l : lines) {
+    next_text += l;
+    next_text += '\n';
+  }
+
+  // Snapshot the old cone map before the rebuild, then count moved PECs by
+  // identity string — a PEC whose cone hash changed, appeared, or vanished.
+  std::unordered_map<std::string, std::uint64_t> before;
+  const PecSet& old_pecs = verifier_->pecs();
+  for (PecId p = 0; p < old_pecs.pecs.size(); ++p) {
+    before.emplace(old_pecs.pecs[p].str(), cones_[p]);
+  }
+  if (!make_resident(std::move(next_text), error)) return false;
+  std::uint64_t moved = 0;
+  const PecSet& new_pecs = verifier_->pecs();
+  std::size_t matched = 0;
+  for (PecId p = 0; p < new_pecs.pecs.size(); ++p) {
+    const auto it = before.find(new_pecs.pecs[p].str());
+    if (it == before.end()) {
+      ++moved;  // new PEC
+    } else {
+      ++matched;
+      if (it->second != cones_[p]) ++moved;
+    }
+  }
+  moved += before.size() - matched;  // vanished PECs
+  prev_cones_ = std::move(before);
+  last_moved_ = moved;
+  return true;
+}
+
+VerdictReplyMsg ServeState::query(const QueryMsg& q) {
+  VerdictReplyMsg reply;
+  reply.moved = last_moved_;
+  const auto start = std::chrono::steady_clock::now();
+  const auto finish = [&reply, start] {
+    reply.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  };
+  if (!loaded()) {
+    reply.error = "no network loaded";
+    reply.verdict = static_cast<std::uint8_t>(Verdict::kError);
+    finish();
+    return reply;
+  }
+  std::string error;
+  const std::unique_ptr<Policy> policy =
+      make_policy(parsed_.net, q.policy_spec, error);
+  if (policy == nullptr) {
+    reply.error = error;
+    reply.verdict = static_cast<std::uint8_t>(Verdict::kError);
+    finish();
+    return reply;
+  }
+
+  // ctx: everything about the *question* that can change a verdict. POR /
+  // dedup / engine / core count are excluded on purpose — each is pinned
+  // verdict-invariant by its own differential suite, and excluding them lets
+  // a dedup-off differential arm hit the same entries.
+  const std::uint64_t ctx_base =
+      hash_combine(hash_str(kCtxSalt, q.policy_spec), q.max_failures);
+
+  const PecSet& pecs = verifier_->pecs();
+  const std::vector<PecId> targets = pecs.routed();
+  reply.targets = targets.size();
+  std::vector<PecId> misses;
+  for (const PecId p : targets) {
+    const CacheKey key{cones_[p], hash_str(ctx_base, pecs.pecs[p].str())};
+    CacheEntry hit;
+    if (cache_.lookup(key, hit)) {
+      ++reply.cache_hits;
+    } else {
+      misses.push_back(p);
+    }
+  }
+  reply.reverified = misses.size();
+  reply.ok = true;
+  if (misses.empty()) {
+    reply.verdict = static_cast<std::uint8_t>(Verdict::kHolds);
+    finish();
+    return reply;
+  }
+
+  VerifyOptions qopts = opts_;
+  qopts.explore.max_failures = q.max_failures;
+  Verifier verifier(parsed_.net, qopts);
+  const VerifyResult result = verifier.verify_pecs(misses, *policy);
+  for (const PecReport& rep : result.reports) {
+    CacheEntry entry;
+    Verdict v = rep.result.verdict();
+    // ExploreResult::verdict() does not consider `exhaustive`; a hold with
+    // probabilistic coverage must never become a clean cached hold.
+    if (v == Verdict::kHolds && !rep.result.exhaustive) {
+      v = Verdict::kInconclusive;
+    }
+    entry.verdict = static_cast<std::uint8_t>(v);
+    entry.translated = rep.translated_from != kNoPec ? 1 : 0;
+    entry.states_explored = rep.result.stats.states_explored;
+    entry.states_stored = rep.result.stats.states_stored;
+    entry.policy_checks = rep.result.stats.policy_checks;
+    std::uint64_t trail = 0;
+    for (const Violation& viol : rep.result.violations) {
+      trail = hash_str(hash_str(trail, viol.message), viol.trail_text);
+      trail = hash_combine(trail, viol.failures.hash());
+      if (!viol.message.empty() || !viol.trail_text.empty()) {
+        if (reply.violations.size() < 64) {
+          reply.violations.push_back(
+              ViolationText{rep.pec_str, viol.message});
+        }
+      }
+    }
+    entry.trail_hash = trail;
+    const CacheKey key{cones_[rep.pec], hash_str(ctx_base, rep.pec_str)};
+    cache_.insert(key, entry);
+  }
+  reply.verdict = static_cast<std::uint8_t>(result.verdict);
+  finish();
+  return reply;
+}
+
+CacheStatsMsg ServeState::cache_stats() const {
+  const CacheCounters c = cache_.counters();
+  CacheStatsMsg m;
+  m.hits = c.hits;
+  m.misses = c.misses;
+  m.nonclean_bypass = c.nonclean_bypass;
+  m.insertions = c.insertions;
+  m.warm_loaded = c.warm_loaded;
+  m.entries = c.entries;
+  return m;
+}
+
+bool ServeState::save_cache(std::string& error) {
+  if (cache_path_.empty()) return true;
+  return cache_.save(cache_path_, error);
+}
+
+}  // namespace plankton::serve

@@ -1,0 +1,177 @@
+// Verification-as-a-service: resident state and wire payloads for the
+// plankton_serve daemon.
+//
+// The daemon keeps a parsed network resident and answers policy queries,
+// consulting the fingerprint-keyed VerdictCache so an unchanged PEC never
+// re-explores. Config deltas are line-level edits against the resident
+// config text: apply_delta() re-parses, recomputes every PEC's dependency-
+// cone fingerprint, and counts how many PECs *moved* (their cone hash
+// changed, or they appeared/disappeared). Nothing is explicitly invalidated
+// — a moved PEC simply keys to a fresh cache slot, and the next query
+// re-verifies exactly the misses through the existing Verifier (budgets,
+// dedup, POR, shards compose unchanged).
+//
+// Frame payloads ride the PKS1 framing (sched/shard.hpp MsgType 7..11); the
+// codecs below follow the same decode contract as the shard ones — false on
+// truncated/corrupt/hostile input, output left default-initialized, every
+// count validated against the bytes present before it sizes an allocation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "config/parser.hpp"
+#include "core/verifier.hpp"
+#include "serve/verdict_cache.hpp"
+
+namespace plankton::serve {
+
+// ---------------------------------------------------------------------------
+// Wire payloads
+// ---------------------------------------------------------------------------
+
+/// kLoadNet: full config text replacing any resident network.
+struct LoadNetMsg {
+  std::string config_text;
+};
+
+/// One line-level config edit. `add` appends the line to the resident config;
+/// `!add` removes the first exact-match line (error if absent).
+struct DeltaOp {
+  bool add = true;
+  std::string line;
+};
+
+/// kApplyDelta: ordered edit batch, applied atomically (all-or-nothing — a
+/// batch whose result fails to parse/validate leaves the resident net as-is).
+struct ApplyDeltaMsg {
+  std::vector<DeltaOp> ops;
+};
+
+/// kQuery: policy spec (make_policy grammar below) + query knobs.
+struct QueryMsg {
+  std::string policy_spec;
+  std::uint32_t max_failures = 0;
+};
+
+struct ViolationText {
+  std::string pec;
+  std::string message;
+};
+
+/// kVerdictReply: the daemon's answer to kLoadNet / kApplyDelta / kQuery.
+struct VerdictReplyMsg {
+  bool ok = false;            ///< request processed (false => see `error`)
+  std::uint8_t verdict = 0;   ///< plankton::Verdict (queries only)
+  std::string error;
+  std::uint64_t targets = 0;      ///< PECs the query covered
+  std::uint64_t cache_hits = 0;   ///< served from the verdict cache
+  std::uint64_t reverified = 0;   ///< PECs actually explored
+  std::uint64_t moved = 0;        ///< PECs whose cone moved (last delta)
+  std::int64_t wall_ns = 0;
+  std::vector<ViolationText> violations;
+};
+
+/// kCacheStats reply (the request direction carries an empty payload).
+struct CacheStatsMsg {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t nonclean_bypass = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t warm_loaded = 0;
+  std::uint64_t entries = 0;
+};
+
+std::string encode_load_net(const LoadNetMsg& m);
+bool decode_load_net(std::string_view in, LoadNetMsg& out);
+std::string encode_apply_delta(const ApplyDeltaMsg& m);
+bool decode_apply_delta(std::string_view in, ApplyDeltaMsg& out);
+std::string encode_query(const QueryMsg& m);
+bool decode_query(std::string_view in, QueryMsg& out);
+std::string encode_verdict_reply(const VerdictReplyMsg& m);
+bool decode_verdict_reply(std::string_view in, VerdictReplyMsg& out);
+std::string encode_cache_stats(const CacheStatsMsg& m);
+bool decode_cache_stats(std::string_view in, CacheStatsMsg& out);
+
+// ---------------------------------------------------------------------------
+// Policy specs and config rendering
+// ---------------------------------------------------------------------------
+
+/// Builds a policy from a one-line spec: `reach <node>...`, `loop`,
+/// `blackhole [<node>...]`, `bounded <limit> <node>...`,
+/// `waypoint <via> <source>...`. Returns nullptr and fills `error` on an
+/// unknown form or node name.
+std::unique_ptr<Policy> make_policy(const Network& net, std::string_view spec,
+                                    std::string& error);
+
+/// Renders a network back into parser syntax, deterministically (node-id
+/// order). Idempotent through the parser: render(parse(render(net))) ==
+/// render(net) — the property the fingerprint-stability tests lean on.
+/// `communities` is the route-map community interning from ParsedNetwork
+/// (bits without a name render as "C<bit>").
+std::string render_config(
+    const Network& net,
+    const std::unordered_map<std::uint8_t, std::string>& community_names = {});
+
+/// Reverses ParsedNetwork::communities for render_config.
+std::unordered_map<std::uint8_t, std::string> community_names_of(
+    const std::map<std::string, std::uint8_t>& communities);
+
+// ---------------------------------------------------------------------------
+// Resident daemon state
+// ---------------------------------------------------------------------------
+
+class ServeState {
+ public:
+  /// `cache_path` empty = in-memory only; otherwise load() warm-starts from
+  /// it when present and save_cache() persists back.
+  explicit ServeState(VerifyOptions opts, std::string cache_path = "");
+
+  /// Parses + validates `config_text` and makes it resident. Warm-starts the
+  /// verdict cache from `cache_path` on the first successful load.
+  bool load(const std::string& config_text, std::string& error);
+
+  /// Applies a line-edit batch. On success recomputes fingerprint cones and
+  /// records how many PECs moved; on failure the resident state is unchanged.
+  bool apply_delta(const ApplyDeltaMsg& delta, std::string& error);
+
+  /// Answers a policy query over every routed PEC: cache hits (clean holds
+  /// under the current cone hash) are served without exploration, the misses
+  /// re-verify through the Verifier and their outcomes are inserted.
+  VerdictReplyMsg query(const QueryMsg& q);
+
+  [[nodiscard]] CacheStatsMsg cache_stats() const;
+  bool save_cache(std::string& error);
+
+  [[nodiscard]] bool loaded() const { return verifier_ != nullptr; }
+  [[nodiscard]] const Network& net() const { return parsed_.net; }
+  [[nodiscard]] const Verifier& verifier() const { return *verifier_; }
+  [[nodiscard]] std::uint64_t last_moved() const { return last_moved_; }
+  [[nodiscard]] const std::string& config_text() const { return config_text_; }
+  [[nodiscard]] VerdictCache& cache() { return cache_; }
+
+  /// Cone hash of PEC `p` under the resident net (exposed for tests).
+  [[nodiscard]] std::uint64_t cone_of(PecId p) const { return cones_[p]; }
+
+ private:
+  bool make_resident(std::string config_text, std::string& error);
+  void recompute_cones();
+
+  VerifyOptions opts_;
+  std::string cache_path_;
+  bool warm_started_ = false;
+  std::string config_text_;
+  ParsedNetwork parsed_;
+  std::unique_ptr<Verifier> verifier_;
+  std::vector<std::uint64_t> cones_;  ///< per-PEC dependency-cone hash
+  /// pec.str() -> cone hash before the last delta (moved-PEC accounting).
+  std::unordered_map<std::string, std::uint64_t> prev_cones_;
+  std::uint64_t last_moved_ = 0;
+  VerdictCache cache_;
+};
+
+}  // namespace plankton::serve

@@ -1,0 +1,300 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/select.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace plankton::serve {
+
+namespace {
+
+int listen_unix(const std::string& path, std::string& error) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    error = "unix socket path too long";
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    error = std::string("bind/listen '" + path + "': ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int listen_tcp(int port, std::string& error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    error = std::string("bind/listen tcp port ") + std::to_string(port) + ": " +
+            std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool write_all_fd(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// One client connection: frames in, replies out. Returns true when the
+/// daemon should shut down (kShutdown seen).
+bool serve_connection(int fd, ServeState& state) {
+  sched::FrameDecoder decoder;
+  sched::Frame frame;
+  char buf[1 << 16];
+  for (;;) {
+    const auto status = decoder.next(frame);
+    if (status == sched::FrameDecoder::Status::kError) {
+      std::fprintf(stderr, "plankton_serve: bad frame: %s\n",
+                   decoder.error().c_str());
+      return false;
+    }
+    if (status == sched::FrameDecoder::Status::kNeedMore) {
+      const ssize_t r = ::read(fd, buf, sizeof buf);
+      if (r < 0 && errno == EINTR) continue;
+      if (r <= 0) return false;  // client went away
+      decoder.feed(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    VerdictReplyMsg reply;
+    std::string error;
+    switch (frame.type) {
+      case sched::MsgType::kLoadNet: {
+        LoadNetMsg m;
+        if (!decode_load_net(frame.payload, m)) {
+          reply.error = "malformed kLoadNet payload";
+        } else if (state.load(m.config_text, error)) {
+          reply.ok = true;
+        } else {
+          reply.error = error;
+        }
+        if (!reply.ok) {
+          reply.verdict = static_cast<std::uint8_t>(Verdict::kError);
+        }
+        break;
+      }
+      case sched::MsgType::kApplyDelta: {
+        ApplyDeltaMsg m;
+        if (!decode_apply_delta(frame.payload, m)) {
+          reply.error = "malformed kApplyDelta payload";
+        } else if (state.apply_delta(m, error)) {
+          reply.ok = true;
+          reply.moved = state.last_moved();
+        } else {
+          reply.error = error;
+        }
+        if (!reply.ok) {
+          reply.verdict = static_cast<std::uint8_t>(Verdict::kError);
+        }
+        break;
+      }
+      case sched::MsgType::kQuery: {
+        QueryMsg m;
+        if (!decode_query(frame.payload, m)) {
+          reply.error = "malformed kQuery payload";
+          reply.verdict = static_cast<std::uint8_t>(Verdict::kError);
+        } else {
+          reply = state.query(m);
+        }
+        break;
+      }
+      case sched::MsgType::kCacheStats: {
+        std::string out;
+        sched::encode_frame(out, sched::MsgType::kCacheStats,
+                            encode_cache_stats(state.cache_stats()));
+        if (!write_all_fd(fd, out.data(), out.size())) return false;
+        continue;
+      }
+      case sched::MsgType::kShutdown: {
+        std::string save_error;
+        if (!state.save_cache(save_error)) {
+          std::fprintf(stderr, "plankton_serve: cache save failed: %s\n",
+                       save_error.c_str());
+        }
+        reply.ok = true;
+        std::string out;
+        sched::encode_frame(out, sched::MsgType::kVerdictReply,
+                            encode_verdict_reply(reply));
+        (void)write_all_fd(fd, out.data(), out.size());
+        return true;
+      }
+      default: {
+        // Shard-side frame types are valid PKS1 but meaningless here.
+        reply.error = "unexpected frame type on serve socket";
+        reply.verdict = static_cast<std::uint8_t>(Verdict::kError);
+        break;
+      }
+    }
+    std::string out;
+    sched::encode_frame(out, sched::MsgType::kVerdictReply,
+                        encode_verdict_reply(reply));
+    if (!write_all_fd(fd, out.data(), out.size())) return false;
+  }
+}
+
+}  // namespace
+
+int run_server(const ServerOptions& opts) {
+  std::string error;
+  int unix_fd = -1;
+  int tcp_fd = -1;
+  if (!opts.unix_path.empty()) {
+    unix_fd = listen_unix(opts.unix_path, error);
+    if (unix_fd < 0) {
+      std::fprintf(stderr, "plankton_serve: %s\n", error.c_str());
+      return 3;
+    }
+  }
+  if (opts.tcp_port != 0) {
+    tcp_fd = listen_tcp(opts.tcp_port, error);
+    if (tcp_fd < 0) {
+      std::fprintf(stderr, "plankton_serve: %s\n", error.c_str());
+      if (unix_fd >= 0) ::close(unix_fd);
+      return 3;
+    }
+  }
+  if (unix_fd < 0 && tcp_fd < 0) {
+    std::fprintf(stderr, "plankton_serve: no listener configured\n");
+    return 3;
+  }
+
+  ServeState state(opts.verify, opts.cache_path);
+  bool shutdown = false;
+  while (!shutdown) {
+    fd_set fds;
+    FD_ZERO(&fds);
+    int maxfd = -1;
+    if (unix_fd >= 0) {
+      FD_SET(unix_fd, &fds);
+      maxfd = unix_fd;
+    }
+    if (tcp_fd >= 0) {
+      FD_SET(tcp_fd, &fds);
+      if (tcp_fd > maxfd) maxfd = tcp_fd;
+    }
+    if (::select(maxfd + 1, &fds, nullptr, nullptr, nullptr) < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "plankton_serve: select: %s\n", std::strerror(errno));
+      break;
+    }
+    int listener = -1;
+    if (unix_fd >= 0 && FD_ISSET(unix_fd, &fds)) listener = unix_fd;
+    if (tcp_fd >= 0 && FD_ISSET(tcp_fd, &fds)) listener = tcp_fd;
+    if (listener < 0) continue;
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) continue;
+    shutdown = serve_connection(conn, state);
+    ::close(conn);
+  }
+  if (unix_fd >= 0) {
+    ::close(unix_fd);
+    ::unlink(opts.unix_path.c_str());
+  }
+  if (tcp_fd >= 0) ::close(tcp_fd);
+  return 0;
+}
+
+int connect_unix(const std::string& path, std::string& error) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    error = "unix socket path too long";
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    error = std::string("connect '" + path + "': ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_tcp(int port, std::string& error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    error = std::string("connect tcp port ") + std::to_string(port) + ": " +
+            std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_frame(int fd, sched::MsgType type, std::string_view payload) {
+  std::string out;
+  sched::encode_frame(out, type, payload);
+  return write_all_fd(fd, out.data(), out.size());
+}
+
+bool recv_frame(int fd, sched::FrameDecoder& dec, sched::Frame& out,
+                std::string& error) {
+  char buf[1 << 16];
+  for (;;) {
+    const auto status = dec.next(out);
+    if (status == sched::FrameDecoder::Status::kFrame) return true;
+    if (status == sched::FrameDecoder::Status::kError) {
+      error = "stream poisoned: " + dec.error();
+      return false;
+    }
+    const ssize_t r = ::read(fd, buf, sizeof buf);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) {
+      error = r == 0 ? "connection closed" : std::strerror(errno);
+      return false;
+    }
+    dec.feed(buf, static_cast<std::size_t>(r));
+  }
+}
+
+}  // namespace plankton::serve

@@ -1,0 +1,42 @@
+// Socket transport for plankton_serve: Unix-domain and/or TCP listeners
+// speaking PKS1 frames (sched/shard.hpp), plus the client-side helpers the
+// CLI uses. Connections are served sequentially — the resident Verifier is
+// single-threaded state; the verdict cache underneath is already
+// lock-striped for when the accept loop grows worker threads.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sched/shard.hpp"
+#include "serve/serve.hpp"
+
+namespace plankton::serve {
+
+struct ServerOptions {
+  std::string unix_path;  ///< empty = no Unix listener
+  int tcp_port = 0;       ///< 0 = no TCP listener (binds 127.0.0.1)
+  std::string cache_path; ///< warm-start/persist path; empty = in-memory only
+  VerifyOptions verify;
+};
+
+/// Runs the daemon loop: accept → decode frames → dispatch → reply, until a
+/// kShutdown frame arrives (cache is persisted, 0 returned) or socket setup
+/// fails (message on stderr, non-zero return). Malformed frames poison the
+/// connection (it is closed); the daemon itself keeps serving.
+int run_server(const ServerOptions& opts);
+
+// -- client side ------------------------------------------------------------
+
+/// Connect to a Unix socket path or 127.0.0.1:port. -1 + `error` on failure.
+int connect_unix(const std::string& path, std::string& error);
+int connect_tcp(int port, std::string& error);
+
+bool send_frame(int fd, sched::MsgType type, std::string_view payload);
+
+/// Blocks until one full frame arrives on `fd` (reading through `dec`).
+/// False on EOF, I/O error, or a poisoned stream.
+bool recv_frame(int fd, sched::FrameDecoder& dec, sched::Frame& out,
+                std::string& error);
+
+}  // namespace plankton::serve

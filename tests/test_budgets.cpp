@@ -253,6 +253,56 @@ TEST(BudgetSoundness, StateBudgetIsInconclusiveThroughShards) {
 }
 
 // ---------------------------------------------------------------------------
+// Per-PEC fair-share slice (the dedup-rerun divide-by-zero guard)
+// ---------------------------------------------------------------------------
+
+TEST(FairShareSlice, DividesRemainingOverUnstartedPecs) {
+  using std::chrono::milliseconds;
+  EXPECT_EQ(fair_share_slice(milliseconds(1000), 10, 0), milliseconds(100));
+  EXPECT_EQ(fair_share_slice(milliseconds(1000), 10, 5), milliseconds(200));
+  EXPECT_EQ(fair_share_slice(milliseconds(1000), 10, 9), milliseconds(1000));
+}
+
+TEST(FairShareSlice, StartedCatchingSchedulerNeverDividesByZero) {
+  // The race this guards: a dedup member rerun bumps `started` past the
+  // static scheduled count, so scheduled - started would be 0 (or wrap
+  // negative as size_t). The slice must stay a sane positive duration.
+  using std::chrono::milliseconds;
+  EXPECT_EQ(fair_share_slice(milliseconds(1000), 10, 10), milliseconds(1000));
+  EXPECT_EQ(fair_share_slice(milliseconds(1000), 10, 12), milliseconds(1000));
+  EXPECT_EQ(fair_share_slice(milliseconds(1000), 0, 0), milliseconds(1000));
+  EXPECT_EQ(fair_share_slice(milliseconds(1000), 0, 7), milliseconds(1000));
+}
+
+TEST(FairShareSlice, ExhaustedOrSubMillisecondRemainderClampsToMinimum) {
+  using std::chrono::milliseconds;
+  EXPECT_EQ(fair_share_slice(milliseconds(0), 10, 0), milliseconds(1));
+  EXPECT_EQ(fair_share_slice(milliseconds(-50), 10, 0), milliseconds(1));
+  // 5 ms over 10 unstarted PECs truncates to 0 — clamp, never hand the
+  // explorer a zero deadline (zero means "unbounded" downstream).
+  EXPECT_EQ(fair_share_slice(milliseconds(5), 10, 0), milliseconds(1));
+}
+
+TEST(FairShareSlice, DedupRerunsDoNotStarveTheFinalPec) {
+  // End-to-end: symmetric workload where dedup collapses many PECs onto one
+  // representative and the members rerun as scheduled work. Under a global
+  // deadline the run must still classify soundly (hold within budget or
+  // inconclusive-on-deadline) — never a garbage slice that trips instantly
+  // with a bogus verdict.
+  FatTreeOptions o;
+  o.k = 4;
+  const FatTree ft = make_fat_tree(o);
+  const LoopFreedomPolicy policy;
+  VerifyOptions vo;
+  vo.pec_dedup = true;
+  vo.budget.deadline = std::chrono::seconds(60);
+  Verifier verifier(ft.net, vo);
+  const VerifyResult r = verifier.verify(policy);
+  EXPECT_EQ(r.verdict, Verdict::kHolds);
+  EXPECT_TRUE(r.exhaustive);
+}
+
+// ---------------------------------------------------------------------------
 // Graceful visited degradation (exact -> hash-compact under memory pressure)
 // ---------------------------------------------------------------------------
 

@@ -83,6 +83,54 @@ TEST(Parser, RejectsBadPrefix) {
                ConfigParseError);
 }
 
+TEST(Parser, RejectsOutOfRangeNumbers) {
+  // Untrusted socket input (the serve daemon): a number wider than the field
+  // it lands in must be a parse error, never a silent truncation.
+  const char* base =
+      "node a\nnode b\nlink a b\n"
+      "bgp a asn 65001\nbgp b asn 65002\nbgp-session a b ebgp\n";
+  // prepend is u8.
+  EXPECT_THROW(
+      parse_network_config(std::string(base) +
+                           "route-map a b import permit prepend 256\n"),
+      ConfigParseError);
+  EXPECT_NO_THROW(
+      parse_network_config(std::string(base) +
+                           "route-map a b import permit prepend 255\n"));
+  // match-max-path-len is u16.
+  EXPECT_THROW(
+      parse_network_config(
+          std::string(base) +
+          "route-map a b import deny match-max-path-len 65536\n"),
+      ConfigParseError);
+  // Link costs are u32.
+  EXPECT_THROW(parse_network_config("node a\nnode b\nlink a b cost 4294967296\n"),
+               ConfigParseError);
+  // Negative numbers never silently wrap.
+  EXPECT_THROW(parse_network_config("node a\nnode b\nlink a b cost -1\n"),
+               ConfigParseError);
+}
+
+TEST(Parser, RejectsDanglingLinkOption) {
+  EXPECT_THROW(parse_network_config("node a\nnode b\nlink a b cost\n"),
+               ConfigParseError);
+  EXPECT_THROW(parse_network_config("node a\nnode b\nlink a b cost 5 cost-ba\n"),
+               ConfigParseError);
+}
+
+TEST(Parser, NothrowOverloadReportsErrorsWithoutThrowing) {
+  ParsedNetwork out;
+  std::string error;
+  ASSERT_TRUE(parse_network_config("node a\nnode b\nlink a b\n", out, error));
+  EXPECT_TRUE(error.empty());
+  EXPECT_EQ(out.net.devices.size(), 2u);
+
+  EXPECT_FALSE(parse_network_config("node a\nnode a\n", out, error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_TRUE(out.net.devices.empty())
+      << "a failed parse must not leave partial state in `out`";
+}
+
 TEST(Validate, CatchesAsymmetricSessions) {
   Network net;
   const NodeId a = net.add_device("a", IpAddr(1, 1, 1, 1));

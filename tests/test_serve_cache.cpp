@@ -1,0 +1,592 @@
+// Serve-layer verdict cache (src/serve/): fingerprint stability and scoping,
+// the clean-hold-only lookup contract, disk round-trips and corrupt-file
+// rejection, warm starts across daemon restarts, delta invalidation
+// exactness, and the wire codecs' hostile-input behaviour.
+//
+// The two contracts the satellite pins:
+//   · fingerprints are bit-identical across independently parsed copies of
+//     the same config (serialize -> deserialize -> recompute), which is what
+//     makes a disk-persisted cache meaningful across restarts;
+//   · a cache hit never masks a non-clean verdict — violated or inconclusive
+//     outcomes are stored for stats but every lookup of one re-verifies.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eqclass/pec_dedup.hpp"
+#include "serve/serve.hpp"
+#include "serve/verdict_cache.hpp"
+
+namespace plankton::serve {
+namespace {
+
+const char* kRing = R"(
+node r0 loopback 10.0.0.1
+node r1 loopback 10.0.0.2
+node r2 loopback 10.0.0.3
+node r3 loopback 10.0.0.4
+link r0 r1 cost 10
+link r1 r2 cost 10
+link r2 r3 cost 10
+link r3 r0 cost 10
+ospf r0 no-loopback
+ospf r1 no-loopback
+ospf r2 no-loopback
+ospf r3 no-loopback
+ospf r0 originate 10.1.0.0/24
+ospf r1 originate 10.2.0.0/24
+ospf r2 originate 10.3.0.0/24
+ospf r3 originate 10.4.0.0/24
+)";
+
+std::string tmp_path(const std::string& name) {
+  const std::string p = ::testing::TempDir() + "/" + name;
+  std::remove(p.c_str());
+  return p;
+}
+
+/// ServeState owns mutexes (not movable), so tests construct in place and
+/// load through this helper.
+void load_ring(ServeState& state, const std::string& extra = "") {
+  std::string error;
+  ASSERT_TRUE(state.load(std::string(kRing) + extra, error)) << error;
+}
+
+QueryMsg loop_query() {
+  QueryMsg q;
+  q.policy_spec = "loop";
+  return q;
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint stability and scoping
+// ---------------------------------------------------------------------------
+
+TEST(ServeFingerprints, BitIdenticalAcrossIndependentParses) {
+  // serialize -> deserialize -> recompute: two ServeStates built from the
+  // same text (and a third from the rendered round-trip) must agree on every
+  // fingerprint and every dependency-cone hash. This is the property that
+  // lets a disk-persisted cache warm-start a fresh process.
+  ServeState a{VerifyOptions{}};
+  ServeState b{VerifyOptions{}};
+  load_ring(a);
+  load_ring(b);
+
+  const auto fa = compute_pec_fingerprints(a.net(), a.verifier().pecs());
+  const auto fb = compute_pec_fingerprints(b.net(), b.verifier().pecs());
+  ASSERT_EQ(fa.size(), fb.size());
+  ASSERT_FALSE(fa.empty());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].canon, fb[i].canon) << "PEC " << i;
+    EXPECT_EQ(fa[i].residue, fb[i].residue) << "PEC " << i;
+    EXPECT_EQ(a.cone_of(i), b.cone_of(i)) << "PEC " << i;
+  }
+
+  ServeState c{VerifyOptions{}};
+  std::string error;
+  ASSERT_TRUE(c.load(render_config(a.net()), error)) << error;
+  const auto fc = compute_pec_fingerprints(c.net(), c.verifier().pecs());
+  ASSERT_EQ(fc.size(), fa.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fc[i].combined(), fa[i].combined())
+        << "render round-trip moved PEC " << i;
+  }
+}
+
+TEST(ServeFingerprints, RenderConfigIdempotentThroughParser) {
+  const char* text = R"(
+node a loopback 1.1.1.1
+node b loopback 2.2.2.2
+node c
+link a b cost 10
+link b c cost 5 cost-ba 7
+ospf a enable
+ospf b originate 10.2.0.0/16
+ospf c no-loopback
+static a 172.16.0.0/12 via b
+static c 0.0.0.0/0 drop
+bgp a asn 65001
+bgp b asn 65002
+bgp-session a b ebgp
+bgp a originate 203.0.113.0/24
+route-map a b import permit match-prefix 203.0.0.0/16 or-longer set-local-pref 250 add-community PEERS
+route-map b a export deny match-community PEERS
+route-map-default b a export permit
+)";
+  ParsedNetwork first;
+  std::string error;
+  ASSERT_TRUE(parse_network_config(text, first, error)) << error;
+  const auto names = community_names_of(first.communities);
+  const std::string rendered = render_config(first.net, names);
+
+  ParsedNetwork second;
+  ASSERT_TRUE(parse_network_config(rendered, second, error)) << error;
+  EXPECT_EQ(render_config(second.net, community_names_of(second.communities)),
+            rendered)
+      << "render(parse(render(net))) must be a fixed point";
+}
+
+TEST(ServeFingerprints, ResidueScopedToIntersectingRanges) {
+  // A static route for 10.2.0.0/24 must move exactly the PECs that range
+  // can influence — every other fingerprint (and cone) stays bit-identical.
+  ServeState base{VerifyOptions{}};
+  ServeState edited{VerifyOptions{}};
+  load_ring(base);
+  load_ring(edited, "static r0 10.2.0.0/24 via r1\n");
+
+  const PecSet& bp = base.verifier().pecs();
+  const PecSet& ep = edited.verifier().pecs();
+  ASSERT_EQ(bp.pecs.size(), ep.pecs.size())
+      << "the static targets an existing boundary; the partition is stable";
+  const auto fb = compute_pec_fingerprints(base.net(), bp);
+  const auto fe = compute_pec_fingerprints(edited.net(), ep);
+  std::size_t moved = 0;
+  const Prefix target = *Prefix::parse("10.2.0.0/24");
+  for (std::size_t i = 0; i < bp.pecs.size(); ++i) {
+    ASSERT_EQ(bp.pecs[i].str(), ep.pecs[i].str()) << "PEC " << i;
+    const bool hit = target.contains(bp.pecs[i].lo);
+    if (fb[i].combined() != fe[i].combined()) {
+      ++moved;
+      EXPECT_TRUE(hit) << "PEC " << bp.pecs[i].str()
+                       << " moved without intersecting the edited range";
+    } else {
+      EXPECT_FALSE(hit) << "PEC " << bp.pecs[i].str()
+                        << " intersects the edit but did not move";
+      EXPECT_EQ(base.cone_of(i), edited.cone_of(i));
+    }
+    EXPECT_EQ(fb[i].canon == fe[i].canon && fb[i].residue == fe[i].residue,
+              fb[i].combined() == fe[i].combined());
+  }
+  EXPECT_EQ(moved, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// VerdictCache unit behaviour
+// ---------------------------------------------------------------------------
+
+CacheEntry entry_of(Verdict v, std::uint64_t seed = 1) {
+  CacheEntry e;
+  e.verdict = static_cast<std::uint8_t>(v);
+  e.states_explored = seed * 100;
+  e.states_stored = seed * 10;
+  e.policy_checks = seed * 3;
+  e.elapsed_ns = static_cast<std::int64_t>(seed) * 1000;
+  e.trail_hash = seed * 0x9e3779b97f4a7c15ull;
+  return e;
+}
+
+TEST(VerdictCache, LookupServesOnlyCleanHolds) {
+  VerdictCache cache;
+  const CacheKey hold_key{1, 2};
+  const CacheKey viol_key{3, 4};
+  const CacheKey inc_key{5, 6};
+  cache.insert(hold_key, entry_of(Verdict::kHolds));
+  cache.insert(viol_key, entry_of(Verdict::kViolated));
+  cache.insert(inc_key, entry_of(Verdict::kInconclusive));
+  EXPECT_EQ(cache.size(), 3u);
+
+  CacheEntry out;
+  EXPECT_TRUE(cache.lookup(hold_key, out));
+  EXPECT_EQ(out, entry_of(Verdict::kHolds));
+
+  // Present non-clean entries: contains() sees them, lookup() refuses — the
+  // caller must re-verify (cache never masks a violation).
+  EXPECT_TRUE(cache.contains(viol_key));
+  EXPECT_FALSE(cache.lookup(viol_key, out));
+  EXPECT_TRUE(cache.contains(inc_key));
+  EXPECT_FALSE(cache.lookup(inc_key, out));
+  EXPECT_FALSE(cache.lookup(CacheKey{7, 8}, out));
+
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.nonclean_bypass, 2u);
+  EXPECT_EQ(c.misses, 1u) << "only the truly absent key is a plain miss";
+  EXPECT_EQ(c.insertions, 3u);
+}
+
+TEST(VerdictCache, DiskRoundTripPreservesEntries) {
+  const std::string path = tmp_path("cache_roundtrip.pkc");
+  VerdictCache cache;
+  std::vector<std::pair<CacheKey, CacheEntry>> entries;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const CacheKey key{i * 7919, i * 104729};
+    CacheEntry e = entry_of(i % 3 == 0 ? Verdict::kHolds
+                            : i % 3 == 1 ? Verdict::kViolated
+                                         : Verdict::kInconclusive,
+                            i + 1);
+    e.translated = i % 5 == 0 ? 1 : 0;
+    entries.emplace_back(key, e);
+    cache.insert(key, e);
+  }
+  std::string error;
+  ASSERT_TRUE(cache.save(path, error)) << error;
+
+  VerdictCache restored;
+  ASSERT_TRUE(restored.load(path, error)) << error;
+  EXPECT_EQ(restored.size(), entries.size());
+  EXPECT_EQ(restored.counters().warm_loaded, entries.size());
+  for (const auto& [key, e] : entries) {
+    CacheEntry out;
+    if (e.clean_hold()) {
+      ASSERT_TRUE(restored.lookup(key, out));
+      EXPECT_EQ(out, e) << "entry fields must survive the disk round trip";
+    } else {
+      EXPECT_TRUE(restored.contains(key));
+      EXPECT_FALSE(restored.lookup(key, out));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(VerdictCache, RejectsCorruptFiles) {
+  const std::string good_path = tmp_path("cache_good.pkc");
+  VerdictCache cache;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    cache.insert(CacheKey{i, i + 1}, entry_of(Verdict::kHolds, i + 1));
+  }
+  std::string error;
+  ASSERT_TRUE(cache.save(good_path, error)) << error;
+  std::string blob;
+  {
+    std::ifstream f(good_path, std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    blob = ss.str();
+  }
+  ASSERT_GT(blob.size(), 16u);
+
+  const auto rejects = [&](std::string bytes, const char* what) {
+    const std::string path = tmp_path("cache_corrupt.pkc");
+    std::ofstream(path, std::ios::binary).write(bytes.data(),
+                                                static_cast<std::streamsize>(bytes.size()));
+    VerdictCache fresh;
+    fresh.insert(CacheKey{999, 999}, entry_of(Verdict::kHolds));
+    std::string err;
+    EXPECT_FALSE(fresh.load(path, err)) << what;
+    EXPECT_FALSE(err.empty()) << what;
+    EXPECT_EQ(fresh.size(), 1u)
+        << what << ": a failed load must leave the cache unchanged";
+    std::remove(path.c_str());
+  };
+
+  rejects("", "empty file");
+  rejects(blob.substr(0, 10), "truncated header");
+  rejects(blob.substr(0, blob.size() - 7), "truncated entry");
+  rejects(blob + "x", "trailing bytes");
+  {
+    std::string bad = blob;
+    bad[0] ^= 0xff;
+    rejects(bad, "bad magic");
+  }
+  {
+    std::string bad = blob;
+    bad[4] ^= 0xff;
+    rejects(bad, "bad version");
+  }
+  {
+    std::string bad = blob;
+    bad[16 + 16] = 17;  // first entry's verdict byte: > kError
+    rejects(bad, "out-of-range verdict");
+  }
+  std::string err;
+  VerdictCache fresh;
+  EXPECT_FALSE(fresh.load(tmp_path("cache_never_written.pkc"), err));
+  std::remove(good_path.c_str());
+}
+
+TEST(VerdictCache, ConcurrentHammerKeepsCountsCoherent) {
+  VerdictCache cache;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        // Overlapping key ranges across threads: inserts race with lookups
+        // on the same stripes.
+        const CacheKey key{i, static_cast<std::uint64_t>(t % 2)};
+        cache.insert(key, entry_of(Verdict::kHolds, i + 1));
+        CacheEntry out;
+        ASSERT_TRUE(cache.lookup(key, out));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(cache.size(), kPerThread * 2);
+  EXPECT_EQ(cache.counters().hits, kThreads * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// ServeState end-to-end: hits, re-verification, warm starts, deltas
+// ---------------------------------------------------------------------------
+
+TEST(ServeStateCache, RepeatQueryServesFromCache) {
+  ServeState state{VerifyOptions{}};
+  load_ring(state);
+  const VerdictReplyMsg cold = state.query(loop_query());
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_EQ(static_cast<Verdict>(cold.verdict), Verdict::kHolds);
+  EXPECT_EQ(cold.targets, 4u);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.reverified, 4u);
+
+  const VerdictReplyMsg warm = state.query(loop_query());
+  ASSERT_TRUE(warm.ok);
+  EXPECT_EQ(static_cast<Verdict>(warm.verdict), Verdict::kHolds);
+  EXPECT_EQ(warm.cache_hits, 4u);
+  EXPECT_EQ(warm.reverified, 0u) << "a clean hold must not re-explore";
+
+  const CacheStatsMsg stats = state.cache_stats();
+  EXPECT_EQ(stats.entries, 4u);
+  EXPECT_EQ(stats.insertions, 4u);
+  EXPECT_EQ(stats.hits, 4u);
+
+  // A different question (other policy, other failure bound) is a different
+  // ctx: it must miss rather than reuse the loop verdicts.
+  QueryMsg other = loop_query();
+  other.max_failures = 1;
+  const VerdictReplyMsg bounded = state.query(other);
+  ASSERT_TRUE(bounded.ok);
+  EXPECT_EQ(bounded.cache_hits, 0u);
+  EXPECT_EQ(bounded.reverified, 4u);
+}
+
+TEST(ServeStateCache, CacheHitNeverMasksViolation) {
+  ServeState state{VerifyOptions{}};
+  load_ring(state);
+  ASSERT_TRUE(state.query(loop_query()).ok);
+
+  // Pin 10.3.0.0/24 into a static forwarding loop between r0 and r1
+  // (examples/ring_loop.delta).
+  ApplyDeltaMsg delta;
+  delta.ops.push_back({true, "static r0 10.3.0.0/24 via r1"});
+  delta.ops.push_back({true, "static r1 10.3.0.0/24 via r0"});
+  std::string error;
+  ASSERT_TRUE(state.apply_delta(delta, error)) << error;
+  EXPECT_EQ(state.last_moved(), 1u) << "only the 10.3.0.0/24 PEC moved";
+
+  const VerdictReplyMsg first = state.query(loop_query());
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(static_cast<Verdict>(first.verdict), Verdict::kViolated);
+  EXPECT_EQ(first.cache_hits, 3u) << "unmoved PECs stay warm";
+  EXPECT_EQ(first.reverified, 1u) << "exactly the moved PEC re-verifies";
+  ASSERT_FALSE(first.violations.empty());
+
+  // The violated verdict is now *in* the cache — and must still re-verify on
+  // every subsequent query instead of being served as a hit.
+  const VerdictReplyMsg again = state.query(loop_query());
+  ASSERT_TRUE(again.ok);
+  EXPECT_EQ(static_cast<Verdict>(again.verdict), Verdict::kViolated);
+  EXPECT_EQ(again.cache_hits, 3u);
+  EXPECT_EQ(again.reverified, 1u)
+      << "a cached violation must never satisfy a lookup";
+  EXPECT_GT(state.cache_stats().nonclean_bypass, 0u);
+
+  // Reverting the delta restores the original cone hashes: everything hits.
+  ApplyDeltaMsg revert;
+  revert.ops.push_back({false, "static r0 10.3.0.0/24 via r1"});
+  revert.ops.push_back({false, "static r1 10.3.0.0/24 via r0"});
+  ASSERT_TRUE(state.apply_delta(revert, error)) << error;
+  const VerdictReplyMsg restored = state.query(loop_query());
+  ASSERT_TRUE(restored.ok);
+  EXPECT_EQ(static_cast<Verdict>(restored.verdict), Verdict::kHolds);
+  EXPECT_EQ(restored.cache_hits, 4u);
+  EXPECT_EQ(restored.reverified, 0u);
+}
+
+TEST(ServeStateCache, InconclusiveIsNeverServedAsHold) {
+  VerifyOptions opts;
+  opts.budget.max_states = 1;  // every PEC trips immediately
+  ServeState state{opts};
+  std::string error;
+  ASSERT_TRUE(state.load(kRing, error)) << error;
+
+  const VerdictReplyMsg first = state.query(loop_query());
+  ASSERT_TRUE(first.ok);
+  ASSERT_EQ(static_cast<Verdict>(first.verdict), Verdict::kInconclusive);
+  EXPECT_EQ(first.reverified, 4u);
+
+  const VerdictReplyMsg second = state.query(loop_query());
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(static_cast<Verdict>(second.verdict), Verdict::kInconclusive);
+  EXPECT_EQ(second.cache_hits, 0u)
+      << "an inconclusive entry must not short-circuit to a hold";
+  EXPECT_EQ(second.reverified, 4u);
+}
+
+TEST(ServeStateCache, WarmStartsFromDiskAcrossRestart) {
+  const std::string path = tmp_path("serve_warm.pkc");
+  {
+    ServeState state{VerifyOptions{}, path};
+    load_ring(state);
+    const VerdictReplyMsg cold = state.query(loop_query());
+    ASSERT_TRUE(cold.ok);
+    EXPECT_EQ(cold.reverified, 4u);
+    std::string error;
+    ASSERT_TRUE(state.save_cache(error)) << error;
+  }
+  // "Restart": a brand-new ServeState re-parses the same config and must
+  // serve the whole query from the persisted cache without exploring.
+  ServeState revived{VerifyOptions{}, path};
+  load_ring(revived);
+  EXPECT_GT(revived.cache_stats().warm_loaded, 0u);
+  const VerdictReplyMsg warm = revived.query(loop_query());
+  ASSERT_TRUE(warm.ok);
+  EXPECT_EQ(static_cast<Verdict>(warm.verdict), Verdict::kHolds);
+  EXPECT_EQ(warm.cache_hits, 4u);
+  EXPECT_EQ(warm.reverified, 0u)
+      << "fingerprints drifted across the restart: warm start is broken";
+  std::remove(path.c_str());
+}
+
+TEST(ServeStateCache, DeltaFailuresAreAtomic) {
+  ServeState state{VerifyOptions{}};
+  load_ring(state);
+  ASSERT_TRUE(state.query(loop_query()).ok);
+  const std::string before = state.config_text();
+
+  ApplyDeltaMsg bad;
+  bad.ops.push_back({true, "static r0 10.9.0.0/24 via r1"});
+  bad.ops.push_back({false, "no such line"});
+  std::string error;
+  EXPECT_FALSE(state.apply_delta(bad, error));
+  EXPECT_NE(error.find("no such line"), std::string::npos) << error;
+  EXPECT_EQ(state.config_text(), before)
+      << "a failed batch must leave the resident config untouched";
+
+  ApplyDeltaMsg unparsable;
+  unparsable.ops.push_back({true, "link r0 r9"});
+  EXPECT_FALSE(state.apply_delta(unparsable, error));
+  EXPECT_EQ(state.config_text(), before);
+
+  const VerdictReplyMsg after = state.query(loop_query());
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.cache_hits, 4u) << "failed deltas must not move any PEC";
+}
+
+// ---------------------------------------------------------------------------
+// Wire codecs: round trips and hostile-input fuzz
+// ---------------------------------------------------------------------------
+
+template <typename Msg>
+void check_codec(const Msg& m, std::string (*enc)(const Msg&),
+                 bool (*dec)(std::string_view, Msg&), bool (*eq)(const Msg&, const Msg&)) {
+  const std::string wire = enc(m);
+  Msg out;
+  ASSERT_TRUE(dec(wire, out));
+  EXPECT_TRUE(eq(m, out));
+  // Every strict prefix is a truncation and must be rejected without
+  // touching undefined bytes; a trailing byte is garbage.
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    Msg trash;
+    EXPECT_FALSE(dec(std::string_view(wire).substr(0, cut), trash))
+        << "accepted a " << cut << "-byte prefix of " << wire.size();
+  }
+  Msg trash;
+  EXPECT_FALSE(dec(wire + '\0', trash));
+}
+
+TEST(ServeCodecs, RoundTripsAndRejectsTruncation) {
+  LoadNetMsg load;
+  load.config_text = std::string("node a\nnode b\x00\xff weird", 20);
+  check_codec<LoadNetMsg>(
+      load, encode_load_net, decode_load_net,
+      [](const LoadNetMsg& a, const LoadNetMsg& b) {
+        return a.config_text == b.config_text;
+      });
+
+  ApplyDeltaMsg delta;
+  delta.ops.push_back({true, "static r0 10.3.0.0/24 via r1"});
+  delta.ops.push_back({false, ""});
+  check_codec<ApplyDeltaMsg>(
+      delta, encode_apply_delta, decode_apply_delta,
+      [](const ApplyDeltaMsg& a, const ApplyDeltaMsg& b) {
+        if (a.ops.size() != b.ops.size()) return false;
+        for (std::size_t i = 0; i < a.ops.size(); ++i) {
+          if (a.ops[i].add != b.ops[i].add || a.ops[i].line != b.ops[i].line)
+            return false;
+        }
+        return true;
+      });
+
+  QueryMsg query;
+  query.policy_spec = "waypoint fw e0 e1";
+  query.max_failures = 3;
+  check_codec<QueryMsg>(query, encode_query, decode_query,
+                        [](const QueryMsg& a, const QueryMsg& b) {
+                          return a.policy_spec == b.policy_spec &&
+                                 a.max_failures == b.max_failures;
+                        });
+
+  VerdictReplyMsg reply;
+  reply.ok = true;
+  reply.verdict = static_cast<std::uint8_t>(Verdict::kViolated);
+  reply.targets = 18;
+  reply.cache_hits = 17;
+  reply.reverified = 1;
+  reply.moved = 1;
+  reply.wall_ns = 123456789;
+  reply.violations.push_back({"[10.3.0.0 .. 10.3.0.255]", "loop r0->r1->r0"});
+  check_codec<VerdictReplyMsg>(
+      reply, encode_verdict_reply, decode_verdict_reply,
+      [](const VerdictReplyMsg& a, const VerdictReplyMsg& b) {
+        if (a.ok != b.ok || a.verdict != b.verdict || a.error != b.error ||
+            a.targets != b.targets || a.cache_hits != b.cache_hits ||
+            a.reverified != b.reverified || a.moved != b.moved ||
+            a.wall_ns != b.wall_ns ||
+            a.violations.size() != b.violations.size())
+          return false;
+        for (std::size_t i = 0; i < a.violations.size(); ++i) {
+          if (a.violations[i].pec != b.violations[i].pec ||
+              a.violations[i].message != b.violations[i].message)
+            return false;
+        }
+        return true;
+      });
+
+  CacheStatsMsg stats;
+  stats.hits = 1;
+  stats.misses = 2;
+  stats.nonclean_bypass = 3;
+  stats.insertions = 4;
+  stats.warm_loaded = 5;
+  stats.entries = 6;
+  check_codec<CacheStatsMsg>(
+      stats, encode_cache_stats, decode_cache_stats,
+      [](const CacheStatsMsg& a, const CacheStatsMsg& b) {
+        return a.hits == b.hits && a.misses == b.misses &&
+               a.nonclean_bypass == b.nonclean_bypass &&
+               a.insertions == b.insertions &&
+               a.warm_loaded == b.warm_loaded && a.entries == b.entries;
+      });
+}
+
+TEST(ServeCodecs, RejectsHostileCounts) {
+  // A count field claiming more elements than the payload can hold must be
+  // rejected up front (fits()), not drive a giant allocation.
+  std::string evil;
+  evil.push_back('\xff');
+  evil.push_back('\xff');
+  evil.push_back('\xff');
+  evil.push_back('\xff');
+  ApplyDeltaMsg delta;
+  EXPECT_FALSE(decode_apply_delta(evil, delta));
+  EXPECT_TRUE(delta.ops.empty());
+
+  VerdictReplyMsg reply;
+  EXPECT_FALSE(decode_verdict_reply(evil, reply));
+
+  // An op flag outside {0, 1} is corruption, not a bool.
+  ApplyDeltaMsg one_op;
+  one_op.ops.push_back({true, "x"});
+  std::string wire = encode_apply_delta(one_op);
+  wire[4] = 2;
+  EXPECT_FALSE(decode_apply_delta(wire, delta));
+}
+
+}  // namespace
+}  // namespace plankton::serve

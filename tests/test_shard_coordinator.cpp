@@ -187,6 +187,90 @@ TEST(ShardFraming, RejectsCorruptHeaders) {
   expect_poisoned(hostile, "oversized payload");
 }
 
+TEST(ShardFraming, RejectsFramesAfterShutdown) {
+  // kShutdown is terminal for a stream: a late kHeartbeat (or anything else)
+  // framed after it must poison the decoder, not be processed.
+  const auto poisoned_after_shutdown = [](sched::MsgType late_type,
+                                          const char* what) {
+    std::string stream;
+    sched::encode_frame(stream, sched::MsgType::kHeartbeat, "");
+    sched::encode_frame(stream, sched::MsgType::kShutdown, "");
+    sched::encode_frame(stream, late_type, "");
+    sched::FrameDecoder dec;
+    dec.feed(stream.data(), stream.size());
+    sched::Frame f;
+    EXPECT_EQ(dec.next(f), sched::FrameDecoder::Status::kFrame) << what;
+    EXPECT_EQ(f.type, sched::MsgType::kHeartbeat) << what;
+    EXPECT_EQ(dec.next(f), sched::FrameDecoder::Status::kFrame) << what;
+    EXPECT_EQ(f.type, sched::MsgType::kShutdown) << what;
+    EXPECT_EQ(dec.next(f), sched::FrameDecoder::Status::kError) << what;
+    EXPECT_NE(dec.error().find("after shutdown"), std::string::npos) << what;
+    // Permanent, like every other poisoning.
+    std::string good;
+    sched::encode_frame(good, sched::MsgType::kHeartbeat, "");
+    dec.feed(good.data(), good.size());
+    EXPECT_EQ(dec.next(f), sched::FrameDecoder::Status::kError) << what;
+  };
+  poisoned_after_shutdown(sched::MsgType::kHeartbeat, "heartbeat");
+  poisoned_after_shutdown(sched::MsgType::kShutdown, "double shutdown");
+  poisoned_after_shutdown(sched::MsgType::kQuery, "serve query");
+
+  // The same bytes arriving one at a time must poison at the same point.
+  std::string stream;
+  sched::encode_frame(stream, sched::MsgType::kShutdown, "");
+  sched::encode_frame(stream, sched::MsgType::kHeartbeat, "heartbeat-payload");
+  sched::FrameDecoder dec;
+  sched::Frame f;
+  std::size_t frames = 0;
+  bool errored = false;
+  for (const char c : stream) {
+    dec.feed(&c, 1);
+    sched::FrameDecoder::Status st;
+    while ((st = dec.next(f)) == sched::FrameDecoder::Status::kFrame) ++frames;
+    if (st == sched::FrameDecoder::Status::kError) {
+      errored = true;
+      break;
+    }
+  }
+  EXPECT_EQ(frames, 1u);
+  EXPECT_TRUE(errored);
+}
+
+TEST(ShardFraming, ServeFrameTypesRoundTrip) {
+  // MsgType 7..11 (the serve daemon's frames) ride the same decoder; a
+  // type one past kCacheStats is still rejected.
+  std::string stream;
+  sched::encode_frame(stream, sched::MsgType::kLoadNet, "cfg");
+  sched::encode_frame(stream, sched::MsgType::kApplyDelta, "ops");
+  sched::encode_frame(stream, sched::MsgType::kQuery, "spec");
+  sched::encode_frame(stream, sched::MsgType::kVerdictReply, "verdict");
+  sched::encode_frame(stream, sched::MsgType::kCacheStats, "");
+  sched::FrameDecoder dec;
+  dec.feed(stream.data(), stream.size());
+  sched::Frame f;
+  for (const auto expected :
+       {sched::MsgType::kLoadNet, sched::MsgType::kApplyDelta,
+        sched::MsgType::kQuery, sched::MsgType::kVerdictReply,
+        sched::MsgType::kCacheStats}) {
+    ASSERT_EQ(dec.next(f), sched::FrameDecoder::Status::kFrame);
+    EXPECT_EQ(f.type, expected);
+  }
+  EXPECT_EQ(dec.next(f), sched::FrameDecoder::Status::kNeedMore);
+
+  std::string bad;
+  const std::uint32_t magic = sched::kFrameMagic;
+  const std::uint16_t version = sched::kFrameVersion;
+  const std::uint16_t type = 12;  // one past kCacheStats
+  const std::uint64_t len = 0;
+  bad.append(reinterpret_cast<const char*>(&magic), 4);
+  bad.append(reinterpret_cast<const char*>(&version), 2);
+  bad.append(reinterpret_cast<const char*>(&type), 2);
+  bad.append(reinterpret_cast<const char*>(&len), 8);
+  sched::FrameDecoder dec2;
+  dec2.feed(bad.data(), bad.size());
+  EXPECT_EQ(dec2.next(f), sched::FrameDecoder::Status::kError);
+}
+
 TEST(ShardFraming, PayloadDecodersRejectCorruptInput) {
   const std::string assign = sched::encode_task_assign({3, {2, 5}});
   const std::string violation = sched::encode_violation(sample_violation());
