@@ -42,6 +42,14 @@
 //   --fault-plan <p>   deterministic shard fault injection (sched/fault.hpp
 //                      syntax, e.g. 'crash@2;slot=1'); also read from
 //                      PLANKTON_FAULT_PLAN when the flag is absent
+//   --tcp-workers <a>  comma-separated host:port list of pre-started
+//                      plankton_worker daemons; shard workers connect there
+//                      instead of forking (falls back to fork if the policy
+//                      has no spec form)
+//   --split-export     intra-PEC work export: big PECs donate frontier
+//                      halves back to the coordinator for re-dispatch to
+//                      idle shards. Verdicts and the deduplicated violation
+//                      set are preserved; state counts are not bit-identical
 //
 // Exit code: 0 = policy holds (exhaustive), 1 = violated,
 //            2 = inconclusive (budget tripped / lossy search; no violation
@@ -83,7 +91,8 @@ int usage() {
                "[--engine dfs|bfs|priority|random-restart|single] "
                "[--engine-seed n] [--simulation] "
                "[--deadline-ms t] [--budget-states n] [--budget-bytes n] "
-               "[--degrade-visited] [--fault-plan p]\n"
+               "[--degrade-visited] [--fault-plan p] "
+               "[--tcp-workers host:port[,...]] [--split-export]\n"
                "policies: reach <srcs> | loop | blackhole [srcs] | "
                "bounded <limit> <srcs> | waypoint <srcs> <wps>\n");
   return 3;
@@ -167,6 +176,18 @@ int main(int argc, char** argv) {
         opts.budget.max_bytes = static_cast<std::size_t>(n);
       } else if (arg == "--degrade-visited") {
         opts.budget.degrade_visited = true;
+      } else if (arg == "--tcp-workers" && i + 1 < argc) {
+        std::stringstream ss(argv[++i]);
+        std::string addr;
+        while (std::getline(ss, addr, ',')) {
+          if (!addr.empty()) opts.shard_workers.push_back(addr);
+        }
+        if (opts.shard_workers.empty()) {
+          throw std::runtime_error("bad --tcp-workers");
+        }
+        opts.shard_transport = ShardTransportKind::kTcp;
+      } else if (arg == "--split-export") {
+        opts.shard_split_export = true;
       } else if (arg == "--fault-plan" && i + 1 < argc) {
         std::string perr;
         if (!sched::parse_fault_plan(argv[++i], opts.shard_fault_plan, perr)) {
@@ -290,6 +311,14 @@ int main(int argc, char** argv) {
                                       sh.outcome_bytes_received) / 1e3,
                   static_cast<unsigned long long>(sh.tasks_reassigned),
                   static_cast<unsigned long long>(sh.workers_respawned));
+      if (sh.splits_exported + sh.subtasks_dispatched > 0) {
+        std::printf("split export: %llu frontier splits, %llu subtasks "
+                    "dispatched, %llu completed, %llu stale\n",
+                    static_cast<unsigned long long>(sh.splits_exported),
+                    static_cast<unsigned long long>(sh.subtasks_dispatched),
+                    static_cast<unsigned long long>(sh.subtasks_completed),
+                    static_cast<unsigned long long>(sh.subtasks_stale));
+      }
       for (std::size_t w = 0; w < sh.tasks_per_shard.size(); ++w) {
         std::printf("  shard %zu: %llu tasks\n", w,
                     static_cast<unsigned long long>(sh.tasks_per_shard[w]));

@@ -1,13 +1,22 @@
 #include "core/verifier.hpp"
 
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <limits>
 #include <memory>
 
 #include "checker/budget.hpp"
+#include "config/parser.hpp"
 #include "eqclass/pec_dedup.hpp"
 #include "sched/outcome_store.hpp"
+#include "sched/transport.hpp"
+#include "serve/serve.hpp"
 
 namespace plankton {
 namespace {
@@ -28,6 +37,490 @@ struct SccTask {
   std::vector<PecId> pecs;
   bool is_target = false;      ///< contains at least one policy-checked PEC
 };
+
+/// The verification plan: everything downstream of (network, policy,
+/// targets, options) that both the coordinator and a bootstrapped remote
+/// worker must agree on. Built by build_shard_plan as a deterministic
+/// function of its inputs, so two hosts that parsed the same rendered
+/// config derive the same plan independently — shard_plan_hash() is the
+/// proof exchanged in the bootstrap handshake.
+struct ShardPlan {
+  std::vector<std::uint8_t> needed;     ///< dependency closure of targets
+  std::vector<std::uint8_t> is_target;  ///< policy-checked PECs
+  bool dedup_on = false;
+  PecClassSet classes;
+  std::vector<SccTask> tasks;
+  sched::TaskGraph graph;
+  /// Needed dependents per PEC (how many needed PECs will read its
+  /// outcomes). The in-process path seeds its eviction atomics from this;
+  /// the sharded path uses it directly (static — the coordinator owns
+  /// eviction there).
+  std::vector<std::ptrdiff_t> needed_dependents;
+  std::vector<sched::ShardTaskSpec> specs;
+
+  // Bookkeeping verify_pecs copies into VerifyResult:
+  std::size_t pec_classes = 0;
+  std::size_t pecs_deduped = 0;
+  std::chrono::nanoseconds dedup_fingerprint_time{0};
+  bool unsupported_scc = false;
+};
+
+/// True for engines whose outermost invocation runs on a Frontier — the
+/// only structure the intra-PEC export mechanism can split and reseed.
+[[nodiscard]] bool export_capable_engine(const ExploreOptions& eo) {
+  const SearchEngineKind k = eo.engine();
+  return k == SearchEngineKind::kBfs || k == SearchEngineKind::kPriority ||
+         k == SearchEngineKind::kRandomRestart;
+}
+
+ShardPlan build_shard_plan(const Network& net, const PecSet& pecs,
+                           const PecDependencies& deps, const Policy& policy,
+                           const VerifyOptions& opts,
+                           const std::vector<PecId>& targets) {
+  (void)net;
+  ShardPlan plan;
+
+  // Dependency closure: every upstream PEC must be run (for outcomes) before
+  // its dependents.
+  plan.needed.assign(pecs.pecs.size(), 0);
+  plan.is_target.assign(pecs.pecs.size(), 0);
+  std::vector<PecId> frontier = targets;
+  for (const PecId p : targets) plan.is_target[p] = 1;
+  while (!frontier.empty()) {
+    const PecId p = frontier.back();
+    frontier.pop_back();
+    if (plan.needed[p] != 0) continue;
+    plan.needed[p] = 1;
+    for (const PecId q : deps.depends_on[p]) frontier.push_back(q);
+  }
+
+  // Batch PEC verification (eqclass/pec_dedup.hpp): group isomorphic target
+  // PECs and schedule one representative per class. Members are excluded
+  // from the task graph; their reports are produced when their
+  // representative finishes — translated on a clean hold, re-explored
+  // natively otherwise.
+  plan.dedup_on = opts.pec_dedup;
+  if (plan.dedup_on) {
+    plan.classes = compute_pec_classes(net, pecs, deps, policy, plan.needed,
+                                       plan.is_target);
+    plan.pec_classes = plan.classes.stats.classes;
+    plan.pecs_deduped = plan.classes.stats.deduped;
+    plan.dedup_fingerprint_time = plan.classes.stats.fingerprint_time;
+  }
+
+  // Build the SCC task graph restricted to needed PECs (minus class members,
+  // which ride on their representative's task).
+  std::vector<std::int32_t> task_of_scc(deps.sccs.size(), -1);
+  for (std::uint32_t s = 0; s < deps.sccs.size(); ++s) {
+    std::vector<PecId> members;
+    bool target = false;
+    for (const PecId p : deps.sccs[s]) {
+      if (plan.needed[p] == 0) continue;
+      if (plan.dedup_on && plan.classes.is_translated_member(p)) continue;
+      members.push_back(p);
+      target = target || plan.is_target[p] != 0;
+    }
+    if (members.empty()) continue;
+    task_of_scc[s] = static_cast<std::int32_t>(plan.tasks.size());
+    SccTask t;
+    t.scc = s;
+    t.pecs = std::move(members);
+    t.is_target = target;
+    plan.tasks.push_back(std::move(t));
+  }
+
+  plan.graph.dependents.resize(plan.tasks.size());
+  plan.graph.waiting_on.assign(plan.tasks.size(), 0);
+  for (std::size_t i = 0; i < plan.tasks.size(); ++i) {
+    for (const std::uint32_t dep : deps.scc_deps[plan.tasks[i].scc]) {
+      const std::int32_t j = task_of_scc[dep];
+      if (j < 0) continue;  // dependency not needed => its pecs carry no info
+      ++plan.graph.waiting_on[i];
+      plan.graph.dependents[static_cast<std::size_t>(j)].push_back(i);
+    }
+    if (plan.tasks[i].pecs.size() > 1) plan.unsupported_scc = true;
+  }
+
+  plan.needed_dependents.assign(pecs.pecs.size(), 0);
+  for (PecId p = 0; p < pecs.pecs.size(); ++p) {
+    for (const PecId q : deps.dependents[p]) {
+      if (plan.needed[q] != 0) ++plan.needed_dependents[p];
+    }
+  }
+
+  // Wire task specs for the shard coordinator (also the structure the plan
+  // hash covers).
+  const bool export_base_ok = opts.shard_split_export &&
+                              opts.explore.max_failures == 0 &&
+                              export_capable_engine(opts.explore);
+  plan.specs.resize(plan.tasks.size());
+  for (std::size_t i = 0; i < plan.tasks.size(); ++i) {
+    sched::ShardTaskSpec& spec = plan.specs[i];
+    spec.pecs = plan.tasks[i].pecs;
+    if (plan.dedup_on) {
+      // Ship class membership with the task: the worker produces the
+      // members' reports (translated or natively re-run) itself, so only
+      // results ever cross the wire.
+      spec.class_members.resize(plan.tasks[i].pecs.size());
+      for (std::size_t mi = 0; mi < plan.tasks[i].pecs.size(); ++mi) {
+        spec.class_members[mi] =
+            plan.classes.members_of[plan.tasks[i].pecs[mi]];
+      }
+    }
+    for (const PecId p : plan.tasks[i].pecs) {
+      for (const PecId d : deps.depends_on[p]) {
+        if (plan.needed[d] == 0) continue;  // outside the closure: never read
+        const auto& mates = plan.tasks[i].pecs;
+        if (std::find(mates.begin(), mates.end(), d) != mates.end()) continue;
+        if (std::find(spec.deps.begin(), spec.deps.end(), d) ==
+            spec.deps.end()) {
+          spec.deps.push_back(d);
+        }
+      }
+    }
+    // Export eligibility (intra-PEC work export): only a single-phase,
+    // self-contained exploration can hand frontier halves to another
+    // process — one target PEC, nothing upstream or downstream of it, no
+    // class members to translate from its (now partial) result.
+    const PecId p0 = plan.tasks[i].pecs.front();
+    spec.export_eligible =
+        export_base_ok && plan.tasks[i].pecs.size() == 1 &&
+        spec.deps.empty() && plan.tasks[i].is_target &&
+        plan.is_target[p0] != 0 && plan.needed_dependents[p0] == 0 &&
+        (!plan.dedup_on || plan.classes.members_of[p0].empty());
+  }
+  return plan;
+}
+
+/// FNV-1a over the plan structure. Covers everything that must agree between
+/// coordinator and remote worker for the wire protocol to be meaningful:
+/// PEC count, tasks (pecs + targeting + export arming), dependency edges,
+/// dedup classing. Exploration knobs travel in the bootstrap itself and
+/// need no cross-check.
+std::uint64_t shard_plan_hash(const ShardPlan& plan, std::size_t pec_count) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(pec_count);
+  mix(plan.tasks.size());
+  for (std::size_t i = 0; i < plan.tasks.size(); ++i) {
+    const SccTask& t = plan.tasks[i];
+    const sched::ShardTaskSpec& spec = plan.specs[i];
+    mix(t.pecs.size());
+    for (const PecId p : t.pecs) mix(p);
+    mix(t.is_target ? 1 : 0);
+    mix(spec.export_eligible ? 1 : 0);
+    mix(spec.deps.size());
+    for (const PecId d : spec.deps) mix(d);
+    mix(spec.class_members.size());
+    for (const auto& members : spec.class_members) {
+      mix(members.size());
+      for (const PecId m : members) mix(m);
+    }
+    mix(plan.graph.dependents[i].size());
+    for (const std::size_t d : plan.graph.dependents[i]) mix(d);
+  }
+  return h;
+}
+
+/// The per-PEC execution engine shared by every scheduling path: the
+/// in-process pool, forked shard workers, and TCP-bootstrapped remote
+/// workers all run PECs through here, which is what keeps their verdicts
+/// bit-identical (and lets serve_shard_worker_session exist at all).
+class ShardExecution {
+ public:
+  ShardExecution(const Network& net, const PecSet& pecs,
+                 const PecDependencies& deps, const VerifyOptions& opts,
+                 const Policy& policy, const ShardPlan& plan,
+                 std::chrono::steady_clock::time_point start)
+      : net_(net),
+        pecs_(pecs),
+        deps_(deps),
+        opts_(opts),
+        policy_(policy),
+        plan_(plan),
+        cross_deps_(deps.has_cross_pec_deps()),
+        has_wall_limit_(opts.wall_limit.count() > 0),
+        wall_deadline_(start + opts.wall_limit),
+        has_budget_deadline_(opts.budget.deadline.count() > 0),
+        budget_deadline_(start + opts.budget.deadline) {
+    // Budget deadline fair-sharing: the global deadline is split into
+    // per-PEC slices of remaining_time / remaining_unstarted_pecs, so one
+    // monster PEC trips its own slice instead of starving everything
+    // scheduled after it. `pecs_started` is exact in-process; in forked
+    // shard workers each sees only its own copy-on-write increments, which
+    // *under*-counts started PECs and therefore only makes slices more
+    // conservative — never unfair. `scheduled_pecs` is atomic because dedup
+    // member reruns and export subtasks are scheduled dynamically.
+    std::size_t statically_scheduled = 0;
+    for (const SccTask& t : plan.tasks) statically_scheduled += t.pecs.size();
+    scheduled_pecs.store(statically_scheduled, std::memory_order_relaxed);
+  }
+
+  /// Worker-side binding of the intra-PEC export machinery for one run:
+  /// the sink plus the frontier seed of an export subtask.
+  struct ExportBinding {
+    std::function<bool(std::vector<StateSnapshot>&&)> fn;
+    std::vector<StateSnapshot> seed;
+  };
+
+  /// Shared per-PEC execution. `has_dependents` is passed in because the
+  /// execution paths track it differently (runtime atomics vs the static
+  /// count); recorded outcomes stay in the returned report for the caller
+  /// to store or ship.
+  PecReport run_pec_core(PecId pec_id, bool target, bool has_dependents,
+                         const OutcomeStore& store,
+                         ExportBinding* eb = nullptr) {
+    const Pec& pec = pecs_.pecs[pec_id];
+    ExploreOptions eo = opts_.explore;
+    const bool has_deps = !deps_.depends_on[pec_id].empty();
+    eo.record_outcomes = has_dependents;
+    // §4.3: DEC-based failure choice only without cross-PEC dependencies
+    // (failure sets must coordinate exactly across PEC runs).
+    if (cross_deps_ && (has_deps || has_dependents)) eo.lec_failures = false;
+    if (eb != nullptr) {
+      eo.engine_export_fn = eb->fn;
+      eo.engine_export_check_every = opts_.shard_export_check_every;
+      eo.engine_export_min_frontier = opts_.shard_export_min_frontier;
+      eo.engine_seed_frontier = std::move(eb->seed);
+    }
+    // State/memory caps and the degradation opt-in apply per exploration;
+    // the deadline is replaced by this PEC's fair-share slice below.
+    eo.budget = opts_.budget;
+    eo.budget.deadline = std::chrono::milliseconds(0);
+    const auto deadline_exhausted = [&]() {
+      PecReport rep;
+      rep.pec = pec_id;
+      rep.pec_str = pec.str();
+      rep.result.timed_out = true;
+      rep.result.budget_tripped = BudgetKind::kDeadline;
+      return rep;
+    };
+    if (has_wall_limit_) {
+      const auto now = std::chrono::steady_clock::now();
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(wall_deadline_ -
+                                                                now);
+      if (remaining.count() <= 0) return deadline_exhausted();
+      if (eo.time_limit.count() == 0 || remaining < eo.time_limit) {
+        eo.time_limit = remaining;
+      }
+    }
+    if (has_budget_deadline_) {
+      const std::size_t started =
+          pecs_started.fetch_add(1, std::memory_order_relaxed);
+      const auto now = std::chrono::steady_clock::now();
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              budget_deadline_ - now);
+      if (remaining.count() <= 0) return deadline_exhausted();
+      eo.budget.deadline = fair_share_slice(
+          remaining, scheduled_pecs.load(std::memory_order_relaxed), started);
+    }
+    StoreProvider provider(store, deps_.depends_on[pec_id], has_dependents);
+    Explorer explorer(
+        net_, pec, make_tasks(net_, pec),
+        target ? policy_ : static_cast<const Policy&>(true_policy_), eo,
+        &provider);
+    PecReport rep;
+    rep.pec = pec_id;
+    rep.pec_str = pec.str();
+    rep.result = explorer.run();
+    return rep;
+  }
+
+  /// Class tail of a finished representative run (every execution path calls
+  /// this right after run_pec_core on a representative). A clean hold
+  /// transfers to every member — the validated isomorphism guarantees the
+  /// members' exploration state graphs are isomorphic to the
+  /// representative's. Any non-clean result (violation, timeout, state cap)
+  /// re-explores the members natively so that reported trails are the
+  /// members' own, bit-identical to a dedup-off run; under early stop a
+  /// violated representative already decides the verdict and the members are
+  /// skipped like any other unscheduled task. `rerun` dispatches one
+  /// member's native re-exploration: the sharded worker runs it inline, the
+  /// in-process path spawns it as a dynamic subtask so idle workers pick
+  /// members up in parallel (what dedup-off parallelism would have done).
+  template <typename Emit, typename Rerun>
+  void expand_class(const PecReport& rep, Emit&& emit, Rerun&& rerun) {
+    if (!plan_.dedup_on) return;
+    const auto& members = plan_.classes.members_of[rep.pec];
+    if (members.empty()) return;
+    const bool clean = rep.result.holds && !rep.result.timed_out &&
+                       !rep.result.state_limit_hit &&
+                       !rep.result.memory_limit_hit &&
+                       rep.result.budget_tripped == BudgetKind::kNone &&
+                       rep.result.exhaustive && rep.result.violations.empty();
+    if (clean) {
+      for (const PecId m : members) {
+        PecReport t;
+        t.pec = m;
+        t.pec_str = pecs_.pecs[m].str();
+        t.translated_from = rep.pec;
+        t.result.holds = true;
+        t.result.stats = rep.result.stats;
+        emit(std::move(t));
+      }
+      return;
+    }
+    if (!rep.result.holds && !opts_.explore.find_all_violations) return;
+    for (const PecId m : members) {
+      dedup_reruns.fetch_add(1, std::memory_order_relaxed);
+      // Reruns are scheduled work the static count never saw; register them
+      // before dispatch so the fair-share divisor stays ahead of started.
+      scheduled_pecs.fetch_add(1, std::memory_order_relaxed);
+      rerun(m);
+    }
+  }
+
+  /// The shard worker body: runs one task's PECs (plus class tails) and
+  /// converts reports to wire results. Runs inside forked workers and
+  /// bootstrapped TCP workers alike.
+  std::vector<sched::ShardPecResult> run_worker_task(
+      std::size_t task_idx, OutcomeStore& upstream,
+      const sched::SplitExporter& exporter) {
+    std::vector<sched::ShardPecResult> out;
+    const SccTask& task = plan_.tasks[task_idx];
+    const sched::ShardTaskSpec& spec = plan_.specs[task_idx];
+    for (std::size_t mi = 0; mi < task.pecs.size(); ++mi) {
+      const PecId p = task.pecs[mi];
+      const bool target = task.is_target && plan_.is_target[p] != 0;
+      // The only decrements that can have landed when a PEC starts come
+      // from already-finished mates of the same (cyclic) SCC task — every
+      // outside dependent is scheduled strictly after this task completes.
+      // Replaying those mate decrements over the static counts reproduces
+      // the in-process runtime value exactly.
+      std::ptrdiff_t pending = plan_.needed_dependents[p];
+      for (std::size_t mj = 0; mj < mi; ++mj) {
+        const auto& mate_deps = deps_.depends_on[task.pecs[mj]];
+        if (std::find(mate_deps.begin(), mate_deps.end(), p) !=
+            mate_deps.end()) {
+          --pending;
+        }
+      }
+      const bool has_dependents = pending > 0;
+      ExportBinding eb;
+      ExportBinding* ebp = nullptr;
+      if (spec.export_eligible) {
+        eb.fn = make_export_fn(p, exporter);
+        ebp = &eb;
+      }
+      PecReport rep = run_pec_core(p, target, has_dependents, upstream, ebp);
+      // Publish into the worker-local store like the in-process run_pec
+      // does: later mates of a cyclic SCC resolve against them there, and
+      // the worker ships the same single copy back when `record` is set.
+      if (has_dependents) upstream.put(p, std::move(rep.result.outcomes));
+      // Class tail before the representative's violations are moved out.
+      // Members re-run inline: the worker process is single-threaded.
+      expand_class(
+          rep, [&](PecReport&& t) { to_shard_result(std::move(t), false, out); },
+          [&](PecId m) {
+            to_shard_result(run_pec_core(m, true, false, upstream), false, out);
+          });
+      to_shard_result(std::move(rep), has_dependents, out);
+    }
+    return out;
+  }
+
+  /// One export subtask: explore a donated frontier half of `pec` under the
+  /// same options the donor ran, seeding the engine instead of starting at
+  /// the root. Eligible PECs have no upstream dependencies, so an empty
+  /// store suffices; sub-donations ride the same exporter.
+  sched::ShardPecResult run_export_subtask(PecId pec,
+                                           std::vector<StateSnapshot>&& snaps,
+                                           const sched::SplitExporter& exporter) {
+    // Dynamic work the static divisor never saw (mirrors expand_class).
+    scheduled_pecs.fetch_add(1, std::memory_order_relaxed);
+    OutcomeStore store(net_, pecs_);
+    ExportBinding eb;
+    eb.fn = make_export_fn(pec, exporter);
+    eb.seed = std::move(snaps);
+    std::vector<sched::ShardPecResult> out;
+    to_shard_result(run_pec_core(pec, true, false, store, &eb), false, out);
+    return std::move(out.front());
+  }
+
+  std::atomic<std::size_t> scheduled_pecs{0};
+  std::atomic<std::size_t> pecs_started{0};
+  std::atomic<std::uint64_t> dedup_reruns{0};
+
+ private:
+  [[nodiscard]] std::function<bool(std::vector<StateSnapshot>&&)>
+  make_export_fn(PecId pec, const sched::SplitExporter& exporter) const {
+    int exports_left = opts_.shard_export_max_per_pec > 0
+                           ? opts_.shard_export_max_per_pec
+                           : std::numeric_limits<int>::max();
+    // Engine contract: returning false leaves the offered vector intact so
+    // the engine re-injects it; the session-side exporter upholds the same
+    // contract on send failure. The counter is the worker-side per-run cap
+    // (the coordinator separately caps cumulative accepts per PEC).
+    return [&exporter, exports_left,
+            pec](std::vector<StateSnapshot>&& snaps) mutable {
+      if (exports_left <= 0) return false;
+      if (!exporter(pec, std::move(snaps))) return false;
+      --exports_left;
+      return true;
+    };
+  }
+
+  static void to_shard_result(PecReport&& pr, bool record,
+                              std::vector<sched::ShardPecResult>& out) {
+    sched::ShardPecResult r;
+    r.pec = pr.pec;
+    r.holds = pr.result.holds;
+    r.timed_out = pr.result.timed_out;
+    r.state_limit_hit = pr.result.state_limit_hit;
+    r.memory_limit_hit = pr.result.memory_limit_hit;
+    r.budget_tripped = pr.result.budget_tripped;
+    r.exhaustive = pr.result.exhaustive;
+    r.stats = pr.result.stats;
+    r.translated = pr.translated_from != kNoPec;
+    for (Violation& v : pr.result.violations) {
+      sched::ViolationMsg vm;
+      vm.pec = pr.pec;
+      vm.failed_links.assign(v.failures.ids().begin(), v.failures.ids().end());
+      vm.message = std::move(v.message);
+      vm.trail_text = std::move(v.trail_text);
+      r.violations.push_back(std::move(vm));
+    }
+    r.record = record;
+    out.push_back(std::move(r));
+  }
+
+  const Network& net_;
+  const PecSet& pecs_;
+  const PecDependencies& deps_;
+  const VerifyOptions& opts_;
+  const Policy& policy_;
+  const ShardPlan& plan_;
+  TruePolicy true_policy_;
+  const bool cross_deps_;
+  const bool has_wall_limit_;
+  const std::chrono::steady_clock::time_point wall_deadline_;
+  const bool has_budget_deadline_;
+  const std::chrono::steady_clock::time_point budget_deadline_;
+};
+
+/// Blocking full-frame write for the bootstrap handshake (MSG_NOSIGNAL: a
+/// coordinator gone mid-handshake is an EPIPE, not a dead worker daemon).
+bool send_all_blocking(int fd, const std::string& data) {
+  const char* p = data.data();
+  std::size_t n = data.size();
+  while (n > 0) {
+    const ssize_t w = send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -60,204 +553,16 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
   VerifyResult result;
   result.pecs_total = pecs_.pecs.size();
 
-  // Dependency closure: every upstream PEC must be run (for outcomes) before
-  // its dependents.
-  std::vector<std::uint8_t> needed(pecs_.pecs.size(), 0);
-  std::vector<std::uint8_t> is_target(pecs_.pecs.size(), 0);
-  std::vector<PecId> frontier = targets;
-  for (const PecId p : targets) is_target[p] = 1;
-  while (!frontier.empty()) {
-    const PecId p = frontier.back();
-    frontier.pop_back();
-    if (needed[p] != 0) continue;
-    needed[p] = 1;
-    for (const PecId q : deps_.depends_on[p]) frontier.push_back(q);
-  }
+  const ShardPlan plan =
+      build_shard_plan(net_, pecs_, deps_, policy, opts_, targets);
+  result.pec_classes = plan.pec_classes;
+  result.pecs_deduped = plan.pecs_deduped;
+  result.dedup_fingerprint_time = plan.dedup_fingerprint_time;
+  result.scc_count = plan.tasks.size();
+  result.unsupported_scc = plan.unsupported_scc;
+  const auto& is_target = plan.is_target;
 
-  // Batch PEC verification (eqclass/pec_dedup.hpp): group isomorphic target
-  // PECs and schedule one representative per class. Members are excluded
-  // from the task graph; their reports are produced when their
-  // representative finishes — translated on a clean hold, re-explored
-  // natively otherwise.
-  PecClassSet classes;
-  const bool dedup_on = opts_.pec_dedup;
-  if (dedup_on) {
-    classes = compute_pec_classes(net_, pecs_, deps_, policy, needed, is_target);
-    result.pec_classes = classes.stats.classes;
-    result.pecs_deduped = classes.stats.deduped;
-    result.dedup_fingerprint_time = classes.stats.fingerprint_time;
-  }
-  std::atomic<std::uint64_t> dedup_reruns{0};
-
-  // Build the SCC task graph restricted to needed PECs (minus class members,
-  // which ride on their representative's task).
-  std::vector<SccTask> tasks;
-  std::vector<std::int32_t> task_of_scc(deps_.sccs.size(), -1);
-  for (std::uint32_t s = 0; s < deps_.sccs.size(); ++s) {
-    std::vector<PecId> members;
-    bool target = false;
-    for (const PecId p : deps_.sccs[s]) {
-      if (needed[p] == 0) continue;
-      if (dedup_on && classes.is_translated_member(p)) continue;
-      members.push_back(p);
-      target = target || is_target[p] != 0;
-    }
-    if (members.empty()) continue;
-    task_of_scc[s] = static_cast<std::int32_t>(tasks.size());
-    SccTask t;
-    t.scc = s;
-    t.pecs = std::move(members);
-    t.is_target = target;
-    tasks.push_back(std::move(t));
-  }
-  result.scc_count = tasks.size();
-
-  sched::TaskGraph graph;
-  graph.dependents.resize(tasks.size());
-  graph.waiting_on.assign(tasks.size(), 0);
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    for (const std::uint32_t dep : deps_.scc_deps[tasks[i].scc]) {
-      const std::int32_t j = task_of_scc[dep];
-      if (j < 0) continue;  // dependency not needed => its pecs carry no info
-      ++graph.waiting_on[i];
-      graph.dependents[static_cast<std::size_t>(j)].push_back(i);
-    }
-    if (tasks[i].pecs.size() > 1) result.unsupported_scc = true;
-  }
-
-  TruePolicy true_policy;
-  const bool cross_deps = deps_.has_cross_pec_deps();
-
-  // Needed dependents per PEC (how many needed PECs will read its outcomes).
-  // The in-process path seeds its eviction atomics from this; the sharded
-  // path uses it directly (static — the coordinator owns eviction there).
-  std::vector<std::ptrdiff_t> needed_dependents(pecs_.pecs.size(), 0);
-  for (PecId p = 0; p < pecs_.pecs.size(); ++p) {
-    for (const PecId q : deps_.dependents[p]) {
-      if (needed[q] != 0) ++needed_dependents[p];
-    }
-  }
-
-  const bool has_wall_limit = opts_.wall_limit.count() > 0;
-  const auto wall_deadline = start + opts_.wall_limit;
-
-  // Budget deadline fair-sharing: the global deadline is split into per-PEC
-  // slices of remaining_time / remaining_unstarted_pecs, so one monster PEC
-  // trips its own slice instead of starving everything scheduled after it.
-  // `pecs_started` is exact in-process; in forked shard workers each sees
-  // only its own copy-on-write increments, which *under*-counts started PECs
-  // and therefore only makes slices more conservative — never unfair.
-  // `scheduled_pecs` is atomic because dedup member reruns are scheduled
-  // dynamically (expand_class bumps it per dispatched rerun) — without that,
-  // started can pass the static count and the final PEC's divisor collapses.
-  const bool has_budget_deadline = opts_.budget.deadline.count() > 0;
-  const auto budget_deadline = start + opts_.budget.deadline;
-  std::atomic<std::size_t> scheduled_pecs{0};
-  {
-    std::size_t statically_scheduled = 0;
-    for (const SccTask& t : tasks) statically_scheduled += t.pecs.size();
-    scheduled_pecs.store(statically_scheduled, std::memory_order_relaxed);
-  }
-  std::atomic<std::size_t> pecs_started{0};
-
-  // Shared per-PEC execution: the in-process scheduler body and the forked
-  // shard workers both run this. `has_dependents` is passed in because the
-  // two paths track it differently (runtime atomics vs the static count);
-  // recorded outcomes stay in the returned report for the caller to store
-  // or ship.
-  auto run_pec_core = [&](PecId pec_id, bool target, bool has_dependents,
-                          const OutcomeStore& store) -> PecReport {
-    const Pec& pec = pecs_.pecs[pec_id];
-    ExploreOptions eo = opts_.explore;
-    const bool has_deps = !deps_.depends_on[pec_id].empty();
-    eo.record_outcomes = has_dependents;
-    // §4.3: DEC-based failure choice only without cross-PEC dependencies
-    // (failure sets must coordinate exactly across PEC runs).
-    if (cross_deps && (has_deps || has_dependents)) eo.lec_failures = false;
-    // State/memory caps and the degradation opt-in apply per exploration;
-    // the deadline is replaced by this PEC's fair-share slice below.
-    eo.budget = opts_.budget;
-    eo.budget.deadline = std::chrono::milliseconds(0);
-    const auto deadline_exhausted = [&]() {
-      PecReport rep;
-      rep.pec = pec_id;
-      rep.pec_str = pec.str();
-      rep.result.timed_out = true;
-      rep.result.budget_tripped = BudgetKind::kDeadline;
-      return rep;
-    };
-    if (has_wall_limit) {
-      const auto now = std::chrono::steady_clock::now();
-      const auto remaining =
-          std::chrono::duration_cast<std::chrono::milliseconds>(wall_deadline - now);
-      if (remaining.count() <= 0) return deadline_exhausted();
-      if (eo.time_limit.count() == 0 || remaining < eo.time_limit) {
-        eo.time_limit = remaining;
-      }
-    }
-    if (has_budget_deadline) {
-      const std::size_t started =
-          pecs_started.fetch_add(1, std::memory_order_relaxed);
-      const auto now = std::chrono::steady_clock::now();
-      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
-          budget_deadline - now);
-      if (remaining.count() <= 0) return deadline_exhausted();
-      eo.budget.deadline = fair_share_slice(
-          remaining, scheduled_pecs.load(std::memory_order_relaxed), started);
-    }
-    StoreProvider provider(store, deps_.depends_on[pec_id], has_dependents);
-    Explorer explorer(net_, pec, make_tasks(net_, pec),
-                      target ? policy : static_cast<const Policy&>(true_policy), eo,
-                      &provider);
-    PecReport rep;
-    rep.pec = pec_id;
-    rep.pec_str = pec.str();
-    rep.result = explorer.run();
-    return rep;
-  };
-
-  // Class tail of a finished representative run (both execution paths call
-  // this right after run_pec_core on a representative). A clean hold
-  // transfers to every member — the validated isomorphism guarantees the
-  // members' exploration state graphs are isomorphic to the
-  // representative's. Any non-clean result (violation, timeout, state cap)
-  // re-explores the members natively so that reported trails are the
-  // members' own, bit-identical to a dedup-off run; under early stop a
-  // violated representative already decides the verdict and the members are
-  // skipped like any other unscheduled task. `rerun` dispatches one
-  // member's native re-exploration: the sharded worker runs it inline, the
-  // in-process path spawns it as a dynamic subtask so idle workers pick
-  // members up in parallel (what dedup-off parallelism would have done).
-  auto expand_class = [&](const PecReport& rep, auto&& emit, auto&& rerun) {
-    if (!dedup_on) return;
-    const auto& members = classes.members_of[rep.pec];
-    if (members.empty()) return;
-    const bool clean = rep.result.holds && !rep.result.timed_out &&
-                       !rep.result.state_limit_hit &&
-                       !rep.result.memory_limit_hit &&
-                       rep.result.budget_tripped == BudgetKind::kNone &&
-                       rep.result.exhaustive && rep.result.violations.empty();
-    if (clean) {
-      for (const PecId m : members) {
-        PecReport t;
-        t.pec = m;
-        t.pec_str = pecs_.pecs[m].str();
-        t.translated_from = rep.pec;
-        t.result.holds = true;
-        t.result.stats = rep.result.stats;
-        emit(std::move(t));
-      }
-      return;
-    }
-    if (!rep.result.holds && !opts_.explore.find_all_violations) return;
-    for (const PecId m : members) {
-      dedup_reruns.fetch_add(1, std::memory_order_relaxed);
-      // Reruns are scheduled work the static count never saw; register them
-      // before dispatch so the fair-share divisor stays ahead of started.
-      scheduled_pecs.fetch_add(1, std::memory_order_relaxed);
-      rerun(m);
-    }
-  };
+  ShardExecution ctx(net_, pecs_, deps_, opts_, policy, plan, start);
 
   // Folds one per-PEC report into the aggregate result — the single
   // definition both execution paths use, so the sharded and in-process
@@ -305,37 +610,15 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
   };
 
   // ---- multi-process sharding (sched/shard.hpp) ---------------------------
-  // The coordinator forks workers, streams upstream outcomes to them in the
-  // OutcomeStore wire format, and merges their verdicts. Exploration is
-  // deterministic per PEC, so the merged result is bit-identical to the
-  // in-process run at any shard count. Returns false only on a
-  // coordinator-level failure (fork exhaustion, poisoned task), in which
-  // case the in-process path below recovers the verdict.
+  // The coordinator spawns workers through a transport (fork children by
+  // default, TCP-bootstrapped plankton_worker processes on request), streams
+  // upstream outcomes to them in the OutcomeStore wire format, and merges
+  // their verdicts. Exploration is deterministic per PEC, so the merged
+  // result is bit-identical to the in-process run at any shard count (with
+  // split export off). Returns false only on a coordinator-level failure
+  // (fork exhaustion, poisoned task), in which case the in-process path
+  // below recovers the verdict.
   auto try_sharded = [&]() -> bool {
-    std::vector<sched::ShardTaskSpec> specs(tasks.size());
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      specs[i].pecs = tasks[i].pecs;
-      if (dedup_on) {
-        // Ship class membership with the task: the worker produces the
-        // members' reports (translated or natively re-run) itself, so only
-        // results ever cross the wire.
-        specs[i].class_members.resize(tasks[i].pecs.size());
-        for (std::size_t mi = 0; mi < tasks[i].pecs.size(); ++mi) {
-          specs[i].class_members[mi] = classes.members_of[tasks[i].pecs[mi]];
-        }
-      }
-      for (const PecId p : tasks[i].pecs) {
-        for (const PecId d : deps_.depends_on[p]) {
-          if (needed[d] == 0) continue;  // outside the closure: never read
-          const auto& mates = tasks[i].pecs;
-          if (std::find(mates.begin(), mates.end(), d) != mates.end()) continue;
-          if (std::find(specs[i].deps.begin(), specs[i].deps.end(), d) ==
-              specs[i].deps.end()) {
-            specs[i].deps.push_back(d);
-          }
-        }
-      }
-    }
     sched::ShardRunOptions so;
     so.shards = std::max(1, opts_.shards);
     so.stop_on_violation = !opts_.explore.find_all_violations;
@@ -345,71 +628,102 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
     so.soft_deadline_ms = opts_.shard_soft_deadline_ms;
     so.hard_deadline_ms = opts_.shard_hard_deadline_ms;
     so.fault_plan = opts_.shard_fault_plan;
+    so.split_export = opts_.shard_split_export;
+    so.export_max_per_pec = opts_.shard_export_max_per_pec;
 
-    // Runs in the forked worker. The in-process path reads its eviction
-    // atomics to decide has_dependents; the only decrements that can have
-    // landed when a PEC starts come from already-finished mates of the same
-    // (cyclic) SCC task — every outside dependent is scheduled strictly
-    // after this task completes. Replaying those mate decrements over the
-    // static counts reproduces the runtime value exactly.
     const auto body = [&](std::size_t task_idx, OutcomeStore& upstream)
         -> std::vector<sched::ShardPecResult> {
-      std::vector<sched::ShardPecResult> out;
-      const SccTask& task = tasks[task_idx];
-      for (std::size_t mi = 0; mi < task.pecs.size(); ++mi) {
-        const PecId p = task.pecs[mi];
-        const bool target = task.is_target && is_target[p] != 0;
-        std::ptrdiff_t pending = needed_dependents[p];
-        for (std::size_t mj = 0; mj < mi; ++mj) {
-          const auto& mate_deps = deps_.depends_on[task.pecs[mj]];
-          if (std::find(mate_deps.begin(), mate_deps.end(), p) !=
-              mate_deps.end()) {
-            --pending;
-          }
-        }
-        const bool has_dependents = pending > 0;
-        PecReport rep = run_pec_core(p, target, has_dependents, upstream);
-        // Publish into the worker-local store like the in-process run_pec
-        // does: later mates of a cyclic SCC resolve against them there, and
-        // the worker ships the same single copy back when `record` is set.
-        if (has_dependents) upstream.put(p, std::move(rep.result.outcomes));
-        auto to_shard_result = [&out](PecReport&& pr, bool record) {
-          sched::ShardPecResult r;
-          r.pec = pr.pec;
-          r.holds = pr.result.holds;
-          r.timed_out = pr.result.timed_out;
-          r.state_limit_hit = pr.result.state_limit_hit;
-          r.memory_limit_hit = pr.result.memory_limit_hit;
-          r.budget_tripped = pr.result.budget_tripped;
-          r.exhaustive = pr.result.exhaustive;
-          r.stats = pr.result.stats;
-          r.translated = pr.translated_from != kNoPec;
-          for (Violation& v : pr.result.violations) {
-            sched::ViolationMsg vm;
-            vm.pec = pr.pec;
-            vm.failed_links.assign(v.failures.ids().begin(),
-                                   v.failures.ids().end());
-            vm.message = std::move(v.message);
-            vm.trail_text = std::move(v.trail_text);
-            r.violations.push_back(std::move(vm));
-          }
-          r.record = record;
-          out.push_back(std::move(r));
-        };
-        // Class tail before the representative's violations are moved out.
-        // Members re-run inline: the worker process is single-threaded.
-        expand_class(
-            rep, [&](PecReport&& t) { to_shard_result(std::move(t), false); },
-            [&](PecId m) {
-              to_shard_result(run_pec_core(m, true, false, upstream), false);
-            });
-        to_shard_result(std::move(rep), has_dependents);
-      }
-      return out;
+      const sched::SplitExporter no_export =
+          [](PecId, std::vector<StateSnapshot>&&) { return false; };
+      return ctx.run_worker_task(task_idx, upstream, no_export);
+    };
+    sched::ShardExportHooks hooks;
+    hooks.run_task = [&](std::size_t task_idx, OutcomeStore& upstream,
+                         const sched::SplitExporter& exporter) {
+      return ctx.run_worker_task(task_idx, upstream, exporter);
+    };
+    hooks.run_subtask = [&](PecId pec, std::vector<StateSnapshot>&& snaps,
+                            const sched::SplitExporter& exporter) {
+      return ctx.run_export_subtask(pec, std::move(snaps), exporter);
     };
 
-    sched::ShardRunResult rr =
-        sched::run_sharded_task_graph(net_, pecs_, so, graph, specs, body);
+    // TCP transport: ship the plan as a bootstrap blob. Falls back to fork
+    // when the policy cannot be rendered into the make_policy grammar —
+    // remote workers rebuild the policy from its spec line, so a spec-less
+    // policy cannot travel.
+    std::unique_ptr<sched::TcpWorkerTransport> tcp;
+    if (opts_.shard_transport == ShardTransportKind::kTcp) {
+      const std::string policy_spec = policy.spec(net_);
+      if (opts_.shard_workers.empty()) {
+        std::fprintf(stderr,
+                     "plankton: tcp shard transport needs worker addresses; "
+                     "using fork transport\n");
+      } else if (policy_spec.empty()) {
+        std::fprintf(stderr,
+                     "plankton: policy '%s' has no spec form for tcp "
+                     "bootstrap; using fork transport\n",
+                     policy.name().c_str());
+      } else {
+        serve::BootstrapMsg bm;
+        bm.config_text = serve::render_config(net_);
+        bm.policy_spec = policy_spec;
+        bm.targets.assign(targets.begin(), targets.end());
+        bm.pec_dedup = opts_.pec_dedup ? 1 : 0;
+        bm.stop_on_violation = so.stop_on_violation ? 1 : 0;
+        const ExploreOptions& eo = opts_.explore;
+        bm.max_failures = eo.max_failures;
+        bm.consistent_only = eo.consistent_only ? 1 : 0;
+        bm.deterministic_nodes = eo.deterministic_nodes ? 1 : 0;
+        bm.det_nodes_bgp = eo.det_nodes_bgp ? 1 : 0;
+        bm.decision_independence = eo.decision_independence ? 1 : 0;
+        bm.lec_failures = eo.lec_failures ? 1 : 0;
+        bm.policy_pruning = eo.policy_pruning ? 1 : 0;
+        bm.suppress_equivalent = eo.suppress_equivalent ? 1 : 0;
+        bm.merge_updates = eo.merge_updates ? 1 : 0;
+        bm.ad_cache = eo.ad_cache ? 1 : 0;
+        bm.por = eo.por ? 1 : 0;
+        bm.incremental_expand = eo.incremental_expand ? 1 : 0;
+        bm.find_all_violations = eo.find_all_violations ? 1 : 0;
+        bm.simulation = eo.simulation ? 1 : 0;
+        bm.visited = static_cast<std::uint8_t>(eo.visited);
+        bm.bloom_bits = eo.bloom_bits;
+        bm.max_states = eo.max_states;
+        bm.time_limit_ms = eo.time_limit.count();
+        bm.budget_max_states = opts_.budget.max_states;
+        bm.budget_max_bytes = opts_.budget.max_bytes;
+        bm.budget_degrade_visited = opts_.budget.degrade_visited ? 1 : 0;
+        const auto remaining_ms = [&](std::chrono::steady_clock::time_point
+                                          deadline) -> std::int64_t {
+          const auto rem = std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now());
+          return std::max<std::int64_t>(1, rem.count());
+        };
+        if (opts_.budget.deadline.count() > 0) {
+          bm.budget_deadline_ms = remaining_ms(start + opts_.budget.deadline);
+        }
+        if (opts_.wall_limit.count() > 0) {
+          bm.wall_remaining_ms = remaining_ms(start + opts_.wall_limit);
+        }
+        bm.engine_kind = static_cast<std::uint8_t>(eo.engine_kind);
+        bm.engine_seed = eo.engine_seed;
+        bm.engine_split_every = eo.engine_split_every;
+        bm.engine_restart_policy =
+            static_cast<std::uint8_t>(eo.engine_restart_policy);
+        bm.heartbeat_interval_ms = so.heartbeat_interval_ms;
+        bm.max_frame_payload = so.max_frame_payload;
+        bm.split_export = opts_.shard_split_export ? 1 : 0;
+        bm.export_check_every = opts_.shard_export_check_every;
+        bm.export_min_frontier = opts_.shard_export_min_frontier;
+        bm.export_max_per_run = opts_.shard_export_max_per_pec;
+        tcp = std::make_unique<sched::TcpWorkerTransport>(
+            opts_.shard_workers, serve::encode_bootstrap(bm),
+            shard_plan_hash(plan, pecs_.pecs.size()),
+            opts_.shard_connect_timeout_ms);
+      }
+    }
+
+    sched::ShardRunResult rr = sched::run_sharded_task_graph(
+        net_, pecs_, so, plan.graph, plan.specs, body, tcp.get(), &hooks);
     if (!rr.ok) {
       std::fprintf(stderr,
                    "plankton: sharded run failed (%s); retrying in-process\n",
@@ -423,8 +737,8 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
       rep.pec = sr.pec;
       rep.pec_str = pecs_.pecs[sr.pec].str();
       if (sr.translated) {
-        rep.translated_from = classes.rep_of[sr.pec];
-      } else if (dedup_on && classes.is_translated_member(sr.pec)) {
+        rep.translated_from = plan.classes.rep_of[sr.pec];
+      } else if (plan.dedup_on && plan.classes.is_translated_member(sr.pec)) {
         ++result.dedup_reruns;  // member explored natively in the worker
       }
       rep.result.holds = sr.holds;
@@ -468,7 +782,8 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
   auto pending_dependents =
       std::make_unique<std::atomic<std::ptrdiff_t>[]>(pecs_.pecs.size());
   for (PecId p = 0; p < pecs_.pecs.size(); ++p) {
-    pending_dependents[p].store(needed_dependents[p], std::memory_order_relaxed);
+    pending_dependents[p].store(plan.needed_dependents[p],
+                                std::memory_order_relaxed);
   }
 
   std::atomic<bool> stop{false};
@@ -481,7 +796,7 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
     // longer read). Dependents outside the needed closure never read.
     const bool has_dependents =
         pending_dependents[pec_id].load(std::memory_order_acquire) > 0;
-    PecReport rep = run_pec_core(pec_id, target, has_dependents, store);
+    PecReport rep = ctx.run_pec_core(pec_id, target, has_dependents, store);
     if (has_dependents) store.put(pec_id, std::move(rep.result.outcomes));
     rep.result.outcomes.clear();
     return rep;
@@ -507,8 +822,8 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
   std::vector<WorkerBuffer> buffers(static_cast<std::size_t>(threads));
 
   sched::run_task_graph(
-      opts_.scheduler, threads, graph, [&](sched::TaskContext& tc) {
-        const SccTask& task = tasks[tc.task()];
+      opts_.scheduler, threads, plan.graph, [&](sched::TaskContext& tc) {
+        const SccTask& task = plan.tasks[tc.task()];
         if (stop.load(std::memory_order_relaxed)) return;
         // SCCs are verified as one unit; our prototype runs multi-PEC SCCs
         // sequentially (the paper expects them to "almost never" occur).
@@ -519,7 +834,7 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
             stop.store(true, std::memory_order_relaxed);
           }
           auto& buf = buffers[static_cast<std::size_t>(tc.worker())].reports;
-          expand_class(
+          ctx.expand_class(
               rep, [&](PecReport&& t) { buf.push_back(std::move(t)); },
               [&](PecId m) {
                 // Fallback members become dynamic subtasks: they land on
@@ -529,7 +844,8 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
                 tc.spawn([&, m](sched::TaskContext& sub) {
                   // Verdict folding happens in merge_report after the join.
                   buffers[static_cast<std::size_t>(sub.worker())]
-                      .reports.push_back(run_pec_core(m, true, false, store));
+                      .reports.push_back(
+                          ctx.run_pec_core(m, true, false, store));
                 });
               });
           buf.push_back(std::move(rep));
@@ -539,12 +855,160 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
   for (auto& buf : buffers) {
     for (auto& rep : buf.reports) merge_report(std::move(rep));
   }
-  result.dedup_reruns = dedup_reruns.load(std::memory_order_relaxed);
+  result.dedup_reruns = ctx.dedup_reruns.load(std::memory_order_relaxed);
 
   std::sort(result.reports.begin(), result.reports.end(),
             [](const PecReport& x, const PecReport& y) { return x.pec < y.pec; });
   finalize_verdict();
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Remote shard worker (plankton_worker)
+// ---------------------------------------------------------------------------
+
+int serve_shard_worker_session(int fd) {
+  // A coordinator that dies mid-handshake must surface as EPIPE on this
+  // worker, never SIGPIPE (the accept loop serves the next coordinator).
+  ::signal(SIGPIPE, SIG_IGN);
+
+  sched::FrameDecoder decoder;
+  sched::Frame frame;
+  char buf[1 << 16];
+  for (;;) {
+    const auto st = decoder.next(frame);
+    if (st == sched::FrameDecoder::Status::kFrame) break;
+    if (st == sched::FrameDecoder::Status::kError) return 3;
+    const ssize_t r = read(fd, buf, sizeof buf);
+    if (r > 0) {
+      decoder.feed(buf, static_cast<std::size_t>(r));
+    } else if (r == 0) {
+      return 0;  // dialed and hung up before bootstrapping: not an error
+    } else if (errno != EINTR) {
+      return 2;
+    }
+  }
+  const auto nack = [fd](std::string why) {
+    std::fprintf(stderr, "plankton_worker: bootstrap refused: %s\n",
+                 why.c_str());
+    sched::BootstrapAckMsg ack;
+    ack.ok = 0;
+    ack.error = std::move(why);
+    std::string out;
+    sched::encode_frame(out, sched::MsgType::kBootstrapAck,
+                        sched::encode_bootstrap_ack(ack));
+    (void)send_all_blocking(fd, out);
+    return 3;
+  };
+  if (frame.type != sched::MsgType::kBootstrap) {
+    return nack("expected kBootstrap as the first frame");
+  }
+  serve::BootstrapMsg bm;
+  if (!serve::decode_bootstrap(frame.payload, bm)) {
+    return nack("malformed bootstrap payload");
+  }
+  // Nothing may pipeline past the bootstrap: the coordinator sends its first
+  // task only after the ack.
+  if (decoder.buffered() != 0) return nack("data pipelined past bootstrap");
+
+  ParsedNetwork pn;
+  std::string err;
+  if (!parse_network_config(bm.config_text, pn, err)) {
+    return nack("config: " + err);
+  }
+
+  VerifyOptions vo;
+  ExploreOptions& eo = vo.explore;
+  eo.max_failures = bm.max_failures;
+  eo.consistent_only = bm.consistent_only != 0;
+  eo.deterministic_nodes = bm.deterministic_nodes != 0;
+  eo.det_nodes_bgp = bm.det_nodes_bgp != 0;
+  eo.decision_independence = bm.decision_independence != 0;
+  eo.lec_failures = bm.lec_failures != 0;
+  eo.policy_pruning = bm.policy_pruning != 0;
+  eo.suppress_equivalent = bm.suppress_equivalent != 0;
+  eo.merge_updates = bm.merge_updates != 0;
+  eo.ad_cache = bm.ad_cache != 0;
+  eo.por = bm.por != 0;
+  eo.incremental_expand = bm.incremental_expand != 0;
+  eo.find_all_violations = bm.find_all_violations != 0;
+  eo.simulation = bm.simulation != 0;
+  eo.visited = static_cast<VisitedKind>(bm.visited);
+  eo.bloom_bits = bm.bloom_bits;
+  eo.max_states = bm.max_states;
+  eo.time_limit = std::chrono::milliseconds(bm.time_limit_ms);
+  eo.engine_kind = static_cast<SearchEngineKind>(bm.engine_kind);
+  eo.engine_seed = bm.engine_seed;
+  eo.engine_split_every = bm.engine_split_every;
+  eo.engine_restart_policy =
+      static_cast<RestartPolicy>(bm.engine_restart_policy);
+  vo.pec_dedup = bm.pec_dedup != 0;
+  vo.budget.max_states = bm.budget_max_states;
+  vo.budget.max_bytes = bm.budget_max_bytes;
+  vo.budget.degrade_visited = bm.budget_degrade_visited != 0;
+  vo.budget.deadline = std::chrono::milliseconds(bm.budget_deadline_ms);
+  vo.wall_limit = std::chrono::milliseconds(bm.wall_remaining_ms);
+  vo.shard_split_export = bm.split_export != 0;
+  vo.shard_export_check_every = bm.export_check_every;
+  vo.shard_export_min_frontier = bm.export_min_frontier;
+  vo.shard_export_max_per_pec = bm.export_max_per_run;
+
+  Verifier verifier(pn.net, vo);
+  const std::unique_ptr<Policy> policy =
+      serve::make_policy(pn.net, bm.policy_spec, err);
+  if (policy == nullptr) return nack("policy: " + err);
+
+  std::vector<PecId> targets;
+  targets.reserve(bm.targets.size());
+  for (const std::uint32_t t : bm.targets) {
+    if (t >= verifier.pecs().pecs.size()) {
+      return nack("target pec " + std::to_string(t) +
+                  " out of range (network reconstruction diverged?)");
+    }
+    targets.push_back(t);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const ShardPlan plan = build_shard_plan(pn.net, verifier.pecs(),
+                                          verifier.deps(), *policy, vo,
+                                          targets);
+  ShardExecution ctx(pn.net, verifier.pecs(), verifier.deps(), vo, *policy,
+                     plan, start);
+
+  sched::BootstrapAckMsg ack;
+  ack.ok = 1;
+  ack.plan_hash = shard_plan_hash(plan, verifier.pecs().pecs.size());
+  std::string out;
+  sched::encode_frame(out, sched::MsgType::kBootstrapAck,
+                      sched::encode_bootstrap_ack(ack));
+  if (!send_all_blocking(fd, out)) return 2;
+
+  sched::ShardRunOptions so;
+  so.stop_on_violation = bm.stop_on_violation != 0;
+  so.heartbeat_interval_ms = bm.heartbeat_interval_ms;
+  if (bm.max_frame_payload != 0) so.max_frame_payload = bm.max_frame_payload;
+  so.split_export = bm.split_export != 0;
+  so.export_max_per_pec = bm.export_max_per_run;
+
+  const auto body = [&](std::size_t task_idx, OutcomeStore& upstream)
+      -> std::vector<sched::ShardPecResult> {
+    const sched::SplitExporter no_export =
+        [](PecId, std::vector<StateSnapshot>&&) { return false; };
+    return ctx.run_worker_task(task_idx, upstream, no_export);
+  };
+  sched::ShardExportHooks hooks;
+  hooks.run_task = [&](std::size_t task_idx, OutcomeStore& upstream,
+                       const sched::SplitExporter& exporter) {
+    return ctx.run_worker_task(task_idx, upstream, exporter);
+  };
+  hooks.run_subtask = [&](PecId pec, std::vector<StateSnapshot>&& snaps,
+                          const sched::SplitExporter& exporter) {
+    return ctx.run_export_subtask(pec, std::move(snaps), exporter);
+  };
+
+  return sched::run_worker_session(fd, /*slot=*/0, /*generation=*/1, pn.net,
+                                   verifier.pecs(), plan.tasks.size(), so,
+                                   body, &hooks);
 }
 
 }  // namespace plankton

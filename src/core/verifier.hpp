@@ -25,6 +25,13 @@
 
 namespace plankton {
 
+/// How the shard coordinator reaches its workers (VerifyOptions below).
+enum class ShardTransportKind : std::uint8_t {
+  kFork = 0,  ///< fork + socketpair children (default; plan shared by COW)
+  kTcp = 1,   ///< pre-started plankton_worker processes, plan shipped as a
+              ///< kBootstrap blob (requires a policy with a spec() form)
+};
+
 struct VerifyOptions {
   ExploreOptions explore;
   int cores = 1;                             ///< worker threads for PEC runs
@@ -70,6 +77,26 @@ struct VerifyOptions {
   // crash-recovery suite kills workers mid-task through these).
   std::function<void(int shard, pid_t pid, std::size_t task)> shard_test_on_assign;
   int shard_test_worker_delay_ms = 0;
+
+  /// Worker transport for the shard coordinator. kTcp connects worker slot s
+  /// to shard_workers[s % n] ("host:port" plankton_worker listeners) and
+  /// bootstraps each from a rendered-config + policy-spec blob; it falls
+  /// back to fork (with a stderr note) when the policy has no spec() form.
+  ShardTransportKind shard_transport = ShardTransportKind::kFork;
+  std::vector<std::string> shard_workers;
+  int shard_connect_timeout_ms = 5000;
+
+  /// Intra-PEC work export: workers on export-eligible tasks (single PEC, no
+  /// deps/dependents/class members, max_failures == 0, a frontier engine)
+  /// periodically split half their pending frontier back to the coordinator
+  /// for re-dispatch to idle workers as dynamic subtasks. Verdicts and the
+  /// deduplicated violation set are preserved; state counts are not
+  /// bit-identical (subtasks re-visit states the donor also reaches), which
+  /// is why this is off by default.
+  bool shard_split_export = false;
+  std::uint32_t shard_export_check_every = 2048;  ///< offer cadence (pops)
+  std::size_t shard_export_min_frontier = 16;     ///< don't split tiny frontiers
+  int shard_export_max_per_pec = 64;              ///< coordinator arming cap
 };
 
 struct PecReport {
@@ -146,5 +173,14 @@ class Verifier {
   PecSet pecs_;
   PecDependencies deps_;
 };
+
+/// Serves one shard-coordinator connection on an established socket (the
+/// plankton_worker accept loop calls this per connection): reads the
+/// kBootstrap frame, reconstructs network/policy/plan from it, answers
+/// kBootstrapAck carrying the plan hash, then runs the ordinary shard worker
+/// session until kShutdown/EOF. Returns the run_worker_session exit code
+/// (0 orderly, 2 transport error, 3 protocol/bootstrap error, 4 body
+/// exception); the caller keeps accepting either way.
+int serve_shard_worker_session(int fd);
 
 }  // namespace plankton

@@ -163,4 +163,49 @@ bool PathConsistencyPolicy::check(const ConvergedView& view, std::string& why) c
   return true;
 }
 
+// -- make_policy spec rendering ----------------------------------------------
+// These must stay in lockstep with the serve-layer grammar: a remote shard
+// worker rebuilds the policy by feeding this string back through make_policy,
+// and a drifting renderer silently verifies a different property.
+
+namespace {
+
+void append_names(std::string& out, const Network& net,
+                  std::span<const NodeId> nodes) {
+  for (const NodeId n : nodes) {
+    out += ' ';
+    out += net.topo.name(n);
+  }
+}
+
+}  // namespace
+
+std::string ReachabilityPolicy::spec(const Network& net) const {
+  std::string out = "reach";
+  append_names(out, net, sources_);
+  return out;
+}
+
+std::string WaypointPolicy::spec(const Network& net) const {
+  if (waypoints_.size() != 1) return "";
+  std::string out = "waypoint ";
+  out += net.topo.name(waypoints_.front());
+  append_names(out, net, sources_);
+  return out;
+}
+
+std::string LoopFreedomPolicy::spec(const Network&) const { return "loop"; }
+
+std::string BlackholeFreedomPolicy::spec(const Network& net) const {
+  std::string out = "blackhole";
+  append_names(out, net, sources_);
+  return out;
+}
+
+std::string BoundedPathLengthPolicy::spec(const Network& net) const {
+  std::string out = "bounded " + std::to_string(limit_);
+  append_names(out, net, sources_);
+  return out;
+}
+
 }  // namespace plankton

@@ -49,6 +49,15 @@ class Policy {
   /// converged-state suppression. Policies that inspect control-plane
   /// attributes (e.g. Path Consistency) must return false.
   [[nodiscard]] virtual bool supports_equivalence() const { return true; }
+
+  /// The policy rendered in the serve-layer `make_policy` grammar ("reach
+  /// <node>...", "loop", ...), so a remote shard worker can rebuild it from
+  /// the bootstrap blob. Empty = the policy has no spec form; cluster
+  /// transports fall back to fork for such policies.
+  [[nodiscard]] virtual std::string spec(const Network& net) const {
+    (void)net;
+    return "";
+  }
 };
 
 /// All sources must deliver on every forwarding branch.
@@ -58,6 +67,7 @@ class ReachabilityPolicy final : public Policy {
   [[nodiscard]] std::string name() const override { return "reachability"; }
   [[nodiscard]] std::span<const NodeId> sources() const override { return sources_; }
   [[nodiscard]] bool check(const ConvergedView& view, std::string& why) const override;
+  [[nodiscard]] std::string spec(const Network& net) const override;
 
  private:
   std::vector<NodeId> sources_;
@@ -72,6 +82,9 @@ class WaypointPolicy final : public Policy {
   [[nodiscard]] std::span<const NodeId> sources() const override { return sources_; }
   [[nodiscard]] std::span<const NodeId> interesting() const override { return waypoints_; }
   [[nodiscard]] bool check(const ConvergedView& view, std::string& why) const override;
+  /// Only the single-waypoint form exists in the grammar; multi-waypoint
+  /// policies return "" (fork-only).
+  [[nodiscard]] std::string spec(const Network& net) const override;
 
  private:
   std::vector<NodeId> sources_;
@@ -84,6 +97,7 @@ class LoopFreedomPolicy final : public Policy {
  public:
   [[nodiscard]] std::string name() const override { return "loop-freedom"; }
   [[nodiscard]] bool check(const ConvergedView& view, std::string& why) const override;
+  [[nodiscard]] std::string spec(const Network& net) const override;
 };
 
 /// No source's traffic may hit a drop entry.
@@ -93,6 +107,7 @@ class BlackholeFreedomPolicy final : public Policy {
   [[nodiscard]] std::string name() const override { return "blackhole-freedom"; }
   [[nodiscard]] std::span<const NodeId> sources() const override { return sources_; }
   [[nodiscard]] bool check(const ConvergedView& view, std::string& why) const override;
+  [[nodiscard]] std::string spec(const Network& net) const override;
 
  private:
   std::vector<NodeId> sources_;
@@ -105,6 +120,7 @@ class BoundedPathLengthPolicy final : public Policy {
   [[nodiscard]] std::string name() const override { return "bounded-path-length"; }
   [[nodiscard]] std::span<const NodeId> sources() const override { return sources_; }
   [[nodiscard]] bool check(const ConvergedView& view, std::string& why) const override;
+  [[nodiscard]] std::string spec(const Network& net) const override;
 
  private:
   std::vector<NodeId> sources_;

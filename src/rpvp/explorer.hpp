@@ -123,6 +123,18 @@ struct ExploreOptions {
   /// the original every-N-pops behavior.
   RestartPolicy engine_restart_policy = RestartPolicy::kLuby;
 
+  // Intra-PEC work export (SearchEngineConfig's export block; the sink is
+  // bound by the shard worker — see sched::ShardExportHooks). Only sound
+  // for single-phase explorations: the verifier arms these exclusively when
+  // max_failures == 0 and the PEC has no upstream choice, so the outermost
+  // engine invocation is the entire search.
+  std::function<bool(std::vector<StateSnapshot>&&)> engine_export_fn;
+  std::uint32_t engine_export_check_every = 0;  ///< 0 disables export offers
+  std::size_t engine_export_min_frontier = 8;
+  /// Receiving side of an export: seed the outermost frontier from these
+  /// snapshots instead of the phase root.
+  std::vector<StateSnapshot> engine_seed_frontier;
+
   [[nodiscard]] SearchEngineKind engine() const {
     return simulation ? SearchEngineKind::kSingleExecution : engine_kind;
   }
@@ -132,6 +144,10 @@ struct ExploreOptions {
     c.seed = engine_seed;
     c.split_every = engine_split_every;
     c.restart_policy = engine_restart_policy;
+    c.export_fn = engine_export_fn;
+    c.export_check_every = engine_export_check_every;
+    c.export_min_frontier = engine_export_min_frontier;
+    c.seed_frontier = engine_seed_frontier;
     return c;
   }
 
@@ -244,6 +260,8 @@ class Explorer final : public SearchModel {
                                               const SearchMove& m) const override {
     return codec_.preview_key(task_idx, m.node, rib_[task_idx][m.node], m.route);
   }
+  void export_snapshot(StateSnapshot& s) override;
+  [[nodiscard]] bool import_snapshot(StateSnapshot& s) override;
   [[nodiscard]] std::size_t por_words() const override;
   void por_attach_sleep(const std::uint64_t* sleep) override;
   void por_child_sleep(std::size_t task_idx, const SearchMove& m,

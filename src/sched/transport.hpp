@@ -1,0 +1,77 @@
+// Worker transports for the shard coordinator (ROADMAP "cluster-scale
+// sharding"): how run_sharded_task_graph obtains, stops, and reaps worker
+// connections. The protocol on the wire is identical for every transport —
+// the same PKS1 frames, the same supervision ladder, the same crash
+// recovery — so the coordinator is transport-agnostic past start().
+//
+//   fork (default, internal to shard.cpp)   children inherit the plan by
+//                                           copy-on-write; only results
+//                                           cross the socketpair
+//   tcp (TcpWorkerTransport)                workers are pre-started
+//                                           plankton_worker processes, on
+//                                           this or other hosts, that
+//                                           reconstruct the plan from a
+//                                           kBootstrap blob (serve/serve.hpp
+//                                           codec) and prove it with a plan
+//                                           hash in kBootstrapAck
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/shard.hpp"
+
+namespace plankton::sched {
+
+class WorkerTransport {
+ public:
+  virtual ~WorkerTransport() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Establishes the worker for `slot` (its generation-th incarnation,
+  /// counting respawns) and returns a connected stream fd, or -1 on failure
+  /// — the coordinator's respawn backoff paces the retries. `pid` reports
+  /// the local process id when the transport spawned one, -1 otherwise.
+  virtual int start(std::size_t slot, int generation, pid_t& pid) = 0;
+
+  /// Forcefully stops a worker the coordinator gave up on (hang kill,
+  /// poisoned stream), before its fd is closed. Local transports SIGKILL;
+  /// remote workers notice the close instead and recycle the session.
+  virtual void terminate(std::size_t slot, pid_t pid) = 0;
+
+  /// Disposes of the stopped worker after its fd was closed (waitpid for
+  /// local processes; nothing to do remotely).
+  virtual void reap(std::size_t slot, pid_t pid) = 0;
+};
+
+/// Remote workers over TCP. Slot s connects to addresses[s % n] (each
+/// "host:port", typically one per plankton_worker process), ships the
+/// kBootstrap blob, and blocks for a kBootstrapAck whose plan hash matches
+/// `expected_plan_hash` — a worker that reconstructed a diverging plan would
+/// silently verify the wrong PECs, so it is refused like a connect failure.
+/// A respawn is simply a reconnect: while the remote process is down start()
+/// fails fast and surviving workers absorb the reassigned tasks; once it is
+/// back (plankton_worker serves sessions in an accept loop) the slot refills.
+class TcpWorkerTransport final : public WorkerTransport {
+ public:
+  TcpWorkerTransport(std::vector<std::string> addresses,
+                     std::string bootstrap_payload,
+                     std::uint64_t expected_plan_hash,
+                     int connect_timeout_ms = 5000);
+
+  [[nodiscard]] const char* name() const override { return "tcp"; }
+  int start(std::size_t slot, int generation, pid_t& pid) override;
+  void terminate(std::size_t, pid_t) override {}
+  void reap(std::size_t, pid_t) override {}
+
+ private:
+  std::vector<std::string> addrs_;
+  std::string bootstrap_payload_;
+  std::uint64_t expected_plan_hash_ = 0;
+  int connect_timeout_ms_ = 5000;
+};
+
+}  // namespace plankton::sched

@@ -37,6 +37,113 @@ bool decode_load_net(std::string_view in, LoadNetMsg& out) {
   return true;
 }
 
+std::string encode_bootstrap(const BootstrapMsg& m) {
+  std::string out;
+  put_string(out, m.config_text);
+  put_string(out, m.policy_spec);
+  put_int(out, static_cast<std::uint32_t>(m.targets.size()));
+  for (const std::uint32_t t : m.targets) put_int(out, t);
+  put_int(out, m.pec_dedup);
+  put_int(out, m.stop_on_violation);
+  put_int(out, m.max_failures);
+  put_int(out, m.consistent_only);
+  put_int(out, m.deterministic_nodes);
+  put_int(out, m.det_nodes_bgp);
+  put_int(out, m.decision_independence);
+  put_int(out, m.lec_failures);
+  put_int(out, m.policy_pruning);
+  put_int(out, m.suppress_equivalent);
+  put_int(out, m.merge_updates);
+  put_int(out, m.ad_cache);
+  put_int(out, m.por);
+  put_int(out, m.incremental_expand);
+  put_int(out, m.find_all_violations);
+  put_int(out, m.simulation);
+  put_int(out, m.visited);
+  put_int(out, m.bloom_bits);
+  put_int(out, m.max_states);
+  put_int(out, m.time_limit_ms);
+  put_int(out, m.budget_max_states);
+  put_int(out, m.budget_max_bytes);
+  put_int(out, m.budget_degrade_visited);
+  put_int(out, m.budget_deadline_ms);
+  put_int(out, m.wall_remaining_ms);
+  put_int(out, m.engine_kind);
+  put_int(out, m.engine_seed);
+  put_int(out, m.engine_split_every);
+  put_int(out, m.engine_restart_policy);
+  put_int(out, m.heartbeat_interval_ms);
+  put_int(out, m.max_frame_payload);
+  put_int(out, m.split_export);
+  put_int(out, m.export_check_every);
+  put_int(out, m.export_min_frontier);
+  put_int(out, m.export_max_per_run);
+  return out;
+}
+
+bool decode_bootstrap(std::string_view in, BootstrapMsg& out) {
+  out = BootstrapMsg{};
+  const auto fail = [&out] {
+    out = BootstrapMsg{};
+    return false;
+  };
+  std::uint32_t n = 0;
+  if (!get_string(in, out.config_text) || !get_string(in, out.policy_spec) ||
+      !get_int(in, n) || !fits(in, n, 4)) {
+    return fail();
+  }
+  out.targets.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!get_int(in, out.targets[i])) return fail();
+  }
+  const bool fields_ok =
+      get_int(in, out.pec_dedup) && get_int(in, out.stop_on_violation) &&
+      get_int(in, out.max_failures) && get_int(in, out.consistent_only) &&
+      get_int(in, out.deterministic_nodes) && get_int(in, out.det_nodes_bgp) &&
+      get_int(in, out.decision_independence) &&
+      get_int(in, out.lec_failures) && get_int(in, out.policy_pruning) &&
+      get_int(in, out.suppress_equivalent) && get_int(in, out.merge_updates) &&
+      get_int(in, out.ad_cache) && get_int(in, out.por) &&
+      get_int(in, out.incremental_expand) &&
+      get_int(in, out.find_all_violations) && get_int(in, out.simulation) &&
+      get_int(in, out.visited) && get_int(in, out.bloom_bits) &&
+      get_int(in, out.max_states) && get_int(in, out.time_limit_ms) &&
+      get_int(in, out.budget_max_states) &&
+      get_int(in, out.budget_max_bytes) &&
+      get_int(in, out.budget_degrade_visited) &&
+      get_int(in, out.budget_deadline_ms) &&
+      get_int(in, out.wall_remaining_ms) && get_int(in, out.engine_kind) &&
+      get_int(in, out.engine_seed) && get_int(in, out.engine_split_every) &&
+      get_int(in, out.engine_restart_policy) &&
+      get_int(in, out.heartbeat_interval_ms) &&
+      get_int(in, out.max_frame_payload) && get_int(in, out.split_export) &&
+      get_int(in, out.export_check_every) &&
+      get_int(in, out.export_min_frontier) &&
+      get_int(in, out.export_max_per_run) && in.empty();
+  const auto flag_ok = [](std::uint8_t f) { return f <= 1; };
+  if (!fields_ok || !flag_ok(out.pec_dedup) ||
+      !flag_ok(out.stop_on_violation) || out.max_failures < 0 ||
+      !flag_ok(out.consistent_only) || !flag_ok(out.deterministic_nodes) ||
+      !flag_ok(out.det_nodes_bgp) || !flag_ok(out.decision_independence) ||
+      !flag_ok(out.lec_failures) || !flag_ok(out.policy_pruning) ||
+      !flag_ok(out.suppress_equivalent) || !flag_ok(out.merge_updates) ||
+      !flag_ok(out.ad_cache) || !flag_ok(out.por) ||
+      !flag_ok(out.incremental_expand) || !flag_ok(out.find_all_violations) ||
+      !flag_ok(out.simulation) ||
+      out.visited > static_cast<std::uint8_t>(VisitedKind::kBitstate) ||
+      out.time_limit_ms < 0 || !flag_ok(out.budget_degrade_visited) ||
+      out.budget_deadline_ms < 0 || out.wall_remaining_ms < 0 ||
+      out.engine_kind >
+          static_cast<std::uint8_t>(SearchEngineKind::kRandomRestart) ||
+      out.engine_restart_policy >
+          static_cast<std::uint8_t>(RestartPolicy::kLuby) ||
+      out.heartbeat_interval_ms < 0 || !flag_ok(out.split_export) ||
+      out.export_max_per_run < 0) {
+    return fail();
+  }
+  return true;
+}
+
 std::string encode_apply_delta(const ApplyDeltaMsg& m) {
   std::string out;
   put_int(out, static_cast<std::uint32_t>(m.ops.size()));

@@ -86,6 +86,65 @@ struct CacheStatsMsg {
   std::uint64_t entries = 0;
 };
 
+/// kBootstrap: everything a remote shard worker (plankton_worker) needs to
+/// rebuild the coordinator's verification plan from scratch — the network as
+/// render_config text, the policy in make_policy grammar, the target PECs,
+/// and the flattened exploration/supervision knobs. PEC partitioning,
+/// dependency analysis, and dedup classing are deterministic functions of
+/// the parsed network, so both sides derive the same task graph
+/// independently; the kBootstrapAck plan hash proves they actually did.
+struct BootstrapMsg {
+  std::string config_text;            ///< render_config output
+  std::string policy_spec;            ///< make_policy grammar
+  std::vector<std::uint32_t> targets; ///< PecIds the query policy-checks
+  std::uint8_t pec_dedup = 1;
+  std::uint8_t stop_on_violation = 0;
+
+  // VerifyOptions::explore, field-for-field (bools ride as u8 in {0,1}):
+  std::int32_t max_failures = 0;
+  std::uint8_t consistent_only = 1;
+  std::uint8_t deterministic_nodes = 1;
+  std::uint8_t det_nodes_bgp = 1;
+  std::uint8_t decision_independence = 1;
+  std::uint8_t lec_failures = 1;
+  std::uint8_t policy_pruning = 1;
+  std::uint8_t suppress_equivalent = 1;
+  std::uint8_t merge_updates = 1;
+  std::uint8_t ad_cache = 1;
+  std::uint8_t por = 1;
+  std::uint8_t incremental_expand = 1;
+  std::uint8_t find_all_violations = 0;
+  std::uint8_t simulation = 0;
+  std::uint8_t visited = 0;           ///< VisitedKind, <= kBitstate
+  std::uint64_t bloom_bits = 0;
+  std::uint64_t max_states = 0;
+  std::int64_t time_limit_ms = 0;
+  std::uint64_t budget_max_states = 0;
+  std::uint64_t budget_max_bytes = 0;
+  std::uint8_t budget_degrade_visited = 0;
+  /// Budget/wall deadlines travel as *remaining* milliseconds (0 = none):
+  /// absolute time points do not survive a host boundary.
+  std::int64_t budget_deadline_ms = 0;
+  std::int64_t wall_remaining_ms = 0;
+  std::uint8_t engine_kind = 0;       ///< SearchEngineKind, validated in decode
+  std::uint64_t engine_seed = 1;
+  std::uint32_t engine_split_every = 0;
+  std::uint8_t engine_restart_policy = 0;  ///< RestartPolicy, <= kFixedPeriod
+
+  // Worker-side shard session knobs (sched::ShardRunOptions subset):
+  std::int32_t heartbeat_interval_ms = 0;
+  std::uint64_t max_frame_payload = 0;  ///< 0 = the PKS1 default
+
+  // Intra-PEC work export (0 = disabled on this worker):
+  std::uint8_t split_export = 0;
+  std::uint32_t export_check_every = 0;
+  std::uint64_t export_min_frontier = 0;
+  std::int32_t export_max_per_run = 0;
+};
+
+std::string encode_bootstrap(const BootstrapMsg& m);
+bool decode_bootstrap(std::string_view in, BootstrapMsg& out);
+
 std::string encode_load_net(const LoadNetMsg& m);
 bool decode_load_net(std::string_view in, LoadNetMsg& out);
 std::string encode_apply_delta(const ApplyDeltaMsg& m);

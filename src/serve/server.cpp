@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <signal.h>
 #include <sys/select.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -62,7 +63,10 @@ int listen_tcp(int port, std::string& error) {
 
 bool write_all_fd(int fd, const char* data, std::size_t n) {
   while (n > 0) {
-    const ssize_t w = ::write(fd, data, n);
+    // MSG_NOSIGNAL: a client that disconnected mid-reply must surface as
+    // EPIPE (drop the connection, keep the daemon), not SIGPIPE (whose
+    // default disposition kills the whole process).
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -172,6 +176,10 @@ bool serve_connection(int fd, ServeState& state) {
 }  // namespace
 
 int run_server(const ServerOptions& opts) {
+  // Belt and braces alongside MSG_NOSIGNAL: any write path that slips
+  // through without the flag (or a platform that lacks it) still must not
+  // let a disconnecting client kill the daemon.
+  ::signal(SIGPIPE, SIG_IGN);
   std::string error;
   int unix_fd = -1;
   int tcp_fd = -1;

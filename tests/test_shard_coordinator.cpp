@@ -13,15 +13,20 @@
 //     test_outcome_store.cpp corrupt-input pattern, extended to frames).
 #include <gtest/gtest.h>
 #include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdlib>
+#include <limits>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "core/verifier.hpp"
 #include "pec/pec.hpp"
 #include "sched/shard.hpp"
+#include "serve/serve.hpp"
 #include "support/figure6.hpp"
 #include "support/random_net.hpp"
 #include "workload/enterprise.hpp"
@@ -238,7 +243,7 @@ TEST(ShardFraming, RejectsFramesAfterShutdown) {
 
 TEST(ShardFraming, ServeFrameTypesRoundTrip) {
   // MsgType 7..11 (the serve daemon's frames) ride the same decoder; a
-  // type one past kCacheStats is still rejected.
+  // type one past kSubtaskDone (the last cluster frame) is still rejected.
   std::string stream;
   sched::encode_frame(stream, sched::MsgType::kLoadNet, "cfg");
   sched::encode_frame(stream, sched::MsgType::kApplyDelta, "ops");
@@ -260,7 +265,7 @@ TEST(ShardFraming, ServeFrameTypesRoundTrip) {
   std::string bad;
   const std::uint32_t magic = sched::kFrameMagic;
   const std::uint16_t version = sched::kFrameVersion;
-  const std::uint16_t type = 12;  // one past kCacheStats
+  const std::uint16_t type = 17;  // one past kSubtaskDone
   const std::uint64_t len = 0;
   bad.append(reinterpret_cast<const char*>(&magic), 4);
   bad.append(reinterpret_cast<const char*>(&version), 2);
@@ -319,6 +324,324 @@ TEST(ShardFraming, PayloadDecodersRejectCorruptInput) {
   EXPECT_FALSE(sched::decode_violation(violation.substr(0, 8), v));
   EXPECT_TRUE(v.message.empty());
   EXPECT_TRUE(v.failed_links.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-transport frames (kBootstrap .. kSubtaskDone) and their codecs
+// ---------------------------------------------------------------------------
+
+StateSnapshot sample_snapshot(std::uint64_t key) {
+  StateSnapshot s;
+  SearchMove m;
+  m.kind = SearchMove::Kind::kSelect;
+  m.node = 3;
+  m.peer = 1;
+  m.route = 9;
+  m.prev = kNoRoute;
+  s.path.push_back(m);
+  m.kind = SearchMove::Kind::kWithdraw;
+  m.node = 1;
+  s.path.push_back(m);
+  s.key = key;
+  s.sleep = {0x5a5a5a5a5a5a5a5aull, 3};
+  // Model-opaque dictionary blob (the wire layer must not interpret it);
+  // embedded NUL and high bytes must survive the round trip.
+  s.route_dict = std::string("dict\x00\xff_payload", 14);
+  return s;
+}
+
+serve::BootstrapMsg sample_bootstrap() {
+  serve::BootstrapMsg bm;
+  bm.config_text = "network sample\n";
+  bm.policy_spec = "reach r1 r2";
+  bm.targets = {0, 3, 7};
+  bm.max_failures = 2;
+  bm.lec_failures = 1;
+  bm.visited = 1;
+  bm.bloom_bits = 1u << 20;
+  bm.max_states = 12345;
+  bm.time_limit_ms = 777;
+  bm.budget_deadline_ms = 1500;
+  bm.wall_remaining_ms = 9000;
+  bm.engine_kind = 2;
+  bm.engine_seed = 42;
+  bm.split_export = 1;
+  bm.export_check_every = 512;
+  bm.export_min_frontier = 8;
+  bm.export_max_per_run = 16;
+  return bm;
+}
+
+TEST(ShardFraming, ClusterFrameTypesRoundTrip) {
+  // The five cluster frames ride the same decoder as everything else.
+  std::string stream;
+  sched::encode_frame(stream, sched::MsgType::kBootstrap,
+                      serve::encode_bootstrap(sample_bootstrap()));
+  sched::BootstrapAckMsg ack;
+  ack.ok = 1;
+  ack.plan_hash = 0xfeedfacecafebeefull;
+  sched::encode_frame(stream, sched::MsgType::kBootstrapAck,
+                      sched::encode_bootstrap_ack(ack));
+  sched::SplitExportMsg se;
+  se.pec = 4;
+  se.snaps = {sample_snapshot(11), sample_snapshot(22)};
+  sched::encode_frame(stream, sched::MsgType::kSplitExport,
+                      sched::encode_split_export(se));
+  sched::SubtaskAssignMsg sa;
+  sa.id = 9;
+  sa.pec = 4;
+  sa.export_ok = 1;
+  sa.snaps = {sample_snapshot(33)};
+  sched::encode_frame(stream, sched::MsgType::kSubtaskAssign,
+                      sched::encode_subtask_assign(sa));
+  sched::SubtaskDoneMsg sd;
+  sd.id = 9;
+  sd.pec.pec = 4;
+  sd.pec.holds = 1;
+  sd.pec.stats.states_explored = 17;
+  sched::encode_frame(stream, sched::MsgType::kSubtaskDone,
+                      sched::encode_subtask_done(sd));
+
+  sched::FrameDecoder dec;
+  // Byte-at-a-time delivery, like the TCP transport under a tiny MTU.
+  std::vector<sched::Frame> frames;
+  for (const char c : stream) {
+    dec.feed(&c, 1);
+    sched::Frame f;
+    while (dec.next(f) == sched::FrameDecoder::Status::kFrame) {
+      frames.push_back(f);
+    }
+  }
+  ASSERT_EQ(frames.size(), 5u);
+  EXPECT_EQ(frames[0].type, sched::MsgType::kBootstrap);
+  EXPECT_EQ(frames[4].type, sched::MsgType::kSubtaskDone);
+
+  serve::BootstrapMsg bm;
+  ASSERT_TRUE(serve::decode_bootstrap(frames[0].payload, bm));
+  const serve::BootstrapMsg ref = sample_bootstrap();
+  EXPECT_EQ(bm.config_text, ref.config_text);
+  EXPECT_EQ(bm.policy_spec, ref.policy_spec);
+  EXPECT_EQ(bm.targets, ref.targets);
+  EXPECT_EQ(bm.max_failures, ref.max_failures);
+  EXPECT_EQ(bm.visited, ref.visited);
+  EXPECT_EQ(bm.budget_deadline_ms, ref.budget_deadline_ms);
+  EXPECT_EQ(bm.wall_remaining_ms, ref.wall_remaining_ms);
+  EXPECT_EQ(bm.engine_kind, ref.engine_kind);
+  EXPECT_EQ(bm.split_export, ref.split_export);
+  EXPECT_EQ(bm.export_check_every, ref.export_check_every);
+  EXPECT_EQ(bm.export_max_per_run, ref.export_max_per_run);
+
+  sched::BootstrapAckMsg a2;
+  ASSERT_TRUE(sched::decode_bootstrap_ack(frames[1].payload, a2));
+  EXPECT_EQ(a2.ok, 1);
+  EXPECT_EQ(a2.plan_hash, ack.plan_hash);
+
+  sched::SplitExportMsg se2;
+  ASSERT_TRUE(sched::decode_split_export(frames[2].payload, se2));
+  ASSERT_EQ(se2.snaps.size(), 2u);
+  EXPECT_EQ(se2.pec, se.pec);
+  EXPECT_EQ(se2.snaps[0].key, 11u);
+  EXPECT_EQ(se2.snaps[1].key, 22u);
+  ASSERT_EQ(se2.snaps[0].path.size(), 2u);
+  EXPECT_EQ(se2.snaps[0].path[0].kind, SearchMove::Kind::kSelect);
+  EXPECT_EQ(se2.snaps[0].path[0].node, 3u);
+  EXPECT_EQ(se2.snaps[0].path[1].kind, SearchMove::Kind::kWithdraw);
+  EXPECT_EQ(se2.snaps[0].sleep, (std::vector<std::uint64_t>{
+                                    0x5a5a5a5a5a5a5a5aull, 3}));
+  EXPECT_EQ(se2.snaps[0].route_dict, std::string("dict\x00\xff_payload", 14));
+  EXPECT_EQ(se2.snaps[1].route_dict, std::string("dict\x00\xff_payload", 14));
+
+  sched::SubtaskAssignMsg sa2;
+  ASSERT_TRUE(sched::decode_subtask_assign(frames[3].payload, sa2));
+  EXPECT_EQ(sa2.id, 9u);
+  EXPECT_EQ(sa2.export_ok, 1);
+  ASSERT_EQ(sa2.snaps.size(), 1u);
+  EXPECT_EQ(sa2.snaps[0].key, 33u);
+
+  sched::SubtaskDoneMsg sd2;
+  ASSERT_TRUE(sched::decode_subtask_done(frames[4].payload, sd2));
+  EXPECT_EQ(sd2.id, 9u);
+  EXPECT_EQ(sd2.pec.pec, 4u);
+  EXPECT_EQ(sd2.pec.stats.states_explored, 17u);
+}
+
+TEST(ShardFraming, ClusterPayloadDecodersRejectCorruptInput) {
+  const std::string bootstrap = serve::encode_bootstrap(sample_bootstrap());
+  sched::BootstrapAckMsg ack;
+  ack.ok = 0;
+  ack.error = "plan hash mismatch";
+  const std::string ackb = sched::encode_bootstrap_ack(ack);
+  sched::SplitExportMsg se;
+  se.pec = 2;
+  se.snaps = {sample_snapshot(1), sample_snapshot(2)};
+  const std::string split = sched::encode_split_export(se);
+  sched::SubtaskAssignMsg sa;
+  sa.id = 1;
+  sa.pec = 2;
+  sa.snaps = {sample_snapshot(3)};
+  const std::string assign = sched::encode_subtask_assign(sa);
+  sched::SubtaskDoneMsg sd;
+  sd.id = 1;
+  sd.pec.pec = 2;
+  const std::string done = sched::encode_subtask_done(sd);
+
+  // Every strict prefix must be rejected and leave the output reset; every
+  // payload with trailing garbage must be rejected (decoders are exact
+  // inverses of their encoders).
+  serve::BootstrapMsg bm;
+  sched::BootstrapAckMsg am;
+  sched::SplitExportMsg sm;
+  sched::SubtaskAssignMsg aam;
+  sched::SubtaskDoneMsg dm;
+  for (std::size_t cut = 0; cut < bootstrap.size(); ++cut) {
+    EXPECT_FALSE(serve::decode_bootstrap(bootstrap.substr(0, cut), bm))
+        << "cut " << cut;
+  }
+  for (std::size_t cut = 0; cut < ackb.size(); ++cut) {
+    EXPECT_FALSE(sched::decode_bootstrap_ack(ackb.substr(0, cut), am));
+  }
+  for (std::size_t cut = 0; cut < split.size(); ++cut) {
+    EXPECT_FALSE(sched::decode_split_export(split.substr(0, cut), sm));
+  }
+  for (std::size_t cut = 0; cut < assign.size(); ++cut) {
+    EXPECT_FALSE(sched::decode_subtask_assign(assign.substr(0, cut), aam));
+  }
+  for (std::size_t cut = 0; cut < done.size(); ++cut) {
+    EXPECT_FALSE(sched::decode_subtask_done(done.substr(0, cut), dm));
+  }
+  EXPECT_FALSE(serve::decode_bootstrap(bootstrap + "x", bm));
+  EXPECT_TRUE(bm.config_text.empty()) << "failed decode must reset output";
+  EXPECT_FALSE(sched::decode_bootstrap_ack(ackb + "x", am));
+  EXPECT_FALSE(sched::decode_split_export(split + "x", sm));
+  EXPECT_TRUE(sm.snaps.empty());
+  EXPECT_FALSE(sched::decode_subtask_assign(assign + "x", aam));
+  EXPECT_FALSE(sched::decode_subtask_done(done + "x", dm));
+
+  // Hostile counts: snapshot/target counts far beyond the bytes present must
+  // hit the fits() bounds check, not a gigantic resize.
+  std::string hostile;
+  const std::uint32_t pec = 2;
+  const std::uint32_t absurd = 0xfffffff0u;
+  hostile.append(reinterpret_cast<const char*>(&pec), 4);
+  hostile.append(reinterpret_cast<const char*>(&absurd), 4);
+  EXPECT_FALSE(sched::decode_split_export(hostile, sm));
+  EXPECT_TRUE(sm.snaps.empty());
+
+  // Out-of-range enum bytes inside the bootstrap must be rejected even when
+  // the byte layout is otherwise intact.
+  serve::BootstrapMsg bad = sample_bootstrap();
+  bad.engine_kind = 99;
+  EXPECT_FALSE(serve::decode_bootstrap(serve::encode_bootstrap(bad), bm));
+  bad = sample_bootstrap();
+  bad.visited = 7;
+  EXPECT_FALSE(serve::decode_bootstrap(serve::encode_bootstrap(bad), bm));
+  bad = sample_bootstrap();
+  bad.split_export = 2;  // flags are strictly 0/1
+  EXPECT_FALSE(serve::decode_bootstrap(serve::encode_bootstrap(bad), bm));
+  bad = sample_bootstrap();
+  bad.max_failures = -1;
+  EXPECT_FALSE(serve::decode_bootstrap(serve::encode_bootstrap(bad), bm));
+}
+
+// ---------------------------------------------------------------------------
+// Worker-slot supervision arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(ShardSupervision, RespawnBackoffSaturatesInsteadOfOverflowing) {
+  // First respawn waits the base, then doubles per death with the shift
+  // capped at 6 and the result clamped to [0, 2000] ms.
+  EXPECT_EQ(sched::compute_respawn_backoff_ms(25, 0), 25);
+  EXPECT_EQ(sched::compute_respawn_backoff_ms(25, 1), 25);
+  EXPECT_EQ(sched::compute_respawn_backoff_ms(25, 2), 50);
+  EXPECT_EQ(sched::compute_respawn_backoff_ms(25, 7), 1600);
+  EXPECT_EQ(sched::compute_respawn_backoff_ms(25, 8), 1600) << "shift capped";
+  EXPECT_EQ(sched::compute_respawn_backoff_ms(25, 1000), 1600);
+  EXPECT_EQ(sched::compute_respawn_backoff_ms(100, 1000), 2000)
+      << "clamped to the 2s ceiling";
+  // The regression: a large base shifted left used to overflow int into a
+  // negative gate, turning the backoff into a busy fork loop. It must
+  // saturate at the ceiling instead.
+  EXPECT_EQ(sched::compute_respawn_backoff_ms(std::numeric_limits<int>::max(),
+                                              7),
+            2000);
+  EXPECT_EQ(sched::compute_respawn_backoff_ms(1 << 30, 40), 2000);
+  EXPECT_EQ(sched::compute_respawn_backoff_ms(0, 5), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Worker session shutdown hygiene (the heartbeat-beacon join)
+// ---------------------------------------------------------------------------
+
+TEST(ShardWorkerSession, NoStrayFramesAfterSessionReturns) {
+  // The regression: the heartbeat beacon used to run on a detached thread
+  // that could outlive the session and write a late kHeartbeat into the
+  // (reused) fd. run_worker_session must join the beacon before returning,
+  // so once it has returned, nothing ever writes to the socket again.
+  const Network net = make_ring(4);
+  const PecSet pecs = compute_pecs(net);
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+  sched::ShardRunOptions opts;
+  opts.heartbeat_interval_ms = 10;  // several beacons fire during the task
+  const auto body = [](std::size_t, OutcomeStore&)
+      -> std::vector<sched::ShardPecResult> {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    sched::ShardPecResult r;
+    r.pec = 0;
+    return {r};
+  };
+  int exit_code = -1;
+  std::thread session([&] {
+    exit_code = sched::run_worker_session(sv[1], 0, 1, net, pecs, 1, opts,
+                                          body, nullptr);
+  });
+
+  const auto write_frame = [&](sched::MsgType type, std::string_view payload) {
+    std::string out;
+    sched::encode_frame(out, type, payload);
+    ASSERT_EQ(send(sv[0], out.data(), out.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(out.size()));
+  };
+  sched::TaskAssignMsg ta;
+  ta.task = 0;
+  write_frame(sched::MsgType::kTaskAssign, sched::encode_task_assign(ta));
+
+  // Drain until the worker reports the task done (heartbeats interleave).
+  sched::FrameDecoder dec;
+  sched::Frame f;
+  char buf[1 << 12];
+  bool done = false;
+  while (!done) {
+    const ssize_t r = read(sv[0], buf, sizeof buf);
+    ASSERT_GT(r, 0);
+    dec.feed(buf, static_cast<std::size_t>(r));
+    while (dec.next(f) == sched::FrameDecoder::Status::kFrame) {
+      if (f.type == sched::MsgType::kTaskDone) done = true;
+    }
+  }
+  write_frame(sched::MsgType::kShutdown, "");
+  session.join();
+  EXPECT_EQ(exit_code, 0);
+
+  // Drain whatever was written before the session returned; every frame
+  // must still decode (a torn heartbeat would poison here)...
+  for (;;) {
+    const ssize_t r = recv(sv[0], buf, sizeof buf, MSG_DONTWAIT);
+    if (r <= 0) break;
+    dec.feed(buf, static_cast<std::size_t>(r));
+  }
+  while (dec.next(f) == sched::FrameDecoder::Status::kFrame) {
+    EXPECT_EQ(f.type, sched::MsgType::kHeartbeat);
+  }
+  // ...and after a couple of beacon periods of quiet, nothing new may
+  // arrive: the beacon thread is provably gone, not merely slow.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  const ssize_t late = recv(sv[0], buf, sizeof buf, MSG_DONTWAIT);
+  EXPECT_LT(late, 0) << "bytes written after run_worker_session returned";
+  EXPECT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK);
+  close(sv[0]);
+  close(sv[1]);
 }
 
 // ---------------------------------------------------------------------------

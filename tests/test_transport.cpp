@@ -1,0 +1,517 @@
+// Cluster-scale sharding (sched/transport.*, core/verifier.cpp,
+// serve_shard_worker_session): TCP-bootstrapped remote workers against the
+// fork-transport and in-process oracles, bootstrap handshake hardening,
+// SIGKILL failover, intra-PEC split export, and the serve daemon's
+// disconnect-mid-reply survival.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "core/verifier.hpp"
+#include "pec/pec.hpp"
+#include "sched/shard.hpp"
+#include "serve/server.hpp"
+#include "serve/serve.hpp"
+#include "support/figure6.hpp"
+#include "support/random_net.hpp"
+#include "workload/enterprise.hpp"
+#include "workload/fat_tree.hpp"
+
+namespace plankton {
+namespace {
+
+using testsupport::Figure6;
+using testsupport::RandomInstance;
+using testsupport::make_random_instance;
+
+/// A plankton_worker stand-in living on a thread of the test process:
+/// ephemeral loopback listener, one bootstrap session served at a time.
+class ThreadWorker {
+ public:
+  ThreadWorker() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;  // ephemeral
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(listen_fd_, 8), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                            &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] {
+      for (;;) {
+        const int conn = ::accept(listen_fd_, nullptr, nullptr);
+        if (conn < 0) return;
+        if (stop_.load(std::memory_order_acquire)) {
+          ::close(conn);
+          return;
+        }
+        sessions_.fetch_add(1, std::memory_order_relaxed);
+        serve_shard_worker_session(conn);
+        ::close(conn);
+      }
+    });
+  }
+  ~ThreadWorker() {
+    stop_.store(true, std::memory_order_release);
+    std::string err;
+    const int wake = serve::connect_tcp(port_, err);  // unblock accept
+    if (wake >= 0) ::close(wake);
+    thread_.join();
+    ::close(listen_fd_);
+  }
+  [[nodiscard]] std::string address() const {
+    return "127.0.0.1:" + std::to_string(port_);
+  }
+  [[nodiscard]] int sessions() const {
+    return sessions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> sessions_{0};
+  std::thread thread_;
+};
+
+/// The acceptance-criteria fingerprint: verdict, per-PEC counts, aggregate
+/// state counters, and the violation multiset with rendered trails.
+struct Fingerprint {
+  bool holds = true;
+  std::size_t pecs_verified = 0;
+  std::size_t pecs_support = 0;
+  std::uint64_t states_explored = 0;
+  std::uint64_t converged_states = 0;
+  std::multiset<std::string> violations;
+
+  friend bool operator==(const Fingerprint& a, const Fingerprint& b) {
+    return a.holds == b.holds && a.pecs_verified == b.pecs_verified &&
+           a.pecs_support == b.pecs_support &&
+           a.states_explored == b.states_explored &&
+           a.converged_states == b.converged_states &&
+           a.violations == b.violations;
+  }
+};
+
+Fingerprint fingerprint(const VerifyResult& r) {
+  Fingerprint fp;
+  fp.holds = r.holds;
+  fp.pecs_verified = r.pecs_verified;
+  fp.pecs_support = r.pecs_support;
+  fp.states_explored = r.total.states_explored;
+  fp.converged_states = r.total.converged_states;
+  for (const auto& rep : r.reports) {
+    for (const auto& v : rep.result.violations) {
+      fp.violations.insert(rep.pec_str + "|" +
+                           std::to_string(v.failures.hash()) + "|" + v.message +
+                           "|" + v.trail_text);
+    }
+  }
+  return fp;
+}
+
+/// The split-export comparison: verdicts plus the *deduplicated* violation
+/// set (state counts are not bit-identical with export on, by design).
+std::set<std::string> violation_set(const VerifyResult& r) {
+  std::set<std::string> out;
+  for (const auto& rep : r.reports) {
+    for (const auto& v : rep.result.violations) {
+      out.insert(rep.pec_str + "|" + std::to_string(v.failures.hash()) + "|" +
+                 v.message + "|" + v.trail_text);
+    }
+  }
+  return out;
+}
+
+VerifyResult run_verify(const Network& net, const Policy& policy,
+                        VerifyOptions vo) {
+  Verifier verifier(net, vo);
+  return verifier.verify(policy);
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport determinism: {fork, tcp} × shards {1,2,4} vs in-process
+// ---------------------------------------------------------------------------
+
+TEST(TcpTransport, RandomCorpusMatchesForkAndInProcess) {
+  ThreadWorker workers[4];
+  std::vector<std::string> addrs;
+  for (const auto& w : workers) addrs.push_back(w.address());
+
+  int corpus = 8;
+  if (const char* v = std::getenv("PLANKTON_DIFF_SEEDS");
+      v != nullptr && std::atoi(v) > 0) {
+    corpus = std::max(8, std::atoi(v) / 10);
+  }
+  int eligible = 0;
+  for (int seed = 1; seed <= corpus; ++seed) {
+    const RandomInstance inst =
+        make_random_instance(static_cast<std::uint64_t>(seed));
+    // TCP workers rebuild the policy from its spec line; instances whose
+    // policy has no spec form are fork-only and covered elsewhere.
+    if (inst.policy->spec(inst.net).empty()) continue;
+    ++eligible;
+    SCOPED_TRACE("instance seed " + std::to_string(seed) + " (" + inst.kind +
+                 ", policy " + inst.policy->name() + ")");
+    VerifyOptions vo;
+    vo.cores = 1;
+    vo.explore = inst.explore;
+    vo.explore.find_all_violations = true;
+    vo.explore.suppress_equivalent = false;
+    const Fingerprint ref = fingerprint(run_verify(inst.net, *inst.policy, vo));
+    for (const int shards : {1, 2, 4}) {
+      VerifyOptions forkv = vo;
+      forkv.shards = shards;
+      EXPECT_EQ(fingerprint(run_verify(inst.net, *inst.policy, forkv)), ref)
+          << "fork transport, shards=" << shards;
+      VerifyOptions tcpv = forkv;
+      tcpv.shard_transport = ShardTransportKind::kTcp;
+      tcpv.shard_workers = addrs;
+      const VerifyResult r = run_verify(inst.net, *inst.policy, tcpv);
+      EXPECT_EQ(fingerprint(r), ref) << "tcp transport, shards=" << shards;
+      EXPECT_GT(r.shard.frames_sent, 0u)
+          << "tcp run fell back to in-process (bootstrap refused?)";
+      EXPECT_EQ(r.shard.workers_respawned, 0u)
+          << "tcp workers should survive a clean run";
+    }
+  }
+  ASSERT_GE(eligible, 3) << "corpus must exercise spec-able policies";
+  EXPECT_GT(workers[0].sessions(), 0) << "worker 0 never served a bootstrap";
+}
+
+TEST(TcpTransport, Figure6MatchesAtEveryShardCount) {
+  ThreadWorker workers[4];
+  std::vector<std::string> addrs;
+  for (const auto& w : workers) addrs.push_back(w.address());
+  const Figure6 fx;
+  const ReachabilityPolicy policy({fx.r6});
+  ASSERT_FALSE(policy.spec(fx.net).empty());
+  VerifyOptions vo;
+  vo.explore.find_all_violations = true;
+  const Fingerprint ref = fingerprint(run_verify(fx.net, policy, vo));
+  EXPECT_GT(ref.converged_states, 0u);
+  for (const int shards : {1, 2, 4}) {
+    VerifyOptions sv = vo;
+    sv.shards = shards;
+    sv.shard_transport = ShardTransportKind::kTcp;
+    sv.shard_workers = addrs;
+    const VerifyResult r = run_verify(fx.net, policy, sv);
+    EXPECT_EQ(fingerprint(r), ref) << "shards=" << shards;
+    EXPECT_GT(r.shard.frames_sent, 0u);
+  }
+}
+
+TEST(TcpTransport, SpeclessPolicyFallsBackToForkWithIdenticalResult) {
+  // MultipathConsistency has no single-line spec form: the TCP request must
+  // degrade to the fork transport (stderr note) and still produce the
+  // in-process fingerprint — never fail, never silently change semantics.
+  const Figure6 fx;
+  const MultipathConsistencyPolicy policy({fx.r6});
+  ASSERT_TRUE(policy.spec(fx.net).empty());
+  VerifyOptions vo;
+  vo.explore.find_all_violations = true;
+  const Fingerprint ref = fingerprint(run_verify(fx.net, policy, vo));
+  VerifyOptions sv = vo;
+  sv.shards = 2;
+  sv.shard_transport = ShardTransportKind::kTcp;
+  sv.shard_workers = {"127.0.0.1:1"};  // never dialed: fork fallback
+  const VerifyResult r = run_verify(fx.net, policy, sv);
+  EXPECT_EQ(fingerprint(r), ref);
+  EXPECT_GT(r.shard.frames_sent, 0u) << "fork fallback must still shard";
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap handshake hardening
+// ---------------------------------------------------------------------------
+
+/// Runs serve_shard_worker_session over a socketpair and returns its exit
+/// code; `drive` runs on the coordinator end.
+int drive_session(const std::function<void(int fd)>& drive) {
+  int sv[2];
+  EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  int code = -1;
+  std::thread session([&] { code = serve_shard_worker_session(sv[1]); });
+  drive(sv[0]);
+  ::close(sv[0]);
+  session.join();
+  ::close(sv[1]);
+  return code;
+}
+
+TEST(TcpBootstrap, MalformedConfigIsNackedNotCrashed) {
+  serve::BootstrapMsg bm;
+  bm.config_text = "definitely not a network config {{{";
+  bm.policy_spec = "loop";
+  const int code = drive_session([&](int fd) {
+    ASSERT_TRUE(serve::send_frame(fd, sched::MsgType::kBootstrap,
+                                  serve::encode_bootstrap(bm)));
+    sched::FrameDecoder dec;
+    sched::Frame f;
+    std::string err;
+    ASSERT_TRUE(serve::recv_frame(fd, dec, f, err)) << err;
+    ASSERT_EQ(f.type, sched::MsgType::kBootstrapAck);
+    sched::BootstrapAckMsg ack;
+    ASSERT_TRUE(sched::decode_bootstrap_ack(f.payload, ack));
+    EXPECT_EQ(ack.ok, 0);
+    EXPECT_NE(ack.error.find("config"), std::string::npos) << ack.error;
+  });
+  EXPECT_EQ(code, 3);
+}
+
+TEST(TcpBootstrap, WrongFirstFrameIsRefused) {
+  const int code = drive_session([&](int fd) {
+    ASSERT_TRUE(serve::send_frame(fd, sched::MsgType::kHeartbeat, ""));
+    sched::FrameDecoder dec;
+    sched::Frame f;
+    std::string err;
+    ASSERT_TRUE(serve::recv_frame(fd, dec, f, err)) << err;
+    ASSERT_EQ(f.type, sched::MsgType::kBootstrapAck);
+    sched::BootstrapAckMsg ack;
+    ASSERT_TRUE(sched::decode_bootstrap_ack(f.payload, ack));
+    EXPECT_EQ(ack.ok, 0);
+  });
+  EXPECT_EQ(code, 3);
+}
+
+TEST(TcpBootstrap, DataPipelinedPastBootstrapIsRefused) {
+  // The coordinator must not send anything before the ack; a worker seeing
+  // pipelined bytes refuses the whole session rather than guessing.
+  serve::BootstrapMsg bm;
+  bm.config_text = "network x\n";
+  bm.policy_spec = "loop";
+  const int code = drive_session([&](int fd) {
+    std::string out;
+    sched::encode_frame(out, sched::MsgType::kBootstrap,
+                        serve::encode_bootstrap(bm));
+    sched::encode_frame(out, sched::MsgType::kHeartbeat, "");  // pipelined
+    ASSERT_EQ(::send(fd, out.data(), out.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(out.size()));
+    sched::FrameDecoder dec;
+    sched::Frame f;
+    std::string err;
+    ASSERT_TRUE(serve::recv_frame(fd, dec, f, err)) << err;
+    ASSERT_EQ(f.type, sched::MsgType::kBootstrapAck);
+    sched::BootstrapAckMsg ack;
+    ASSERT_TRUE(sched::decode_bootstrap_ack(f.payload, ack));
+    EXPECT_EQ(ack.ok, 0);
+  });
+  EXPECT_EQ(code, 3);
+}
+
+TEST(TcpBootstrap, EofBeforeBootstrapIsOrderly) {
+  const int code = drive_session([](int) {});  // dial and hang up
+  EXPECT_EQ(code, 0);
+}
+
+// ---------------------------------------------------------------------------
+// SIGKILL failover: a real remote worker process dies mid-task
+// ---------------------------------------------------------------------------
+
+TEST(TcpRecovery, SigkilledWorkerFailsOverToSurvivor) {
+  // Worker 0 is a real forked process (SIGKILL must hit a separate address
+  // space, like a crashed remote host); worker 1 is a surviving thread
+  // worker. Killing 0 mid-run must reassign its task to 1 and converge to
+  // the reference verdict — reconnection attempts to the dead address keep
+  // failing and must not wedge the run.
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 8), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const int child_port = ntohs(addr.sin_port);
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    for (;;) {
+      const int conn = ::accept(listen_fd, nullptr, nullptr);
+      if (conn < 0) _exit(0);
+      serve_shard_worker_session(conn);
+      ::close(conn);
+    }
+  }
+  ::close(listen_fd);  // the child owns the listener now
+
+  ThreadWorker survivor;
+  const Enterprise ent = make_enterprise("VII");
+  const ReachabilityPolicy policy({ent.access.front()});
+  VerifyOptions vo;
+  vo.explore.find_all_violations = true;
+  const Fingerprint ref = fingerprint(
+      Verifier(ent.net, vo).verify_address(IpAddr(10, 200, 0, 1), policy));
+
+  VerifyOptions sv = vo;
+  sv.shards = 2;
+  sv.shard_transport = ShardTransportKind::kTcp;
+  sv.shard_workers = {"127.0.0.1:" + std::to_string(child_port),
+                      survivor.address()};
+  std::atomic<bool> killed{false};
+  sv.shard_test_on_assign = [&](int slot, pid_t, std::size_t) {
+    // Slot 0 dialed the child (slot s -> workers[s % n]). The kill lands
+    // while the assign is in flight: the coordinator thread issues it
+    // before the worker process gets scheduled to answer.
+    if (slot == 0 && !killed.exchange(true)) kill(child, SIGKILL);
+  };
+  const VerifyResult r =
+      Verifier(ent.net, sv).verify_address(IpAddr(10, 200, 0, 1), policy);
+  EXPECT_EQ(fingerprint(r), ref) << "failover changed the merged verdict";
+  EXPECT_TRUE(killed.load());
+  EXPECT_GE(r.shard.tasks_reassigned, 1u);
+  int status = 0;
+  EXPECT_EQ(waitpid(child, &status, 0), child);
+  EXPECT_TRUE(WIFSIGNALED(status));
+}
+
+// ---------------------------------------------------------------------------
+// Intra-PEC work export
+// ---------------------------------------------------------------------------
+
+TEST(SplitExport, VerdictsAndViolationSetMatchInProcess) {
+  // The bgp_dc_worstcase family: eBGP fat-tree where SPVP activation orders
+  // genuinely branch, so the BFS frontier grows and aggressive export
+  // settings (offer every pop, split tiny frontiers) make the mechanism
+  // fire. Verdicts and the deduplicated violation set must match the
+  // in-process run; state counts are legitimately different (subtasks
+  // re-visit donor states).
+  FatTreeOptions o;
+  o.k = 4;
+  o.routing = FatTreeOptions::Routing::kBgpRfc7938;
+  const FatTree ft = make_fat_tree(o);
+  const WaypointPolicy policy({ft.edges.back()}, ft.aggs);
+  VerifyOptions vo;
+  vo.explore.find_all_violations = true;
+  vo.explore.suppress_equivalent = false;
+  vo.explore.det_nodes_bgp = false;  // deterministic nodes never branch
+  vo.explore.max_states = 3000;
+  vo.explore.engine_kind = SearchEngineKind::kBfs;
+  vo.pec_dedup = false;  // class members make a task export-ineligible
+  const VerifyResult ref =
+      Verifier(ft.net, vo).verify_address(ft.edge_prefixes[0].addr(), policy);
+
+  for (const int shards : {2, 4}) {
+    VerifyOptions sv = vo;
+    sv.shards = shards;
+    sv.shard_split_export = true;
+    sv.shard_export_check_every = 64;
+    sv.shard_export_min_frontier = 4;
+    sv.shard_export_max_per_pec = 8;
+    const VerifyResult r =
+        Verifier(ft.net, sv).verify_address(ft.edge_prefixes[0].addr(),
+                                            policy);
+    EXPECT_EQ(r.holds, ref.holds) << "shards=" << shards;
+    EXPECT_EQ(r.verdict, ref.verdict) << "shards=" << shards;
+    EXPECT_EQ(r.pecs_verified, ref.pecs_verified) << "shards=" << shards;
+    EXPECT_EQ(violation_set(r), violation_set(ref)) << "shards=" << shards;
+    EXPECT_GT(r.shard.splits_exported, 0u)
+        << "export settings this aggressive must fire (shards=" << shards
+        << ")";
+    EXPECT_EQ(r.shard.subtasks_dispatched,
+              r.shard.subtasks_completed + r.shard.subtasks_stale)
+        << "every dispatched subtask must be accounted for";
+  }
+}
+
+TEST(SplitExport, CleanHoldWorkloadStaysCleanWithExportOn) {
+  FatTreeOptions o;
+  o.k = 4;
+  const FatTree ft = make_fat_tree(o);
+  const LoopFreedomPolicy policy;
+  VerifyOptions vo;
+  vo.explore.find_all_violations = true;
+  vo.explore.engine_kind = SearchEngineKind::kBfs;
+  vo.pec_dedup = false;
+  const VerifyResult ref = run_verify(ft.net, policy, vo);
+  ASSERT_TRUE(ref.holds);
+  VerifyOptions sv = vo;
+  sv.shards = 2;
+  sv.shard_split_export = true;
+  sv.shard_export_check_every = 1;
+  sv.shard_export_min_frontier = 2;
+  const VerifyResult r = run_verify(ft.net, policy, sv);
+  EXPECT_TRUE(r.holds);
+  EXPECT_EQ(r.verdict, Verdict::kHolds)
+      << "export must not degrade a clean exhaustive hold";
+  EXPECT_EQ(r.pecs_verified, ref.pecs_verified);
+  EXPECT_TRUE(violation_set(r).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Serve daemon: client disconnect mid-reply must not kill the process (S1)
+// ---------------------------------------------------------------------------
+
+TEST(ServeDaemon, SurvivesClientDisconnectMidReply) {
+  // The regression: write_all_fd used plain write(); a client that closed
+  // its socket while replies were still being flushed raised SIGPIPE in the
+  // daemon, whose default disposition kills the process. With the fix
+  // (MSG_NOSIGNAL + SIG_IGN) the daemon sheds the connection and keeps
+  // serving — this test dies on pre-fix code.
+  const int port = 20000 + (getpid() % 20000);
+  serve::ServerOptions so;
+  so.tcp_port = port;
+  std::thread server([&] { serve::run_server(so); });
+
+  std::string err;
+  int fd = -1;
+  for (int attempt = 0; attempt < 100 && fd < 0; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    fd = serve::connect_tcp(port, err);
+  }
+  ASSERT_GE(fd, 0) << err;
+
+  // Pipeline a burst of requests, then vanish without reading a byte. The
+  // daemon keeps writing replies into a socket whose peer is gone; once the
+  // client kernel answers with RST, further sends hit EPIPE.
+  std::string burst;
+  for (int i = 0; i < 64; ++i) {
+    sched::encode_frame(burst, sched::MsgType::kCacheStats, "");
+  }
+  ASSERT_EQ(::send(fd, burst.data(), burst.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(burst.size()));
+  ::close(fd);  // no reads: replies pile into a dead peer
+
+  // The daemon must still be alive and serving fresh connections.
+  int fd2 = -1;
+  for (int attempt = 0; attempt < 100 && fd2 < 0; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    fd2 = serve::connect_tcp(port, err);
+  }
+  ASSERT_GE(fd2, 0) << "daemon died after the disconnect: " << err;
+  ASSERT_TRUE(serve::send_frame(fd2, sched::MsgType::kCacheStats, ""));
+  sched::FrameDecoder dec;
+  sched::Frame f;
+  ASSERT_TRUE(serve::recv_frame(fd2, dec, f, err)) << err;
+  EXPECT_EQ(f.type, sched::MsgType::kCacheStats);
+  ASSERT_TRUE(serve::send_frame(fd2, sched::MsgType::kShutdown, ""));
+  ASSERT_TRUE(serve::recv_frame(fd2, dec, f, err)) << err;
+  ::close(fd2);
+  server.join();
+}
+
+}  // namespace
+}  // namespace plankton
