@@ -10,15 +10,24 @@
 //   stats                        print verdict-cache counters
 //   shutdown                     persist the cache and stop the daemon
 //
+// Connection failures are retried with doubling backoff (--retries,
+// --retry-delay-ms) before giving up — a daemon mid-restart is reached by
+// the next attempt instead of failing the script driving this client.
+//
 // Exit codes mirror plankton_verify: 0 holds / command ok, 1 violated,
-// 2 inconclusive, 3 usage/transport/config error.
+// 2 inconclusive, 3 usage/config/daemon error, 4 daemon unreachable after
+// all retries (distinct so callers can tell "the verdict is bad" from "the
+// daemon is down").
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/server.hpp"
@@ -83,6 +92,7 @@ int print_reply(const sched::Frame& frame) {
 int usage() {
   std::fprintf(stderr,
                "usage: plankton_client --socket <path>|--tcp <port> "
+               "[--retries n] [--retry-delay-ms n] "
                "load <file> | query <spec...> [--failures n] | "
                "delta <file> | stats | shutdown\n");
   return 3;
@@ -93,6 +103,8 @@ int usage() {
 int main(int argc, char** argv) {
   std::string unix_path;
   int tcp_port = 0;
+  int retries = 3;
+  int retry_delay_ms = 100;
   int i = 1;
   while (i < argc && argv[i][0] == '-') {
     const std::string arg = argv[i];
@@ -100,6 +112,10 @@ int main(int argc, char** argv) {
       unix_path = argv[++i];
     } else if (arg == "--tcp" && i + 1 < argc) {
       tcp_port = std::atoi(argv[++i]);
+    } else if (arg == "--retries" && i + 1 < argc) {
+      retries = std::max(0, std::atoi(argv[++i]));
+    } else if (arg == "--retry-delay-ms" && i + 1 < argc) {
+      retry_delay_ms = std::max(1, std::atoi(argv[++i]));
     } else {
       return usage();
     }
@@ -108,15 +124,54 @@ int main(int argc, char** argv) {
   if (i >= argc || (unix_path.empty() && tcp_port == 0)) return usage();
   const std::string command = argv[i++];
 
+  // Bounded connect retry with doubling backoff (capped at 2 s a hop): a
+  // daemon that is restarting — journal replay included — comes back within
+  // a few hops. Exhaustion is exit 4, the "daemon unreachable" code.
   std::string error;
-  const int fd = unix_path.empty() ? connect_tcp(tcp_port, error)
-                                   : connect_unix(unix_path, error);
+  const auto connect_once = [&]() {
+    return unix_path.empty() ? connect_tcp(tcp_port, error)
+                             : connect_unix(unix_path, error);
+  };
+  int fd = connect_once();
+  for (int attempt = 0; fd < 0 && attempt < retries; ++attempt) {
+    const int delay = std::min(retry_delay_ms << std::min(attempt, 10), 2000);
+    std::fprintf(stderr, "plankton_client: %s (retrying in %dms)\n",
+                 error.c_str(), delay);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    fd = connect_once();
+  }
   if (fd < 0) {
-    std::fprintf(stderr, "plankton_client: %s\n", error.c_str());
-    return 3;
+    std::fprintf(stderr, "plankton_client: daemon unreachable: %s\n",
+                 error.c_str());
+    return 4;
   }
   sched::Frame reply;
   int rc = 3;
+  bool transport_failed = false;
+  // Idempotent requests (load/query/stats) survive a mid-request connection
+  // loss by reconnecting and resending; delta and shutdown are not resent —
+  // a lost reply leaves their outcome unknown, which exit 4 reports.
+  const auto do_rpc = [&](sched::MsgType type, const std::string& payload,
+                          bool idempotent) {
+    for (int attempt = 0;; ++attempt) {
+      if (rpc(fd, type, payload, reply, error)) return true;
+      if (!idempotent || attempt >= retries) {
+        transport_failed = true;
+        return false;
+      }
+      const int delay =
+          std::min(retry_delay_ms << std::min(attempt, 10), 2000);
+      std::fprintf(stderr, "plankton_client: %s (retrying in %dms)\n",
+                   error.c_str(), delay);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      ::close(fd);
+      fd = connect_once();
+      if (fd < 0) {
+        transport_failed = true;
+        return false;
+      }
+    }
+  };
   if (command == "load") {
     if (i >= argc) return usage();
     LoadNetMsg m;
@@ -125,7 +180,7 @@ int main(int argc, char** argv) {
       ::close(fd);
       return 3;
     }
-    if (rpc(fd, sched::MsgType::kLoadNet, encode_load_net(m), reply, error)) {
+    if (do_rpc(sched::MsgType::kLoadNet, encode_load_net(m), true)) {
       rc = print_reply(reply);
     }
   } else if (command == "query") {
@@ -141,7 +196,7 @@ int main(int argc, char** argv) {
     }
     if (spec.empty()) return usage();
     m.policy_spec = spec;
-    if (rpc(fd, sched::MsgType::kQuery, encode_query(m), reply, error)) {
+    if (do_rpc(sched::MsgType::kQuery, encode_query(m), true)) {
       rc = print_reply(reply);
     }
   } else if (command == "delta") {
@@ -172,12 +227,11 @@ int main(int argc, char** argv) {
       }
       m.ops.push_back(std::move(op));
     }
-    if (rpc(fd, sched::MsgType::kApplyDelta, encode_apply_delta(m), reply,
-            error)) {
+    if (do_rpc(sched::MsgType::kApplyDelta, encode_apply_delta(m), false)) {
       rc = print_reply(reply);
     }
   } else if (command == "stats") {
-    if (rpc(fd, sched::MsgType::kCacheStats, "", reply, error)) {
+    if (do_rpc(sched::MsgType::kCacheStats, "", true)) {
       CacheStatsMsg m;
       if (reply.type == sched::MsgType::kCacheStats &&
           decode_cache_stats(reply.payload, m)) {
@@ -196,10 +250,16 @@ int main(int argc, char** argv) {
       }
     }
   } else if (command == "shutdown") {
-    if (rpc(fd, sched::MsgType::kShutdown, "", reply, error)) rc = 0;
+    if (do_rpc(sched::MsgType::kShutdown, "", false)) rc = 0;
   } else {
     ::close(fd);
     return usage();
+  }
+  if (transport_failed) {
+    std::fprintf(stderr, "plankton_client: daemon unreachable: %s\n",
+                 error.c_str());
+    if (fd >= 0) ::close(fd);
+    return 4;
   }
   if (rc == 3 && !error.empty()) {
     std::fprintf(stderr, "plankton_client: %s\n", error.c_str());

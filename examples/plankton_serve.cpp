@@ -5,8 +5,14 @@
 //
 //   plankton_serve --socket /tmp/plankton.sock --cache /tmp/plankton.cache
 //   plankton_serve --tcp 7411 --all-violations
+//   plankton_serve --socket /tmp/p.sock --journal /tmp/p.journal
 //
-// Exit codes: 0 clean shutdown (kShutdown frame), 3 setup/usage error.
+// With --journal every accepted load/delta is appended + fsync'd to a PKJ1
+// write-ahead journal before it is acked, and a restart replays the journal
+// so a kill -9 loses nothing that was acknowledged.
+//
+// Exit codes: 0 clean shutdown (kShutdown frame or SIGTERM/SIGINT drain),
+// 3 setup/usage error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,9 +26,11 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: plankton_serve [--socket <path>] [--tcp <port>]\n"
-      "                      [--cache <path>] [--cores <n>]\n"
+      "                      [--cache <path>] [--journal <path>] [--cores <n>]\n"
       "                      [--all-violations] [--no-pec-dedup] [--no-por]\n"
       "                      [--deadline-ms <n>] [--budget-states <n>]\n"
+      "                      [--max-clients <n>] [--read-deadline-ms <n>]\n"
+      "                      [--idle-timeout-ms <n>] [--fault-plan <plan>]\n"
       "at least one of --socket/--tcp is required\n");
 }
 
@@ -46,6 +54,21 @@ int main(int argc, char** argv) {
       opts.tcp_port = std::atoi(value());
     } else if (arg == "--cache") {
       opts.cache_path = value();
+    } else if (arg == "--journal") {
+      opts.journal_path = value();
+    } else if (arg == "--max-clients") {
+      opts.max_clients = static_cast<std::size_t>(std::atol(value()));
+    } else if (arg == "--read-deadline-ms") {
+      opts.read_deadline_ms = std::atoi(value());
+    } else if (arg == "--idle-timeout-ms") {
+      opts.idle_timeout_ms = std::atoi(value());
+    } else if (arg == "--fault-plan") {
+      std::string fault_error;
+      if (!plankton::sched::parse_fault_plan(value(), opts.fault_plan,
+                                             fault_error)) {
+        std::fprintf(stderr, "plankton_serve: %s\n", fault_error.c_str());
+        return 3;
+      }
     } else if (arg == "--cores") {
       opts.verify.cores = std::atoi(value());
     } else if (arg == "--all-violations") {

@@ -715,8 +715,28 @@ VerifyResult Verifier::verify_pecs(std::vector<PecId> targets, const Policy& pol
         bm.export_check_every = opts_.shard_export_check_every;
         bm.export_min_frontier = opts_.shard_export_min_frontier;
         bm.export_max_per_run = opts_.shard_export_max_per_pec;
+        // The remote session runs as slot 0 / generation 1 locally, so the
+        // coordinator resolves its FaultPlan per incarnation here and ships
+        // the resolved faults with gen* (fire at any local generation). A
+        // healthy incarnation ships an empty plan string.
+        const auto payload_for = [bm, fp = so.fault_plan](
+                                     std::size_t slot,
+                                     int generation) mutable {
+          const sched::WorkerFaults wf =
+              fp.for_worker(static_cast<int>(slot), generation);
+          if (wf.any()) {
+            sched::FaultPlan resolved;
+            resolved.faults = wf;
+            resolved.all_generations = true;
+            bm.fault_plan = resolved.str();
+          } else {
+            bm.fault_plan.clear();
+          }
+          return serve::encode_bootstrap(bm);
+        };
         tcp = std::make_unique<sched::TcpWorkerTransport>(
-            opts_.shard_workers, serve::encode_bootstrap(bm),
+            opts_.shard_workers,
+            sched::TcpWorkerTransport::PayloadFactory(payload_for),
             shard_plan_hash(plan, pecs_.pecs.size()),
             opts_.shard_connect_timeout_ms);
       }
@@ -958,6 +978,15 @@ int serve_shard_worker_session(int fd) {
       serve::make_policy(pn.net, bm.policy_spec, err);
   if (policy == nullptr) return nack("policy: " + err);
 
+  // The coordinator pre-resolved its FaultPlan for this incarnation (the
+  // session below always runs as slot 0 / generation 1, so an unresolved
+  // slot/generation-scoped plan would silently never fire here).
+  sched::FaultPlan session_faults;
+  if (!bm.fault_plan.empty() &&
+      !sched::parse_fault_plan(bm.fault_plan, session_faults, err)) {
+    return nack("fault plan: " + err);
+  }
+
   std::vector<PecId> targets;
   targets.reserve(bm.targets.size());
   for (const std::uint32_t t : bm.targets) {
@@ -989,6 +1018,7 @@ int serve_shard_worker_session(int fd) {
   if (bm.max_frame_payload != 0) so.max_frame_payload = bm.max_frame_payload;
   so.split_export = bm.split_export != 0;
   so.export_max_per_pec = bm.export_max_per_run;
+  so.fault_plan = session_faults;
 
   const auto body = [&](std::size_t task_idx, OutcomeStore& upstream)
       -> std::vector<sched::ShardPecResult> {

@@ -79,6 +79,20 @@ bool parse_fault_plan(std::string_view text, FaultPlan& out,
     } else if (name == "eintr") {
       if (!has1 || v1 == 0 || !arg2.empty()) return fail("eintr needs @N");
       out.faults.eintr_burst = static_cast<std::uint32_t>(v1);
+    } else if (name == "stall") {
+      if (!has1 || v1 == 0 || !has2) return fail("stall needs @F:MS");
+      out.faults.stall_at_frame = v1;
+      out.faults.stall_ms = static_cast<std::uint32_t>(v2);
+    } else if (name == "drop-conn") {
+      if (!has1 || v1 == 0 || !arg2.empty()) return fail("drop-conn needs @F");
+      out.faults.drop_conn_at_frame = v1;
+    } else if (name == "torn-tcp") {
+      if (!has1 || v1 == 0 || !arg2.empty()) return fail("torn-tcp needs @F");
+      out.faults.torn_tcp_at_frame = v1;
+    } else if (name == "slow-read") {
+      if (!has1 || v1 == 0 || !has2) return fail("slow-read needs @F:MS");
+      out.faults.slow_read_at = v1;
+      out.faults.slow_read_ms = static_cast<std::uint32_t>(v2);
     } else if (name == "gen*") {
       out.all_generations = true;
     } else if (d.substr(0, 5) == "slot=") {
@@ -123,6 +137,20 @@ std::string FaultPlan::str() const {
   if (faults.eintr_burst != 0) {
     add("eintr@" + std::to_string(faults.eintr_burst));
   }
+  if (faults.stall_at_frame != 0) {
+    add("stall@" + std::to_string(faults.stall_at_frame) + ":" +
+        std::to_string(faults.stall_ms));
+  }
+  if (faults.drop_conn_at_frame != 0) {
+    add("drop-conn@" + std::to_string(faults.drop_conn_at_frame));
+  }
+  if (faults.torn_tcp_at_frame != 0) {
+    add("torn-tcp@" + std::to_string(faults.torn_tcp_at_frame));
+  }
+  if (faults.slow_read_at != 0) {
+    add("slow-read@" + std::to_string(faults.slow_read_at) + ":" +
+        std::to_string(faults.slow_read_ms));
+  }
   if (slot >= 0) add("slot=" + std::to_string(slot));
   if (all_generations) add("gen*");
   return out;
@@ -147,6 +175,26 @@ FaultPlan FaultPlan::from_seed(std::uint64_t seed) {
     case 5:
       plan.faults.crash_at_frame = frame;
       plan.faults.short_writes = true;
+      break;
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_seed_socket(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  const std::uint64_t h = hash_mix(seed + 0x50c7e7u);
+  const std::uint64_t frame = 1 + (hash_mix(h) % 3);
+  switch (h % 4) {
+    case 0:
+      plan.faults.stall_at_frame = frame;
+      plan.faults.stall_ms = 20;
+      break;
+    case 1: plan.faults.drop_conn_at_frame = frame; break;
+    case 2: plan.faults.torn_tcp_at_frame = frame; break;
+    case 3:
+      plan.faults.slow_read_at = frame;
+      plan.faults.slow_read_ms = 20;
       break;
   }
   return plan;

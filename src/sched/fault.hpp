@@ -23,6 +23,20 @@
 //                write exercise for the reassembling decoder)
 //   eintr@N      fail the first N write() attempts of every frame with a
 //                synthetic EINTR (retry-storm exercise for bounded write_all)
+//
+// Socket-level faults — the connection misbehaves but the process survives,
+// so the TCP reconnect/re-bootstrap and serve read-deadline paths are what
+// recovers (a process-fault crash@F exercises respawn instead):
+//
+//   stall@F:MS     sleep MS ms with the connection idle before sending data
+//                  frame F (no heartbeats either on transports that have
+//                  them — a stalled-peer exercise for idle deadlines)
+//   drop-conn@F    shutdown(2) the connection immediately before data frame
+//                  F; the process stays alive to accept a reconnect
+//   torn-tcp@F     write the first half of data frame F, then shutdown(2) —
+//                  a torn stream whose peer process survives
+//   slow-read@F:MS sleep MS ms before the F-th read from the connection
+//                  (1-based; a slow consumer backing up the peer's writes)
 //   slot=S       scope the plan to worker slot S (default: all workers)
 //   gen*         faults persist across respawns of a slot; without it a
 //                fault fires only at generation 0, so recovery always
@@ -52,9 +66,19 @@ struct WorkerFaults {
   bool short_writes = false;
   std::uint32_t eintr_burst = 0;
 
+  // Socket-level faults (connection dies or stalls, process survives):
+  std::uint64_t stall_at_frame = 0;
+  std::uint32_t stall_ms = 0;
+  std::uint64_t drop_conn_at_frame = 0;
+  std::uint64_t torn_tcp_at_frame = 0;
+  std::uint64_t slow_read_at = 0;  ///< 1-based read() index on the connection
+  std::uint32_t slow_read_ms = 0;
+
   [[nodiscard]] bool any() const {
     return crash_at_frame != 0 || torn_at_frame != 0 || hang_at_frame != 0 ||
-           wedge_at_frame != 0 || short_writes || eintr_burst != 0;
+           wedge_at_frame != 0 || short_writes || eintr_burst != 0 ||
+           stall_at_frame != 0 || drop_conn_at_frame != 0 ||
+           torn_tcp_at_frame != 0 || slow_read_at != 0;
   }
 };
 
@@ -82,6 +106,12 @@ struct FaultPlan {
   /// Deterministic plan derived from a seed: picks one fault class and a
   /// small frame index. The sweep tests iterate seeds to cover the matrix.
   [[nodiscard]] static FaultPlan from_seed(std::uint64_t seed);
+
+  /// Like from_seed, but over the socket-fault classes only (stall,
+  /// drop-conn, torn-tcp, slow-read) — the network-level sweep. Kept
+  /// separate so from_seed stays byte-stable for the pinned process-fault
+  /// matrix.
+  [[nodiscard]] static FaultPlan from_seed_socket(std::uint64_t seed);
 };
 
 /// Parses the directive syntax above. Returns false (and sets `error`)

@@ -570,6 +570,27 @@ bool send_data_frame(WorkerIo& io, MsgType type, const std::string& payload) {
     (void)write_all(io.fd, out.data(), out.size() / 2);
     _exit(9);
   }
+  if (f.stall_at_frame == frame_no && f.stall_ms > 0) {
+    // Stalled peer: the connection goes fully quiet (the write lock is held,
+    // so heartbeats stop too) without the process dying — the idle-deadline
+    // and keepalive paths are what notice this one.
+    usleep(static_cast<useconds_t>(f.stall_ms) * 1000);
+  }
+  if (f.drop_conn_at_frame == frame_no) {
+    // Connection death with a surviving process: a TCP worker daemon goes
+    // back to its accept loop, so recovery is reconnect + re-bootstrap, not
+    // respawn.
+    shutdown(io.fd, SHUT_RDWR);
+    return false;
+  }
+  if (f.torn_tcp_at_frame == frame_no) {
+    // Torn stream, surviving process: half a frame then a hard close. The
+    // coordinator must poison the stream (never parse the torn frame) and
+    // reassign; the worker is reachable again immediately.
+    (void)write_all(io.fd, out.data(), out.size() / 2);
+    shutdown(io.fd, SHUT_RDWR);
+    return false;
+  }
   if (!f.short_writes) {
     return write_all(io.fd, out.data(), out.size(), nullptr, f.eintr_burst);
   }
@@ -673,6 +694,7 @@ int run_worker_session(
   OutcomeStore store(net, pecs);
   FrameDecoder decoder(opts.max_frame_payload);
   char buf[1 << 16];
+  std::uint64_t reads = 0;  // 1-based read index slow-read@F keys on
   for (;;) {
     Frame frame;
     FrameDecoder::Status st;
@@ -781,6 +803,12 @@ int run_worker_session(
       }
     }
     if (st == FrameDecoder::Status::kError) return finish(3);
+    ++reads;
+    if (io.faults.slow_read_at == reads && io.faults.slow_read_ms > 0) {
+      // Slow consumer: inbound frames back up while the worker sleeps. The
+      // coordinator's dispatch writes must tolerate the full pipe.
+      usleep(static_cast<useconds_t>(io.faults.slow_read_ms) * 1000);
+    }
     const ssize_t r = read(fd, buf, sizeof(buf));
     if (r > 0) {
       decoder.feed(buf, static_cast<std::size_t>(r));
@@ -893,6 +921,10 @@ struct WorkerSlot {
   std::chrono::steady_clock::time_point last_progress_time{};
   bool probed = false;  ///< soft-deadline probe already fired for this task
   std::chrono::steady_clock::time_point respawn_after{};  ///< backoff gate
+  /// Consecutive start() failures since the last successful spawn — a remote
+  /// worker that is down paces the reconnect attempts up the same
+  /// exponential ladder as crash respawns instead of hammering every 200 ms.
+  int start_failures = 0;
 };
 
 }  // namespace
@@ -953,6 +985,7 @@ ShardRunResult run_sharded_task_graph(
     pid_t pid = -1;
     const int fd = tp->start(slot, w.generation, pid);
     if (fd < 0) return false;
+    w.start_failures = 0;
     const int flags = fcntl(fd, F_GETFL, 0);
     (void)fcntl(fd, F_SETFL, flags | O_NONBLOCK);
     w.pid = pid;
@@ -1629,11 +1662,14 @@ ShardRunResult run_sharded_task_graph(
         if (!any_alive && !any_backing_off && s + 1 == workers.size()) {
           result.error = "cannot respawn any shard worker";
         }
-        // A failed start (fork pressure, remote worker still down) re-arms
-        // the gate so the loop retries at a bounded rate instead of
-        // hammering start() every poll slice.
+        // A failed start (fork pressure, remote worker still down) climbs
+        // the same capped exponential ladder as crash respawns: a TCP
+        // worker that is down for a while is probed at 200, 400, ... 2000 ms
+        // instead of hammered every poll slice, and reconnects promptly
+        // once it is back (the cap bounds the worst-case refill delay).
         workers[s].respawn_after =
-            respawn_now + std::chrono::milliseconds(200);
+            respawn_now + std::chrono::milliseconds(compute_respawn_backoff_ms(
+                              200, ++workers[s].start_failures));
       }
     }
     if (!result.error.empty()) break;

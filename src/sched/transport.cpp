@@ -2,6 +2,8 @@
 
 #include <fcntl.h>
 #include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -80,14 +82,23 @@ TcpWorkerTransport::TcpWorkerTransport(std::vector<std::string> addresses,
                                        std::string bootstrap_payload,
                                        std::uint64_t expected_plan_hash,
                                        int connect_timeout_ms)
+    : TcpWorkerTransport(
+          std::move(addresses),
+          PayloadFactory([payload = std::move(bootstrap_payload)](
+                             std::size_t, int) { return payload; }),
+          expected_plan_hash, connect_timeout_ms) {}
+
+TcpWorkerTransport::TcpWorkerTransport(std::vector<std::string> addresses,
+                                       PayloadFactory payload_factory,
+                                       std::uint64_t expected_plan_hash,
+                                       int connect_timeout_ms)
     : addrs_(std::move(addresses)),
-      bootstrap_payload_(std::move(bootstrap_payload)),
+      payload_factory_(std::move(payload_factory)),
       expected_plan_hash_(expected_plan_hash),
       connect_timeout_ms_(std::max(connect_timeout_ms, 1)) {}
 
 int TcpWorkerTransport::start(std::size_t slot, int generation, pid_t& pid) {
   pid = -1;
-  (void)generation;
   if (addrs_.empty()) return -1;
   const std::string& addr = addrs_[slot % addrs_.size()];
   const std::size_t colon = addr.rfind(':');
@@ -100,8 +111,19 @@ int TcpWorkerTransport::start(std::size_t slot, int generation, pid_t& pid) {
                                       addr.substr(colon + 1),
                                       connect_timeout_ms_);
   if (fd < 0) return -1;
+  // Keepalive with LAN-aggressive probing: a half-open worker connection
+  // (host gone without a FIN) must die in seconds so the supervision ladder
+  // reassigns the task, instead of the kernel's two-hour default.
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof(one));
+#if defined(TCP_KEEPIDLE)
+  const int idle = 5, intvl = 2, cnt = 5;
+  setsockopt(fd, IPPROTO_TCP, TCP_KEEPIDLE, &idle, sizeof(idle));
+  setsockopt(fd, IPPROTO_TCP, TCP_KEEPINTVL, &intvl, sizeof(intvl));
+  setsockopt(fd, IPPROTO_TCP, TCP_KEEPCNT, &cnt, sizeof(cnt));
+#endif
   std::string out;
-  encode_frame(out, MsgType::kBootstrap, bootstrap_payload_);
+  encode_frame(out, MsgType::kBootstrap, payload_factory_(slot, generation));
   if (!send_all(fd, out.data(), out.size())) {
     close(fd);
     return -1;

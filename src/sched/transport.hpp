@@ -19,6 +19,7 @@
 #include <sys/types.h>
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -57,8 +58,19 @@ class WorkerTransport {
 /// back (plankton_worker serves sessions in an accept loop) the slot refills.
 class TcpWorkerTransport final : public WorkerTransport {
  public:
+  /// Builds the kBootstrap payload for one (slot, generation) incarnation —
+  /// the coordinator resolves per-incarnation state (e.g. which FaultPlan
+  /// faults this incarnation must act out) into the blob it ships.
+  using PayloadFactory =
+      std::function<std::string(std::size_t slot, int generation)>;
+
   TcpWorkerTransport(std::vector<std::string> addresses,
                      std::string bootstrap_payload,
+                     std::uint64_t expected_plan_hash,
+                     int connect_timeout_ms = 5000);
+
+  TcpWorkerTransport(std::vector<std::string> addresses,
+                     PayloadFactory payload_factory,
                      std::uint64_t expected_plan_hash,
                      int connect_timeout_ms = 5000);
 
@@ -69,7 +81,7 @@ class TcpWorkerTransport final : public WorkerTransport {
 
  private:
   std::vector<std::string> addrs_;
-  std::string bootstrap_payload_;
+  PayloadFactory payload_factory_;
   std::uint64_t expected_plan_hash_ = 0;
   int connect_timeout_ms_ = 5000;
 };

@@ -78,6 +78,7 @@ std::string encode_bootstrap(const BootstrapMsg& m) {
   put_int(out, m.export_check_every);
   put_int(out, m.export_min_frontier);
   put_int(out, m.export_max_per_run);
+  put_string(out, m.fault_plan);
   return out;
 }
 
@@ -119,7 +120,8 @@ bool decode_bootstrap(std::string_view in, BootstrapMsg& out) {
       get_int(in, out.max_frame_payload) && get_int(in, out.split_export) &&
       get_int(in, out.export_check_every) &&
       get_int(in, out.export_min_frontier) &&
-      get_int(in, out.export_max_per_run) && in.empty();
+      get_int(in, out.export_max_per_run) &&
+      get_string(in, out.fault_plan) && in.empty();
   const auto flag_ok = [](std::uint8_t f) { return f <= 1; };
   if (!fields_ok || !flag_ok(out.pec_dedup) ||
       !flag_ok(out.stop_on_violation) || out.max_failures < 0 ||
@@ -573,6 +575,14 @@ bool ServeState::load(const std::string& config_text, std::string& error) {
     std::string load_error;
     (void)cache_.load(cache_path_, load_error);  // absent/corrupt = cold start
   }
+  // A full load obsoletes the journal history: compact to one kLoadNet
+  // record (fsync'd inside rewrite — the caller's ack stays behind the
+  // durability point). A journal failure fails the request so no ack can
+  // ever claim durability the disk doesn't have.
+  if (journal_.is_open() && !replaying_ &&
+      !journal_.rewrite(config_text_, error)) {
+    return false;
+  }
   return true;
 }
 
@@ -634,6 +644,11 @@ bool ServeState::apply_delta(const ApplyDeltaMsg& delta, std::string& error) {
   moved += before.size() - matched;  // vanished PECs
   prev_cones_ = std::move(before);
   last_moved_ = moved;
+  if (journal_.is_open() && !replaying_ &&
+      !journal_.append(JournalRecord::kApplyDelta, encode_apply_delta(delta),
+                       error)) {
+    return false;
+  }
   return true;
 }
 
@@ -742,6 +757,48 @@ CacheStatsMsg ServeState::cache_stats() const {
 bool ServeState::save_cache(std::string& error) {
   if (cache_path_.empty()) return true;
   return cache_.save(cache_path_, error);
+}
+
+bool ServeState::attach_journal(const std::string& path, std::string& error) {
+  return journal_.open(path, error);
+}
+
+bool ServeState::replay_journal(Journal::ReplayResult& stats,
+                                std::string& error) {
+  if (!journal_.is_open()) {
+    error = "no journal attached";
+    return false;
+  }
+  replaying_ = true;
+  std::string apply_error;
+  const bool ok = Journal::replay(
+      journal_.path(),
+      [this, &apply_error](JournalRecord type, std::string_view payload) {
+        if (type == JournalRecord::kLoadNet) {
+          return load(std::string(payload), apply_error);
+        }
+        ApplyDeltaMsg delta;
+        if (!decode_apply_delta(payload, delta)) {
+          apply_error = "undecodable kApplyDelta record";
+          return false;
+        }
+        return apply_delta(delta, apply_error);
+      },
+      stats, error);
+  replaying_ = false;
+  if (!ok && !apply_error.empty()) error += " (" + apply_error + ")";
+  // Chop the torn tail off now: leaving it would put the next accepted
+  // append *behind* unparseable bytes, where no future replay can reach it.
+  if (ok && stats.torn_tail &&
+      !journal_.truncate_tail(stats.dropped_bytes, error)) {
+    return false;
+  }
+  return ok;
+}
+
+bool ServeState::compact_journal(std::string& error) {
+  if (!journal_.is_open() || !loaded()) return true;
+  return journal_.rewrite(config_text_, error);
 }
 
 }  // namespace plankton::serve

@@ -26,6 +26,7 @@
 
 #include "config/parser.hpp"
 #include "core/verifier.hpp"
+#include "serve/journal.hpp"
 #include "serve/verdict_cache.hpp"
 
 namespace plankton::serve {
@@ -140,6 +141,13 @@ struct BootstrapMsg {
   std::uint32_t export_check_every = 0;
   std::uint64_t export_min_frontier = 0;
   std::int32_t export_max_per_run = 0;
+
+  /// Pre-resolved FaultPlan string this worker incarnation must act out
+  /// (empty = no faults). The coordinator resolves its plan per slot +
+  /// generation before shipping, because the remote session always runs as
+  /// slot 0 / generation 1 locally — shipping the raw plan would silently
+  /// mis-target every slot-scoped fault.
+  std::string fault_plan;
 };
 
 std::string encode_bootstrap(const BootstrapMsg& m);
@@ -206,6 +214,23 @@ class ServeState {
   [[nodiscard]] CacheStatsMsg cache_stats() const;
   bool save_cache(std::string& error);
 
+  /// Attaches the PKJ1 write-ahead journal at `path`: every subsequent
+  /// accepted load()/apply_delta() is appended + fsync'd before returning,
+  /// so an ack sent after a successful call is durable by construction.
+  bool attach_journal(const std::string& path, std::string& error);
+
+  /// Replays an existing journal at the attached path through the normal
+  /// load/apply_delta paths (appends suppressed), rebuilding the pre-crash
+  /// resident state bit-identically. Torn/corrupt tails are dropped cleanly
+  /// and reported via `stats`; call before serving traffic.
+  bool replay_journal(Journal::ReplayResult& stats, std::string& error);
+
+  /// Compacts the journal down to one kLoadNet record of the resident
+  /// config (no-op without a journal or resident net).
+  bool compact_journal(std::string& error);
+
+  [[nodiscard]] bool journal_attached() const { return journal_.is_open(); }
+
   [[nodiscard]] bool loaded() const { return verifier_ != nullptr; }
   [[nodiscard]] const Network& net() const { return parsed_.net; }
   [[nodiscard]] const Verifier& verifier() const { return *verifier_; }
@@ -231,6 +256,10 @@ class ServeState {
   std::unordered_map<std::string, std::uint64_t> prev_cones_;
   std::uint64_t last_moved_ = 0;
   VerdictCache cache_;
+  Journal journal_;
+  /// True while replay_journal() drives load/apply_delta — suppresses
+  /// re-appending the records being replayed.
+  bool replaying_ = false;
 };
 
 }  // namespace plankton::serve

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <signal.h>
 #include <sys/select.h>
 #include <sys/socket.h>
@@ -9,12 +10,24 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <list>
+#include <thread>
 
 namespace plankton::serve {
 
 namespace {
+
+/// SIGTERM/SIGINT request a graceful drain: the loop notices the flag at the
+/// next tick (or EINTR), finishes whatever request is in flight (dispatch is
+/// synchronous, so "in flight" always completes before the flag is checked),
+/// saves the cache, compacts the journal, and returns 0.
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+void on_drain_signal(int) { g_drain_requested = 1; }
 
 int listen_unix(const std::string& path, std::string& error) {
   sockaddr_un addr{};
@@ -77,100 +90,134 @@ bool write_all_fd(int fd, const char* data, std::size_t n) {
   return true;
 }
 
-/// One client connection: frames in, replies out. Returns true when the
-/// daemon should shut down (kShutdown seen).
-bool serve_connection(int fd, ServeState& state) {
+using Clock = std::chrono::steady_clock;
+
+/// One multiplexed client connection.
+struct ClientConn {
+  int fd = -1;
+  bool tcp = false;
   sched::FrameDecoder decoder;
-  sched::Frame frame;
-  char buf[1 << 16];
-  for (;;) {
-    const auto status = decoder.next(frame);
-    if (status == sched::FrameDecoder::Status::kError) {
-      std::fprintf(stderr, "plankton_serve: bad frame: %s\n",
-                   decoder.error().c_str());
-      return false;
-    }
-    if (status == sched::FrameDecoder::Status::kNeedMore) {
-      const ssize_t r = ::read(fd, buf, sizeof buf);
-      if (r < 0 && errno == EINTR) continue;
-      if (r <= 0) return false;  // client went away
-      decoder.feed(buf, static_cast<std::size_t>(r));
-      continue;
-    }
-    VerdictReplyMsg reply;
-    std::string error;
-    switch (frame.type) {
-      case sched::MsgType::kLoadNet: {
-        LoadNetMsg m;
-        if (!decode_load_net(frame.payload, m)) {
-          reply.error = "malformed kLoadNet payload";
-        } else if (state.load(m.config_text, error)) {
-          reply.ok = true;
-        } else {
-          reply.error = error;
-        }
-        if (!reply.ok) {
-          reply.verdict = static_cast<std::uint8_t>(Verdict::kError);
-        }
-        break;
-      }
-      case sched::MsgType::kApplyDelta: {
-        ApplyDeltaMsg m;
-        if (!decode_apply_delta(frame.payload, m)) {
-          reply.error = "malformed kApplyDelta payload";
-        } else if (state.apply_delta(m, error)) {
-          reply.ok = true;
-          reply.moved = state.last_moved();
-        } else {
-          reply.error = error;
-        }
-        if (!reply.ok) {
-          reply.verdict = static_cast<std::uint8_t>(Verdict::kError);
-        }
-        break;
-      }
-      case sched::MsgType::kQuery: {
-        QueryMsg m;
-        if (!decode_query(frame.payload, m)) {
-          reply.error = "malformed kQuery payload";
-          reply.verdict = static_cast<std::uint8_t>(Verdict::kError);
-        } else {
-          reply = state.query(m);
-        }
-        break;
-      }
-      case sched::MsgType::kCacheStats: {
-        std::string out;
-        sched::encode_frame(out, sched::MsgType::kCacheStats,
-                            encode_cache_stats(state.cache_stats()));
-        if (!write_all_fd(fd, out.data(), out.size())) return false;
-        continue;
-      }
-      case sched::MsgType::kShutdown: {
-        std::string save_error;
-        if (!state.save_cache(save_error)) {
-          std::fprintf(stderr, "plankton_serve: cache save failed: %s\n",
-                       save_error.c_str());
-        }
-        reply.ok = true;
-        std::string out;
-        sched::encode_frame(out, sched::MsgType::kVerdictReply,
-                            encode_verdict_reply(reply));
-        (void)write_all_fd(fd, out.data(), out.size());
-        return true;
-      }
-      default: {
-        // Shard-side frame types are valid PKS1 but meaningless here.
-        reply.error = "unexpected frame type on serve socket";
-        reply.verdict = static_cast<std::uint8_t>(Verdict::kError);
-        break;
-      }
-    }
-    std::string out;
-    sched::encode_frame(out, sched::MsgType::kVerdictReply,
-                        encode_verdict_reply(reply));
-    if (!write_all_fd(fd, out.data(), out.size())) return false;
+  Clock::time_point last_activity;
+  std::uint64_t reply_frames = 0;  ///< replies sent (socket-fault counter)
+  std::uint64_t reads = 0;         ///< reads performed (slow-read counter)
+};
+
+/// Sends one PKS1 frame to a client, acting out any serve-side socket
+/// faults. Returns false when the connection must be closed (fault fired or
+/// the peer is gone).
+bool send_client_frame(ClientConn& c, const sched::WorkerFaults& wf,
+                       sched::MsgType type, std::string_view payload) {
+  std::string out;
+  sched::encode_frame(out, type, payload);
+  ++c.reply_frames;
+  if (wf.stall_at_frame != 0 && c.reply_frames == wf.stall_at_frame) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(wf.stall_ms));
   }
+  if (wf.drop_conn_at_frame != 0 && c.reply_frames == wf.drop_conn_at_frame) {
+    ::shutdown(c.fd, SHUT_RDWR);
+    return false;
+  }
+  if (wf.torn_tcp_at_frame != 0 && c.reply_frames == wf.torn_tcp_at_frame) {
+    (void)write_all_fd(c.fd, out.data(), out.size() / 2);
+    ::shutdown(c.fd, SHUT_RDWR);
+    return false;
+  }
+  return write_all_fd(c.fd, out.data(), out.size());
+}
+
+enum class Dispatch { kKeep, kClose, kShutdown };
+
+/// One decoded frame: dispatch + reply. Processing is synchronous — the
+/// resident Verifier is single-threaded state — so a kQuery blocks the loop
+/// for its duration; the deadlines below are about *stalled sockets*, not
+/// slow verification.
+Dispatch dispatch_frame(ClientConn& c, const sched::Frame& frame,
+                        ServeState& state, const sched::WorkerFaults& wf) {
+  VerdictReplyMsg reply;
+  std::string error;
+  switch (frame.type) {
+    case sched::MsgType::kLoadNet: {
+      LoadNetMsg m;
+      if (!decode_load_net(frame.payload, m)) {
+        reply.error = "malformed kLoadNet payload";
+      } else if (state.load(m.config_text, error)) {
+        reply.ok = true;  // journal append + fsync already happened in load()
+      } else {
+        reply.error = error;
+      }
+      if (!reply.ok) reply.verdict = static_cast<std::uint8_t>(Verdict::kError);
+      break;
+    }
+    case sched::MsgType::kApplyDelta: {
+      ApplyDeltaMsg m;
+      if (!decode_apply_delta(frame.payload, m)) {
+        reply.error = "malformed kApplyDelta payload";
+      } else if (state.apply_delta(m, error)) {
+        reply.ok = true;  // ditto: the ack below is behind the fsync
+        reply.moved = state.last_moved();
+      } else {
+        reply.error = error;
+      }
+      if (!reply.ok) reply.verdict = static_cast<std::uint8_t>(Verdict::kError);
+      break;
+    }
+    case sched::MsgType::kQuery: {
+      QueryMsg m;
+      if (!decode_query(frame.payload, m)) {
+        reply.error = "malformed kQuery payload";
+        reply.verdict = static_cast<std::uint8_t>(Verdict::kError);
+      } else {
+        reply = state.query(m);
+      }
+      break;
+    }
+    case sched::MsgType::kCacheStats: {
+      return send_client_frame(c, wf, sched::MsgType::kCacheStats,
+                               encode_cache_stats(state.cache_stats()))
+                 ? Dispatch::kKeep
+                 : Dispatch::kClose;
+    }
+    case sched::MsgType::kShutdown: {
+      // Persist before acking so a client that saw ok=true can rely on the
+      // cache + compacted journal being on disk.
+      std::string save_error;
+      if (!state.save_cache(save_error)) {
+        std::fprintf(stderr, "plankton_serve: cache save failed: %s\n",
+                     save_error.c_str());
+      }
+      if (!state.compact_journal(save_error)) {
+        std::fprintf(stderr, "plankton_serve: journal compaction failed: %s\n",
+                     save_error.c_str());
+      }
+      reply.ok = true;
+      (void)send_client_frame(c, wf, sched::MsgType::kVerdictReply,
+                              encode_verdict_reply(reply));
+      return Dispatch::kShutdown;
+    }
+    default: {
+      // Shard-side frame types are valid PKS1 but meaningless here.
+      reply.error = "unexpected frame type on serve socket";
+      reply.verdict = static_cast<std::uint8_t>(Verdict::kError);
+      break;
+    }
+  }
+  return send_client_frame(c, wf, sched::MsgType::kVerdictReply,
+                           encode_verdict_reply(reply))
+             ? Dispatch::kKeep
+             : Dispatch::kClose;
+}
+
+void enable_keepalive(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof(one));
+#if defined(TCP_KEEPIDLE)
+  // Aggressive-for-a-LAN probing: a half-open peer (yanked cable, frozen
+  // VM) is detected in ~15 s instead of the kernel's two-hour default.
+  const int idle = 5, intvl = 2, cnt = 5;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPIDLE, &idle, sizeof(idle));
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPINTVL, &intvl, sizeof(intvl));
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPCNT, &cnt, sizeof(cnt));
+#endif
 }
 
 }  // namespace
@@ -180,7 +227,35 @@ int run_server(const ServerOptions& opts) {
   // through without the flag (or a platform that lacks it) still must not
   // let a disconnecting client kill the daemon.
   ::signal(SIGPIPE, SIG_IGN);
+  // Graceful drain on SIGTERM/SIGINT. sigaction without SA_RESTART so a
+  // signal interrupts select() instead of waiting out the tick.
+  g_drain_requested = 0;
+  struct sigaction sa {};
+  sa.sa_handler = on_drain_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
   std::string error;
+  ServeState state(opts.verify, opts.cache_path);
+  if (!opts.journal_path.empty()) {
+    if (!state.attach_journal(opts.journal_path, error)) {
+      std::fprintf(stderr, "plankton_serve: %s\n", error.c_str());
+      return 3;
+    }
+    Journal::ReplayResult replayed;
+    if (!state.replay_journal(replayed, error)) {
+      std::fprintf(stderr, "plankton_serve: journal replay failed: %s\n",
+                   error.c_str());
+      return 3;
+    }
+    if (replayed.applied != 0 || replayed.torn_tail) {
+      std::fprintf(stderr,
+                   "plankton_serve: journal replayed %llu record(s)%s\n",
+                   static_cast<unsigned long long>(replayed.applied),
+                   replayed.torn_tail ? " (torn tail dropped)" : "");
+    }
+  }
+
   int unix_fd = -1;
   int tcp_fd = -1;
   if (!opts.unix_path.empty()) {
@@ -203,34 +278,132 @@ int run_server(const ServerOptions& opts) {
     return 3;
   }
 
-  ServeState state(opts.verify, opts.cache_path);
+  const sched::WorkerFaults wf = opts.fault_plan.for_worker(0, 0);
+  std::list<ClientConn> clients;
   bool shutdown = false;
-  while (!shutdown) {
+  char buf[1 << 16];
+  while (!shutdown && g_drain_requested == 0) {
     fd_set fds;
     FD_ZERO(&fds);
     int maxfd = -1;
-    if (unix_fd >= 0) {
-      FD_SET(unix_fd, &fds);
-      maxfd = unix_fd;
-    }
-    if (tcp_fd >= 0) {
-      FD_SET(tcp_fd, &fds);
-      if (tcp_fd > maxfd) maxfd = tcp_fd;
-    }
-    if (::select(maxfd + 1, &fds, nullptr, nullptr, nullptr) < 0) {
-      if (errno == EINTR) continue;
-      std::fprintf(stderr, "plankton_serve: select: %s\n", std::strerror(errno));
+    const auto arm = [&fds, &maxfd](int fd) {
+      FD_SET(fd, &fds);
+      if (fd > maxfd) maxfd = fd;
+    };
+    if (unix_fd >= 0) arm(unix_fd);
+    if (tcp_fd >= 0) arm(tcp_fd);
+    for (const ClientConn& c : clients) arm(c.fd);
+    // The periodic tick: even with every client silent, the loop wakes to
+    // enforce read/idle deadlines (the old null-timeout select slept forever
+    // with a client stalled mid-frame, wedging everyone else).
+    timeval tick{};
+    tick.tv_usec = 50 * 1000;
+    const int ready = ::select(maxfd + 1, &fds, nullptr, nullptr, &tick);
+    if (ready < 0 && errno != EINTR) {
+      std::fprintf(stderr, "plankton_serve: select: %s\n",
+                   std::strerror(errno));
       break;
     }
-    int listener = -1;
-    if (unix_fd >= 0 && FD_ISSET(unix_fd, &fds)) listener = unix_fd;
-    if (tcp_fd >= 0 && FD_ISSET(tcp_fd, &fds)) listener = tcp_fd;
-    if (listener < 0) continue;
-    const int conn = ::accept(listener, nullptr, nullptr);
-    if (conn < 0) continue;
-    shutdown = serve_connection(conn, state);
-    ::close(conn);
+    const auto now = Clock::now();
+
+    // Accept new connections (both listeners may be ready in one tick).
+    for (const int listener : {unix_fd, tcp_fd}) {
+      if (ready <= 0 || listener < 0 || !FD_ISSET(listener, &fds)) continue;
+      const int conn = ::accept(listener, nullptr, nullptr);
+      if (conn < 0) continue;
+      const bool is_tcp = listener == tcp_fd;
+      if (clients.size() >= opts.max_clients) {
+        // Graceful refusal: a parseable error reply, then close — the
+        // client sees "capacity", not a hang or a RST.
+        VerdictReplyMsg refuse;
+        refuse.error = "server at connection capacity";
+        refuse.verdict = static_cast<std::uint8_t>(Verdict::kError);
+        std::string out;
+        sched::encode_frame(out, sched::MsgType::kVerdictReply,
+                            encode_verdict_reply(refuse));
+        (void)write_all_fd(conn, out.data(), out.size());
+        ::close(conn);
+        continue;
+      }
+      if (is_tcp) enable_keepalive(conn);
+      ClientConn c;
+      c.fd = conn;
+      c.tcp = is_tcp;
+      c.last_activity = now;
+      clients.push_back(std::move(c));
+    }
+
+    for (auto it = clients.begin(); it != clients.end() && !shutdown;) {
+      ClientConn& c = *it;
+      bool close_conn = false;
+      if (ready > 0 && FD_ISSET(c.fd, &fds)) {
+        ++c.reads;
+        if (wf.slow_read_at != 0 && c.reads == wf.slow_read_at) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(wf.slow_read_ms));
+        }
+        const ssize_t r = ::read(c.fd, buf, sizeof buf);
+        if (r <= 0) {
+          close_conn = !(r < 0 && errno == EINTR);
+        } else {
+          c.last_activity = Clock::now();
+          c.decoder.feed(buf, static_cast<std::size_t>(r));
+          sched::Frame frame;
+          for (;;) {
+            const auto status = c.decoder.next(frame);
+            if (status == sched::FrameDecoder::Status::kNeedMore) break;
+            if (status == sched::FrameDecoder::Status::kError) {
+              std::fprintf(stderr, "plankton_serve: bad frame: %s\n",
+                           c.decoder.error().c_str());
+              close_conn = true;
+              break;
+            }
+            const Dispatch d = dispatch_frame(c, frame, state, wf);
+            if (d == Dispatch::kShutdown) {
+              shutdown = true;
+              break;
+            }
+            if (d == Dispatch::kClose) {
+              close_conn = true;
+              break;
+            }
+          }
+        }
+      }
+      if (!close_conn && !shutdown) {
+        const auto age = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             now - c.last_activity)
+                             .count();
+        // Mid-frame stall: bytes are buffered but the frame never finishes.
+        if (opts.read_deadline_ms > 0 && c.decoder.buffered() > 0 &&
+            age > opts.read_deadline_ms) {
+          close_conn = true;
+        }
+        if (opts.idle_timeout_ms > 0 && age > opts.idle_timeout_ms) {
+          close_conn = true;
+        }
+      }
+      if (close_conn || shutdown) {
+        ::close(c.fd);
+        it = clients.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
+
+  // Drain: identical for kShutdown (already persisted in dispatch, the
+  // repeats are idempotent) and SIGTERM/SIGINT.
+  std::string drain_error;
+  if (!state.save_cache(drain_error)) {
+    std::fprintf(stderr, "plankton_serve: cache save failed: %s\n",
+                 drain_error.c_str());
+  }
+  if (!state.compact_journal(drain_error)) {
+    std::fprintf(stderr, "plankton_serve: journal compaction failed: %s\n",
+                 drain_error.c_str());
+  }
+  for (ClientConn& c : clients) ::close(c.fd);
   if (unix_fd >= 0) {
     ::close(unix_fd);
     ::unlink(opts.unix_path.c_str());

@@ -1,13 +1,16 @@
 // Socket transport for plankton_serve: Unix-domain and/or TCP listeners
 // speaking PKS1 frames (sched/shard.hpp), plus the client-side helpers the
-// CLI uses. Connections are served sequentially — the resident Verifier is
-// single-threaded state; the verdict cache underneath is already
-// lock-striped for when the accept loop grows worker threads.
+// CLI uses. The accept loop multiplexes all connections through one
+// select() with a periodic tick — request *processing* is sequential (the
+// resident Verifier is single-threaded state), but a client stalled
+// mid-frame can never block the others: overdue mid-frame reads and idle
+// connections are closed by per-client deadlines.
 #pragma once
 
 #include <string>
 #include <string_view>
 
+#include "sched/fault.hpp"
 #include "sched/shard.hpp"
 #include "serve/serve.hpp"
 
@@ -17,13 +20,32 @@ struct ServerOptions {
   std::string unix_path;  ///< empty = no Unix listener
   int tcp_port = 0;       ///< 0 = no TCP listener (binds 127.0.0.1)
   std::string cache_path; ///< warm-start/persist path; empty = in-memory only
+  /// PKJ1 write-ahead journal path; empty = no crash durability. When the
+  /// file already holds records the daemon replays them before accepting
+  /// connections, rebuilding the pre-crash net state bit-identically.
+  std::string journal_path;
+  /// Socket faults (stall/drop-conn/torn-tcp/slow-read) the *server* acts
+  /// out on client connections — the serve-side chaos hook; resolved via
+  /// for_worker(0, 0). Process faults are ignored here.
+  sched::FaultPlan fault_plan;
+  /// Accepted connections beyond this are refused with a polite
+  /// kVerdictReply error instead of queueing behind select().
+  std::size_t max_clients = 64;
+  /// A client stalled mid-frame longer than this is disconnected (the
+  /// satellite fix for the stalled-writer wedge). 0 disables.
+  int read_deadline_ms = 5000;
+  /// A fully idle connection older than this is disconnected. 0 disables
+  /// (default: clients may legitimately hold connections open).
+  int idle_timeout_ms = 0;
   VerifyOptions verify;
 };
 
 /// Runs the daemon loop: accept → decode frames → dispatch → reply, until a
-/// kShutdown frame arrives (cache is persisted, 0 returned) or socket setup
-/// fails (message on stderr, non-zero return). Malformed frames poison the
-/// connection (it is closed); the daemon itself keeps serving.
+/// kShutdown frame arrives or SIGTERM/SIGINT lands (either way the in-flight
+/// request finishes, the cache is persisted, the journal is compacted, and 0
+/// is returned) or socket setup fails (message on stderr, non-zero return).
+/// Malformed frames poison the connection (it is closed); the daemon itself
+/// keeps serving.
 int run_server(const ServerOptions& opts);
 
 // -- client side ------------------------------------------------------------

@@ -54,6 +54,11 @@ TEST(FaultPlan, ParsesDirectivesAndRoundTrips) {
       "shortw",          "eintr@4",
       "crash@2;slot=1",  "torn@1;gen*",
       "crash@1;shortw;slot=0;gen*",
+      // Network-level socket faults (connection dies, process survives):
+      "stall@2:40",      "drop-conn@1",
+      "torn-tcp@3",      "slow-read@2:15",
+      "drop-conn@1;slot=1",
+      "crash@2;stall@1:10;gen*",
   };
   for (const char* text : plans) {
     const sched::FaultPlan plan = parse_plan(text);
@@ -70,7 +75,9 @@ TEST(FaultPlan, ParsesDirectivesAndRoundTrips) {
 TEST(FaultPlan, RejectsMalformedDirectives) {
   const char* bad[] = {"crash",     "crash@0",   "crash@x", "hang@2",
                        "wedge@1",   "eintr@0",   "slot=",   "frobnicate@1",
-                       "crash@1:2", "shortw@3"};
+                       "crash@1:2", "shortw@3",  "stall@1", "stall@0:10",
+                       "drop-conn", "drop-conn@0",          "drop-conn@1:5",
+                       "torn-tcp@x",             "slow-read@2"};
   for (const char* text : bad) {
     sched::FaultPlan plan;
     std::string error;
@@ -94,6 +101,29 @@ TEST(FaultPlan, SeededPlansAreDeterministicAndScoped) {
   // seed= in the directive syntax derives the same plan.
   const sched::FaultPlan direct = sched::FaultPlan::from_seed(7);
   EXPECT_EQ(parse_plan("seed=7").str(), direct.str());
+}
+
+TEST(FaultPlan, SocketSeededPlansAreDeterministicAndScoped) {
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    const sched::FaultPlan a = sched::FaultPlan::from_seed_socket(seed);
+    const sched::FaultPlan b = sched::FaultPlan::from_seed_socket(seed);
+    EXPECT_EQ(a.str(), b.str()) << "seed " << seed;
+    EXPECT_FALSE(a.empty()) << "seed " << seed;
+    // Every socket plan must schedule a socket-class fault, not a process
+    // one: the sweep exercises connection death, never worker death.
+    const sched::WorkerFaults wf = a.for_worker(0, 0);
+    EXPECT_TRUE(wf.stall_at_frame != 0 || wf.drop_conn_at_frame != 0 ||
+                wf.torn_tcp_at_frame != 0 || wf.slow_read_at != 0)
+        << "seed " << seed << " -> '" << a.str() << "'";
+    EXPECT_EQ(wf.crash_at_frame, 0u) << "seed " << seed;
+    // Generation-0 scoping, like from_seed: recovery always succeeds.
+    EXPECT_FALSE(a.for_worker(0, 1).any()) << "seed " << seed;
+    // And the canonical string round-trips through the parser.
+    sched::FaultPlan parsed;
+    std::string error;
+    ASSERT_TRUE(sched::parse_fault_plan(a.str(), parsed, error)) << error;
+    EXPECT_EQ(parsed.str(), a.str());
+  }
 }
 
 TEST(FaultPlan, SlotScopingLimitsTheBlastRadius) {
@@ -265,6 +295,132 @@ TEST(FaultInjectionSweep, MidStreamFaultsDiscardPartialResults) {
     EXPECT_GE(r.shard.tasks_reassigned, 1u)
         << "plan '" << plan << "' never actually killed a worker";
   }
+}
+
+// ---------------------------------------------------------------------------
+// Network-level socket faults: connection dies, process survives
+// ---------------------------------------------------------------------------
+
+TEST(SocketFaultSweep, SeededSocketPlansMatchTheInProcessOracle) {
+  // The socket counterpart of SeededPlansMatchTheInProcessOracle: seeded
+  // stall/drop-conn/torn-tcp/slow-read plans over the random corpus. All are
+  // generation-0-scoped, so the reconnect/reassign machinery always recovers
+  // and the result must be bit-identical to the fault-free oracle.
+  int count = 10;
+  if (const char* v = std::getenv("PLANKTON_DIFF_SEEDS");
+      v != nullptr && std::atoi(v) > 0) {
+    count = std::max(6, std::atoi(v) / 10);
+  }
+  for (int seed = 1; seed <= count; ++seed) {
+    const RandomInstance inst =
+        make_random_instance(static_cast<std::uint64_t>(seed));
+    const sched::FaultPlan plan =
+        sched::FaultPlan::from_seed_socket(static_cast<std::uint64_t>(seed));
+    SCOPED_TRACE("instance seed " + std::to_string(seed) + " (" + inst.kind +
+                 ", policy " + inst.policy->name() + ", plan '" + plan.str() +
+                 "')");
+    VerifyOptions vo;
+    vo.cores = 1;
+    vo.explore = inst.explore;
+    vo.explore.find_all_violations = true;
+    vo.explore.suppress_equivalent = false;
+    const Fingerprint ref = fingerprint(run_verify(inst.net, *inst.policy, vo));
+
+    VerifyOptions sv = vo;
+    sv.shards = 2;
+    sv.shard_fault_plan = plan;
+    sv.shard_heartbeat_interval_ms = 10;
+    const VerifyResult r = run_verify(inst.net, *inst.policy, sv);
+    EXPECT_EQ(fingerprint(r), ref)
+        << "plan '" << plan.str() << "' changed the merged verdict";
+  }
+}
+
+TEST(SocketFaultSweep, EachSocketFaultClassIsInvisibleInTheResult) {
+  // One fixed workload through each socket-fault class. drop-conn and
+  // torn-tcp kill the connection (the worker survives), so the coordinator
+  // must reassign; stall and slow-read merely degrade the wire and must
+  // leave the shard stats clean of reassignments.
+  const Figure6 fx;
+  const ReachabilityPolicy policy({fx.r6});
+  VerifyOptions vo;
+  vo.explore.find_all_violations = true;
+  const Fingerprint ref = fingerprint(run_verify(fx.net, policy, vo));
+
+  struct Case {
+    const char* plan;
+    bool kills_conn;  ///< the connection dies (vs is merely slow)
+  };
+  const Case cases[] = {
+      {"stall@1:30", false},
+      {"drop-conn@1", true},
+      {"torn-tcp@1", true},
+      {"slow-read@2:30", false},
+      {"drop-conn@1;slot=0", true},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.plan);
+    VerifyOptions sv = vo;
+    sv.shards = 2;
+    sv.shard_fault_plan = parse_plan(c.plan);
+    sv.shard_heartbeat_interval_ms = 10;
+    const VerifyResult r = run_verify(fx.net, policy, sv);
+    EXPECT_EQ(fingerprint(r), ref)
+        << "verdict diverged under '" << c.plan << "'";
+    if (c.kills_conn) {
+      EXPECT_GE(r.shard.tasks_reassigned, 1u)
+          << "plan '" << c.plan << "' never actually dropped a connection";
+    } else {
+      EXPECT_EQ(r.shard.tasks_reassigned, 0u)
+          << "a merely-slow wire must not trigger reassignment";
+    }
+  }
+}
+
+TEST(SocketFaultSweep, TornTcpMidStreamDiscardsPartialResults) {
+  // A torn stream after a complete result frame crossed the wire: everything
+  // the dead connection delivered pre-tear must be discarded with the task,
+  // or the merged violation multiset gains duplicates and bit-identity dies.
+  const Enterprise ent = make_enterprise("VII");
+  const ReachabilityPolicy policy({ent.access.front()});
+  VerifyOptions vo;
+  vo.explore.find_all_violations = true;
+  const Fingerprint ref = fingerprint(run_verify(ent.net, policy, vo));
+  for (const char* plan : {"torn-tcp@2", "drop-conn@2"}) {
+    SCOPED_TRACE(plan);
+    VerifyOptions sv = vo;
+    sv.shards = 2;
+    sv.shard_fault_plan = parse_plan(plan);
+    sv.shard_heartbeat_interval_ms = 10;
+    const VerifyResult r = run_verify(ent.net, policy, sv);
+    EXPECT_EQ(fingerprint(r), ref) << "verdict diverged under '" << plan
+                                   << "'";
+    EXPECT_GE(r.shard.tasks_reassigned, 1u)
+        << "plan '" << plan << "' never actually severed the stream";
+  }
+}
+
+TEST(SocketFaultUnrecoverable, PersistentDropConnNeverYieldsAFalseHold) {
+  // gen*: every incarnation's connection dies on its first data frame. The
+  // coordinator exhausts the reassignment cap, errors out cleanly, and the
+  // in-process fallback still produces the oracle verdict — the taxonomy
+  // contract is kError/kInconclusive or the *correct* verdict, never a hold
+  // the sharded run did not earn.
+  const Figure6 fx;
+  const ReachabilityPolicy policy({fx.r6});
+  VerifyOptions vo;
+  vo.explore.find_all_violations = true;
+  const Fingerprint ref = fingerprint(run_verify(fx.net, policy, vo));
+
+  VerifyOptions sv = vo;
+  sv.shards = 2;
+  sv.shard_fault_plan = parse_plan("drop-conn@1;gen*");
+  sv.shard_heartbeat_interval_ms = 10;
+  const VerifyResult r = run_verify(fx.net, policy, sv);
+  EXPECT_EQ(fingerprint(r), ref)
+      << "the in-process fallback verdict must match the oracle";
+  EXPECT_TRUE(r.shard.tasks_per_shard.empty())
+      << "the failed sharded attempt must not leave merged shard stats";
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,337 @@
+// Serve daemon resilience (src/serve/server.cpp): the multiplexed accept
+// loop. A client stalled mid-frame must never block the others (the old
+// null-timeout select() wedge), connections beyond the cap are refused with
+// a parseable reply, SIGTERM drains gracefully (cache saved, journal
+// compacted, exit 0), and the serve-side socket-fault hooks shed exactly the
+// faulted connection while the daemon keeps serving.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "serve/journal.hpp"
+#include "serve/server.hpp"
+#include "serve/serve.hpp"
+
+namespace plankton::serve {
+namespace {
+
+const char* kRing = R"(
+node r0 loopback 10.0.0.1
+node r1 loopback 10.0.0.2
+node r2 loopback 10.0.0.3
+node r3 loopback 10.0.0.4
+link r0 r1 cost 10
+link r1 r2 cost 10
+link r2 r3 cost 10
+link r3 r0 cost 10
+ospf r0 no-loopback
+ospf r1 no-loopback
+ospf r2 no-loopback
+ospf r3 no-loopback
+ospf r0 originate 10.1.0.0/24
+ospf r1 originate 10.2.0.0/24
+ospf r2 originate 10.3.0.0/24
+ospf r3 originate 10.4.0.0/24
+)";
+
+std::string tmp_path(const std::string& name) {
+  const std::string p = ::testing::TempDir() + "/" + name;
+  std::remove(p.c_str());
+  return p;
+}
+
+/// Connects to a daemon's unix socket, retrying while it boots.
+int connect_retry(const std::string& path) {
+  std::string err;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const int fd = connect_unix(path, err);
+    if (fd >= 0) return fd;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ADD_FAILURE() << "daemon never came up on " << path << ": " << err;
+  return -1;
+}
+
+bool stats_roundtrip(int fd, std::string& error) {
+  if (!send_frame(fd, sched::MsgType::kCacheStats, "")) {
+    error = "send failed";
+    return false;
+  }
+  sched::FrameDecoder dec;
+  sched::Frame f;
+  if (!recv_frame(fd, dec, f, error)) return false;
+  return f.type == sched::MsgType::kCacheStats;
+}
+
+/// Asks the daemon on `fd` to shut down (reply may legitimately be eaten by
+/// an armed serve-side fault — shutdown proceeds regardless).
+void request_shutdown(int fd) {
+  (void)send_frame(fd, sched::MsgType::kShutdown, "");
+  sched::FrameDecoder dec;
+  sched::Frame f;
+  std::string err;
+  (void)recv_frame(fd, dec, f, err);
+}
+
+// ---------------------------------------------------------------------------
+// The stalled-writer wedge (satellite fix): pre-fix this test never finishes
+// ---------------------------------------------------------------------------
+
+TEST(ServeResilience, StalledMidFrameClientDoesNotBlockOthers) {
+  // The regression: the old loop serviced one blocking read at a time with a
+  // null select() timeout, so a client that sent *half* a frame and went
+  // quiet wedged every other connection forever. Post-fix the loop
+  // multiplexes with a periodic tick and a per-client mid-frame deadline.
+  const std::string sock = tmp_path("resil_stall.sock");
+  ServerOptions so;
+  so.unix_path = sock;
+  so.read_deadline_ms = 200;
+  std::thread server([&] { run_server(so); });
+
+  const int staller = connect_retry(sock);
+  ASSERT_GE(staller, 0);
+  std::string half;
+  sched::encode_frame(half, sched::MsgType::kCacheStats, "");
+  ASSERT_GT(half.size(), 4u);
+  ASSERT_EQ(::send(staller, half.data(), 4, MSG_NOSIGNAL), 4)
+      << "the stalled client parks 4 header bytes and goes silent";
+
+  // A second client must still get answers while the first is wedged.
+  const int live = connect_retry(sock);
+  ASSERT_GE(live, 0);
+  std::string err;
+  EXPECT_TRUE(stats_roundtrip(live, err))
+      << "stalled peer blocked the daemon: " << err;
+
+  // And the staller is evicted once its mid-frame deadline passes: the
+  // daemon closes the socket, which surfaces here as EOF.
+  char byte;
+  ssize_t r = -1;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    r = ::recv(staller, &byte, 1, MSG_DONTWAIT);
+    if (r == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(r, 0) << "overdue mid-frame client was never disconnected";
+  ::close(staller);
+
+  request_shutdown(live);
+  ::close(live);
+  server.join();
+  std::remove(sock.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Connection cap: refusal is a parseable reply, not a hang or an RST
+// ---------------------------------------------------------------------------
+
+TEST(ServeResilience, ConnectionCapRefusesGracefully) {
+  const std::string sock = tmp_path("resil_cap.sock");
+  ServerOptions so;
+  so.unix_path = sock;
+  so.max_clients = 1;
+  std::thread server([&] { run_server(so); });
+
+  const int first = connect_retry(sock);
+  ASSERT_GE(first, 0);
+  std::string err;
+  ASSERT_TRUE(stats_roundtrip(first, err)) << err;  // first is registered
+
+  const int second = connect_retry(sock);
+  ASSERT_GE(second, 0);
+  sched::FrameDecoder dec;
+  sched::Frame f;
+  ASSERT_TRUE(recv_frame(second, dec, f, err))
+      << "refusal must be a reply, not a slammed door: " << err;
+  ASSERT_EQ(f.type, sched::MsgType::kVerdictReply);
+  VerdictReplyMsg refuse;
+  ASSERT_TRUE(decode_verdict_reply(f.payload, refuse));
+  EXPECT_FALSE(refuse.ok);
+  EXPECT_NE(refuse.error.find("capacity"), std::string::npos) << refuse.error;
+  char byte;
+  EXPECT_EQ(::read(second, &byte, 1), 0) << "refused connection must close";
+  ::close(second);
+
+  // The registered client is unaffected by the refusal next door.
+  EXPECT_TRUE(stats_roundtrip(first, err)) << err;
+  request_shutdown(first);
+  ::close(first);
+  server.join();
+  std::remove(sock.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// SIGTERM drain: cache persisted, journal compacted, exit 0
+// ---------------------------------------------------------------------------
+
+TEST(ServeResilience, SigtermDrainsGracefully) {
+  const std::string sock = tmp_path("resil_drain.sock");
+  const std::string cache = tmp_path("resil_drain.pkc");
+  const std::string journal = tmp_path("resil_drain.pkj");
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ServerOptions so;
+    so.unix_path = sock;
+    so.cache_path = cache;
+    so.journal_path = journal;
+    _exit(run_server(so));
+  }
+
+  const int fd = connect_retry(sock);
+  ASSERT_GE(fd, 0);
+  LoadNetMsg load;
+  load.config_text = kRing;
+  ASSERT_TRUE(send_frame(fd, sched::MsgType::kLoadNet, encode_load_net(load)));
+  sched::FrameDecoder dec;
+  sched::Frame f;
+  std::string err;
+  ASSERT_TRUE(recv_frame(fd, dec, f, err)) << err;
+  VerdictReplyMsg reply;
+  ASSERT_TRUE(decode_verdict_reply(f.payload, reply));
+  ASSERT_TRUE(reply.ok) << reply.error;
+  // Journal two deltas so the drain-time compaction has history to fold.
+  ApplyDeltaMsg delta;
+  delta.ops.push_back({true, "static r0 10.3.0.0/24 via r1"});
+  ASSERT_TRUE(
+      send_frame(fd, sched::MsgType::kApplyDelta, encode_apply_delta(delta)));
+  ASSERT_TRUE(recv_frame(fd, dec, f, err)) << err;
+  ASSERT_TRUE(decode_verdict_reply(f.payload, reply));
+  ASSERT_TRUE(reply.ok) << reply.error;
+  ::close(fd);
+
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  int status = -1;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "daemon must drain, not die of the signal";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // The drain compacted the journal: one kLoadNet record holding the
+  // post-delta resident config.
+  Journal::ReplayResult stats;
+  std::size_t records = 0;
+  JournalRecord only_type{};
+  std::string only_payload;
+  ASSERT_TRUE(Journal::replay(
+      journal,
+      [&](JournalRecord type, std::string_view payload) {
+        ++records;
+        only_type = type;
+        only_payload = std::string(payload);
+        return true;
+      },
+      stats, err))
+      << err;
+  EXPECT_EQ(records, 1u) << "drain must compact the load+delta history";
+  EXPECT_EQ(only_type, JournalRecord::kLoadNet);
+  EXPECT_NE(only_payload.find("static r0 10.3.0.0/24 via r1"),
+            std::string::npos)
+      << "compacted config must carry the applied delta";
+
+  // And the replayed journal rebuilds the drained daemon's state.
+  ServeState revived{VerifyOptions{}};
+  ASSERT_TRUE(revived.attach_journal(journal, err)) << err;
+  ASSERT_TRUE(revived.replay_journal(stats, err)) << err;
+  EXPECT_TRUE(revived.loaded());
+
+  std::remove(sock.c_str());
+  std::remove(cache.c_str());
+  std::remove(journal.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Serve-side socket faults: the chaos hooks shed exactly one connection
+// ---------------------------------------------------------------------------
+
+TEST(ServeResilience, DropConnFaultShedsConnectionDaemonSurvives) {
+  const std::string sock = tmp_path("resil_dropconn.sock");
+  ServerOptions so;
+  so.unix_path = sock;
+  std::string err;
+  ASSERT_TRUE(sched::parse_fault_plan("drop-conn@1", so.fault_plan, err))
+      << err;
+  std::thread server([&] { run_server(so); });
+
+  // The first reply of every connection is eaten: the client sees a dead
+  // socket, never a bogus verdict.
+  const int fd = connect_retry(sock);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_frame(fd, sched::MsgType::kCacheStats, ""));
+  sched::FrameDecoder dec;
+  sched::Frame f;
+  EXPECT_FALSE(recv_frame(fd, dec, f, err))
+      << "the dropped reply must surface as a transport error";
+  ::close(fd);
+
+  // The daemon itself survives its own chaos: a new connection is accepted
+  // and kShutdown still drains it (the ack is eaten by the same fault, but
+  // shutdown proceeds regardless).
+  const int fd2 = connect_retry(sock);
+  ASSERT_GE(fd2, 0);
+  request_shutdown(fd2);
+  ::close(fd2);
+  server.join();
+  std::remove(sock.c_str());
+}
+
+TEST(ServeResilience, TornTcpFaultNeverYieldsAParseableLie) {
+  const std::string sock = tmp_path("resil_torntcp.sock");
+  ServerOptions so;
+  so.unix_path = sock;
+  std::string err;
+  ASSERT_TRUE(sched::parse_fault_plan("torn-tcp@1", so.fault_plan, err)) << err;
+  std::thread server([&] { run_server(so); });
+
+  const int fd = connect_retry(sock);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_frame(fd, sched::MsgType::kCacheStats, ""));
+  // Half a frame then a hard close: the decoder must report a truncated
+  // stream, never hand back a frame assembled from the torn bytes.
+  sched::FrameDecoder dec;
+  sched::Frame f;
+  EXPECT_FALSE(recv_frame(fd, dec, f, err));
+  ::close(fd);
+
+  const int fd2 = connect_retry(sock);
+  ASSERT_GE(fd2, 0);
+  request_shutdown(fd2);
+  ::close(fd2);
+  server.join();
+  std::remove(sock.c_str());
+}
+
+TEST(ServeResilience, StallFaultDelaysButDeliversIntactReply) {
+  const std::string sock = tmp_path("resil_stallfault.sock");
+  ServerOptions so;
+  so.unix_path = sock;
+  std::string err;
+  ASSERT_TRUE(sched::parse_fault_plan("stall@1:150", so.fault_plan, err))
+      << err;
+  std::thread server([&] { run_server(so); });
+
+  const int fd = connect_retry(sock);
+  ASSERT_GE(fd, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(stats_roundtrip(fd, err)) << err;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_GE(elapsed, 100) << "the armed stall must actually delay the reply";
+
+  request_shutdown(fd);
+  ::close(fd);
+  server.join();
+  std::remove(sock.c_str());
+}
+
+}  // namespace
+}  // namespace plankton::serve

@@ -389,6 +389,90 @@ TEST(TcpRecovery, SigkilledWorkerFailsOverToSurvivor) {
 }
 
 // ---------------------------------------------------------------------------
+// TCP session resilience: socket faults, reconnect + re-bootstrap
+// ---------------------------------------------------------------------------
+
+TEST(TcpRecovery, DroppedConnectionReconnectsAndReBootstraps) {
+  // drop-conn@1 severs the TCP session at the worker's first data frame —
+  // the worker *daemon* survives and returns to its accept loop, so recovery
+  // is reconnect + re-bootstrap (a fresh kBootstrap handshake against the
+  // same address), not a process respawn. The ThreadWorker session counter
+  // is the proof the re-bootstrap actually happened.
+  ThreadWorker workers[2];
+  std::vector<std::string> addrs;
+  for (const auto& w : workers) addrs.push_back(w.address());
+
+  const Figure6 fx;
+  const ReachabilityPolicy policy({fx.r6});
+  ASSERT_FALSE(policy.spec(fx.net).empty());
+  VerifyOptions vo;
+  vo.explore.find_all_violations = true;
+  const Fingerprint ref = fingerprint(run_verify(fx.net, policy, vo));
+
+  VerifyOptions sv = vo;
+  sv.shards = 2;
+  sv.shard_transport = ShardTransportKind::kTcp;
+  sv.shard_workers = addrs;
+  std::string err;
+  ASSERT_TRUE(sched::parse_fault_plan("drop-conn@1", sv.shard_fault_plan, err))
+      << err;
+  const VerifyResult r = run_verify(fx.net, policy, sv);
+  EXPECT_EQ(fingerprint(r), ref) << "reconnect changed the merged verdict";
+  EXPECT_GE(r.shard.tasks_reassigned, 1u)
+      << "the drop-conn fault never actually severed a session";
+  const int total_sessions = workers[0].sessions() + workers[1].sessions();
+  EXPECT_GT(total_sessions, 2)
+      << "no re-bootstrap happened: the dropped session was never re-dialed";
+}
+
+TEST(TcpRecovery, SeededSocketPlansMatchOverTcpTransport) {
+  // The serve-side twin of SocketFaultSweep: seeded socket plans against
+  // real TCP worker sessions. The coordinator pre-resolves the plan per
+  // slot + generation and ships it inside kBootstrap (the remote session
+  // runs as slot 0 / generation 1 locally, so an unresolved plan would
+  // silently never fire).
+  ThreadWorker workers[2];
+  std::vector<std::string> addrs;
+  for (const auto& w : workers) addrs.push_back(w.address());
+
+  int corpus = 6;
+  if (const char* v = std::getenv("PLANKTON_DIFF_SEEDS");
+      v != nullptr && std::atoi(v) > 0) {
+    corpus = std::max(6, std::atoi(v) / 16);
+  }
+  int eligible = 0;
+  for (int seed = 1; seed <= corpus; ++seed) {
+    const RandomInstance inst =
+        make_random_instance(static_cast<std::uint64_t>(seed));
+    if (inst.policy->spec(inst.net).empty()) continue;
+    ++eligible;
+    const sched::FaultPlan plan =
+        sched::FaultPlan::from_seed_socket(static_cast<std::uint64_t>(seed));
+    SCOPED_TRACE("instance seed " + std::to_string(seed) + " (" + inst.kind +
+                 ", policy " + inst.policy->name() + ", plan '" + plan.str() +
+                 "')");
+    VerifyOptions vo;
+    vo.cores = 1;
+    vo.explore = inst.explore;
+    vo.explore.find_all_violations = true;
+    vo.explore.suppress_equivalent = false;
+    const Fingerprint ref = fingerprint(run_verify(inst.net, *inst.policy, vo));
+
+    VerifyOptions sv = vo;
+    sv.shards = 2;
+    sv.shard_transport = ShardTransportKind::kTcp;
+    sv.shard_workers = addrs;
+    sv.shard_fault_plan = plan;
+    const VerifyResult r = run_verify(inst.net, *inst.policy, sv);
+    EXPECT_EQ(fingerprint(r), ref)
+        << "plan '" << plan.str() << "' changed the merged verdict";
+    EXPECT_GT(r.shard.frames_sent, 0u)
+        << "tcp run fell back to in-process (bootstrap refused?)";
+  }
+  ASSERT_GE(eligible, 3) << "corpus must exercise spec-able policies";
+}
+
+// ---------------------------------------------------------------------------
 // Intra-PEC work export
 // ---------------------------------------------------------------------------
 
